@@ -1,0 +1,82 @@
+// Fig. 2 reproduction — SC'02: GFS via hardware assist (FCIP).
+//
+// Configuration (paper §2): ~30 TB QFS/SAM storage at SDSC, exported
+// over a Storage Area Network extended to the Baltimore show floor by
+// Nishan FCIP boxes over a 10 GbE path of which 2x4 GbE was usable
+// (8 Gb/s ceiling); 80 ms measured RTT. The show-floor host streams
+// reads block-level through the tunnel with a deep SCSI command queue
+// (SANergy-style), which is why the latency "did not prevent the Global
+// File System from performing".
+//
+// Paper result: > 720 MB/s, with a notably flat sustained profile.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "san/fcip.hpp"
+
+using namespace mgfs;
+
+int main() {
+  bench::banner("FIG-2", "SC'02 FCIP-extended SAN read, SDSC -> Baltimore");
+
+  sim::Simulator sim;
+  net::Network net(sim);
+  // Single fat host on each side: the demo's Sun servers; the 8 Gb/s WAN
+  // is the intended bottleneck.
+  net::Sc02Wan wan = net::make_sc02_wan(net, 1, 1, gbps(8.0), gbps(10.0));
+  std::cout << "  path RTT: " << *net.rtt(wan.sdsc.hosts[0],
+                                          wan.baltimore.hosts[0]) * 1e3
+            << " ms (paper: 80 ms)\n";
+
+  // SDSC disk cache: 30 TB behind ~2 GB/s of spindles+controllers.
+  storage::RateDevice disks(sim, 30 * TB, 2e9, 0.5e-3, "qfs-cache");
+  san::FcipTunnel tunnel(net, wan.sdsc.hosts[0], wan.baltimore.hosts[0]);
+  san::RemoteSanConfig vcfg;
+  vcfg.scsi_transfer = 1 * MiB;
+  vcfg.queue_depth = 64;
+  san::RemoteSanVolume volume(tunnel, disks, vcfg);
+
+  RateMeter meter(1.0, "read MB/s");
+  constexpr double kRunSeconds = 120.0;
+  constexpr Bytes kIoSize = 64 * MiB;
+
+  // Rolling reader: keep 4 large I/Os in the volume's queue at all
+  // times, sequentially walking the dataset.
+  struct Reader {
+    san::RemoteSanVolume& vol;
+    sim::Simulator& sim;
+    RateMeter& meter;
+    Bytes next = 0;
+    double stop_at;
+    void issue() {
+      if (sim.now() >= stop_at) return;
+      const Bytes off = next;
+      next += kIoSize;
+      vol.io(off, kIoSize, false, [this](const Status& st) {
+        MGFS_ASSERT(st.ok(), "sc02 read failed");
+        meter.note(sim.now(), kIoSize);
+        issue();
+      });
+    }
+  };
+  Reader reader{volume, sim, meter, 0, kRunSeconds};
+  for (int i = 0; i < 4; ++i) reader.issue();
+
+  sim.run_until(kRunSeconds);
+
+  TimeSeries series = meter.series_MBps();
+  bench::show_series(series, "time (s)", "MB/s");
+  const double sustained = series.mean_y_between(10, kRunSeconds - 10);
+  std::cout << "\nSummary (paper §2 / Fig. 2):\n";
+  bench::report("sustained read", sustained, 720.0, "MB/s");
+  bench::report("peak read", series.max_y(), 750.0, "MB/s");
+  std::cout << "  flatness: min/max over steady window = "
+            << series.mean_y_between(10, 110) / series.max_y() << "\n";
+  std::cout << "  FC frames tunneled: " << tunnel.frames_sent()
+            << ", wire overhead: "
+            << (static_cast<double>(tunnel.wire_bytes(1 * MiB)) / (1 * MiB) -
+                1.0) *
+                   100
+            << "%\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// T-anl reproduction — §5: early production use of the SDSC GFS.
+//
+// "We have recently begun semi-production use of the approximately
+// 0.5 PB of GFS disk ... all 32 nodes at Argonne National Laboratory.
+// We have some preliminary performance numbers, at ANL the maximum
+// rates are approximately 1.2 GB/s to all 32 nodes."
+//
+// 1.2 GB/s over 32 nodes is ~37 MB/s per GbE node — far below the NIC.
+// The limiter at 2005 defaults is per-node outstanding data over a
+// ~58 ms SDSC<->ANL RTT: an untuned reader keeps ~2-3 MiB in flight
+// (app queue depth x request size plus minimal kernel prefetch), and
+// 2-3 MiB / 58 ms lands in the high-30s MB/s. This bench reproduces
+// exactly that mechanism and also prints what a tuned (deeper-
+// pipelined) client achieves.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "workload/stream.hpp"
+
+using namespace mgfs;
+
+namespace {
+
+double run_anl(std::size_t app_qd, int readahead) {
+  sim::Simulator sim;
+  net::Network net(sim);
+  net::TeraGridSpec spec;
+  spec.sdsc_hosts = 18;  // 16 NSD servers + manager + spare
+  spec.anl_hosts = 32;
+  net::TeraGrid tg = net::make_teragrid_2004(net, spec);
+
+  gpfs::ClusterConfig scfg;
+  scfg.name = "sdsc";
+  scfg.tcp.window = 2 * MiB;
+  scfg.tcp.chunk = 1 * MiB;
+  gpfs::Cluster sdsc(sim, net, scfg, Rng(1));
+  bench::ServerFarm farm = bench::make_rate_farm(
+      sdsc, sim, tg.sdsc, 0, 16, 32, 300e6, 4 * TiB, "gpfs-wan");
+
+  gpfs::ClusterConfig acfg;
+  acfg.name = "anl";
+  acfg.tcp.window = 2 * MiB;
+  acfg.tcp.chunk = 256 * KiB;
+  acfg.client.readahead_blocks = readahead;
+  gpfs::Cluster anl(sim, net, acfg, Rng(2));
+  for (net::NodeId h : tg.anl.hosts) anl.add_node(h);
+
+  for (std::size_t i = 0; i < 32; ++i) {
+    bench::seed_file(*farm.fs, "/data" + std::to_string(i), 2 * GiB);
+  }
+  auto clients = bench::remote_mount_all(sim, sdsc, anl, "gpfs-wan",
+                                         farm.manager, tg.anl.hosts);
+
+  std::vector<std::unique_ptr<workload::SequentialReader>> readers;
+  std::size_t done = 0;
+  const double t0 = sim.now();
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    workload::SequentialReader::Options opt;
+    opt.stream.request = 1 * MiB;
+    opt.stream.queue_depth = app_qd;
+    readers.push_back(std::make_unique<workload::SequentialReader>(
+        clients[i], "/data" + std::to_string(i), bench::kUser, opt));
+    readers.back()->start([&done](const Status& st) {
+      MGFS_ASSERT(st.ok(), "anl read failed");
+      ++done;
+    });
+  }
+  sim.run();
+  MGFS_ASSERT(done == clients.size(), "readers did not finish");
+  Bytes total = 0;
+  for (const auto& r : readers) total += r->bytes_read();
+  return static_cast<double>(total) / (sim.now() - t0) / 1e6;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("T-ANL", "§5: 32-node remote mount at ANL over the TeraGrid");
+  const double untuned = run_anl(/*app_qd=*/2, /*readahead=*/1);
+  std::cout << "\nSummary (paper §5 text):\n";
+  bench::report("aggregate read, 32 ANL nodes (2005 client tuning)",
+                untuned, 1200.0, "MB/s");
+  const double tuned = run_anl(/*app_qd=*/8, /*readahead=*/16);
+  std::cout << "  with deeper pipelining (qd=8, readahead=16): " << tuned
+            << " MB/s — the headroom the paper expected once \"remote sites"
+               " have enough nodes mounted to stress the file system\"\n";
+  return 0;
+}

@@ -1,0 +1,172 @@
+// T-future — §8: the three concrete upgrades the paper planned for the
+// SDSC production GFS "between now and next October", quantified:
+//
+//   1. "Expand the disk capacity to a full Petabyte"
+//   2. "Add another GbE connection to each IA64 server, increasing the
+//      aggregate bandwidth to 128 Gb/s" — which the paper notes is "an
+//      exact match to the maximum I/O rate of our IBM Blue Gene/L
+//      system, Intimidata"
+//   3. "Add a second Fibre Channel Host Bus Adapter to each IA64
+//      server, allowing very rapid transfers from the disk to FC
+//      attached tape drives" — i.e. take the HSM drain off the GbE
+//      data path
+#include <iomanip>
+#include <iostream>
+#include <optional>
+
+#include "bench_util.hpp"
+#include "workload/stream.hpp"
+
+using namespace mgfs;
+
+namespace {
+
+/// Aggregate read rate of `clients` GbE clients against 32 NSD servers
+/// whose NICs run at `server_gbe` Gb/s, with an optional HSM archiver
+/// draining `archive_rate` B/s either through the serving NICs
+/// (single-HBA world) or directly off the devices (second-HBA world).
+double run_world(double server_gbe, std::size_t clients,
+                 BytesPerSec archive_rate, bool archive_via_nic,
+                 double duration = 20.0) {
+  sim::Simulator sim;
+  net::Network net(sim);
+  constexpr std::size_t kServers = 32;
+  net::NodeId sw = net.add_node("room.sw");
+  std::vector<net::NodeId> server_nodes, client_nodes;
+  for (std::size_t i = 0; i < kServers; ++i) {
+    net::NodeId n = net.add_node("srv" + std::to_string(i));
+    net.connect(n, sw, gbps(server_gbe), 50e-6, net::kEtherEfficiency);
+    server_nodes.push_back(n);
+  }
+  net::NodeId manager = net.add_node("mgr");
+  net.connect(manager, sw, gbps(1.0), 50e-6, net::kEtherEfficiency);
+  for (std::size_t i = 0; i < clients; ++i) {
+    net::NodeId n = net.add_node("cli" + std::to_string(i));
+    net.connect(n, sw, gbps(1.0), 50e-6, net::kEtherEfficiency);
+    client_nodes.push_back(n);
+  }
+
+  gpfs::ClusterConfig cfg;
+  cfg.name = "sdsc";
+  cfg.tcp.window = 2 * MiB;
+  cfg.tcp.chunk = 1 * MiB;
+  cfg.client.readahead_blocks = 16;
+  gpfs::Cluster cluster(sim, net, cfg, Rng(1));
+  cluster.add_node(manager);
+  for (net::NodeId n : server_nodes) {
+    cluster.add_node(n);
+    cluster.add_nsd_server(n);
+  }
+  for (net::NodeId n : client_nodes) cluster.add_node(n);
+
+  std::vector<std::unique_ptr<storage::RateDevice>> devices;
+  std::vector<std::uint32_t> nsds;
+  for (std::size_t i = 0; i < kServers; ++i) {
+    devices.push_back(std::make_unique<storage::RateDevice>(
+        sim, 2 * TiB, 600e6, 0.5e-3, "dev" + std::to_string(i)));
+    nsds.push_back(cluster.create_nsd(
+        "nsd" + std::to_string(i), devices.back().get(), server_nodes[i],
+        server_nodes[(i + 1) % kServers]));
+  }
+  gpfs::FileSystem& fs =
+      cluster.create_filesystem("gpfs", nsds, 1 * MiB, manager);
+
+  for (std::size_t i = 0; i < clients; ++i) {
+    bench::seed_file(fs, "/f" + std::to_string(i), 16 * GiB);
+  }
+
+  RateMeter meter(1.0);
+  std::vector<std::unique_ptr<workload::SequentialReader>> readers;
+  for (std::size_t i = 0; i < clients; ++i) {
+    auto c = cluster.mount("gpfs", client_nodes[i]);
+    MGFS_ASSERT(c.ok(), "mount failed");
+    workload::SequentialReader::Options opt;
+    opt.stream.request = 4 * MiB;
+    opt.stream.queue_depth = 8;
+    readers.push_back(std::make_unique<workload::SequentialReader>(
+        *c, "/f" + std::to_string(i), bench::kUser, opt));
+    readers.back()->set_meter(&meter);
+    readers.back()->start([](const Status&) {});
+  }
+
+  // HSM drain: `archive_rate` pulled continuously from the devices.
+  if (archive_rate > 0) {
+    const Bytes chunk = 8 * MiB;
+    for (std::size_t i = 0; i < kServers; ++i) {
+      auto pump = std::make_shared<std::function<void(Bytes)>>();
+      storage::RateDevice* dev = devices[i].get();
+      const BytesPerSec per_dev = archive_rate / kServers;
+      if (archive_via_nic) {
+        // Single-HBA world: archive traffic rides the serving NIC to a
+        // mover node — model as extra NIC load from each server.
+        net::NodeId mover = manager;
+        net::NodeId src = server_nodes[i];
+        auto issue = std::make_shared<std::function<void(double)>>();
+        *issue = [&net, &sim, src, mover, chunk, per_dev, issue,
+                  duration](double issued) {
+          if (sim.now() >= duration) return;
+          net.send(src, mover, chunk, [&sim, issue, issued, chunk, per_dev] {
+            (void)issued;
+            (*issue)(issued + static_cast<double>(chunk));
+          });
+          (void)per_dev;
+        };
+        (*issue)(0);
+      } else {
+        // Second-HBA world: drain straight off the device; the NIC
+        // never sees it. (Device bandwidth is still shared.)
+        *pump = [dev, chunk, pump, &sim, duration](Bytes off) {
+          if (sim.now() >= duration) return;
+          dev->io(off % (1 * TiB), chunk, false,
+                  [pump, off, chunk](const Status&) {
+                    (*pump)(off + chunk);
+                  });
+        };
+        (*pump)(0);
+      }
+    }
+  }
+
+  sim.run_until(duration);
+  TimeSeries s = meter.series_MBps();
+  return s.mean_y_between(5.0, duration - 2.0);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("T-FUTURE", "§8: the planned production upgrades, "
+                            "quantified");
+  std::cout << std::fixed << std::setprecision(1);
+
+  // 1. Capacity: arithmetic, per Fig. 9's tray math.
+  std::cout << "\n  1) capacity: 32 trays x 7 x (8x250 GB) = "
+            << 32 * 7 * 8 * 250.0 / 1000 << " TB usable today; doubling "
+            << "the trays -> " << 2 * 32 * 7 * 8 * 250.0 / 1000
+            << " TB usable (~1 PB raw with parity+spares)\n";
+
+  // 2. Second GbE per server.
+  const double before = run_world(1.0, 64, 0, false);
+  const double after = run_world(2.0, 96, 0, false);
+  std::cout << "\n  2) second GbE per NSD server (64 -> 128 Gb/s wired):\n";
+  std::cout << "     64 GbE clients, 1 GbE servers:  " << before
+            << " MB/s aggregate\n";
+  std::cout << "     96 GbE clients, 2 GbE servers:  " << after
+            << " MB/s aggregate ("
+            << std::setprecision(2) << after / before << "x)\n"
+            << std::setprecision(1);
+  std::cout << "     (the 128 Gb/s envelope = 16 GB/s matches BG/L "
+               "'Intimidata' peak I/O, as the paper notes)\n";
+
+  // 3. Second HBA for the HSM drain.
+  const double shared = run_world(1.0, 64, 3.2e9, true);
+  const double dedicated = run_world(1.0, 64, 3.2e9, false);
+  std::cout << "\n  3) 3.2 GB/s HSM tape drain during production serving:\n";
+  std::cout << "     via the serving GbE NICs (today): " << shared
+            << " MB/s left for clients\n";
+  std::cout << "     via dedicated second HBAs (plan): " << dedicated
+            << " MB/s for clients ("
+            << std::setprecision(2) << dedicated / shared << "x)\n";
+  std::cout << std::defaultfloat;
+  return 0;
+}

@@ -1,0 +1,118 @@
+// enzo_teragrid: the paper's flagship usage pattern (§4), end to end.
+//
+// Enzo runs at SDSC and writes its output *directly across the WAN*
+// into a central Global File System; visualization hosts at NCSA then
+// read the dumps in place — nobody stages files, nobody needs room for
+// the whole dataset. ("This was an attempt to model as closely as
+// possible what we expect to be one of the dominant modes of operation
+// for grid supercomputing.")
+//
+// Build & run:  ./build/examples/enzo_teragrid
+#include <iostream>
+#include <memory>
+
+#include "gpfs/cluster.hpp"
+#include "net/presets.hpp"
+#include "storage/block_device.hpp"
+#include "workload/apps.hpp"
+
+using namespace mgfs;
+
+int main() {
+  sim::Simulator sim;
+  net::Network net(sim);
+  net::TeraGrid tg = net::make_teragrid_2004(net);
+
+  // Central GFS hosted at SDSC: 4 NSD servers over 8 devices.
+  gpfs::ClusterConfig scfg;
+  scfg.name = "sdsc";
+  scfg.tcp.window = 2 * MiB;
+  gpfs::Cluster sdsc(sim, net, scfg, Rng(1));
+  for (net::NodeId h : tg.sdsc.hosts) sdsc.add_node(h);
+  for (int i = 0; i < 4; ++i) sdsc.add_nsd_server(tg.sdsc.hosts[i]);
+  std::vector<std::unique_ptr<storage::RateDevice>> devices;
+  std::vector<std::uint32_t> nsds;
+  for (int i = 0; i < 8; ++i) {
+    devices.push_back(std::make_unique<storage::RateDevice>(
+        sim, 2 * TiB, 300e6, 0.5e-3, "ds4100-" + std::to_string(i)));
+    nsds.push_back(sdsc.create_nsd("nsd" + std::to_string(i),
+                                   devices.back().get(),
+                                   tg.sdsc.hosts[i % 4],
+                                   tg.sdsc.hosts[(i + 1) % 4]));
+  }
+  gpfs::FileSystem& fs =
+      sdsc.create_filesystem("gpfs-wan", nsds, 1 * MiB, tg.sdsc.hosts[4]);
+  (void)fs;
+
+  // NCSA imports the file system (mmauth / mmremotecluster / mmremotefs).
+  gpfs::ClusterConfig ncfg;
+  ncfg.name = "ncsa";
+  ncfg.tcp.window = 2 * MiB;
+  ncfg.client.readahead_blocks = 16;
+  gpfs::Cluster ncsa(sim, net, ncfg, Rng(2));
+  for (net::NodeId h : tg.ncsa.hosts) ncsa.add_node(h);
+
+  sdsc.mmauth_add("ncsa", ncsa.public_key());
+  MGFS_ASSERT(
+      sdsc.mmauth_grant("ncsa", "gpfs-wan", auth::AccessMode::read_only)
+          .ok(),
+      "grant failed");
+  MGFS_ASSERT(ncsa.mmremotecluster_add("sdsc", sdsc.public_key(), &sdsc,
+                                       tg.sdsc.hosts[4])
+                  .ok(),
+              "mmremotecluster failed");
+  MGFS_ASSERT(ncsa.mmremotefs_add("/gpfs-wan", "sdsc", "gpfs-wan").ok(),
+              "mmremotefs failed");
+
+  // The compute side: a local SDSC client runs Enzo, writing dumps at
+  // the application's ~300 MB/s I/O rate.
+  auto compute = sdsc.mount("gpfs-wan", tg.sdsc.hosts[5]);
+  MGFS_ASSERT(compute.ok(), "compute mount failed");
+  workload::EnzoConfig ecfg;
+  ecfg.dump_bytes = 2 * GiB;
+  ecfg.dumps = 3;
+  ecfg.app_rate = mB_per_s(300.0);
+  ecfg.compute_gap_s = 5.0;
+  workload::EnzoWriter enzo(*compute, "/enzo", gpfs::Principal{
+                                "/C=US/O=NPACI/CN=mnorman", 512, 100, false},
+                            ecfg);
+  enzo.run([&](const Status& st) {
+    MGFS_ASSERT(st.ok(), "enzo failed");
+    std::cout << "[t=" << sim.now() << "s] Enzo finished "
+              << enzo.dumps_completed() << " dumps ("
+              << enzo.bytes_written() / 1e9 << " GB) into the GFS\n";
+  });
+
+  // The analysis side: once the first dump exists, an NCSA host mounts
+  // remotely and follows the data as it appears.
+  sim.after(10.0, [&] {
+    ncsa.mount_remote("/gpfs-wan", tg.ncsa.hosts[0],
+                      [&](Result<gpfs::Client*> c) {
+      MGFS_ASSERT(c.ok(), "remote mount failed");
+      std::cout << "[t=" << sim.now()
+                << "s] NCSA mounted gpfs-wan remotely (handshake ok, "
+                   "read-only grant)\n";
+      workload::SequentialReader::Options opt;
+      opt.stream.request = 4 * MiB;
+      opt.stream.queue_depth = 8;
+      opt.follow = true;
+      opt.follow_poll_interval = 2.0;
+      auto viz = std::make_shared<workload::SequentialReader>(
+          *c, "/enzo/dump_0000",
+          gpfs::Principal{"/C=US/O=NCSA/CN=viz", 8000, 200, false}, opt);
+      viz->start([&, viz](const Status& st) {
+        MGFS_ASSERT(st.ok(), "viz failed");
+        std::cout << "[t=" << sim.now() << "s] NCSA visualized "
+                  << viz->bytes_read() / 1e9
+                  << " GB directly over the WAN — no staging, no local "
+                     "copy\n";
+      });
+      // Stop following once Enzo is long done.
+      sim.after(120.0, [viz] { viz->stop(); });
+    });
+  });
+
+  sim.run();
+  std::cout << "simulation complete at t=" << sim.now() << "s\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Quickstart: build a one-site MGFS cluster, create a file system over
+// a handful of NSDs, mount it, and do ordinary file I/O.
+//
+// This is the smallest end-to-end use of the public API:
+//   Simulator + Network        — the simulated world
+//   Cluster (mmcrcluster)      — nodes, NSD servers
+//   create_nsd (mmcrnsd)       — devices become NSDs
+//   create_filesystem (mmcrfs) — striped file system
+//   mount (mmmount)            — a client on one node
+//   open/write/read/stat       — POSIX-ish asynchronous file ops
+//
+// Build & run:  ./build/examples/quickstart
+#include <iostream>
+#include <memory>
+
+#include "gpfs/cluster.hpp"
+#include "net/presets.hpp"
+#include "storage/block_device.hpp"
+
+using namespace mgfs;
+
+int main() {
+  // --- the world: one machine-room site with six GbE hosts ------------
+  sim::Simulator sim;
+  net::Network net(sim);
+  net::Site site = net::add_site(net, "lab", 6, gbps(1.0));
+
+  // --- mmcrcluster -----------------------------------------------------
+  gpfs::ClusterConfig cfg;
+  cfg.name = "lab";
+  gpfs::Cluster cluster(sim, net, cfg, Rng(2024));
+  for (net::NodeId h : site.hosts) cluster.add_node(h);
+
+  // Hosts 0 and 1 serve disks; host 2 is the file-system manager.
+  cluster.add_nsd_server(site.hosts[0]);
+  cluster.add_nsd_server(site.hosts[1]);
+
+  // --- mmcrnsd: four 1 TiB devices, each with primary + backup server --
+  std::vector<std::unique_ptr<storage::RateDevice>> devices;
+  std::vector<std::uint32_t> nsds;
+  for (int i = 0; i < 4; ++i) {
+    devices.push_back(std::make_unique<storage::RateDevice>(
+        sim, 1 * TiB, 200e6, 0.5e-3, "disk" + std::to_string(i)));
+    nsds.push_back(cluster.create_nsd("nsd" + std::to_string(i),
+                                      devices.back().get(),
+                                      site.hosts[i % 2],
+                                      site.hosts[(i + 1) % 2]));
+  }
+
+  // --- mmcrfs gpfs0 ------------------------------------------------------
+  gpfs::FileSystem& fs =
+      cluster.create_filesystem("gpfs0", nsds, 1 * MiB, site.hosts[2]);
+  std::cout << "created " << fs.name() << ": " << fs.nsd_count()
+            << " NSDs, " << fs.capacity() / 1e12 << " TB\n";
+
+  // --- mmmount on host 3 -------------------------------------------------
+  auto mounted = cluster.mount("gpfs0", site.hosts[3]);
+  if (!mounted.ok()) {
+    std::cerr << "mount failed: " << mounted.error().to_string() << "\n";
+    return 1;
+  }
+  gpfs::Client* client = *mounted;
+
+  // --- file I/O (asynchronous; the simulator drives completion) ----------
+  const gpfs::Principal alice{"/C=US/O=LAB/CN=alice", 501, 100, false};
+  client->open(
+      "/results.dat", alice, gpfs::OpenFlags::create_rw(),
+      [&](Result<gpfs::Fh> fh) {
+        MGFS_ASSERT(fh.ok(), "open failed");
+        std::cout << "opened /results.dat (fh " << *fh << ")\n";
+        client->write(*fh, 0, 64 * MiB, [&, fh = *fh](Result<Bytes> w) {
+          MGFS_ASSERT(w.ok(), "write failed");
+          std::cout << "wrote " << *w / MiB << " MiB at t=" << sim.now()
+                    << "s\n";
+          client->fsync(fh, [&, fh](Status st) {
+            MGFS_ASSERT(st.ok(), "fsync failed");
+            client->read(fh, 0, 64 * MiB, [&, fh](Result<Bytes> r) {
+              MGFS_ASSERT(r.ok(), "read failed");
+              std::cout << "read back " << *r / MiB
+                        << " MiB (pagepool hits: " << client->pool().hits()
+                        << ")\n";
+              client->close(fh, [&](Status) {
+                client->stat("/results.dat", [&](Result<gpfs::StatInfo> s) {
+                  MGFS_ASSERT(s.ok(), "stat failed");
+                  std::cout << "stat: size=" << s->size / MiB
+                            << " MiB owner=" << s->owner_dn << "\n";
+                });
+              });
+            });
+          });
+        });
+      });
+
+  sim.run();
+  std::cout << "done at simulated t=" << sim.now() << "s ("
+            << sim.events_processed() << " events)\n";
+  return 0;
+}

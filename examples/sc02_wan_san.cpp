@@ -1,0 +1,88 @@
+// sc02_wan_san: the paper's first demonstration (§2), block by block.
+//
+// In 2002 no file system could speak WAN natively, so SDSC "fooled the
+// disk environment": a QFS/SAM volume in San Diego, a zoned Brocade
+// fabric, and Nishan FCIP boxes encoding Fibre Channel frames into IP
+// packets across 80 ms of country to the Baltimore show floor — where a
+// host read it like a local disk at over 720 MB/s.
+//
+// This example wires the same stack: local SAN with zoning, FCIP
+// tunnel, remote block volume, deep SCSI queue — and shows both the
+// performance and the security (an unzoned host gets nothing).
+//
+// Build & run:  ./build/examples/sc02_wan_san
+#include <iomanip>
+#include <iostream>
+
+#include "net/presets.hpp"
+#include "san/fabric.hpp"
+#include "san/fcip.hpp"
+#include "storage/block_device.hpp"
+
+using namespace mgfs;
+
+int main() {
+  std::cout << std::fixed << std::setprecision(1);
+  sim::Simulator sim;
+  net::Network net(sim);
+  // 2x4 GbE of usable FCIP path, 80 ms measured RTT.
+  net::Sc02Wan wan = net::make_sc02_wan(net, 1, 1, gbps(8.0), gbps(10.0));
+  std::cout << "WAN path SDSC -> Baltimore: "
+            << *net.rtt(wan.sdsc.hosts[0], wan.baltimore.hosts[0]) * 1e3
+            << " ms RTT, 8 Gb/s usable\n";
+
+  // San Diego machine room: the QFS disk cache behind a zoned fabric.
+  storage::RateDevice qfs_cache(sim, 30 * TB, 2e9, 0.5e-3, "qfs-sam");
+  san::FcSwitch brocade(sim, 200e6, "brocade-sd");
+  san::PortId qfs_port =
+      brocade.attach_target(&qfs_cache, "50:06:0e:80:qfs:00");
+  san::PortId gateway_port =
+      brocade.attach_initiator("10:00:00:00:nishan:a");
+  san::PortId rogue_port =
+      brocade.attach_initiator("10:00:00:00:rogue:ff");
+  MGFS_ASSERT(brocade.zone(gateway_port, qfs_port).ok(), "zoning failed");
+  std::cout << "fabric: gateway zoned to QFS; rogue initiator left "
+               "unzoned\n";
+
+  // Zoning is the SAN's access control.
+  brocade.io(rogue_port, qfs_port, 0, 1 * MiB, false, [](const Status& st) {
+    std::cout << "rogue initiator read refused: " << st.to_string() << "\n";
+  });
+  sim.run();
+
+  // Extend the SAN across the country: FCIP tunnel + remote volume.
+  san::FcipTunnel nishan(net, wan.sdsc.hosts[0], wan.baltimore.hosts[0]);
+  san::RemoteSanConfig vcfg;
+  vcfg.scsi_transfer = 1 * MiB;
+  vcfg.queue_depth = 64;  // SANergy-deep command pipelining
+  san::RemoteSanVolume show_floor_disk(nishan, qfs_cache, vcfg);
+
+  // The show-floor host streams 8 GiB as if the disk were local.
+  const Bytes total = 8 * GiB;
+  const Bytes io = 64 * MiB;
+  Bytes next = 0, done_bytes = 0;
+  double t0 = sim.now();
+  std::function<void()> issue = [&] {
+    if (next >= total) return;
+    const Bytes off = next;
+    next += io;
+    show_floor_disk.io(off, io, false, [&](const Status& st) {
+      MGFS_ASSERT(st.ok(), "remote read failed");
+      done_bytes += io;
+      issue();
+    });
+  };
+  for (int i = 0; i < 4; ++i) issue();
+  sim.run();
+  const double rate = static_cast<double>(done_bytes) / (sim.now() - t0) / 1e6;
+  std::cout << "\nBaltimore host read " << done_bytes / 1e9
+            << " GB through the FCIP tunnel at " << rate
+            << " MB/s (paper: >720 MB/s sustained)\n";
+  std::cout << "FC frames encapsulated: " << nishan.frames_sent()
+            << " (5.4% wire overhead)\n";
+  std::cout << "\n\"It not only demonstrated that the latencies ... did "
+               "not prevent the Global File System from performing, but "
+               "that a GFS could provide some of the most efficient data "
+               "transfers possible over TCP/IP.\" — §2\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+#include "auth/gsi.hpp"
+
+namespace mgfs::auth {
+
+std::string Certificate::canonical() const {
+  return "cert|" + subject_dn + "|" + issuer_dn + "|" +
+         std::to_string(subject_key.n) + "|" + std::to_string(subject_key.e);
+}
+
+CertificateAuthority::CertificateAuthority(std::string dn, Rng& rng)
+    : dn_(std::move(dn)), key_(KeyPair::generate(rng)) {}
+
+Certificate CertificateAuthority::issue(const std::string& subject_dn,
+                                        const PublicKey& subject_key) const {
+  Certificate cert;
+  cert.subject_dn = subject_dn;
+  cert.issuer_dn = dn_;
+  cert.subject_key = subject_key;
+  cert.signature = sign(key_, cert.canonical());
+  return cert;
+}
+
+bool CertificateAuthority::validate(const Certificate& cert,
+                                    const PublicKey& ca_key) {
+  return verify(ca_key, cert.canonical(), cert.signature);
+}
+
+void GridMapFile::map(const std::string& dn, LocalUser user) {
+  entries_[dn] = std::move(user);
+}
+
+void GridMapFile::unmap(const std::string& dn) { entries_.erase(dn); }
+
+Result<LocalUser> GridMapFile::lookup(const std::string& dn) const {
+  auto it = entries_.find(dn);
+  if (it == entries_.end()) {
+    return err(Errc::not_found, "no grid-mapfile entry for " + dn);
+  }
+  return it->second;
+}
+
+bool GridMapFile::contains(const std::string& dn) const {
+  return entries_.count(dn) > 0;
+}
+
+}  // namespace mgfs::auth

@@ -1,0 +1,73 @@
+// GSI-style identity: certificates, a certificate authority, and the
+// grid-mapfile that maps a grid DN onto a site-local UID.
+//
+// Paper §6 motivation: a TeraGrid user has *different* UIDs at SDSC,
+// NCSA and ANL, but wants files on the central GFS to belong to *him*.
+// The reproduction keeps file ownership as a grid principal (the DN) and
+// resolves it through each cluster's grid-mapfile, exactly the mapping
+// problem the authors describe.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "auth/rsa.hpp"
+#include "common/result.hpp"
+
+namespace mgfs::auth {
+
+/// A site-local account (what a DN resolves to at one site).
+struct LocalUser {
+  std::uint32_t uid = 0;
+  std::uint32_t gid = 0;
+  std::string username;
+
+  friend bool operator==(const LocalUser&, const LocalUser&) = default;
+};
+
+struct Certificate {
+  std::string subject_dn;  // e.g. "/C=US/O=NPACI/OU=SDSC/CN=alice"
+  std::string issuer_dn;
+  PublicKey subject_key;
+  std::uint64_t signature = 0;  // CA signature over canonical()
+
+  /// The byte string the CA signs.
+  std::string canonical() const;
+};
+
+class CertificateAuthority {
+ public:
+  CertificateAuthority(std::string dn, Rng& rng);
+
+  Certificate issue(const std::string& subject_dn,
+                    const PublicKey& subject_key) const;
+  const PublicKey& public_key() const { return key_.pub; }
+  const std::string& dn() const { return dn_; }
+
+  /// Validate a certificate against a CA public key.
+  static bool validate(const Certificate& cert, const PublicKey& ca_key);
+
+ private:
+  std::string dn_;
+  KeyPair key_;
+};
+
+/// One site's DN -> local account map (the Globus grid-mapfile).
+class GridMapFile {
+ public:
+  /// Register (or update) a mapping.
+  void map(const std::string& dn, LocalUser user);
+  void unmap(const std::string& dn);
+
+  /// Resolve a DN; not_found if the site never heard of this identity.
+  Result<LocalUser> lookup(const std::string& dn) const;
+  bool contains(const std::string& dn) const;
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::unordered_map<std::string, LocalUser> entries_;
+};
+
+}  // namespace mgfs::auth

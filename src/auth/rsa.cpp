@@ -1,0 +1,148 @@
+#include "auth/rsa.hpp"
+
+#include "auth/sha256.hpp"
+#include "common/result.hpp"
+
+namespace mgfs::auth {
+namespace {
+
+using u128 = unsigned __int128;
+
+using i128 = __int128;
+
+/// Extended Euclid in 128-bit (phi can exceed 2^63): returns gcd(a, b),
+/// sets x with a*x ≡ gcd (mod b).
+i128 ext_gcd(i128 a, i128 b, i128& x, i128& y) {
+  if (b == 0) {
+    x = 1;
+    y = 0;
+    return a;
+  }
+  i128 x1, y1;
+  const i128 g = ext_gcd(b, a % b, x1, y1);
+  x = y1;
+  y = x1 - (a / b) * y1;
+  return g;
+}
+
+std::uint64_t modinv(std::uint64_t a, std::uint64_t m) {
+  i128 x, y;
+  const i128 g = ext_gcd(static_cast<i128>(a), static_cast<i128>(m), x, y);
+  MGFS_ASSERT(g == 1, "modinv of non-coprime value");
+  i128 r = x % static_cast<i128>(m);
+  if (r < 0) r += static_cast<i128>(m);
+  return static_cast<std::uint64_t>(r);
+}
+
+std::uint64_t random_prime32(Rng& rng) {
+  for (;;) {
+    // Odd 32-bit value with the top bit set so n = p*q is ~64 bits.
+    std::uint64_t c = (rng.next() & 0xffffffffULL) | 0x80000001ULL;
+    if (is_probable_prime(c, rng)) return c;
+  }
+}
+
+}  // namespace
+
+std::uint64_t mulmod(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+  return static_cast<std::uint64_t>((u128(a) * u128(b)) % u128(m));
+}
+
+std::uint64_t powmod(std::uint64_t base, std::uint64_t exp, std::uint64_t m) {
+  MGFS_ASSERT(m > 0, "powmod modulus zero");
+  if (m == 1) return 0;
+  std::uint64_t result = 1;
+  base %= m;
+  while (exp > 0) {
+    if (exp & 1) result = mulmod(result, base, m);
+    base = mulmod(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+bool is_probable_prime(std::uint64_t n, Rng& rng, int rounds) {
+  if (n < 2) return false;
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                          23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (n == p) return true;
+    if (n % p == 0) return false;
+  }
+  // Miller–Rabin with random bases.
+  std::uint64_t d = n - 1;
+  int r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  for (int i = 0; i < rounds; ++i) {
+    const std::uint64_t a = rng.range(2, n - 2);
+    std::uint64_t x = powmod(a, d, n);
+    if (x == 1 || x == n - 1) continue;
+    bool composite = true;
+    for (int j = 0; j < r - 1; ++j) {
+      x = mulmod(x, x, n);
+      if (x == n - 1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+std::string PublicKey::fingerprint() const {
+  const std::string blob =
+      "mgfs-rsa:" + std::to_string(n) + ":" + std::to_string(e);
+  return to_hex(sha256(blob));
+}
+
+KeyPair KeyPair::generate(Rng& rng) {
+  for (;;) {
+    const std::uint64_t p = random_prime32(rng);
+    std::uint64_t q = random_prime32(rng);
+    if (p == q) continue;
+    const std::uint64_t n = p * q;  // both ~2^31.5+, n < 2^64
+    const std::uint64_t phi = (p - 1) * (q - 1);
+    constexpr std::uint64_t e = 65537;
+    if (phi % e == 0) continue;  // e must be coprime to phi
+    KeyPair kp;
+    kp.pub.n = n;
+    kp.pub.e = e;
+    kp.d = modinv(e, phi);
+    // Sanity round trip before handing the key out.
+    const std::uint64_t m = 0x123456789abcdefULL % n;
+    if (powmod(powmod(m, e, n), kp.d, n) != m) continue;
+    return kp;
+  }
+}
+
+std::uint64_t sign(const KeyPair& kp, std::span<const std::uint8_t> msg) {
+  MGFS_ASSERT(kp.pub.n > 1 && kp.d > 0, "signing with an empty key");
+  const std::uint64_t h = digest_prefix64(sha256(msg)) % kp.pub.n;
+  return powmod(h, kp.d, kp.pub.n);
+}
+
+std::uint64_t sign(const KeyPair& kp, std::string_view msg) {
+  return sign(kp, std::span<const std::uint8_t>(
+                      reinterpret_cast<const std::uint8_t*>(msg.data()),
+                      msg.size()));
+}
+
+bool verify(const PublicKey& pk, std::span<const std::uint8_t> msg,
+            std::uint64_t sig) {
+  if (pk.n <= 1 || pk.e == 0) return false;
+  const std::uint64_t h = digest_prefix64(sha256(msg)) % pk.n;
+  return powmod(sig, pk.e, pk.n) == h;
+}
+
+bool verify(const PublicKey& pk, std::string_view msg, std::uint64_t sig) {
+  return verify(pk,
+                std::span<const std::uint8_t>(
+                    reinterpret_cast<const std::uint8_t*>(msg.data()),
+                    msg.size()),
+                sig);
+}
+
+}  // namespace mgfs::auth

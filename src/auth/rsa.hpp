@@ -1,0 +1,54 @@
+// Toy RSA over a 64-bit modulus.
+//
+// *** SIMULATION ONLY — NOT CRYPTOGRAPHICALLY SECURE. ***
+// The paper's contribution (§6) is the *protocol*: per-cluster RSA
+// keypairs exchanged out of band, challenge–response cluster
+// authentication, per-filesystem grants, optional traffic encryption.
+// A 64-bit modulus preserves every protocol property (signatures verify
+// iff made with the matching private key over the same bytes) while
+// keeping the arithmetic dependency-free; DESIGN.md records the
+// substitution. Keys are two random 32-bit primes, e = 65537.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/rng.hpp"
+
+namespace mgfs::auth {
+
+struct PublicKey {
+  std::uint64_t n = 0;  // modulus
+  std::uint64_t e = 0;  // public exponent
+
+  /// mmauth-style fingerprint: sha256 over the serialized key.
+  std::string fingerprint() const;
+
+  friend bool operator==(const PublicKey&, const PublicKey&) = default;
+};
+
+struct KeyPair {
+  PublicKey pub;
+  std::uint64_t d = 0;  // private exponent
+
+  /// Generate a fresh keypair from the given deterministic stream.
+  static KeyPair generate(Rng& rng);
+};
+
+/// Modular arithmetic helpers (exposed for tests).
+std::uint64_t mulmod(std::uint64_t a, std::uint64_t b, std::uint64_t m);
+std::uint64_t powmod(std::uint64_t base, std::uint64_t exp, std::uint64_t m);
+bool is_probable_prime(std::uint64_t n, Rng& rng, int rounds = 24);
+
+/// Sign the SHA-256 of `msg` (truncated into the modulus) with `kp`.
+std::uint64_t sign(const KeyPair& kp, std::string_view msg);
+std::uint64_t sign(const KeyPair& kp, std::span<const std::uint8_t> msg);
+
+/// Verify a signature against a public key.
+bool verify(const PublicKey& pk, std::string_view msg, std::uint64_t sig);
+bool verify(const PublicKey& pk, std::span<const std::uint8_t> msg,
+            std::uint64_t sig);
+
+}  // namespace mgfs::auth

@@ -1,0 +1,48 @@
+// SHA-256 (FIPS 180-4), implemented from scratch — used for key
+// fingerprints, certificate signatures, and challenge hashing in the
+// multi-cluster authentication layer (paper §6).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace mgfs::auth {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+/// One-shot hash of a byte span.
+Digest sha256(std::span<const std::uint8_t> data);
+
+/// Convenience: hash a string's bytes.
+Digest sha256(std::string_view s);
+
+/// Lowercase hex of a digest (the mmauth fingerprint display form).
+std::string to_hex(const Digest& d);
+
+/// First 8 bytes of the digest as a big-endian integer — the value
+/// toy-RSA signs (real GPFS signs a full PKCS#1 block; the truncation is
+/// forced by the 64-bit toy modulus and documented in DESIGN.md).
+std::uint64_t digest_prefix64(const Digest& d);
+
+/// Incremental interface for streaming input.
+class Sha256 {
+ public:
+  Sha256();
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view s);
+  Digest finish();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> h_;
+  std::array<std::uint8_t, 64> buf_;
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_len_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace mgfs::auth

@@ -1,0 +1,164 @@
+#include "auth/trust.hpp"
+
+#include <algorithm>
+
+namespace mgfs::auth {
+
+std::vector<std::string> TrustStore::cluster_names() const {
+  std::vector<std::string> names;
+  names.reserve(clusters_.size());
+  for (const auto& [name, e] : clusters_) {
+    (void)e;
+    names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::vector<std::pair<std::string, AccessMode>> TrustStore::grants_of(
+    const std::string& cluster) const {
+  std::vector<std::pair<std::string, AccessMode>> out;
+  auto it = clusters_.find(cluster);
+  if (it == clusters_.end()) return out;
+  out.assign(it->second.grants.begin(), it->second.grants.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void TrustStore::add_cluster(const std::string& cluster,
+                             const PublicKey& key) {
+  clusters_[cluster].key = key;
+}
+
+void TrustStore::remove_cluster(const std::string& cluster) {
+  clusters_.erase(cluster);
+}
+
+bool TrustStore::knows(const std::string& cluster) const {
+  return clusters_.count(cluster) > 0;
+}
+
+Result<PublicKey> TrustStore::key_of(const std::string& cluster) const {
+  auto it = clusters_.find(cluster);
+  if (it == clusters_.end()) {
+    return err(Errc::not_authorized, "unknown cluster " + cluster);
+  }
+  return it->second.key;
+}
+
+Status TrustStore::grant(const std::string& cluster, const std::string& fs,
+                         AccessMode mode) {
+  auto it = clusters_.find(cluster);
+  if (it == clusters_.end()) {
+    return Status(Errc::not_authorized,
+                  "mmauth add " + cluster + " before granting");
+  }
+  it->second.grants[fs] = mode;
+  return Status{};
+}
+
+void TrustStore::revoke(const std::string& cluster, const std::string& fs) {
+  auto it = clusters_.find(cluster);
+  if (it != clusters_.end()) it->second.grants.erase(fs);
+}
+
+AccessMode TrustStore::access(const std::string& cluster,
+                              const std::string& fs) const {
+  auto it = clusters_.find(cluster);
+  if (it == clusters_.end()) return AccessMode::none;
+  auto g = it->second.grants.find(fs);
+  if (g == it->second.grants.end()) return AccessMode::none;
+  return g->second;
+}
+
+std::string Challenge::payload() const {
+  return "challenge|" + std::to_string(nonce) + "|" + issuer + "|" + subject;
+}
+
+HandshakeServer::HandshakeServer(std::string cluster, KeyPair key,
+                                 const TrustStore* trust, CipherList cipher,
+                                 Rng rng)
+    : cluster_(std::move(cluster)),
+      key_(key),
+      trust_(trust),
+      cipher_(cipher),
+      rng_(rng) {
+  MGFS_ASSERT(trust_ != nullptr, "handshake server needs a trust store");
+}
+
+Result<Challenge> HandshakeServer::issue_challenge(
+    const std::string& client_cluster) {
+  if (cipher_ == CipherList::none) {
+    // Pre-2.3 mode: anyone may proceed; issue a dummy challenge.
+    Challenge ch{0, cluster_, client_cluster};
+    outstanding_[client_cluster].push_back(ch);
+    return ch;
+  }
+  if (!trust_->knows(client_cluster)) {
+    return err(Errc::not_authorized,
+               "cluster " + client_cluster + " not in mmauth list");
+  }
+  Challenge ch{rng_.next() | 1ULL, cluster_, client_cluster};
+  outstanding_[client_cluster].push_back(ch);
+  return ch;
+}
+
+Result<SessionTicket> HandshakeServer::complete(
+    const std::string& client_cluster, std::uint64_t signature) {
+  auto it = outstanding_.find(client_cluster);
+  if (it == outstanding_.end() || it->second.empty()) {
+    return err(Errc::not_authenticated,
+               "no outstanding challenge for " + client_cluster);
+  }
+  auto& pending = it->second;
+  if (cipher_ != CipherList::none) {
+    auto key = trust_->key_of(client_cluster);
+    if (!key.ok()) return key.error();
+    // Find the outstanding challenge this signature answers; consume
+    // exactly that one (single use: replays fail).
+    bool matched = false;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      if (verify(*key, pending[i].payload(), signature)) {
+        pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(i));
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      return err(Errc::not_authenticated,
+                 "bad challenge signature from " + client_cluster);
+    }
+  } else {
+    pending.pop_back();
+  }
+  if (pending.empty()) outstanding_.erase(it);
+  SessionTicket t;
+  t.client_cluster = client_cluster;
+  t.server_cluster = cluster_;
+  t.cipher = cipher_;
+  t.session_id = next_session_++;
+  return t;
+}
+
+std::uint64_t HandshakeServer::prove(const Challenge& ch) const {
+  return sign(key_, ch.payload());
+}
+
+HandshakeClient::HandshakeClient(std::string cluster, KeyPair key, Rng rng)
+    : cluster_(std::move(cluster)), key_(key), rng_(rng) {}
+
+std::uint64_t HandshakeClient::respond(const Challenge& ch) const {
+  return sign(key_, ch.payload());
+}
+
+Challenge HandshakeClient::challenge(const std::string& server_cluster) {
+  return Challenge{rng_.next() | 1ULL, cluster_, server_cluster};
+}
+
+bool HandshakeClient::verify_server(
+    const Challenge& ch, std::uint64_t sig,
+    const PublicKey& expected_server_key) const {
+  return verify(expected_server_key, ch.payload(), sig);
+}
+
+}  // namespace mgfs::auth

@@ -1,0 +1,41 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace mgfs {
+namespace {
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::trace: return "TRACE";
+    case LogLevel::debug: return "DEBUG";
+    case LogLevel::info: return "INFO";
+    case LogLevel::warn: return "WARN";
+    case LogLevel::error: return "ERROR";
+    case LogLevel::off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::capture(bool on) {
+  capture_ = on;
+  if (on) buffer_.str({});
+}
+
+void Logger::write(LogLevel lvl, const std::string& component,
+                   const std::string& msg) {
+  if (capture_) {
+    buffer_ << "[" << level_name(lvl) << "] " << component << ": " << msg
+            << "\n";
+  } else {
+    std::fprintf(stderr, "[%s] %s: %s\n", level_name(lvl), component.c_str(),
+                 msg.c_str());
+  }
+}
+
+}  // namespace mgfs

@@ -1,0 +1,47 @@
+// Leveled logging. Off by default in benches/tests; components log through
+// a shared sink so simulation traces can be captured deterministically.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mgfs {
+
+enum class LogLevel { trace = 0, debug, info, warn, error, off };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel lvl) { level_ = lvl; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel lvl) const { return lvl >= level_; }
+
+  /// Redirect output to an internal buffer (tests) or back to stderr.
+  void capture(bool on);
+  std::string captured() const { return buffer_.str(); }
+  void clear_captured() { buffer_.str({}); }
+
+  void write(LogLevel lvl, const std::string& component, const std::string& msg);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::off;
+  bool capture_ = false;
+  std::ostringstream buffer_;
+};
+
+#define MGFS_LOG(lvl, component, expr)                                   \
+  do {                                                                   \
+    if (::mgfs::Logger::instance().enabled(lvl)) {                       \
+      std::ostringstream mgfs_log_os;                                    \
+      mgfs_log_os << expr;                                               \
+      ::mgfs::Logger::instance().write(lvl, component, mgfs_log_os.str()); \
+    }                                                                    \
+  } while (0)
+
+#define MGFS_DEBUG(component, expr) MGFS_LOG(::mgfs::LogLevel::debug, component, expr)
+#define MGFS_INFO(component, expr) MGFS_LOG(::mgfs::LogLevel::info, component, expr)
+#define MGFS_WARN(component, expr) MGFS_LOG(::mgfs::LogLevel::warn, component, expr)
+
+}  // namespace mgfs

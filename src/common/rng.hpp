@@ -1,0 +1,52 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in MGFS (disk seek jitter, workload think
+// times, prime generation for toy-RSA, ...) draws from an explicitly
+// seeded Rng so simulation runs are bit-reproducible: same seed, same
+// event order, same printed series. xoshiro256** is used for its speed
+// and statistical quality; <random> engines are avoided because their
+// output is not specified identically across standard-library versions.
+#pragma once
+
+#include <cstdint>
+
+namespace mgfs {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform in [0, n) — n must be > 0.
+  std::uint64_t below(std::uint64_t n);
+
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Exponentially distributed with given mean (> 0).
+  double exponential(double mean);
+
+  /// Normal via Box–Muller (mean, stddev).
+  double normal(double mean, double stddev);
+
+  /// Bernoulli with probability p.
+  bool chance(double p);
+
+  /// Derive an independent child stream (for per-component rngs).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace mgfs

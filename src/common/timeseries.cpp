@@ -1,0 +1,135 @@
+#include "common/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+
+#include "common/result.hpp"
+
+namespace mgfs {
+
+double TimeSeries::max_y() const {
+  double m = 0.0;
+  for (const auto& p : pts_) m = std::max(m, p.y);
+  return m;
+}
+
+double TimeSeries::min_y() const {
+  if (pts_.empty()) return 0.0;
+  double m = pts_.front().y;
+  for (const auto& p : pts_) m = std::min(m, p.y);
+  return m;
+}
+
+double TimeSeries::mean_y() const {
+  if (pts_.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& p : pts_) s += p.y;
+  return s / static_cast<double>(pts_.size());
+}
+
+double TimeSeries::mean_y_between(double lo, double hi) const {
+  double s = 0.0;
+  std::size_t n = 0;
+  for (const auto& p : pts_) {
+    if (p.x >= lo && p.x <= hi) {
+      s += p.y;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : s / static_cast<double>(n);
+}
+
+void TimeSeries::print(std::ostream& os, const std::string& xlabel,
+                       const std::string& ylabel) const {
+  os << std::setw(12) << xlabel << "  " << std::setw(12) << ylabel << "\n";
+  os << std::fixed << std::setprecision(2);
+  for (const auto& p : pts_) {
+    os << std::setw(12) << p.x << "  " << std::setw(12) << p.y << "\n";
+  }
+  os.unsetf(std::ios::fixed);
+}
+
+void TimeSeries::print_csv(std::ostream& os, const std::string& xlabel,
+                           const std::string& ylabel) const {
+  os << xlabel << "," << ylabel << "\n";
+  for (const auto& p : pts_) os << p.x << "," << p.y << "\n";
+}
+
+RateMeter::RateMeter(double bin_seconds, std::string name)
+    : bin_(bin_seconds), name_(std::move(name)) {
+  MGFS_ASSERT(bin_seconds > 0, "RateMeter bin must be positive");
+}
+
+void RateMeter::note(double t, std::uint64_t bytes) {
+  MGFS_ASSERT(t >= 0, "RateMeter time must be non-negative");
+  const auto idx = static_cast<std::size_t>(t / bin_);
+  if (idx >= bins_.size()) bins_.resize(idx + 1, 0.0);
+  bins_[idx] += static_cast<double>(bytes);
+  total_ += bytes;
+}
+
+TimeSeries RateMeter::series_MBps() const {
+  TimeSeries s(name_);
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    // Report the bin's *center* so plots line up regardless of bin width.
+    s.add((static_cast<double>(i) + 0.5) * bin_, bins_[i] / bin_ / 1e6);
+  }
+  return s;
+}
+
+void print_multi(std::ostream& os, const std::string& xlabel,
+                 const std::vector<const TimeSeries*>& series) {
+  os << std::setw(12) << xlabel;
+  std::size_t rows = 0;
+  for (const auto* s : series) {
+    os << "  " << std::setw(14) << (s->name().empty() ? "series" : s->name());
+    rows = std::max(rows, s->size());
+  }
+  os << "\n" << std::fixed << std::setprecision(2);
+  for (std::size_t r = 0; r < rows; ++r) {
+    double x = 0;
+    for (const auto* s : series) {
+      if (r < s->size()) {
+        x = s->points()[r].x;
+        break;
+      }
+    }
+    os << std::setw(12) << x;
+    for (const auto* s : series) {
+      if (r < s->size()) {
+        os << "  " << std::setw(14) << s->points()[r].y;
+      } else {
+        os << "  " << std::setw(14) << "-";
+      }
+    }
+    os << "\n";
+  }
+  os.unsetf(std::ios::fixed);
+}
+
+std::string sparkline(const TimeSeries& s, std::size_t width) {
+  static const char* levels[] = {" ", ".", ":", "-", "=", "+", "*", "#", "@"};
+  constexpr std::size_t nlevels = sizeof(levels) / sizeof(levels[0]);
+  if (s.empty() || width == 0) return {};
+  const double maxy = s.max_y();
+  if (maxy <= 0) return std::string(width, ' ');
+  // Downsample by averaging points into `width` buckets.
+  std::string out;
+  const std::size_t n = s.size();
+  for (std::size_t c = 0; c < width; ++c) {
+    const std::size_t lo = c * n / width;
+    std::size_t hi = (c + 1) * n / width;
+    if (hi <= lo) hi = lo + 1;
+    double acc = 0;
+    for (std::size_t i = lo; i < hi && i < n; ++i) acc += s.points()[i].y;
+    acc /= static_cast<double>(hi - lo);
+    auto lvl = static_cast<std::size_t>(std::round(acc / maxy * (nlevels - 1)));
+    lvl = std::min(lvl, nlevels - 1);
+    out += levels[lvl];
+  }
+  return out;
+}
+
+}  // namespace mgfs

@@ -1,0 +1,83 @@
+// Time-series recording and printing.
+//
+// Every figure in the paper is either "throughput vs. time" (Figs. 2, 5, 8)
+// or "throughput vs. node count" (Fig. 11). TimeSeries is the common
+// container benches fill and print; RateMeter converts raw byte
+// completions into a binned MB/s series like SciNet's per-link monitors
+// did on the SC'04 show floor.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mgfs {
+
+struct SeriesPoint {
+  double x = 0.0;  // seconds, or node count
+  double y = 0.0;  // MB/s, Gb/s, ...
+};
+
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+  void add(double x, double y) { pts_.push_back({x, y}); }
+  const std::vector<SeriesPoint>& points() const { return pts_; }
+  const std::string& name() const { return name_; }
+  bool empty() const { return pts_.empty(); }
+  std::size_t size() const { return pts_.size(); }
+
+  double max_y() const;
+  double min_y() const;
+  double mean_y() const;
+  /// Mean of y over points with x in [lo, hi] — used for "sustained rate"
+  /// claims that exclude ramp-up.
+  double mean_y_between(double lo, double hi) const;
+
+  /// Render as a two-column table to `os`.
+  void print(std::ostream& os, const std::string& xlabel,
+             const std::string& ylabel) const;
+
+  /// Render as CSV (header = xlabel,ylabel).
+  void print_csv(std::ostream& os, const std::string& xlabel,
+                 const std::string& ylabel) const;
+
+ private:
+  std::string name_;
+  std::vector<SeriesPoint> pts_;
+};
+
+/// Accumulates byte completions and bins them into a rate series.
+/// `note(t, bytes)` may be called in any order within a bin; `finish()`
+/// flushes the trailing partial bin.
+class RateMeter {
+ public:
+  explicit RateMeter(double bin_seconds = 1.0, std::string name = {});
+
+  void note(double t, std::uint64_t bytes);
+  /// Total bytes observed so far.
+  std::uint64_t total_bytes() const { return total_; }
+  /// Flush and return the binned series in MB/s (decimal).
+  TimeSeries series_MBps() const;
+  double bin_seconds() const { return bin_; }
+
+ private:
+  double bin_;
+  std::string name_;
+  std::vector<double> bins_;  // bytes per bin
+  std::uint64_t total_ = 0;
+};
+
+/// Print several series side by side (shared x axis by index) — used for
+/// the SC'04 three-link + aggregate figure.
+void print_multi(std::ostream& os, const std::string& xlabel,
+                 const std::vector<const TimeSeries*>& series);
+
+/// ASCII sparkline of a series (so the bench output visually echoes the
+/// paper's plots in a terminal). Width columns, scaled to max_y.
+std::string sparkline(const TimeSeries& s, std::size_t width = 72);
+
+}  // namespace mgfs

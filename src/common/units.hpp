@@ -1,0 +1,51 @@
+// Byte-count and bandwidth unit helpers shared across all MGFS modules.
+//
+// Conventions used throughout the codebase:
+//   * sizes are in bytes, held in std::uint64_t (Bytes alias)
+//   * rates are in bytes per second, held in double (BytesPerSec alias)
+//   * simulated time is in seconds, held in double (see sim/time.hpp)
+//
+// Network hardware in the paper is quoted in decimal bits per second
+// (10 GbE = 1.25e9 bytes/s); disk sizes in decimal gigabytes. We follow
+// the same convention: the *_gb / gbps helpers are decimal, the KiB/MiB/
+// GiB constants are binary (used for file-system block sizes).
+#pragma once
+
+#include <cstdint>
+
+namespace mgfs {
+
+using Bytes = std::uint64_t;
+using BytesPerSec = double;
+
+inline constexpr Bytes KiB = 1024ULL;
+inline constexpr Bytes MiB = 1024ULL * KiB;
+inline constexpr Bytes GiB = 1024ULL * MiB;
+inline constexpr Bytes TiB = 1024ULL * GiB;
+
+inline constexpr Bytes KB = 1000ULL;
+inline constexpr Bytes MB = 1000ULL * KB;
+inline constexpr Bytes GB = 1000ULL * MB;
+inline constexpr Bytes TB = 1000ULL * GB;
+
+/// Decimal gigabits/sec -> bytes/sec (networking convention: 10 GbE = 10e9 b/s).
+constexpr BytesPerSec gbps(double g) { return g * 1e9 / 8.0; }
+
+/// Decimal megabits/sec -> bytes/sec.
+constexpr BytesPerSec mbps(double m) { return m * 1e6 / 8.0; }
+
+/// Decimal megabytes/sec -> bytes/sec.
+constexpr BytesPerSec mB_per_s(double m) { return m * 1e6; }
+
+/// Bytes/sec -> decimal megabytes/sec (the unit the paper's figures use).
+constexpr double to_MBps(BytesPerSec r) { return r / 1e6; }
+
+/// Bytes/sec -> decimal gigabits/sec (the unit of the SC'03/'04 figures).
+constexpr double to_gbps(BytesPerSec r) { return r * 8.0 / 1e9; }
+
+/// Integer ceiling division; used everywhere block counts are derived.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace mgfs

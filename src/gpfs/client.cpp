@@ -1,0 +1,818 @@
+#include "gpfs/client.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace mgfs::gpfs {
+namespace {
+
+/// Wire cost of a bare request/ack frame on the NSD data protocol.
+constexpr Bytes kDataHeader = 64;
+
+TokenRange block_span(Bytes offset, Bytes len, Bytes bs) {
+  (void)bs;
+  return TokenRange{offset, offset + len};
+}
+
+}  // namespace
+
+Client::Client(Rpc& rpc, net::NodeId node, ClientId id, ClientConfig cfg)
+    : rpc_(rpc),
+      node_(node),
+      id_(id),
+      cfg_(cfg),
+      pool_(cfg.pagepool, 1 * MiB),
+      cpu_(rpc.pool().network().simulator(),
+           "client" + std::to_string(id) + ".cpu") {}
+
+void Client::bind(FileSystem* fs, AccessMode access, double cipher_s_per_byte,
+                  ServerLookup servers) {
+  MGFS_ASSERT(fs != nullptr, "bind to null file system");
+  MGFS_ASSERT(!mounted(), "client already bound");
+  fs_ = fs;
+  access_ = access;
+  cipher_ = cipher_s_per_byte;
+  servers_ = std::move(servers);
+  // The pagepool caches whole file-system blocks.
+  pool_ = PagePool(cfg_.pagepool, fs->block_size());
+}
+
+void Client::unbind() {
+  fs_ = nullptr;
+  access_ = AccessMode::none;
+  open_.clear();
+  held_.clear();
+  block_map_.clear();
+  dirty_fifo_.clear();
+  dirty_addr_.clear();
+}
+
+Client::OpenFile* Client::file(Fh fh) {
+  auto it = open_.find(fh);
+  return it == open_.end() ? nullptr : &it->second;
+}
+
+Bytes Client::known_size(Fh fh) const {
+  auto it = open_.find(fh);
+  return it == open_.end() ? 0 : it->second.size;
+}
+
+// --------------------------------------------------------------------------
+// token cache
+// --------------------------------------------------------------------------
+
+bool Client::token_covers(InodeNum ino, TokenRange r, LockMode mode) const {
+  auto it = held_.find(ino);
+  if (it == held_.end()) return false;
+  for (const HeldToken& h : it->second) {
+    if (mode == LockMode::rw && h.mode != LockMode::rw) continue;
+    if (h.range.contains(r)) return true;
+  }
+  return false;
+}
+
+void Client::token_record(InodeNum ino, TokenRange r, LockMode mode) {
+  auto& v = held_[ino];
+  // Merge with adjacent/overlapping same-mode holdings; absorb weaker
+  // (ro) holdings only where the new rw range already covers them —
+  // never extend an rw claim over bytes the manager granted as ro
+  // (mirrors TokenManager::request exactly).
+  std::vector<HeldToken> kept;
+  kept.reserve(v.size());
+  for (HeldToken& h : v) {
+    const bool touching = h.range.overlaps(r) || h.range.lo == r.hi ||
+                          r.lo == h.range.hi;
+    const bool absorb = (h.mode == mode && touching) ||
+                        (mode == LockMode::rw && h.mode == LockMode::ro &&
+                         r.contains(h.range));
+    if (absorb) {
+      r.lo = std::min(r.lo, h.range.lo);
+      r.hi = std::max(r.hi, h.range.hi);
+    } else {
+      kept.push_back(h);
+    }
+  }
+  kept.push_back(HeldToken{mode, r});
+  v = std::move(kept);
+}
+
+void Client::token_trim(InodeNum ino, TokenRange r) {
+  auto it = held_.find(ino);
+  if (it == held_.end()) return;
+  std::vector<HeldToken> next;
+  next.reserve(it->second.size());
+  for (const HeldToken& h : it->second) {
+    if (!h.range.overlaps(r)) {
+      next.push_back(h);
+      continue;
+    }
+    if (h.range.lo < r.lo) next.push_back({h.mode, {h.range.lo, r.lo}});
+    if (r.hi < h.range.hi) next.push_back({h.mode, {r.hi, h.range.hi}});
+  }
+  if (next.empty()) {
+    held_.erase(it);
+  } else {
+    it->second = std::move(next);
+  }
+}
+
+void Client::ensure_token(InodeNum ino, TokenRange r, LockMode mode,
+                          std::function<void(Status)> done) {
+  if (token_covers(ino, r, mode)) {
+    done(Status{});
+    return;
+  }
+  FileSystem* fs = fs_;
+  const ClientId me = id_;
+  rpc_.call<TokenRange>(
+      node_, fs->manager_node(), 64,
+      [fs, me, ino, r, mode](Rpc::ReplyFn<TokenRange> reply) {
+        fs->op_token_acquire(me, ino, r, mode,
+                             [reply](Result<TokenRange> res) {
+                               reply(64, std::move(res));
+                             });
+      },
+      [this, ino, mode, done = std::move(done)](Result<TokenRange> res) {
+        if (!res.ok()) {
+          done(res.error());
+          return;
+        }
+        token_record(ino, *res, mode);
+        done(Status{});
+      });
+}
+
+// --------------------------------------------------------------------------
+// block map cache
+// --------------------------------------------------------------------------
+
+std::optional<BlockAddr>* Client::map_entry(InodeNum ino, std::uint64_t bi) {
+  auto fit = block_map_.find(ino);
+  if (fit == block_map_.end()) return nullptr;
+  auto bit = fit->second.find(bi);
+  return bit == fit->second.end() ? nullptr : &bit->second;
+}
+
+void Client::install_chunk(InodeNum ino, const BlockMapChunk& chunk) {
+  auto& m = block_map_[ino];
+  for (std::size_t i = 0; i < chunk.addrs.size(); ++i) {
+    m[chunk.first_block + i] = chunk.addrs[i];
+  }
+}
+
+void Client::ensure_map(InodeNum ino, std::uint64_t first,
+                        std::uint64_t count,
+                        std::function<void(Status)> done) {
+  // Collect chunk-aligned fetches covering missing entries.
+  std::vector<std::uint64_t> chunk_starts;
+  const std::uint64_t cs = cfg_.map_chunk;
+  for (std::uint64_t bi = first; bi < first + count; ++bi) {
+    if (map_entry(ino, bi) == nullptr) {
+      const std::uint64_t start = bi - (bi % cs);
+      if (chunk_starts.empty() || chunk_starts.back() != start) {
+        chunk_starts.push_back(start);
+      }
+      bi = start + cs - 1;  // skip to next chunk
+    }
+  }
+  if (chunk_starts.empty()) {
+    done(Status{});
+    return;
+  }
+  struct Gather {
+    std::size_t outstanding;
+    Status first_error;
+    std::function<void(Status)> done;
+  };
+  auto g = std::make_shared<Gather>(
+      Gather{chunk_starts.size(), Status{}, std::move(done)});
+  FileSystem* fs = fs_;
+  for (std::uint64_t start : chunk_starts) {
+    rpc_.call<BlockMapChunk>(
+        node_, fs->manager_node(), cfg_.meta_payload,
+        [fs, ino, start, cs](Rpc::ReplyFn<BlockMapChunk> reply) {
+          auto res = fs->op_block_map(ino, start, cs);
+          const Bytes payload = 16 * cs;  // ~16 bytes per map entry
+          reply(payload, std::move(res));
+        },
+        [this, ino, g](Result<BlockMapChunk> res) {
+          if (res.ok()) {
+            install_chunk(ino, *res);
+          } else if (g->first_error.ok()) {
+            g->first_error = res.error();
+          }
+          if (--g->outstanding == 0) g->done(g->first_error);
+        });
+  }
+}
+
+// --------------------------------------------------------------------------
+// NSD data path
+// --------------------------------------------------------------------------
+
+void Client::nsd_io_attempt(BlockAddr addr, bool write, bool use_backup,
+                            std::function<void(Status)> done) {
+  const Nsd& nsd = fs_->nsd(addr.nsd);
+  const net::NodeId target = use_backup ? nsd.backup : nsd.primary;
+  const Bytes bs = block_size();
+  const Bytes req = write ? kDataHeader + bs : kDataHeader;
+  const Bytes resp = write ? kDataHeader : bs;
+  storage::BlockDevice* dev = nsd.device;
+  const Bytes dev_off = addr.block * bs;
+  ServerLookup servers = servers_;
+  const double cipher = cipher_;
+
+  auto after_transport = [this, addr, write, use_backup, bs,
+                          done = std::move(done)](Result<int> r) mutable {
+    if (r.ok()) {
+      // cipherList=encrypt: the client pays its half of the per-byte
+      // cost too (decrypt on read / encrypt accounted on send path).
+      // The client CPU is serial, so concurrent blocks queue on it.
+      if (cipher_ > 0) {
+        cpu_.acquire(cipher_ * static_cast<double>(bs),
+                     [done = std::move(done)] { done(Status{}); });
+      } else {
+        done(Status{});
+      }
+      return;
+    }
+    if (r.code() == Errc::unavailable && !use_backup &&
+        fs_->nsd(addr.nsd).has_backup) {
+      ++failovers_;
+      MGFS_WARN("client", "nsd " << addr.nsd << " primary unavailable, "
+                                 << "failing over to backup");
+      nsd_io_attempt(addr, write, true, std::move(done));
+      return;
+    }
+    done(r.error());
+  };
+
+  rpc_.call<int>(
+      node_, target, req,
+      [servers, target, dev, dev_off, bs, write,
+       cipher](Rpc::ReplyFn<int> reply) {
+        NsdServer* srv = servers ? servers(target) : nullptr;
+        if (srv == nullptr) {
+          reply(kDataHeader,
+                err(Errc::unavailable, "no NSD service on node"));
+          return;
+        }
+        srv->handle(*dev, dev_off, bs, write, cipher,
+                    [reply, write, bs](const Status& st) {
+                      const Bytes payload = write ? kDataHeader : bs;
+                      if (st.ok()) {
+                        reply(payload, 0);
+                      } else {
+                        reply(kDataHeader, Result<int>(st.error()));
+                      }
+                    });
+      },
+      std::move(after_transport));
+}
+
+void Client::nsd_io(BlockAddr addr, bool write,
+                    std::function<void(Status)> done) {
+  nsd_io_attempt(addr, write, false, std::move(done));
+}
+
+void Client::ensure_block_present(InodeNum ino, std::uint64_t bi,
+                                  std::function<void(Status)> done) {
+  const PageKey key{ino, bi};
+  if (pool_.contains(key)) {
+    pool_.note_lookup(true);
+    pool_.touch(key);
+    done(Status{});
+    return;
+  }
+  pool_.note_lookup(false);
+  auto wit = fill_waiters_.find(key);
+  if (wit != fill_waiters_.end()) {
+    wit->second.push_back(std::move(done));
+    return;
+  }
+  std::optional<BlockAddr>* entry = map_entry(ino, bi);
+  MGFS_ASSERT(entry != nullptr, "block map not populated before fill");
+  if (!entry->has_value()) {
+    done(Status{});  // hole: zeros, nothing to fetch
+    return;
+  }
+  const BlockAddr addr = **entry;
+  fill_waiters_[key].push_back(std::move(done));
+  nsd_io(addr, false, [this, key](const Status& st) {
+    if (st.ok()) {
+      bytes_read_remote_ += block_size();
+      // Install only if we still may cache this range (a revoke may have
+      // raced with the fill).
+      const Bytes bs = block_size();
+      const TokenRange r{key.block * bs, (key.block + 1) * bs};
+      if (token_covers(key.ino, r, LockMode::ro) ||
+          token_covers(key.ino, r, LockMode::rw)) {
+        pool_.insert_clean(key);
+      }
+    }
+    auto node = fill_waiters_.extract(key);
+    if (node.empty()) return;
+    for (auto& cb : node.mapped()) cb(st);
+  });
+}
+
+// --------------------------------------------------------------------------
+// read / write / fsync / close
+// --------------------------------------------------------------------------
+
+void Client::open(const std::string& path, const Principal& who,
+                  OpenFlags flags, std::function<void(Result<Fh>)> done) {
+  if (!mounted()) {
+    done(err(Errc::invalid_argument, "not mounted"));
+    return;
+  }
+  if (flags.write && access_ != AccessMode::read_write) {
+    done(err(Errc::read_only, "read-only mount"));
+    return;
+  }
+  FileSystem* fs = fs_;
+  const ClientId me = id_;
+  rpc_.call<OpenResult>(
+      node_, fs->manager_node(), cfg_.meta_payload,
+      [fs, path, who, flags, me](Rpc::ReplyFn<OpenResult> reply) {
+        reply(64, fs->op_open(path, who, flags, me));
+      },
+      [this, who, flags, done = std::move(done)](Result<OpenResult> res) {
+        if (!res.ok()) {
+          done(res.error());
+          return;
+        }
+        const Fh fh = next_fh_++;
+        OpenFile f;
+        f.ino = res->ino;
+        f.who = who;
+        f.flags = flags;
+        f.size = res->size;
+        open_[fh] = std::move(f);
+        done(fh);
+      });
+}
+
+void Client::read(Fh fh, Bytes offset, Bytes len,
+                  std::function<void(Result<Bytes>)> done) {
+  OpenFile* f = file(fh);
+  if (f == nullptr) {
+    done(err(Errc::invalid_argument, "bad file handle"));
+    return;
+  }
+  if (!f->flags.read) {
+    done(err(Errc::permission_denied, "not open for read"));
+    return;
+  }
+  if (offset >= f->size || len == 0) {
+    done(Bytes{0});
+    return;
+  }
+  len = std::min(len, f->size - offset);
+  const Bytes bs = block_size();
+  const std::uint64_t b0 = offset / bs;
+  const std::uint64_t b1 = (offset + len - 1) / bs;
+  const InodeNum ino = f->ino;
+
+  // Sequential detection for readahead.
+  const bool sequential = (b0 == f->next_seq_block) || (b0 == 0 && offset == 0);
+  f->next_seq_block = b1 + 1;
+  const std::uint64_t ra =
+      sequential ? static_cast<std::uint64_t>(cfg_.readahead_blocks) : 0;
+  const std::uint64_t last_file_block =
+      f->size == 0 ? 0 : (f->size - 1) / bs;
+  const std::uint64_t map_hi =
+      std::min(b1 + ra, last_file_block);
+
+  ensure_token(
+      ino, block_span(offset, len, bs), LockMode::ro,
+      [this, ino, b0, b1, map_hi, len, bs,
+       done = std::move(done)](Status st) mutable {
+        if (!st.ok()) {
+          done(st.error());
+          return;
+        }
+        ensure_map(
+            ino, b0, map_hi - b0 + 1,
+            [this, ino, b0, b1, map_hi, len, bs,
+             done = std::move(done)](Status st) mutable {
+              if (!st.ok()) {
+                done(st.error());
+                return;
+              }
+              struct Gather {
+                std::size_t outstanding;
+                Status first_error;
+                std::function<void(Result<Bytes>)> done;
+                Bytes len;
+              };
+              auto g = std::make_shared<Gather>(
+                  Gather{b1 - b0 + 1, Status{}, std::move(done), len});
+              for (std::uint64_t bi = b0; bi <= b1; ++bi) {
+                ensure_block_present(ino, bi, [g](Status st) {
+                  if (!st.ok() && g->first_error.ok()) g->first_error = st;
+                  if (--g->outstanding == 0) {
+                    if (g->first_error.ok()) {
+                      g->done(g->len);
+                    } else {
+                      g->done(g->first_error.error());
+                    }
+                  }
+                });
+              }
+              // Fire-and-forget readahead for blocks we may cache.
+              for (std::uint64_t bi = b1 + 1; bi <= map_hi; ++bi) {
+                const TokenRange r{bi * bs, (bi + 1) * bs};
+                if (token_covers(ino, r, LockMode::ro) ||
+                    token_covers(ino, r, LockMode::rw)) {
+                  ensure_block_present(ino, bi, [](Status) {});
+                }
+              }
+            });
+      });
+}
+
+void Client::write(Fh fh, Bytes offset, Bytes len,
+                   std::function<void(Result<Bytes>)> done) {
+  OpenFile* f = file(fh);
+  if (f == nullptr) {
+    done(err(Errc::invalid_argument, "bad file handle"));
+    return;
+  }
+  if (!f->flags.write) {
+    done(err(Errc::permission_denied, "not open for write"));
+    return;
+  }
+  if (len == 0) {
+    done(Bytes{0});
+    return;
+  }
+  const Bytes bs = block_size();
+  const std::uint64_t b0 = offset / bs;
+  const std::uint64_t b1 = (offset + len - 1) / bs;
+  const InodeNum ino = f->ino;
+  const Bytes old_size = f->size;
+  const Bytes new_size = std::max(f->size, offset + len);
+
+  ensure_token(
+      ino, block_span(offset, len, bs), LockMode::rw,
+      [this, f, ino, b0, b1, offset, len, bs, old_size, new_size,
+       done = std::move(done)](Status st) mutable {
+        if (!st.ok()) {
+          done(st.error());
+          return;
+        }
+        // Allocate missing blocks (batched). We always ask the manager
+        // when any entry is unknown or a hole.
+        bool need_alloc = false;
+        for (std::uint64_t bi = b0; bi <= b1 && !need_alloc; ++bi) {
+          auto* e = map_entry(ino, bi);
+          if (e == nullptr || !e->has_value()) need_alloc = true;
+        }
+        auto proceed = [this, f, ino, b0, b1, offset, len, bs, old_size,
+                        new_size, done = std::move(done)](Status st) mutable {
+          if (!st.ok()) {
+            done(st.error());
+            return;
+          }
+          // Read-modify-write edges: partially written blocks that
+          // already have on-disk contents must be fetched first.
+          std::vector<std::uint64_t> rmw;
+          if (offset % bs != 0 && b0 * bs < old_size &&
+              !pool_.contains({ino, b0})) {
+            rmw.push_back(b0);
+          }
+          if ((offset + len) % bs != 0 && b1 != b0 && b1 * bs < old_size &&
+              !pool_.contains({ino, b1})) {
+            rmw.push_back(b1);
+          }
+          auto commit = [this, f, ino, b0, b1, len, new_size,
+                         done = std::move(done)](Status st) mutable {
+            if (!st.ok()) {
+              done(st.error());
+              return;
+            }
+            for (std::uint64_t bi = b0; bi <= b1; ++bi) {
+              const PageKey key{ino, bi};
+              const bool was_dirty = pool_.is_dirty(key);
+              if (!pool_.insert_dirty(key)) {
+                done(err(Errc::io_error,
+                         "pagepool pinned solid with dirty pages"));
+                return;
+              }
+              if (!was_dirty) {
+                auto* e = map_entry(ino, bi);
+                MGFS_ASSERT(e != nullptr && e->has_value(),
+                            "dirty page without placement");
+                dirty_fifo_.push_back(key);
+                dirty_addr_[key] = **e;
+              }
+            }
+            f->size = new_size;
+            pump_flush();
+            if (pool_.dirty_bytes() <= cfg_.max_dirty) {
+              done(len);
+            } else {
+              // Write-behind cap reached: stall the writer until flushes
+              // bring the dirty total back under the cap.
+              stalled_writers_.push_back(
+                  [len, done = std::move(done)] { done(len); });
+            }
+          };
+          if (rmw.empty()) {
+            commit(Status{});
+            return;
+          }
+          auto g = std::make_shared<std::pair<std::size_t, Status>>(
+              rmw.size(), Status{});
+          auto commit_shared =
+              std::make_shared<decltype(commit)>(std::move(commit));
+          for (std::uint64_t bi : rmw) {
+            ensure_block_present(ino, bi, [g, commit_shared](Status st) {
+              if (!st.ok() && g->second.ok()) g->second = st;
+              if (--g->first == 0) (*commit_shared)(g->second);
+            });
+          }
+        };
+        if (!need_alloc) {
+          proceed(Status{});
+          return;
+        }
+        FileSystem* fs = fs_;
+        const ClientId me = id_;
+        const std::size_t count = b1 - b0 + 1;
+        rpc_.call<BlockMapChunk>(
+            node_, fs->manager_node(), cfg_.meta_payload,
+            [fs, ino, b0, count, new_size,
+             me](Rpc::ReplyFn<BlockMapChunk> reply) {
+              reply(16 * count,
+                    fs->op_allocate(ino, b0, count, new_size, me));
+            },
+            [this, ino, proceed = std::move(proceed)](
+                Result<BlockMapChunk> res) mutable {
+              if (!res.ok()) {
+                proceed(res.error());
+                return;
+              }
+              install_chunk(ino, *res);
+              proceed(Status{});
+            });
+      });
+}
+
+void Client::pump_flush() {
+  while (flights_ < cfg_.flush_parallel && !dirty_fifo_.empty()) {
+    const PageKey key = dirty_fifo_.front();
+    dirty_fifo_.pop_front();
+    if (!pool_.is_dirty(key)) continue;  // cleaned or invalidated already
+    auto ait = dirty_addr_.find(key);
+    MGFS_ASSERT(ait != dirty_addr_.end(), "dirty page without address");
+    const BlockAddr addr = ait->second;
+    ++flights_;
+    ++inflight_per_ino_[key.ino];
+    nsd_io(addr, true, [this, key](const Status& st) {
+      --flights_;
+      auto it = inflight_per_ino_.find(key.ino);
+      if (it != inflight_per_ino_.end() && --it->second == 0) {
+        inflight_per_ino_.erase(it);
+      }
+      if (st.ok()) {
+        bytes_written_remote_ += block_size();
+        pool_.mark_clean(key);
+        dirty_addr_.erase(key);
+      } else {
+        // Transient failure (e.g. both servers down): retry later.
+        dirty_fifo_.push_back(key);
+      }
+      unstall_writers();
+      // fsync()/revoke waiters whose inode fully flushed?
+      for (auto wit = flush_waiters_.begin(); wit != flush_waiters_.end();) {
+        const InodeNum ino = wit->first;
+        const bool busy = inflight_per_ino_.count(ino) > 0 ||
+                          !pool_.dirty_pages(ino).empty();
+        if (!busy) {
+          auto cb = std::move(wit->second);
+          wit = flush_waiters_.erase(wit);
+          cb();
+        } else {
+          ++wit;
+        }
+      }
+      pump_flush();
+    });
+  }
+}
+
+void Client::unstall_writers() {
+  if (pool_.dirty_bytes() > cfg_.max_dirty) return;
+  auto stalled = std::move(stalled_writers_);
+  stalled_writers_.clear();
+  for (auto& cb : stalled) cb();
+}
+
+void Client::flush_inode(InodeNum ino, std::optional<TokenRange> range,
+                         sim::Callback done) {
+  (void)range;  // flushing the whole inode is always sufficient
+  const bool busy =
+      inflight_per_ino_.count(ino) > 0 || !pool_.dirty_pages(ino).empty();
+  if (!busy) {
+    done();
+    return;
+  }
+  flush_waiters_.emplace_back(ino, std::move(done));
+  pump_flush();
+}
+
+void Client::fsync(Fh fh, std::function<void(Status)> done) {
+  OpenFile* f = file(fh);
+  if (f == nullptr) {
+    done(Status(Errc::invalid_argument, "bad file handle"));
+    return;
+  }
+  const InodeNum ino = f->ino;
+  const Bytes size = f->size;
+  flush_inode(ino, std::nullopt, [this, ino, size,
+                                  done = std::move(done)]() mutable {
+    if (!mounted()) {
+      done(Status{});
+      return;
+    }
+    FileSystem* fs = fs_;
+    rpc_.call<int>(
+        node_, fs->manager_node(), 64,
+        [fs, ino, size](Rpc::ReplyFn<int> reply) {
+          const Status st = fs->op_extend_size(ino, size);
+          reply(64, st.ok() ? Result<int>(0) : Result<int>(st.error()));
+        },
+        [done = std::move(done)](Result<int> r) {
+          done(r.ok() ? Status{} : Status(r.error()));
+        });
+  });
+}
+
+void Client::flush_all(sim::Callback done) {
+  auto dirty = pool_.all_dirty();
+  std::vector<InodeNum> inodes;
+  for (const PageKey& k : dirty) {
+    if (inodes.empty() || inodes.back() != k.ino) inodes.push_back(k.ino);
+  }
+  std::sort(inodes.begin(), inodes.end());
+  inodes.erase(std::unique(inodes.begin(), inodes.end()), inodes.end());
+  // Also cover inodes whose pages are already in flight but no longer
+  // dirty in the pool.
+  for (const auto& [ino, n] : inflight_per_ino_) {
+    (void)n;
+    if (!std::binary_search(inodes.begin(), inodes.end(), ino)) {
+      inodes.push_back(ino);
+    }
+  }
+  if (inodes.empty()) {
+    rpc_.pool().network().simulator().defer(std::move(done));
+    return;
+  }
+  auto remaining = std::make_shared<std::size_t>(inodes.size());
+  auto shared_done = std::make_shared<sim::Callback>(std::move(done));
+  for (InodeNum ino : inodes) {
+    flush_inode(ino, std::nullopt, [remaining, shared_done] {
+      if (--*remaining == 0) (*shared_done)();
+    });
+  }
+}
+
+void Client::close(Fh fh, std::function<void(Status)> done) {
+  fsync(fh, [this, fh, done = std::move(done)](Status st) {
+    open_.erase(fh);
+    done(st);
+  });
+}
+
+void Client::refresh_size(Fh fh, std::function<void(Result<Bytes>)> done) {
+  OpenFile* f = file(fh);
+  if (f == nullptr) {
+    done(err(Errc::invalid_argument, "bad file handle"));
+    return;
+  }
+  FileSystem* fs = fs_;
+  const InodeNum ino = f->ino;
+  rpc_.call<Bytes>(
+      node_, fs->manager_node(), 64,
+      [fs, ino](Rpc::ReplyFn<Bytes> reply) {
+        auto st = fs->ns().stat(ino);
+        if (!st.ok()) {
+          reply(64, st.error());
+        } else {
+          reply(64, st->size);
+        }
+      },
+      [this, fh, done = std::move(done)](Result<Bytes> res) {
+        if (res.ok()) {
+          if (OpenFile* f2 = file(fh)) f2->size = std::max(f2->size, *res);
+        }
+        done(std::move(res));
+      });
+}
+
+// --------------------------------------------------------------------------
+// namespace pass-throughs
+// --------------------------------------------------------------------------
+
+void Client::stat(const std::string& path,
+                  std::function<void(Result<StatInfo>)> done) {
+  FileSystem* fs = fs_;
+  rpc_.call<StatInfo>(
+      node_, fs->manager_node(), cfg_.meta_payload,
+      [fs, path](Rpc::ReplyFn<StatInfo> reply) {
+        reply(128, fs->op_stat(path));
+      },
+      std::move(done));
+}
+
+void Client::mkdir(const std::string& path, const Principal& who, Mode mode,
+                   std::function<void(Status)> done) {
+  FileSystem* fs = fs_;
+  rpc_.call<int>(
+      node_, fs->manager_node(), cfg_.meta_payload,
+      [fs, path, who, mode](Rpc::ReplyFn<int> reply) {
+        auto r = fs->op_mkdir(path, who, mode);
+        reply(64, r.ok() ? Result<int>(0) : Result<int>(r.error()));
+      },
+      [done = std::move(done)](Result<int> r) {
+        done(r.ok() ? Status{} : Status(r.error()));
+      });
+}
+
+void Client::readdir(const std::string& path, const Principal& who,
+                     std::function<void(Result<std::vector<std::string>>)>
+                         done) {
+  FileSystem* fs = fs_;
+  rpc_.call<std::vector<std::string>>(
+      node_, fs->manager_node(), cfg_.meta_payload,
+      [fs, path, who](Rpc::ReplyFn<std::vector<std::string>> reply) {
+        auto r = fs->op_readdir(path, who);
+        const Bytes payload = r.ok() ? 32 * r->size() + 64 : 64;
+        reply(payload, std::move(r));
+      },
+      std::move(done));
+}
+
+void Client::unlink(const std::string& path, const Principal& who,
+                    std::function<void(Status)> done) {
+  FileSystem* fs = fs_;
+  const ClientId me = id_;
+  rpc_.call<int>(
+      node_, fs->manager_node(), cfg_.meta_payload,
+      [fs, path, who, me](Rpc::ReplyFn<int> reply) {
+        const Status st = fs->op_unlink(path, who, me);
+        reply(64, st.ok() ? Result<int>(0) : Result<int>(st.error()));
+      },
+      [done = std::move(done)](Result<int> r) {
+        done(r.ok() ? Status{} : Status(r.error()));
+      });
+}
+
+void Client::rename(const std::string& from, const std::string& to,
+                    const Principal& who, std::function<void(Status)> done) {
+  FileSystem* fs = fs_;
+  rpc_.call<int>(
+      node_, fs->manager_node(), cfg_.meta_payload,
+      [fs, from, to, who](Rpc::ReplyFn<int> reply) {
+        const Status st = fs->op_rename(from, to, who);
+        reply(64, st.ok() ? Result<int>(0) : Result<int>(st.error()));
+      },
+      [done = std::move(done)](Result<int> r) {
+        done(r.ok() ? Status{} : Status(r.error()));
+      });
+}
+
+// --------------------------------------------------------------------------
+// coherence
+// --------------------------------------------------------------------------
+
+std::string Client::mmpmon() const {
+  std::ostringstream os;
+  os << "mmpmon node " << node_.v << " io_s\n"
+     << "  _br_ " << bytes_read_remote_ << "\n"      // bytes read (NSD)
+     << "  _bw_ " << bytes_written_remote_ << "\n"   // bytes written (NSD)
+     << "  _dir_ " << open_.size() << "\n"           // open files
+     << "  _ch_ " << pool_.hits() << "\n"            // cache hits
+     << "  _cm_ " << pool_.misses() << "\n"          // cache misses
+     << "  _cd_ " << pool_.dirty_bytes() << "\n"     // dirty bytes pending
+     << "  _fo_ " << failovers_ << "\n";             // NSD failovers
+  return os.str();
+}
+
+void Client::handle_revoke(InodeNum ino, TokenRange range,
+                           sim::Callback done) {
+  flush_inode(ino, range, [this, ino, range, done = std::move(done)] {
+    const Bytes bs = block_size();
+    const std::uint64_t lo_blk = range.lo / bs;
+    const std::uint64_t hi_blk =
+        range.hi == kWholeFile ? ~0ULL : ceil_div(range.hi, bs);
+    pool_.invalidate(ino, lo_blk, hi_blk);
+    token_trim(ino, range);
+    done();
+  });
+}
+
+}  // namespace mgfs::gpfs

@@ -1,0 +1,193 @@
+// Client: a node's view of one mounted MGFS file system.
+//
+// The client implements the performance-critical half of GPFS:
+//   * a pagepool block cache with LRU eviction
+//   * sequential-read detection and block readahead
+//   * buffered writes with write-behind (dirty cap stalls writers)
+//   * a client-side token cache — byte ranges this node may cache —
+//     kept coherent by the manager's revoke protocol
+//   * a client-side block-address cache fetched in batches
+//   * NSD server failover: primary, then backup, per I/O
+//
+// All operations are asynchronous (completion callbacks), since every
+// miss is real simulated network + disk traffic. One Client == one
+// (node, file system, mount session) triple; the same node may hold
+// several Clients for several file systems.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "gpfs/filesystem.hpp"
+#include "gpfs/pagepool.hpp"
+#include "gpfs/rpc.hpp"
+#include "sim/serial_resource.hpp"
+
+namespace mgfs::gpfs {
+
+struct ClientConfig {
+  Bytes pagepool = 256 * MiB;
+  int readahead_blocks = 8;
+  Bytes max_dirty = 64 * MiB;        // write-behind ceiling
+  std::size_t flush_parallel = 16;   // concurrent write-behind I/Os
+  std::size_t map_chunk = 64;        // block-map entries per metadata RPC
+  Bytes meta_payload = 256;          // metadata request/response payload
+};
+
+using Fh = int;  // file handle
+
+class Client {
+ public:
+  /// How the client finds the NsdServer object logically running on a
+  /// given node (installed by the cluster glue).
+  using ServerLookup = std::function<NsdServer*(net::NodeId)>;
+
+  Client(Rpc& rpc, net::NodeId node, ClientId id, ClientConfig cfg = {});
+
+  /// Bind to a file system. `access` is the mount session's ceiling
+  /// (read_write locally; per mmauth grant for a remote mount) and
+  /// `cipher_s_per_byte` the per-byte cost of cipherList=encrypt (0 for
+  /// AUTHONLY). Registration with the manager is done by cluster glue.
+  void bind(FileSystem* fs, AccessMode access, double cipher_s_per_byte,
+            ServerLookup servers);
+  bool mounted() const { return fs_ != nullptr; }
+  void unbind();
+
+  net::NodeId node() const { return node_; }
+  ClientId id() const { return id_; }
+  sim::Simulator& simulator() { return rpc_.pool().network().simulator(); }
+  PagePool& pool() { return pool_; }
+  const ClientConfig& config() const { return cfg_; }
+  AccessMode access() const { return access_; }
+
+  // --- file operations --------------------------------------------------
+  void open(const std::string& path, const Principal& who, OpenFlags flags,
+            std::function<void(Result<Fh>)> done);
+  /// Completes with the byte count actually read (0 at EOF).
+  void read(Fh fh, Bytes offset, Bytes len,
+            std::function<void(Result<Bytes>)> done);
+  /// Buffered write; completes when the data is accepted into the page
+  /// pool (possibly after stalling on the dirty cap).
+  void write(Fh fh, Bytes offset, Bytes len,
+             std::function<void(Result<Bytes>)> done);
+  void fsync(Fh fh, std::function<void(Status)> done);
+  void close(Fh fh, std::function<void(Status)> done);
+  /// Flush every dirty page of every file (unmount preparation).
+  void flush_all(sim::Callback done);
+  /// Re-fetch the file's current size from the manager (a reader polling
+  /// a file that another node is appending to — the Fig. 5 pattern).
+  void refresh_size(Fh fh, std::function<void(Result<Bytes>)> done);
+  Bytes known_size(Fh fh) const;
+
+  // --- namespace operations ---------------------------------------------
+  void stat(const std::string& path,
+            std::function<void(Result<StatInfo>)> done);
+  void mkdir(const std::string& path, const Principal& who, Mode mode,
+             std::function<void(Status)> done);
+  void readdir(const std::string& path, const Principal& who,
+               std::function<void(Result<std::vector<std::string>>)> done);
+  void unlink(const std::string& path, const Principal& who,
+              std::function<void(Status)> done);
+  void rename(const std::string& from, const std::string& to,
+              const Principal& who, std::function<void(Status)> done);
+
+  // --- coherence (called by cluster glue on manager's behalf) -----------
+  /// Flush dirty pages overlapping `range`, drop cached pages and token.
+  void handle_revoke(InodeNum ino, TokenRange range, sim::Callback done);
+
+  // --- stats -------------------------------------------------------------
+  Bytes bytes_read_remote() const { return bytes_read_remote_; }
+  Bytes bytes_written_remote() const { return bytes_written_remote_; }
+  std::uint64_t nsd_failovers() const { return failovers_; }
+  /// mmpmon-style per-client I/O counter report (the GPFS monitoring
+  /// interface operators scripted against).
+  std::string mmpmon() const;
+
+ private:
+  struct OpenFile {
+    InodeNum ino = 0;
+    Principal who;
+    OpenFlags flags;
+    Bytes size = 0;  // client's view; refresh_size() re-fetches
+    std::uint64_t next_seq_block = ~0ULL;  // readahead detector
+  };
+
+  struct HeldToken {
+    LockMode mode;
+    TokenRange range;
+  };
+
+  // token cache helpers
+  bool token_covers(InodeNum ino, TokenRange r, LockMode mode) const;
+  void token_record(InodeNum ino, TokenRange r, LockMode mode);
+  void token_trim(InodeNum ino, TokenRange r);
+  void ensure_token(InodeNum ino, TokenRange r, LockMode mode,
+                    std::function<void(Status)> done);
+
+  // block map cache helpers
+  std::optional<BlockAddr>* map_entry(InodeNum ino, std::uint64_t bi);
+  void ensure_map(InodeNum ino, std::uint64_t first, std::uint64_t count,
+                  std::function<void(Status)> done);
+  void install_chunk(InodeNum ino, const BlockMapChunk& chunk);
+
+  // data path
+  void ensure_block_present(InodeNum ino, std::uint64_t bi,
+                            std::function<void(Status)> done);
+  void nsd_io(BlockAddr addr, bool write, std::function<void(Status)> done);
+  void nsd_io_attempt(BlockAddr addr, bool write, bool use_backup,
+                      std::function<void(Status)> done);
+
+  // write-behind
+  void pump_flush();
+  void flush_inode(InodeNum ino, std::optional<TokenRange> range,
+                   sim::Callback done);
+  void unstall_writers();
+
+  OpenFile* file(Fh fh);
+  Bytes block_size() const { return fs_->block_size(); }
+
+  Rpc& rpc_;
+  net::NodeId node_;
+  ClientId id_;
+  ClientConfig cfg_;
+  PagePool pool_;
+  sim::SerialResource cpu_;  // client-side per-byte cipher work
+
+  FileSystem* fs_ = nullptr;
+  AccessMode access_ = AccessMode::none;
+  double cipher_ = 0.0;
+  ServerLookup servers_;
+
+  Fh next_fh_ = 3;
+  std::map<Fh, OpenFile> open_;
+  std::unordered_map<InodeNum, std::vector<HeldToken>> held_;
+  std::unordered_map<InodeNum,
+                     std::unordered_map<std::uint64_t,
+                                        std::optional<BlockAddr>>>
+      block_map_;
+
+  // in-flight read fills: waiters per page
+  std::unordered_map<PageKey, std::vector<std::function<void(Status)>>,
+                     PageKeyHash>
+      fill_waiters_;
+
+  // write-behind state
+  std::deque<PageKey> dirty_fifo_;
+  std::unordered_map<PageKey, BlockAddr, PageKeyHash> dirty_addr_;
+  std::size_t flights_ = 0;
+  std::vector<sim::Callback> stalled_writers_;
+  // fsync/revoke waiters: (ino, callback fired when no dirty+inflight)
+  std::vector<std::pair<InodeNum, sim::Callback>> flush_waiters_;
+  std::unordered_map<InodeNum, std::size_t> inflight_per_ino_;
+
+  Bytes bytes_read_remote_ = 0;
+  Bytes bytes_written_remote_ = 0;
+  std::uint64_t failovers_ = 0;
+};
+
+}  // namespace mgfs::gpfs

@@ -1,0 +1,459 @@
+#include "gpfs/cluster.hpp"
+
+#include <iomanip>
+#include <sstream>
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace mgfs::gpfs {
+namespace {
+
+/// Process-wide client id source: ids must be unique across clusters
+/// because remote clients appear in the exporting cluster's token
+/// manager next to local ones.
+ClientId g_next_client_id = 1;
+
+/// Handshake phase-1 payload: the server's challenge to us plus the
+/// server's proof over our counter-challenge (mutual authentication).
+struct Phase1 {
+  auth::Challenge server_challenge;
+  std::uint64_t server_proof = 0;
+};
+
+/// Handshake phase-2 payload: what a successful mount needs to bind.
+struct MountGrant {
+  FileSystem* fs = nullptr;
+  AccessMode access = AccessMode::none;
+  double cipher_s_per_byte = 0.0;
+};
+
+}  // namespace
+
+Cluster::Cluster(sim::Simulator& sim, net::Network& net, ClusterConfig cfg,
+                 Rng rng)
+    : sim_(sim),
+      net_(net),
+      cfg_(std::move(cfg)),
+      rng_(rng),
+      key_(auth::KeyPair::generate(rng_)),
+      trust_(),
+      handshake_server_(cfg_.name, key_, &trust_, cfg_.cipher, rng_.split()),
+      pool_(net, cfg_.tcp),
+      rpc_(pool_) {}
+
+ClientId Cluster::next_client_id() { return g_next_client_id++; }
+
+void Cluster::add_node(net::NodeId node) {
+  MGFS_ASSERT(!has_node(node), "node already in cluster");
+  nodes_.push_back(node);
+}
+
+bool Cluster::has_node(net::NodeId node) const {
+  for (net::NodeId n : nodes_) {
+    if (n == node) return true;
+  }
+  return false;
+}
+
+NsdServer& Cluster::add_nsd_server(net::NodeId node) {
+  MGFS_ASSERT(has_node(node), "NSD server must run on a member node");
+  auto it = servers_.find(node.v);
+  if (it == servers_.end()) {
+    it = servers_
+             .emplace(node.v, std::make_unique<NsdServer>(
+                                  sim_, node,
+                                  cfg_.name + ".nsd" +
+                                      std::to_string(servers_.size()),
+                                  cfg_.nsd_cpu_per_request))
+             .first;
+  }
+  return *it->second;
+}
+
+NsdServer* Cluster::server_on(net::NodeId node) {
+  if (!net_.node_up(node)) return nullptr;
+  auto it = servers_.find(node.v);
+  return it == servers_.end() ? nullptr : it->second.get();
+}
+
+std::uint32_t Cluster::create_nsd(const std::string& name,
+                                  storage::BlockDevice* device,
+                                  net::NodeId primary,
+                                  std::optional<net::NodeId> backup) {
+  MGFS_ASSERT(device != nullptr, "mmcrnsd on null device");
+  MGFS_ASSERT(servers_.count(primary.v) > 0,
+              "primary NSD server not started on that node");
+  Nsd n;
+  n.id = static_cast<std::uint32_t>(nsd_table_.size());
+  n.name = name;
+  n.device = device;
+  n.primary = primary;
+  if (backup.has_value()) {
+    MGFS_ASSERT(servers_.count(backup->v) > 0,
+                "backup NSD server not started on that node");
+    n.backup = *backup;
+    n.has_backup = true;
+  }
+  nsd_table_.push_back(n);
+  return n.id;
+}
+
+FileSystem& Cluster::create_filesystem(
+    const std::string& fsname, const std::vector<std::uint32_t>& nsd_ids,
+    Bytes block_size, net::NodeId manager_node) {
+  MGFS_ASSERT(filesystems_.count(fsname) == 0, "file system exists");
+  MGFS_ASSERT(has_node(manager_node), "manager must be a member node");
+  std::vector<Nsd> nsds;
+  nsds.reserve(nsd_ids.size());
+  for (std::uint32_t id : nsd_ids) {
+    MGFS_ASSERT(id < nsd_table_.size(), "unknown NSD id");
+    Nsd n = nsd_table_[id];
+    n.id = static_cast<std::uint32_t>(nsds.size());  // fs-local index
+    nsds.push_back(n);
+  }
+  FsConfig fscfg;
+  fscfg.name = fsname;
+  fscfg.block_size = block_size;
+  auto fs = std::make_unique<FileSystem>(sim_, fscfg, std::move(nsds),
+                                         manager_node);
+  FileSystem& ref = *fs;
+  filesystems_.emplace(fsname, std::move(fs));
+  wire_filesystem(ref);
+  return ref;
+}
+
+FileSystem* Cluster::filesystem(const std::string& fsname) {
+  auto it = filesystems_.find(fsname);
+  return it == filesystems_.end() ? nullptr : it->second.get();
+}
+
+void Cluster::wire_filesystem(FileSystem& fs) {
+  fs.set_access_fn([this](ClientId id) { return access_of_client(id); });
+  fs.set_revoker([this, &fs](ClientId holder, InodeNum ino, TokenRange range,
+                             sim::Callback done) {
+    auto it = registry_.find(holder);
+    if (it == registry_.end()) {
+      // Holder unmounted/expelled meanwhile; its tokens are moot.
+      sim_.defer(std::move(done));
+      return;
+    }
+    Client* c = it->second.client;
+    auto shared_done = std::make_shared<sim::Callback>(std::move(done));
+    rpc_.call<int>(
+        fs.manager_node(), c->node(), 64,
+        [c, ino, range](Rpc::ReplyFn<int> reply) {
+          c->handle_revoke(ino, range, [reply] { reply(64, 0); });
+        },
+        [shared_done](Result<int> r) {
+          (void)r;  // even a lost revoke ack must not wedge the manager
+          (*shared_done)();
+        });
+  });
+}
+
+AccessMode Cluster::access_of_client(ClientId id) const {
+  auto it = registry_.find(id);
+  return it == registry_.end() ? AccessMode::none : it->second.access;
+}
+
+Client::ServerLookup Cluster::make_server_lookup() {
+  return [this](net::NodeId node) { return server_on(node); };
+}
+
+void Cluster::register_client(FileSystem& fs, Client* client,
+                              AccessMode access,
+                              const std::string& via_cluster) {
+  registry_[client->id()] = MountRecord{client, access, via_cluster, &fs};
+}
+
+Result<Client*> Cluster::mount(const std::string& fsname,
+                               net::NodeId client_node) {
+  if (!has_node(client_node)) {
+    return err(Errc::invalid_argument, "node not in cluster");
+  }
+  FileSystem* fs = filesystem(fsname);
+  if (fs == nullptr) return err(Errc::not_found, "no such file system");
+  auto client = std::make_unique<Client>(rpc_, client_node, next_client_id(),
+                                         cfg_.client);
+  Client* ptr = client.get();
+  clients_.push_back(std::move(client));
+  register_client(*fs, ptr, AccessMode::read_write, "");
+  ptr->bind(fs, AccessMode::read_write, 0.0, make_server_lookup());
+  return ptr;
+}
+
+void Cluster::unmount(Client* client) {
+  MGFS_ASSERT(client != nullptr, "unmount null client");
+  auto owner = remote_owner_.find(client);
+  if (owner != remote_owner_.end()) {
+    owner->second->deregister_client(client->id());
+    remote_owner_.erase(owner);
+  } else {
+    deregister_client(client->id());
+  }
+  client->unbind();
+}
+
+void Cluster::unmount_flush(Client* client, sim::Callback done) {
+  MGFS_ASSERT(client != nullptr, "unmount null client");
+  client->flush_all([this, client, done = std::move(done)] {
+    unmount(client);
+    done();
+  });
+}
+
+void Cluster::deregister_client(ClientId id) {
+  auto it = registry_.find(id);
+  if (it == registry_.end()) return;
+  if (it->second.fs != nullptr) it->second.fs->op_client_gone(id);
+  registry_.erase(it);
+}
+
+std::string Cluster::mmlscluster() const {
+  std::ostringstream os;
+  os << "GPFS cluster information\n"
+     << "  cluster name: " << cfg_.name << "\n"
+     << "  cipherList:   " << auth::cipher_name(cfg_.cipher) << "\n"
+     << "  key digest:   " << key_.pub.fingerprint().substr(0, 16) << "...\n"
+     << "  nodes:        " << nodes_.size() << "\n";
+  for (net::NodeId n : nodes_) {
+    os << "    " << std::left << std::setw(20) << net_.node_name(n)
+       << (servers_.count(n.v) ? " nsd-server" : "")
+       << (net_.node_up(n) ? "" : " DOWN") << "\n";
+  }
+  return os.str();
+}
+
+std::string Cluster::mmlsfs(const std::string& fsname) const {
+  auto it = filesystems_.find(fsname);
+  if (it == filesystems_.end()) return "mmlsfs: no such file system\n";
+  const FileSystem& fs = *it->second;
+  std::ostringstream os;
+  os << "flag value        description\n"
+     << " -B  " << std::left << std::setw(12) << fs.block_size()
+     << " Block size (bytes)\n"
+     << " -d  " << std::setw(12) << fs.nsd_count() << " Number of NSDs\n"
+     << " -T  " << std::setw(12) << ("/" + fsname) << " Default mount point\n"
+     << "     " << std::setw(12) << fs.capacity() / 1e9 << " Capacity (GB)\n"
+     << "     " << std::setw(12) << fs.free_bytes() / 1e9 << " Free (GB)\n";
+  return os.str();
+}
+
+std::string Cluster::mmdf(const std::string& fsname) const {
+  auto it = filesystems_.find(fsname);
+  if (it == filesystems_.end()) return "mmdf: no such file system\n";
+  const FileSystem& fs = *it->second;
+  std::ostringstream os;
+  os << "disk        size(GB)   free(GB)  free%\n";
+  const AllocationMap& alloc = const_cast<FileSystem&>(fs).alloc();
+  for (std::uint32_t i = 0; i < fs.nsd_count(); ++i) {
+    const double cap = static_cast<double>(alloc.capacity_blocks(i)) *
+                       fs.block_size() / 1e9;
+    const double free = static_cast<double>(alloc.free_blocks(i)) *
+                        fs.block_size() / 1e9;
+    os << std::left << std::setw(10) << fs.nsd(i).name << std::right
+       << std::setw(10) << std::fixed << std::setprecision(1) << cap
+       << std::setw(11) << free << std::setw(6)
+       << (cap > 0 ? 100.0 * free / cap : 0.0) << "\n";
+  }
+  os << "            ---------  ---------\n"
+     << "(total)   " << std::setw(10) << fs.capacity() / 1e9 << std::setw(11)
+     << fs.free_bytes() / 1e9 << "\n";
+  return os.str();
+}
+
+std::string Cluster::mmlsdisk(const std::string& fsname) const {
+  auto it = filesystems_.find(fsname);
+  if (it == filesystems_.end()) return "mmlsdisk: no such file system\n";
+  const FileSystem& fs = *it->second;
+  std::ostringstream os;
+  os << "disk        primary              backup               "
+        "availability\n";
+  for (std::uint32_t i = 0; i < fs.nsd_count(); ++i) {
+    const Nsd& n = fs.nsd(i);
+    const bool up = net_.node_up(n.primary) ||
+                    (n.has_backup && net_.node_up(n.backup));
+    os << std::left << std::setw(12) << n.name << std::setw(21)
+       << net_.node_name(n.primary) << std::setw(21)
+       << (n.has_backup ? net_.node_name(n.backup) : std::string("-"))
+       << (up ? "up" : "down") << "\n";
+  }
+  return os.str();
+}
+
+std::string Cluster::mmauth_show() const {
+  std::ostringstream os;
+  os << "Cluster name:  " << cfg_.name << " (this cluster)\n"
+     << "Cipher list:   " << auth::cipher_name(cfg_.cipher) << "\n";
+  for (const std::string& c : trust_.cluster_names()) {
+    os << "Cluster name:  " << c << "\n";
+    for (const auto& [fs, mode] : trust_.grants_of(c)) {
+      os << "  File system: " << fs << " (" << auth::access_name(mode)
+         << ")\n";
+    }
+  }
+  return os.str();
+}
+
+void Cluster::mmauth_add(const std::string& remote_cluster,
+                         const auth::PublicKey& key) {
+  trust_.add_cluster(remote_cluster, key);
+}
+
+Status Cluster::mmauth_grant(const std::string& remote_cluster,
+                             const std::string& fsname,
+                             auth::AccessMode mode) {
+  if (filesystem(fsname) == nullptr) {
+    return Status(Errc::not_found, "no such file system: " + fsname);
+  }
+  return trust_.grant(remote_cluster, fsname, mode);
+}
+
+void Cluster::mmauth_deny(const std::string& remote_cluster,
+                          const std::string& fsname) {
+  trust_.revoke(remote_cluster, fsname);
+}
+
+Status Cluster::mmremotecluster_add(const std::string& remote_cluster,
+                                    const auth::PublicKey& key,
+                                    Cluster* handle,
+                                    net::NodeId contact_node) {
+  if (handle == nullptr) {
+    return Status(Errc::invalid_argument, "null remote cluster handle");
+  }
+  remote_clusters_[remote_cluster] = RemoteClusterDef{key, handle,
+                                                      contact_node};
+  return Status{};
+}
+
+Status Cluster::mmremotefs_add(const std::string& local_device,
+                               const std::string& remote_cluster,
+                               const std::string& remote_fs) {
+  if (remote_clusters_.count(remote_cluster) == 0) {
+    return Status(Errc::not_found,
+                  "mmremotecluster add " + remote_cluster + " first");
+  }
+  remote_fs_[local_device] = RemoteFsDef{remote_cluster, remote_fs};
+  return Status{};
+}
+
+void Cluster::mount_remote(const std::string& local_device,
+                           net::NodeId client_node,
+                           std::function<void(Result<Client*>)> done) {
+  if (!has_node(client_node)) {
+    done(err(Errc::invalid_argument, "node not in cluster"));
+    return;
+  }
+  auto fit = remote_fs_.find(local_device);
+  if (fit == remote_fs_.end()) {
+    done(err(Errc::not_found, "no mmremotefs entry for " + local_device));
+    return;
+  }
+  auto cit = remote_clusters_.find(fit->second.remote_cluster);
+  MGFS_ASSERT(cit != remote_clusters_.end(), "remote fs without cluster");
+  const RemoteClusterDef def = cit->second;
+  Cluster* exporter = def.handle;
+  const std::string remote_fs_name = fit->second.remote_fs;
+  const std::string my_name = cfg_.name;
+
+  // Mutual challenge: we challenge the server, it challenges us.
+  auto hc = std::make_shared<auth::HandshakeClient>(my_name, key_,
+                                                    rng_.split());
+  const auth::Challenge my_challenge = hc->challenge(exporter->name());
+
+  rpc_.call<Phase1>(
+      client_node, def.contact, 256,
+      [exporter, my_name, my_challenge](Rpc::ReplyFn<Phase1> reply) {
+        auto ch = exporter->handshake_server_.issue_challenge(my_name);
+        if (!ch.ok()) {
+          reply(64, ch.error());
+          return;
+        }
+        Phase1 p1;
+        p1.server_challenge = *ch;
+        p1.server_proof = exporter->handshake_server_.prove(my_challenge);
+        reply(256, p1);
+      },
+      [this, hc, my_challenge, def, exporter, remote_fs_name, my_name,
+       client_node, done = std::move(done)](Result<Phase1> p1) mutable {
+        if (!p1.ok()) {
+          done(p1.error());
+          return;
+        }
+        if (exporter->cipher() != auth::CipherList::none &&
+            !hc->verify_server(my_challenge, p1->server_proof, def.key)) {
+          done(err(Errc::not_authenticated,
+                   "server cluster failed mutual authentication"));
+          return;
+        }
+        const std::uint64_t sig = hc->respond(p1->server_challenge);
+
+        // Phase 2: prove ourselves, get the mount grant, register.
+        auto client = std::make_shared<std::unique_ptr<Client>>(
+            std::make_unique<Client>(rpc_, client_node, next_client_id(),
+                                     cfg_.client));
+        Client* cptr = client->get();
+        rpc_.call<MountGrant>(
+            client_node, def.contact, 256,
+            [exporter, my_name, sig, remote_fs_name,
+             cptr](Rpc::ReplyFn<MountGrant> reply) {
+              auto ticket = exporter->handshake_server_.complete(my_name, sig);
+              if (!ticket.ok()) {
+                reply(64, ticket.error());
+                return;
+              }
+              FileSystem* fs = exporter->filesystem(remote_fs_name);
+              if (fs == nullptr) {
+                reply(64, err(Errc::not_found, remote_fs_name));
+                return;
+              }
+              AccessMode access = AccessMode::read_write;
+              if (exporter->cipher() != auth::CipherList::none) {
+                switch (exporter->trust().access(my_name, remote_fs_name)) {
+                  case auth::AccessMode::none:
+                    reply(64, err(Errc::not_authorized,
+                                  remote_fs_name + " not granted to " +
+                                      my_name));
+                    return;
+                  case auth::AccessMode::read_only:
+                    access = AccessMode::read_only;
+                    break;
+                  case auth::AccessMode::read_write:
+                    access = AccessMode::read_write;
+                    break;
+                }
+              }
+              exporter->register_client(*fs, cptr, access, my_name);
+              MountGrant g;
+              g.fs = fs;
+              g.access = access;
+              g.cipher_s_per_byte =
+                  auth::cipher_cpu_s_per_byte(exporter->cipher());
+              reply(256, g);
+            },
+            [this, client, cptr, exporter,
+             done = std::move(done)](Result<MountGrant> g) mutable {
+              if (!g.ok()) {
+                done(g.error());
+                return;
+              }
+              cptr->bind(g->fs, g->access, g->cipher_s_per_byte,
+                         exporter->make_server_lookup());
+              clients_.push_back(std::move(*client));
+              remote_owner_[cptr] = exporter;
+              ++handshakes_;
+              MGFS_INFO("multicluster",
+                        cfg_.name << ": mounted " << g->fs->name()
+                                  << " from " << exporter->name()
+                                  << " (access "
+                                  << (g->access == AccessMode::read_write
+                                          ? "rw"
+                                          : "ro")
+                                  << ")");
+              done(cptr);
+            });
+      });
+}
+
+}  // namespace mgfs::gpfs

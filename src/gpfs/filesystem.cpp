@@ -1,0 +1,235 @@
+#include "gpfs/filesystem.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace mgfs::gpfs {
+namespace {
+
+std::vector<std::uint64_t> blocks_per_nsd(const std::vector<Nsd>& nsds,
+                                          Bytes block_size) {
+  std::vector<std::uint64_t> out;
+  out.reserve(nsds.size());
+  for (const Nsd& n : nsds) {
+    MGFS_ASSERT(n.device != nullptr, "NSD without device");
+    out.push_back(n.device->capacity() / block_size);
+  }
+  return out;
+}
+
+}  // namespace
+
+FileSystem::FileSystem(sim::Simulator& sim, FsConfig cfg,
+                       std::vector<Nsd> nsds, net::NodeId manager_node)
+    : sim_(sim),
+      cfg_(std::move(cfg)),
+      nsds_(std::move(nsds)),
+      manager_node_(manager_node),
+      ns_(cfg_.block_size),
+      alloc_(blocks_per_nsd(nsds_, cfg_.block_size)) {
+  MGFS_ASSERT(!nsds_.empty(), "file system needs at least one NSD");
+}
+
+const Nsd& FileSystem::nsd(std::uint32_t id) const {
+  MGFS_ASSERT(id < nsds_.size(), "bad nsd id");
+  return nsds_[id];
+}
+
+Bytes FileSystem::capacity() const {
+  return alloc_.total_capacity() * cfg_.block_size;
+}
+
+Bytes FileSystem::free_bytes() const {
+  return alloc_.total_free() * cfg_.block_size;
+}
+
+AccessMode FileSystem::access_of(ClientId c) const {
+  return access_fn_ ? access_fn_(c) : AccessMode::read_write;
+}
+
+Result<OpenResult> FileSystem::op_open(const std::string& path,
+                                       const Principal& who, OpenFlags flags,
+                                       ClientId client) {
+  const AccessMode mount_access = access_of(client);
+  if (mount_access == AccessMode::none) {
+    return err(Errc::not_authorized, "no access to " + cfg_.name);
+  }
+  if (flags.write && mount_access != AccessMode::read_write) {
+    return err(Errc::read_only,
+               cfg_.name + " is exported read-only to this cluster");
+  }
+  auto ino = ns_.resolve(path);
+  if (!ino.ok()) {
+    if (ino.code() != Errc::not_found || !flags.create) return ino.error();
+    ino = ns_.create(path, who, Mode{064}, sim_.now());
+    if (!ino.ok()) return ino.error();
+  }
+  auto st = ns_.stat(*ino);
+  if (!st.ok()) return st.error();
+  if (st->type == FileType::directory && flags.write) {
+    return err(Errc::is_a_directory, path);
+  }
+  if (flags.read) {
+    if (auto s = ns_.check_read(*ino, who); !s.ok()) return s.error();
+  }
+  if (flags.write) {
+    if (auto s = ns_.check_write(*ino, who); !s.ok()) return s.error();
+  }
+  if (flags.truncate && flags.write) {
+    auto freed = ns_.truncate(path, who, 0);
+    if (!freed.ok()) return freed.error();
+    for (const BlockAddr& b : *freed) {
+      MGFS_ASSERT(alloc_.free_block(b).ok(), "truncate freed unknown block");
+    }
+    st = ns_.stat(*ino);
+  }
+  return OpenResult{*ino, st->size, flags.write};
+}
+
+Result<StatInfo> FileSystem::op_stat(const std::string& path) {
+  return ns_.stat(path);
+}
+
+Result<InodeNum> FileSystem::op_mkdir(const std::string& path,
+                                      const Principal& who, Mode mode) {
+  return ns_.mkdir(path, who, mode, sim_.now());
+}
+
+Result<std::vector<std::string>> FileSystem::op_readdir(
+    const std::string& path, const Principal& who) {
+  return ns_.readdir(path, who);
+}
+
+Status FileSystem::op_unlink(const std::string& path, const Principal& who,
+                             ClientId client) {
+  const AccessMode mount_access = access_of(client);
+  if (mount_access != AccessMode::read_write) {
+    return Status(Errc::read_only, cfg_.name);
+  }
+  auto freed = ns_.unlink(path, who);
+  if (!freed.ok()) return freed.error();
+  for (const BlockAddr& b : *freed) {
+    MGFS_ASSERT(alloc_.free_block(b).ok(), "unlink freed unknown block");
+  }
+  return Status{};
+}
+
+Status FileSystem::op_rename(const std::string& from, const std::string& to,
+                             const Principal& who) {
+  return ns_.rename(from, to, who);
+}
+
+Result<BlockMapChunk> FileSystem::op_block_map(InodeNum ino,
+                                               std::uint64_t first_block,
+                                               std::size_t count) const {
+  const Inode* n = ns_.inode(ino);
+  if (n == nullptr) return err(Errc::not_found, "stale inode");
+  BlockMapChunk chunk;
+  chunk.first_block = first_block;
+  chunk.addrs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t bi = first_block + i;
+    if (bi < n->blocks.size()) {
+      chunk.addrs.push_back(n->blocks[bi]);
+    } else {
+      chunk.addrs.push_back(std::nullopt);
+    }
+  }
+  return chunk;
+}
+
+Result<BlockMapChunk> FileSystem::op_allocate(InodeNum ino,
+                                              std::uint64_t first_block,
+                                              std::size_t count,
+                                              Bytes size_hint,
+                                              ClientId client) {
+  if (access_of(client) != AccessMode::read_write) {
+    return err(Errc::read_only, cfg_.name);
+  }
+  const Inode* n = ns_.inode(ino);
+  if (n == nullptr) return err(Errc::not_found, "stale inode");
+
+  BlockMapChunk chunk;
+  chunk.first_block = first_block;
+  chunk.addrs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t bi = first_block + i;
+    if (bi < n->blocks.size() && n->blocks[bi].has_value()) {
+      chunk.addrs.push_back(n->blocks[bi]);  // concurrent writer beat us
+      continue;
+    }
+    const std::uint32_t preferred = nsd_for_block(ino, bi);
+    auto addr = alloc_.allocate_on(preferred);
+    for (std::size_t k = 1; !addr.ok() && k < nsds_.size(); ++k) {
+      addr = alloc_.allocate_on(
+          static_cast<std::uint32_t>((preferred + k) % nsds_.size()));
+    }
+    if (!addr.ok()) return err(Errc::no_space, cfg_.name + " is full");
+    MGFS_ASSERT(ns_.set_block(ino, bi, *addr).ok(), "set_block failed");
+    chunk.addrs.push_back(*addr);
+  }
+  MGFS_ASSERT(ns_.extend_size(ino, size_hint, sim_.now()).ok(),
+              "extend_size failed");
+  return chunk;
+}
+
+Status FileSystem::op_extend_size(InodeNum ino, Bytes size) {
+  return ns_.extend_size(ino, size, sim_.now());
+}
+
+void FileSystem::op_token_acquire(
+    ClientId client, InodeNum ino, TokenRange range, LockMode mode,
+    std::function<void(Result<TokenRange>)> done) {
+  token_retry(client, ino, range, mode, 8, std::move(done));
+}
+
+void FileSystem::token_retry(ClientId client, InodeNum ino, TokenRange range,
+                             LockMode mode, int attempts,
+                             std::function<void(Result<TokenRange>)> done) {
+  TokenDecision d = tokens_.request(client, ino, range, mode);
+  if (d.granted) {
+    ++tokens_granted_;
+    done(d.granted_range);
+    return;
+  }
+  if (attempts <= 0) {
+    done(err(Errc::timed_out, "token revocation livelock"));
+    return;
+  }
+  MGFS_ASSERT(static_cast<bool>(revoker_),
+              "token conflict with no revoker installed");
+  // Revoke every conflicting holding, then retry.
+  auto remaining = std::make_shared<std::size_t>(d.conflicts.size());
+  auto retry = [this, client, ino, range, mode, attempts,
+                done = std::move(done)]() mutable {
+    token_retry(client, ino, range, mode, attempts - 1, std::move(done));
+  };
+  auto shared_retry = std::make_shared<decltype(retry)>(std::move(retry));
+  for (const Holding& h : d.conflicts) {
+    ++revocations_;
+    MGFS_DEBUG("tokens", cfg_.name << ": revoking ino " << ino
+                                   << " [" << h.range.lo << "," << h.range.hi
+                                   << ") from client " << h.client
+                                   << " for client " << client);
+    const TokenRange overlap{std::max(h.range.lo, range.lo),
+                             std::min(h.range.hi, range.hi)};
+    revoker_(h.client, ino, overlap,
+             [this, holder = h.client, ino, overlap, remaining,
+              shared_retry] {
+               tokens_.release(holder, ino, overlap);
+               if (--*remaining == 0) (*shared_retry)();
+             });
+  }
+}
+
+void FileSystem::op_token_release(ClientId client, InodeNum ino,
+                                  TokenRange range) {
+  tokens_.release(client, ino, range);
+}
+
+void FileSystem::op_client_gone(ClientId client) {
+  tokens_.release_all(client);
+}
+
+}  // namespace mgfs::gpfs

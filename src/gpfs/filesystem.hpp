@@ -1,0 +1,129 @@
+// FileSystem: the manager-side brain of one MGFS file system.
+//
+// Owns the namespace, the allocation maps, the token manager and the NSD
+// table. Metadata operations (op_*) are the *logic* that runs on the
+// file-system manager node; cluster.cpp invokes them inside RPC server
+// continuations so they cost real network round trips from the client's
+// point of view. Token requests that conflict with other clients'
+// holdings trigger the revoke protocol through an installed revoker
+// callback (flush-then-release at the holder, then grant).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gpfs/alloc.hpp"
+#include "gpfs/namespace.hpp"
+#include "gpfs/nsd.hpp"
+#include "gpfs/token.hpp"
+#include "sim/simulator.hpp"
+
+namespace mgfs::gpfs {
+
+struct OpenResult {
+  InodeNum ino = 0;
+  Bytes size = 0;
+  bool writable = false;
+};
+
+struct BlockMapChunk {
+  std::uint64_t first_block = 0;
+  std::vector<std::optional<BlockAddr>> addrs;
+};
+
+class FileSystem {
+ public:
+  /// `revoker(holder, ino, range, done)`: deliver a revoke to `holder`,
+  /// call `done` once the holder flushed and acknowledged.
+  using RevokerFn = std::function<void(ClientId, InodeNum, TokenRange,
+                                       sim::Callback)>;
+  /// Resolve a client's effective access to this FS (mount-session
+  /// scoped: local clients rw, remote clusters per mmauth grant).
+  using AccessFn = std::function<AccessMode(ClientId)>;
+
+  FileSystem(sim::Simulator& sim, FsConfig cfg, std::vector<Nsd> nsds,
+             net::NodeId manager_node);
+
+  const FsConfig& config() const { return cfg_; }
+  const std::string& name() const { return cfg_.name; }
+  net::NodeId manager_node() const { return manager_node_; }
+  Bytes block_size() const { return cfg_.block_size; }
+  std::size_t nsd_count() const { return nsds_.size(); }
+  const Nsd& nsd(std::uint32_t id) const;
+  Bytes capacity() const;
+  Bytes free_bytes() const;
+
+  Namespace& ns() { return ns_; }
+  const Namespace& ns() const { return ns_; }
+  TokenManager& tokens() { return tokens_; }
+  AllocationMap& alloc() { return alloc_; }
+
+  void set_revoker(RevokerFn fn) { revoker_ = std::move(fn); }
+  void set_access_fn(AccessFn fn) { access_fn_ = std::move(fn); }
+  AccessMode access_of(ClientId c) const;
+
+  // --- metadata operations (manager-side logic) ------------------------
+  Result<OpenResult> op_open(const std::string& path, const Principal& who,
+                             OpenFlags flags, ClientId client);
+  Result<StatInfo> op_stat(const std::string& path);
+  Result<InodeNum> op_mkdir(const std::string& path, const Principal& who,
+                            Mode mode);
+  Result<std::vector<std::string>> op_readdir(const std::string& path,
+                                              const Principal& who);
+  Status op_unlink(const std::string& path, const Principal& who,
+                   ClientId client);
+  Status op_rename(const std::string& from, const std::string& to,
+                   const Principal& who);
+
+  /// Fetch (a chunk of) a file's block map for client-side caching.
+  Result<BlockMapChunk> op_block_map(InodeNum ino, std::uint64_t first_block,
+                                     std::size_t count) const;
+
+  /// Allocate any missing blocks in [first_block, first_block+count) of
+  /// `ino`, striped from the file's stripe origin, and record the
+  /// file size as at least `size_hint`. Requires write access.
+  Result<BlockMapChunk> op_allocate(InodeNum ino, std::uint64_t first_block,
+                                    std::size_t count, Bytes size_hint,
+                                    ClientId client);
+
+  Status op_extend_size(InodeNum ino, Bytes size);
+
+  // --- token operations -------------------------------------------------
+  /// Asynchronous: resolves after any needed revocations complete.
+  void op_token_acquire(ClientId client, InodeNum ino, TokenRange range,
+                        LockMode mode,
+                        std::function<void(Result<TokenRange>)> done);
+  void op_token_release(ClientId client, InodeNum ino, TokenRange range);
+  void op_client_gone(ClientId client);
+
+  /// Stripe origin of a file: first NSD for block 0.
+  std::uint32_t stripe_origin(InodeNum ino) const {
+    return static_cast<std::uint32_t>(ino % nsds_.size());
+  }
+  std::uint32_t nsd_for_block(InodeNum ino, std::uint64_t bi) const {
+    return static_cast<std::uint32_t>((ino + bi) % nsds_.size());
+  }
+
+  std::uint64_t tokens_granted() const { return tokens_granted_; }
+  std::uint64_t revocations() const { return revocations_; }
+
+ private:
+  void token_retry(ClientId client, InodeNum ino, TokenRange range,
+                   LockMode mode, int attempts,
+                   std::function<void(Result<TokenRange>)> done);
+
+  sim::Simulator& sim_;
+  FsConfig cfg_;
+  std::vector<Nsd> nsds_;
+  net::NodeId manager_node_;
+  Namespace ns_;
+  AllocationMap alloc_;
+  TokenManager tokens_;
+  RevokerFn revoker_;
+  AccessFn access_fn_;
+  std::uint64_t tokens_granted_ = 0;
+  std::uint64_t revocations_ = 0;
+};
+
+}  // namespace mgfs::gpfs

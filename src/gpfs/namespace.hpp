@@ -1,0 +1,117 @@
+// Hierarchical namespace and inodes.
+//
+// A real (in-memory) file-system metadata store: directory tree, inode
+// table, permission checks against grid principals, block lists per
+// file. It lives on the file-system manager node; clients reach it via
+// RPC (filesystem.hpp glues the two). File *contents* are not stored —
+// only block placement — per DESIGN.md's "real metadata, modeled data"
+// rule.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.hpp"
+#include "gpfs/types.hpp"
+
+namespace mgfs::gpfs {
+
+struct Inode {
+  InodeNum ino = 0;
+  FileType type = FileType::regular;
+  std::string owner_dn;
+  Mode mode;
+  Bytes size = 0;
+  double mtime = 0;
+  std::uint32_t nlink = 1;
+  /// Per-block placement; nullopt = hole (never written).
+  std::vector<std::optional<BlockAddr>> blocks;
+  /// Directory entries (only for type == directory).
+  std::map<std::string, InodeNum> entries;
+};
+
+struct StatInfo {
+  InodeNum ino;
+  FileType type;
+  std::string owner_dn;
+  Mode mode;
+  Bytes size;
+  double mtime;
+  std::uint32_t nlink;
+};
+
+/// The metadata store. All paths are absolute ("/a/b/c"); components may
+/// not contain '/' or be "." / "..".
+class Namespace {
+ public:
+  explicit Namespace(Bytes block_size);
+
+  Bytes block_size() const { return block_size_; }
+
+  // --- lookup ----------------------------------------------------------
+  Result<InodeNum> resolve(std::string_view path) const;
+  Result<StatInfo> stat(std::string_view path) const;
+  Result<StatInfo> stat(InodeNum ino) const;
+  Result<std::vector<std::string>> readdir(std::string_view path,
+                                           const Principal& who) const;
+  bool exists(std::string_view path) const;
+
+  // --- mutation --------------------------------------------------------
+  Result<InodeNum> create(std::string_view path, const Principal& who,
+                          Mode mode, double now);
+  Result<InodeNum> mkdir(std::string_view path, const Principal& who,
+                         Mode mode, double now);
+  /// Unlink a file; returns the blocks it held so the caller can free
+  /// them in the allocation map.
+  Result<std::vector<BlockAddr>> unlink(std::string_view path,
+                                        const Principal& who);
+  Status rmdir(std::string_view path, const Principal& who);
+  Status rename(std::string_view from, std::string_view to,
+                const Principal& who);
+  Status chmod(std::string_view path, const Principal& who, Mode mode);
+  Status chown(std::string_view path, const Principal& who,
+               const std::string& new_owner_dn);
+  /// Shrink (or logically extend) a file; returns blocks cut loose.
+  Result<std::vector<BlockAddr>> truncate(std::string_view path,
+                                          const Principal& who, Bytes size);
+
+  // --- data-path metadata ----------------------------------------------
+  /// Access checks used by open().
+  Status check_read(InodeNum ino, const Principal& who) const;
+  Status check_write(InodeNum ino, const Principal& who) const;
+
+  /// Block address covering byte offset, nullopt for holes.
+  Result<std::optional<BlockAddr>> block_at(InodeNum ino, Bytes offset) const;
+  /// Install a freshly allocated block at block index `bi`.
+  Status set_block(InodeNum ino, std::uint64_t bi, BlockAddr addr);
+  /// Grow size after a write reaching `new_size` (never shrinks).
+  Status extend_size(InodeNum ino, Bytes new_size, double now);
+
+  const Inode* inode(InodeNum ino) const;  // nullptr if absent (for tests)
+  std::size_t inode_count() const { return inodes_.size(); }
+
+ private:
+  struct Walk {
+    InodeNum parent;
+    std::string leaf;
+  };
+
+  Inode& get(InodeNum ino);
+  const Inode& get(InodeNum ino) const;
+  Result<Walk> walk_to_parent(std::string_view path) const;
+  static bool may_read(const Inode& n, const Principal& who);
+  static bool may_write(const Inode& n, const Principal& who);
+
+  Bytes block_size_;
+  InodeNum next_ino_ = kRootIno;
+  std::unordered_map<InodeNum, Inode> inodes_;
+};
+
+/// Split an absolute path into components; invalid_argument on bad paths.
+Result<std::vector<std::string>> split_path(std::string_view path);
+
+}  // namespace mgfs::gpfs

@@ -1,0 +1,33 @@
+#include "gpfs/nsd.hpp"
+
+#include <utility>
+
+namespace mgfs::gpfs {
+
+NsdServer::NsdServer(sim::Simulator& sim, net::NodeId node, std::string name,
+                     sim::Time cpu_per_request)
+    : sim_(sim),
+      node_(node),
+      name_(std::move(name)),
+      cpu_per_request_(cpu_per_request),
+      cpu_(sim, name_ + ".cpu") {}
+
+void NsdServer::handle(storage::BlockDevice& dev, Bytes offset, Bytes len,
+                       bool write, double cipher_s_per_byte,
+                       storage::IoCallback done) {
+  const sim::Time cpu =
+      cpu_per_request_ + cipher_s_per_byte * static_cast<double>(len);
+  cpu_.acquire(cpu, [this, &dev, offset, len, write,
+                     done = std::move(done)]() mutable {
+    dev.io(offset, len, write,
+           [this, len, done = std::move(done)](const Status& st) {
+             if (st.ok()) {
+               ++requests_;
+               bytes_ += len;
+             }
+             done(st);
+           });
+  });
+}
+
+}  // namespace mgfs::gpfs

@@ -1,0 +1,60 @@
+// Network Shared Disks and their servers.
+//
+// An Nsd names one block device plus the nodes that serve it: a primary
+// NSD server and an optional backup (GPFS semantics — clients fail over
+// to the backup when the primary node dies; bench/tab and tests inject
+// exactly that). The 2005 production system of §5 is 64 dual-IA64 NSD
+// servers, each with a single GbE and a single FC HBA, fronting 32
+// DS4100 trays.
+//
+// NsdServer is the service half: per-request CPU, optional cipher cost
+// (cipherList=encrypt charges both endpoints), then the device I/O.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/network.hpp"
+#include "sim/serial_resource.hpp"
+#include "storage/block_device.hpp"
+
+namespace mgfs::gpfs {
+
+struct Nsd {
+  std::uint32_t id = 0;
+  std::string name;
+  storage::BlockDevice* device = nullptr;
+  net::NodeId primary{};
+  net::NodeId backup{};
+  bool has_backup = false;
+};
+
+class NsdServer {
+ public:
+  NsdServer(sim::Simulator& sim, net::NodeId node, std::string name,
+            sim::Time cpu_per_request = 30e-6);
+
+  net::NodeId node() const { return node_; }
+  const std::string& name() const { return name_; }
+
+  /// Serve one I/O: request-processing CPU + per-byte cipher cost (0 for
+  /// AUTHONLY sessions) + the device transfer.
+  void handle(storage::BlockDevice& dev, Bytes offset, Bytes len, bool write,
+              double cipher_s_per_byte, storage::IoCallback done);
+
+  std::uint64_t requests_served() const { return requests_; }
+  Bytes bytes_served() const { return bytes_; }
+  /// The server's CPU — serial, so per-byte cipher work queues.
+  sim::SerialResource& cpu() { return cpu_; }
+
+ private:
+  sim::Simulator& sim_;
+  net::NodeId node_;
+  std::string name_;
+  sim::Time cpu_per_request_;
+  sim::SerialResource cpu_;
+  std::uint64_t requests_ = 0;
+  Bytes bytes_ = 0;
+};
+
+}  // namespace mgfs::gpfs

@@ -1,0 +1,109 @@
+#include "gpfs/pagepool.hpp"
+
+#include "common/result.hpp"
+
+namespace mgfs::gpfs {
+
+PagePool::PagePool(Bytes capacity, Bytes page_size)
+    : capacity_(capacity), page_size_(page_size) {
+  MGFS_ASSERT(page_size > 0, "zero page size");
+  MGFS_ASSERT(capacity >= page_size, "pool smaller than one page");
+  max_pages_ = static_cast<std::size_t>(capacity / page_size);
+}
+
+bool PagePool::is_dirty(PageKey k) const {
+  auto it = pages_.find(k);
+  return it != pages_.end() && it->second->dirty;
+}
+
+void PagePool::touch(PageKey k) {
+  auto it = pages_.find(k);
+  if (it == pages_.end()) return;
+  lru_.splice(lru_.begin(), lru_, it->second);
+}
+
+bool PagePool::make_room() {
+  if (pages_.size() < max_pages_) return true;
+  // Evict the least-recently-used clean page.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    if (!it->dirty) {
+      pages_.erase(it->key);
+      lru_.erase(std::next(it).base());
+      ++evictions_;
+      return true;
+    }
+  }
+  return false;  // pinned solid with dirty pages
+}
+
+bool PagePool::insert_clean(PageKey k) {
+  auto it = pages_.find(k);
+  if (it != pages_.end()) {
+    touch(k);
+    return true;
+  }
+  if (!make_room()) return false;
+  lru_.push_front(Entry{k, false});
+  pages_[k] = lru_.begin();
+  return true;
+}
+
+bool PagePool::insert_dirty(PageKey k) {
+  auto it = pages_.find(k);
+  if (it != pages_.end()) {
+    if (!it->second->dirty) {
+      it->second->dirty = true;
+      ++dirty_count_;
+    }
+    touch(k);
+    return true;
+  }
+  if (!make_room()) return false;
+  lru_.push_front(Entry{k, true});
+  pages_[k] = lru_.begin();
+  ++dirty_count_;
+  return true;
+}
+
+void PagePool::mark_clean(PageKey k) {
+  auto it = pages_.find(k);
+  if (it == pages_.end() || !it->second->dirty) return;
+  it->second->dirty = false;
+  --dirty_count_;
+}
+
+std::vector<PageKey> PagePool::dirty_pages(InodeNum ino) const {
+  std::vector<PageKey> out;
+  for (const Entry& e : lru_) {
+    if (e.dirty && e.key.ino == ino) out.push_back(e.key);
+  }
+  return out;
+}
+
+std::vector<PageKey> PagePool::all_dirty() const {
+  std::vector<PageKey> out;
+  out.reserve(dirty_count_);
+  for (const Entry& e : lru_) {
+    if (e.dirty) out.push_back(e.key);
+  }
+  return out;
+}
+
+std::size_t PagePool::invalidate(InodeNum ino, std::uint64_t lo_blk,
+                                 std::uint64_t hi_blk) {
+  std::size_t dropped = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.ino == ino && it->key.block >= lo_blk &&
+        it->key.block < hi_blk) {
+      if (it->dirty) --dirty_count_;
+      pages_.erase(it->key);
+      it = lru_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+}  // namespace mgfs::gpfs

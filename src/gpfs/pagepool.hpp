@@ -1,0 +1,101 @@
+// Client page pool: the per-node block cache of a mounted file system.
+//
+// Pages are whole file-system blocks keyed by (inode, block index).
+// Clean pages are evicted LRU; dirty pages are pinned until write-behind
+// flushes them (the client caps dirty bytes and stalls writers above the
+// cap, like GPFS's pagepool/write-behind machinery). Token revocation
+// invalidates cached ranges — the coherence half of the design.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.hpp"
+#include "gpfs/types.hpp"
+
+namespace mgfs::gpfs {
+
+struct PageKey {
+  InodeNum ino = 0;
+  std::uint64_t block = 0;
+  friend bool operator==(const PageKey&, const PageKey&) = default;
+};
+
+struct PageKeyHash {
+  std::size_t operator()(const PageKey& k) const {
+    return std::hash<std::uint64_t>{}(k.ino * 0x9e3779b97f4a7c15ULL ^
+                                      k.block);
+  }
+};
+
+class PagePool {
+ public:
+  PagePool(Bytes capacity, Bytes page_size);
+
+  Bytes capacity() const { return capacity_; }
+  Bytes page_size() const { return page_size_; }
+  Bytes used() const { return pages_.size() * page_size_; }
+  Bytes dirty_bytes() const { return dirty_count_ * page_size_; }
+  std::size_t page_count() const { return pages_.size(); }
+
+  /// Is this block cached (clean or dirty)?
+  bool contains(PageKey k) const { return pages_.count(k) > 0; }
+  bool is_dirty(PageKey k) const;
+
+  /// Touch for LRU (a cache hit).
+  void touch(PageKey k);
+
+  /// Insert a clean page (read miss fill / prefetch). Evicts LRU clean
+  /// pages to make room. Returns false if the pool is pinned solid with
+  /// dirty pages (caller must flush first). Inserting an existing page
+  /// just touches it.
+  bool insert_clean(PageKey k);
+
+  /// Insert (or update) a page as dirty — a buffered write.
+  /// Same eviction rules.
+  bool insert_dirty(PageKey k);
+
+  /// Write-behind completed: page stays cached, now clean.
+  void mark_clean(PageKey k);
+
+  /// Dirty pages of one inode (what a flush-on-revoke must push out).
+  std::vector<PageKey> dirty_pages(InodeNum ino) const;
+  /// All dirty pages (fsync / unmount).
+  std::vector<PageKey> all_dirty() const;
+
+  /// Drop cached pages of `ino` whose block index lies in [lo_blk,
+  /// hi_blk) — token revocation. Dirty pages in range are dropped too;
+  /// callers flush *before* invalidating. Returns dropped page count.
+  std::size_t invalidate(InodeNum ino, std::uint64_t lo_blk,
+                         std::uint64_t hi_blk);
+
+  std::uint64_t evictions() const { return evictions_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  /// Stats hook used by Client::read.
+  void note_lookup(bool hit) { (hit ? hits_ : misses_)++; }
+
+ private:
+  struct Entry {
+    PageKey key;
+    bool dirty = false;
+  };
+  using LruList = std::list<Entry>;
+
+  bool make_room();
+
+  Bytes capacity_;
+  Bytes page_size_;
+  std::size_t max_pages_;
+  LruList lru_;  // front = most recent
+  std::unordered_map<PageKey, LruList::iterator, PageKeyHash> pages_;
+  std::size_t dirty_count_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace mgfs::gpfs

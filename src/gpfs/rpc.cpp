@@ -1,0 +1,10 @@
+// Rpc and ConnectionPool are header-only (templated call paths); this
+// translation unit exists to give the header an ODR anchor and compile
+// check in isolation.
+#include "gpfs/rpc.hpp"
+
+namespace mgfs::gpfs {
+
+static_assert(kRpcHeader > 0);
+
+}  // namespace mgfs::gpfs

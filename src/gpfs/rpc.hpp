@@ -1,0 +1,119 @@
+// Request/response messaging over pooled TCP connections.
+//
+// Every GPFS interaction — metadata ops to the FS manager, token
+// traffic, NSD reads/writes — is a typed RPC: the request bytes travel
+// src -> dst over the pooled connection for that node pair, the server
+// continuation runs at delivery, and its reply bytes travel back before
+// the caller's completion fires. Transport failures surface as
+// Errc::unavailable (and the pooled connection is reset so a retry can
+// take a different path, e.g. the backup NSD server).
+//
+// The pool is also where WAN behaviour comes from: each (src, dst) pair
+// is one TCP connection with a 2005-sized window, so a client talking
+// to 64 NSD servers has 64 independent windows in flight — the paper's
+// reason GPFS fills long-fat pipes that defeat single-socket tools.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "common/result.hpp"
+#include "net/tcp.hpp"
+
+namespace mgfs::gpfs {
+
+class ConnectionPool {
+ public:
+  ConnectionPool(net::Network& net, net::TcpConfig cfg = {})
+      : net_(net), cfg_(cfg) {}
+
+  net::TcpConnection& get(net::NodeId src, net::NodeId dst) {
+    const auto key = std::make_pair(src.v, dst.v);
+    auto it = conns_.find(key);
+    if (it == conns_.end()) {
+      it = conns_
+               .emplace(key, std::make_unique<net::TcpConnection>(net_, src,
+                                                                  dst, cfg_))
+               .first;
+    }
+    return *it->second;
+  }
+
+  net::Network& network() { return net_; }
+  const net::TcpConfig& config() const { return cfg_; }
+  std::size_t open_connections() const { return conns_.size(); }
+
+ private:
+  net::Network& net_;
+  net::TcpConfig cfg_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>,
+           std::unique_ptr<net::TcpConnection>>
+      conns_;
+};
+
+/// Default header cost of one protocol message beyond its payload.
+inline constexpr Bytes kRpcHeader = 128;
+
+class Rpc {
+ public:
+  explicit Rpc(ConnectionPool& pool) : pool_(pool) {}
+
+  /// One reply sender: the server continuation calls it exactly once
+  /// with the size of the response payload and the typed outcome.
+  template <typename R>
+  using ReplyFn = std::function<void(Bytes resp_payload, Result<R>)>;
+
+  /// Server continuation: runs (logically at `dst`) when the request
+  /// arrives; may complete synchronously or after further async work.
+  template <typename R>
+  using ServerFn = std::function<void(ReplyFn<R>)>;
+
+  /// Issue a request of `req_payload` bytes from src to dst, run
+  /// `server` at delivery, return its result to `done` after the
+  /// response bytes arrive back at src.
+  template <typename R>
+  void call(net::NodeId src, net::NodeId dst, Bytes req_payload,
+            ServerFn<R> server, std::function<void(Result<R>)> done) {
+    auto& fwd = pool_.get(src, dst);
+    if (fwd.broken()) fwd.reset();  // allow retry after a healed failure
+    if (!pool_.network().node_up(dst)) {
+      // Fast-fail like a refused connection; do not queue bytes.
+      pool_.network().simulator().defer([done = std::move(done)] {
+        done(err(Errc::unavailable, "destination node down"));
+      });
+      return;
+    }
+    auto fail = std::make_shared<std::function<void(Result<R>)>>(done);
+    fwd.send(
+        kRpcHeader + req_payload,
+        [this, src, dst, server = std::move(server),
+         done = std::move(done)]() mutable {
+          // Request delivered: run the server continuation.
+          server([this, src, dst, done = std::move(done)](
+                     Bytes resp_payload, Result<R> result) mutable {
+            auto& rev = pool_.get(dst, src);
+            if (rev.broken()) rev.reset();
+            auto shared =
+                std::make_shared<std::pair<std::function<void(Result<R>)>,
+                                           Result<R>>>(std::move(done),
+                                                       std::move(result));
+            rev.send(
+                kRpcHeader + resp_payload,
+                [shared] { shared->first(std::move(shared->second)); },
+                [shared] {
+                  shared->first(err(Errc::unavailable, "response path lost"));
+                });
+          });
+        },
+        [fail] { (*fail)(err(Errc::unavailable, "request path lost")); });
+  }
+
+  ConnectionPool& pool() { return pool_; }
+
+ private:
+  ConnectionPool& pool_;
+};
+
+}  // namespace mgfs::gpfs

@@ -1,0 +1,137 @@
+#include "gpfs/token.hpp"
+
+#include <algorithm>
+
+#include "common/result.hpp"
+
+namespace mgfs::gpfs {
+
+const std::vector<Holding> TokenManager::kEmpty{};
+
+TokenDecision TokenManager::request(ClientId client, InodeNum ino,
+                                    TokenRange range, LockMode mode) {
+  MGFS_ASSERT(range.lo < range.hi, "empty token range");
+  TokenDecision d;
+  auto& hs = by_inode_[ino];
+
+  for (const Holding& h : hs) {
+    if (h.client == client) continue;  // own holdings never conflict
+    if (!h.range.overlaps(range)) continue;
+    if (compatible(h.mode, mode)) continue;
+    d.conflicts.push_back(h);
+  }
+  if (!d.conflicts.empty()) {
+    return d;  // caller must revoke first
+  }
+
+  // Whole-file widening: if no *other* client holds anything on this
+  // inode, grant [0, inf) so the common exclusive case stays local.
+  bool others = false;
+  for (const Holding& h : hs) {
+    if (h.client != client) {
+      others = true;
+      break;
+    }
+  }
+  TokenRange grant = others ? range : TokenRange{0, kWholeFile};
+
+  // Upgrades: absorb the client's own overlapping/adjacent same-mode
+  // holdings. An rw grant may absorb an own ro holding ONLY if the grant
+  // already covers it — extending the rw range over an adjacent ro
+  // holding would upgrade bytes that were never conflict-checked against
+  // other clients' ro holders (a bug the token fuzz caught).
+  std::vector<Holding> kept;
+  kept.reserve(hs.size());
+  for (Holding& h : hs) {
+    const bool mine = h.client == client;
+    const bool touching = h.range.overlaps(grant) || h.range.lo == grant.hi ||
+                          grant.lo == h.range.hi;
+    const bool absorb =
+        mine && ((h.mode == mode && touching) ||
+                 (mode == LockMode::rw && h.mode == LockMode::ro &&
+                  grant.contains(h.range)));
+    if (absorb) {
+      grant.lo = std::min(grant.lo, h.range.lo);
+      grant.hi = std::max(grant.hi, h.range.hi);
+    } else {
+      kept.push_back(h);
+    }
+  }
+  kept.push_back(Holding{client, mode, grant});
+  hs = std::move(kept);
+
+  d.granted = true;
+  d.granted_range = grant;
+  return d;
+}
+
+void TokenManager::release(ClientId client, InodeNum ino, TokenRange range) {
+  auto it = by_inode_.find(ino);
+  if (it == by_inode_.end()) return;
+  std::vector<Holding> next;
+  next.reserve(it->second.size());
+  for (const Holding& h : it->second) {
+    if (h.client != client || !h.range.overlaps(range)) {
+      next.push_back(h);
+      continue;
+    }
+    // Trim [range) out of the holding; up to two fragments survive.
+    if (h.range.lo < range.lo) {
+      next.push_back(Holding{h.client, h.mode, {h.range.lo, range.lo}});
+    }
+    if (range.hi < h.range.hi) {
+      next.push_back(Holding{h.client, h.mode, {range.hi, h.range.hi}});
+    }
+  }
+  if (next.empty()) {
+    by_inode_.erase(it);
+  } else {
+    it->second = std::move(next);
+  }
+}
+
+void TokenManager::release_all(ClientId client) {
+  for (auto it = by_inode_.begin(); it != by_inode_.end();) {
+    auto& hs = it->second;
+    hs.erase(std::remove_if(hs.begin(), hs.end(),
+                            [client](const Holding& h) {
+                              return h.client == client;
+                            }),
+             hs.end());
+    if (hs.empty()) {
+      it = by_inode_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool TokenManager::holds(ClientId client, InodeNum ino, TokenRange range,
+                         LockMode mode) const {
+  auto it = by_inode_.find(ino);
+  if (it == by_inode_.end()) return false;
+  // A single holding must cover the range (holdings of one client in one
+  // mode are kept merged where possible).
+  for (const Holding& h : it->second) {
+    if (h.client != client) continue;
+    if (mode == LockMode::rw && h.mode != LockMode::rw) continue;
+    if (h.range.contains(range)) return true;
+  }
+  return false;
+}
+
+const std::vector<Holding>& TokenManager::holdings(InodeNum ino) const {
+  auto it = by_inode_.find(ino);
+  return it == by_inode_.end() ? kEmpty : it->second;
+}
+
+std::size_t TokenManager::total_holdings() const {
+  std::size_t n = 0;
+  for (const auto& [ino, hs] : by_inode_) {
+    (void)ino;
+    n += hs.size();
+  }
+  return n;
+}
+
+}  // namespace mgfs::gpfs

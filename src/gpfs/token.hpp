@@ -1,0 +1,87 @@
+// Distributed byte-range lock tokens.
+//
+// GPFS keeps client caches coherent with byte-range tokens handed out by
+// a token manager: a client may cache (and serve from cache) only ranges
+// it holds a token for. Compatible holdings are ro/ro or disjoint
+// ranges; anything else forces revocation of the conflicting holders
+// (who must flush dirty pages first). The classic optimization is
+// implemented too: the first opener of a file is granted a whole-file
+// token, so the common single-writer case costs one round trip total.
+//
+// This class is the pure decision logic; filesystem.cpp wraps it in the
+// revoke/flush/grant message exchange.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.hpp"
+#include "gpfs/types.hpp"
+
+namespace mgfs::gpfs {
+
+enum class LockMode { ro, rw };
+
+using ClientId = std::uint32_t;
+
+struct TokenRange {
+  Bytes lo = 0;
+  Bytes hi = 0;  // exclusive
+
+  bool overlaps(const TokenRange& o) const { return lo < o.hi && o.lo < hi; }
+  bool contains(const TokenRange& o) const { return lo <= o.lo && o.hi <= hi; }
+  friend bool operator==(const TokenRange&, const TokenRange&) = default;
+};
+
+inline constexpr Bytes kWholeFile = std::numeric_limits<Bytes>::max();
+
+struct Holding {
+  ClientId client;
+  LockMode mode;
+  TokenRange range;
+};
+
+/// What a token request resolves to.
+struct TokenDecision {
+  bool granted = false;          // true: token handed out immediately
+  TokenRange granted_range{};    // may be wider than asked (whole file)
+  /// Holders that must give up the overlapping part before the requester
+  /// can be granted; empty iff granted.
+  std::vector<Holding> conflicts;
+};
+
+class TokenManager {
+ public:
+  /// Ask for `range` of `ino` in `mode`. If nothing conflicts the token
+  /// is granted at once (widened to the whole file when the requester
+  /// would be the only holder). Otherwise `conflicts` lists what must be
+  /// revoked; the caller revokes and retries.
+  TokenDecision request(ClientId client, InodeNum ino, TokenRange range,
+                        LockMode mode);
+
+  /// Give back (part of) a holding — used both for voluntary release and
+  /// to apply a revocation the holder acknowledged.
+  void release(ClientId client, InodeNum ino, TokenRange range);
+
+  /// Drop every holding of a client (unmount / node expel).
+  void release_all(ClientId client);
+
+  /// Does `client` hold `range` of `ino` in a mode at least `mode`?
+  bool holds(ClientId client, InodeNum ino, TokenRange range,
+             LockMode mode) const;
+
+  const std::vector<Holding>& holdings(InodeNum ino) const;
+  std::size_t total_holdings() const;
+
+ private:
+  static bool compatible(LockMode a, LockMode b) {
+    return a == LockMode::ro && b == LockMode::ro;
+  }
+
+  std::unordered_map<InodeNum, std::vector<Holding>> by_inode_;
+  static const std::vector<Holding> kEmpty;
+};
+
+}  // namespace mgfs::gpfs

@@ -1,0 +1,70 @@
+// Shared vocabulary types of the MGFS parallel file system.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace mgfs::gpfs {
+
+using InodeNum = std::uint64_t;
+inline constexpr InodeNum kRootIno = 1;
+
+/// Who is acting. Identity on the grid is the DN (paper §6: files belong
+/// to the person, not to one site's UID for them); uid/gid are the
+/// *local* account the DN resolved to through the site's grid-mapfile.
+struct Principal {
+  std::string dn;          // grid identity, e.g. "/C=US/O=NPACI/CN=alice"
+  std::uint32_t uid = 0;   // site-local uid (display/compat only)
+  std::uint32_t gid = 0;
+  bool is_admin = false;   // site administrator (root-equivalent)
+};
+
+/// Where a file-system block lives: which NSD, which block slot on it.
+struct BlockAddr {
+  std::uint32_t nsd = 0;
+  std::uint64_t block = 0;
+
+  friend bool operator==(const BlockAddr&, const BlockAddr&) = default;
+};
+
+enum class FileType { regular, directory };
+
+/// Effective access a mount session has to a file system. Local mounts
+/// are read_write; imported mounts are capped by the exporting cluster's
+/// mmauth grant (the GPFS 2.3 PTF 2 per-filesystem control of §6.2).
+enum class AccessMode { none, read_only, read_write };
+
+/// Permission classes: owner (DN match) and other. Two three-bit groups,
+/// owner high: 0644-style constants use the familiar octal spelling.
+struct Mode {
+  // bits: owner r=040 w=020 x=010, other r=04 w=02 x=01
+  std::uint16_t bits = 064;  // rw-r--
+
+  bool owner_can_read() const { return bits & 040; }
+  bool owner_can_write() const { return bits & 020; }
+  bool other_can_read() const { return bits & 04; }
+  bool other_can_write() const { return bits & 02; }
+
+  friend bool operator==(const Mode&, const Mode&) = default;
+};
+
+struct FsConfig {
+  std::string name = "gpfs0";   // device name, e.g. "gpfs-wan"
+  Bytes block_size = 1 * MiB;   // striping unit across NSDs
+};
+
+/// Flags for Client::open.
+struct OpenFlags {
+  bool read = true;
+  bool write = false;
+  bool create = false;
+  bool truncate = false;
+
+  static OpenFlags ro() { return {true, false, false, false}; }
+  static OpenFlags rw() { return {true, true, false, false}; }
+  static OpenFlags create_rw() { return {true, true, true, false}; }
+};
+
+}  // namespace mgfs::gpfs

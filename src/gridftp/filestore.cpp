@@ -1,0 +1,64 @@
+#include "gridftp/filestore.hpp"
+
+namespace mgfs::gridftp {
+
+Result<Extent> FileStore::add(const std::string& name, Bytes size) {
+  if (size == 0) return err(Errc::invalid_argument, "zero-size file");
+  if (files_.count(name)) return err(Errc::exists, name);
+  if (!initialized_) {
+    holes_[0] = capacity();
+    initialized_ = true;
+  }
+  // First fit.
+  for (auto it = holes_.begin(); it != holes_.end(); ++it) {
+    if (it->second >= size) {
+      const Extent ext{it->first, size};
+      const Bytes rest = it->second - size;
+      const Bytes rest_off = it->first + size;
+      holes_.erase(it);
+      if (rest > 0) holes_[rest_off] = rest;
+      files_[name] = ext;
+      used_ += size;
+      return ext;
+    }
+  }
+  return err(Errc::no_space, "store full (or fragmented): " + name);
+}
+
+Result<Extent> FileStore::lookup(const std::string& name) const {
+  auto it = files_.find(name);
+  if (it == files_.end()) return err(Errc::not_found, name);
+  return it->second;
+}
+
+bool FileStore::contains(const std::string& name) const {
+  return files_.count(name) > 0;
+}
+
+Status FileStore::remove(const std::string& name) {
+  auto it = files_.find(name);
+  if (it == files_.end()) return Status(Errc::not_found, name);
+  Extent ext = it->second;
+  files_.erase(it);
+  used_ -= ext.size;
+  // Insert hole and merge with neighbors.
+  auto [hit, inserted] = holes_.emplace(ext.offset, ext.size);
+  MGFS_ASSERT(inserted, "overlapping free extents");
+  // Merge with next.
+  auto next = std::next(hit);
+  if (next != holes_.end() && hit->first + hit->second == next->first) {
+    hit->second += next->second;
+    holes_.erase(next);
+  }
+  // Merge with previous.
+  if (hit != holes_.begin()) {
+    auto prev = std::prev(hit);
+    if (prev->first + prev->second == hit->first) {
+      prev->second += hit->second;
+      holes_.erase(hit);
+    }
+  }
+  return Status{};
+}
+
+}  // namespace mgfs::gridftp

@@ -1,0 +1,97 @@
+#include "hsm/tape.hpp"
+
+#include <algorithm>
+
+namespace mgfs::hsm {
+
+TapeLibrary::TapeLibrary(sim::Simulator& sim, std::size_t drives,
+                         TapeSpec spec, std::string name)
+    : sim_(sim), spec_(spec), name_(std::move(name)), drives_(drives) {
+  MGFS_ASSERT(drives > 0, "library needs at least one drive");
+  MGFS_ASSERT(spec_.volume_capacity > 0 && spec_.rate > 0, "bad tape spec");
+}
+
+sim::Time TapeLibrary::schedule(std::uint32_t volume, Bytes len) {
+  // Prefer an idle-soonest drive that already holds the volume; else the
+  // idle-soonest drive overall (and pay the mount).
+  Drive* best_loaded = nullptr;
+  Drive* best_any = nullptr;
+  for (Drive& d : drives_) {
+    if (best_any == nullptr || d.busy_until < best_any->busy_until) {
+      best_any = &d;
+    }
+    if (d.loaded_volume == static_cast<std::int64_t>(volume) &&
+        (best_loaded == nullptr ||
+         d.busy_until < best_loaded->busy_until)) {
+      best_loaded = &d;
+    }
+  }
+  Drive* d = best_loaded != nullptr ? best_loaded : best_any;
+  sim::Time t = std::max(sim_.now(), d->busy_until);
+  if (d->loaded_volume != static_cast<std::int64_t>(volume)) {
+    t += spec_.mount_s;
+    d->loaded_volume = static_cast<std::int64_t>(volume);
+    ++mounts_;
+  }
+  t += spec_.position_s + static_cast<double>(len) / spec_.rate;
+  d->busy_until = t;
+  return t;
+}
+
+void TapeLibrary::append(Bytes len,
+                         std::function<void(Result<TapeAddr>)> done) {
+  if (len == 0) {
+    sim_.defer([done = std::move(done)] {
+      done(err(Errc::invalid_argument, "zero-length archive"));
+    });
+    return;
+  }
+  if (write_offset_ + len > spec_.volume_capacity) {
+    // Open a fresh volume; oversized objects span is not modeled —
+    // archive in volume-sized pieces at the HSM layer.
+    if (len > spec_.volume_capacity) {
+      sim_.defer([done = std::move(done)] {
+        done(err(Errc::invalid_argument, "object larger than a volume"));
+      });
+      return;
+    }
+    ++write_volume_;
+    write_offset_ = 0;
+  }
+  const TapeAddr addr{write_volume_, write_offset_};
+  write_offset_ += len;
+  bytes_written_ += len;
+  if (lost_.size() <= write_volume_) lost_.resize(write_volume_ + 1, false);
+  const sim::Time t = schedule(addr.volume, len);
+  sim_.at(t, [done = std::move(done), addr] { done(addr); });
+}
+
+void TapeLibrary::read(TapeAddr addr, Bytes len,
+                       std::function<void(const Status&)> done) {
+  if (addr.volume > write_volume_ ||
+      addr.offset + len > spec_.volume_capacity) {
+    sim_.defer([done = std::move(done)] {
+      done(Status(Errc::invalid_argument, "bad tape address"));
+    });
+    return;
+  }
+  if (volume_lost(addr.volume)) {
+    sim_.defer([done = std::move(done)] {
+      done(Status(Errc::io_error, "volume lost"));
+    });
+    return;
+  }
+  const sim::Time t = schedule(addr.volume, len);
+  sim_.at(t, [done = std::move(done)] { done(Status{}); });
+}
+
+void TapeLibrary::lose_volume(std::uint32_t volume) {
+  if (lost_.size() <= volume) lost_.resize(volume + 1, false);
+  lost_[volume] = true;
+}
+
+bool TapeLibrary::volume_lost(std::uint32_t volume) const {
+  return volume < lost_.size() && lost_[volume];
+}
+
+}  // namespace mgfs::hsm

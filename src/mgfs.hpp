@@ -1,0 +1,34 @@
+// Umbrella header: the full MGFS public API.
+//
+//   #include "mgfs.hpp"
+//
+// pulls in the simulation kernel, the network and storage substrates,
+// the authentication layer, the MGFS parallel file system (clusters,
+// clients, mm* admin commands), the GridFTP baseline, the HSM tier and
+// the workload generators. Individual headers remain includable on
+// their own for faster builds.
+#pragma once
+
+#include "auth/gsi.hpp"
+#include "auth/rsa.hpp"
+#include "auth/sha256.hpp"
+#include "auth/trust.hpp"
+#include "common/histogram.hpp"
+#include "common/log.hpp"
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "common/timeseries.hpp"
+#include "common/units.hpp"
+#include "gpfs/cluster.hpp"
+#include "gridftp/gridftp.hpp"
+#include "hsm/hsm.hpp"
+#include "net/presets.hpp"
+#include "san/fcip.hpp"
+#include "san/hba.hpp"
+#include "sim/serial_resource.hpp"
+#include "sim/simulator.hpp"
+#include "storage/array.hpp"
+#include "storage/block_device.hpp"
+#include "workload/apps.hpp"
+#include "workload/mpiio.hpp"
+#include "workload/stream.hpp"

@@ -1,0 +1,160 @@
+#include "net/network.hpp"
+
+#include <deque>
+#include <utility>
+
+namespace mgfs::net {
+
+NodeId Network::add_node(std::string name) {
+  nodes_.push_back(Node{std::move(name), true, {}});
+  invalidate_routes();
+  return NodeId{static_cast<std::uint32_t>(nodes_.size() - 1)};
+}
+
+void Network::connect(NodeId a, NodeId b, BytesPerSec rate, sim::Time latency,
+                      double efficiency, const std::string& name) {
+  MGFS_ASSERT(a.v < nodes_.size() && b.v < nodes_.size(), "bad node id");
+  MGFS_ASSERT(a != b, "self link");
+  MGFS_ASSERT(efficiency > 0.0 && efficiency <= 1.0, "bad link efficiency");
+  MGFS_ASSERT(nodes_[a.v].out.find(b.v) == nodes_[a.v].out.end(),
+              "duplicate link");
+  const std::string base =
+      name.empty() ? nodes_[a.v].name + "<->" + nodes_[b.v].name : name;
+  pipes_.push_back(std::make_unique<sim::Pipe>(sim_, rate * efficiency,
+                                               latency, base + ">"));
+  nodes_[a.v].out[b.v] = pipes_.size() - 1;
+  pipes_.push_back(std::make_unique<sim::Pipe>(sim_, rate * efficiency,
+                                               latency, base + "<"));
+  nodes_[b.v].out[a.v] = pipes_.size() - 1;
+  invalidate_routes();
+}
+
+sim::Pipe* Network::pipe(NodeId a, NodeId b) {
+  if (a.v >= nodes_.size()) return nullptr;
+  auto it = nodes_[a.v].out.find(b.v);
+  return it == nodes_[a.v].out.end() ? nullptr : pipes_[it->second].get();
+}
+
+const sim::Pipe* Network::pipe(NodeId a, NodeId b) const {
+  return const_cast<Network*>(this)->pipe(a, b);
+}
+
+const std::vector<std::int64_t>& Network::bfs_from(NodeId src) const {
+  if (cache_generation_ != topo_generation_) {
+    route_cache_.clear();
+    cache_generation_ = topo_generation_;
+  }
+  auto it = route_cache_.find(src.v);
+  if (it != route_cache_.end()) return it->second;
+
+  std::vector<std::int64_t> pred(nodes_.size(), -1);
+  std::deque<std::uint32_t> q;
+  pred[src.v] = static_cast<std::int64_t>(src.v);
+  q.push_back(src.v);
+  while (!q.empty()) {
+    const std::uint32_t u = q.front();
+    q.pop_front();
+    for (const auto& [v, pipe_idx] : nodes_[u].out) {
+      (void)pipe_idx;
+      if (pred[v] == -1) {
+        pred[v] = static_cast<std::int64_t>(u);
+        q.push_back(v);
+      }
+    }
+  }
+  return route_cache_.emplace(src.v, std::move(pred)).first->second;
+}
+
+std::vector<NodeId> Network::path(NodeId from, NodeId to) const {
+  MGFS_ASSERT(from.v < nodes_.size() && to.v < nodes_.size(), "bad node id");
+  const auto& pred = bfs_from(from);
+  if (pred[to.v] == -1) return {};
+  std::vector<NodeId> hops;
+  for (std::uint32_t cur = to.v;;) {
+    hops.push_back(NodeId{cur});
+    if (cur == from.v) break;
+    cur = static_cast<std::uint32_t>(pred[cur]);
+  }
+  std::reverse(hops.begin(), hops.end());
+  return hops;
+}
+
+std::optional<sim::Time> Network::rtt(NodeId a, NodeId b) const {
+  const auto hops = path(a, b);
+  if (hops.empty()) return std::nullopt;
+  sim::Time one_way = 0.0;
+  for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+    one_way += pipe(hops[i], hops[i + 1])->latency();
+  }
+  return 2.0 * one_way;
+}
+
+void Network::set_node_up(NodeId n, bool up) {
+  MGFS_ASSERT(n.v < nodes_.size(), "bad node id");
+  nodes_[n.v].up = up;
+}
+
+bool Network::node_up(NodeId n) const {
+  MGFS_ASSERT(n.v < nodes_.size(), "bad node id");
+  return nodes_[n.v].up;
+}
+
+void Network::set_link_up(NodeId a, NodeId b, bool up) {
+  sim::Pipe* ab = pipe(a, b);
+  sim::Pipe* ba = pipe(b, a);
+  MGFS_ASSERT(ab != nullptr && ba != nullptr, "no such link");
+  ab->set_up(up);
+  ba->set_up(up);
+}
+
+const std::string& Network::node_name(NodeId n) const {
+  MGFS_ASSERT(n.v < nodes_.size(), "bad node id");
+  return nodes_[n.v].name;
+}
+
+void Network::fail(const std::shared_ptr<sim::Callback>& on_fail) {
+  if (on_fail && *on_fail) {
+    // Connection-reset semantics: the sender learns quickly, not never.
+    sim_.after(1e-3, [on_fail] { (*on_fail)(); });
+  }
+}
+
+void Network::send(NodeId from, NodeId to, Bytes payload,
+                   sim::Callback delivered, sim::Callback on_fail) {
+  auto fail_cb = std::make_shared<sim::Callback>(std::move(on_fail));
+  auto done_cb = std::make_shared<sim::Callback>(std::move(delivered));
+  auto hops = path(from, to);
+  if (hops.empty()) {
+    fail(fail_cb);
+    return;
+  }
+  forward(std::move(hops), 0, payload, std::move(done_cb), std::move(fail_cb));
+}
+
+void Network::forward(std::vector<NodeId> hops, std::size_t idx, Bytes payload,
+                      std::shared_ptr<sim::Callback> delivered,
+                      std::shared_ptr<sim::Callback> on_fail) {
+  const NodeId here = hops[idx];
+  if (!node_up(here)) {
+    fail(on_fail);
+    return;
+  }
+  if (idx + 1 == hops.size()) {
+    if (*delivered) (*delivered)();
+    return;
+  }
+  sim::Pipe* p = pipe(here, hops[idx + 1]);
+  MGFS_ASSERT(p != nullptr, "route through missing link");
+  if (!p->up()) {
+    fail(on_fail);
+    return;
+  }
+  p->transfer(payload, [this, hops = std::move(hops), idx, payload,
+                        delivered = std::move(delivered),
+                        on_fail = std::move(on_fail)]() mutable {
+    forward(std::move(hops), idx + 1, payload, std::move(delivered),
+            std::move(on_fail));
+  });
+}
+
+}  // namespace mgfs::net

@@ -1,0 +1,56 @@
+#include "net/presets.hpp"
+
+namespace mgfs::net {
+
+Site add_site(Network& net, const std::string& name, std::size_t hosts,
+              BytesPerSec host_rate, sim::Time host_latency,
+              double host_efficiency) {
+  Site site;
+  site.name = name;
+  site.sw = net.add_node(name + ".sw");
+  site.hosts.reserve(hosts);
+  for (std::size_t i = 0; i < hosts; ++i) {
+    NodeId h = net.add_node(name + ".h" + std::to_string(i));
+    net.connect(h, site.sw, host_rate, host_latency, host_efficiency);
+    site.hosts.push_back(h);
+  }
+  return site;
+}
+
+TeraGrid make_teragrid_2004(Network& net, const TeraGridSpec& spec) {
+  TeraGrid tg;
+  tg.la = net.add_node("hub.la");
+  tg.chi = net.add_node("hub.chi");
+  // 40 Gb/s extensible backplane, LA <-> Chicago. ~25 ms one way.
+  net.connect(tg.la, tg.chi, spec.backbone, 25e-3, 1.0, "backbone");
+
+  tg.sdsc = add_site(net, "sdsc", spec.sdsc_hosts, spec.host_rate);
+  tg.ncsa = add_site(net, "ncsa", spec.ncsa_hosts, spec.host_rate);
+  tg.anl = add_site(net, "anl", spec.anl_hosts, spec.host_rate);
+  tg.caltech = add_site(net, "caltech", spec.caltech_hosts, spec.host_rate);
+  tg.psc = add_site(net, "psc", spec.psc_hosts, spec.host_rate);
+
+  net.connect(tg.sdsc.sw, tg.la, spec.site_uplink, 3e-3, 1.0, "sdsc-la");
+  net.connect(tg.caltech.sw, tg.la, spec.site_uplink, 1e-3, 1.0, "caltech-la");
+  net.connect(tg.ncsa.sw, tg.chi, spec.site_uplink, 2e-3, 1.0, "ncsa-chi");
+  net.connect(tg.anl.sw, tg.chi, spec.site_uplink, 1e-3, 1.0, "anl-chi");
+  net.connect(tg.psc.sw, tg.chi, spec.site_uplink, 5e-3, 1.0, "psc-chi");
+  return tg;
+}
+
+Sc02Wan make_sc02_wan(Network& net, std::size_t sdsc_hosts,
+                      std::size_t floor_hosts, BytesPerSec wan_rate,
+                      BytesPerSec host_rate) {
+  Sc02Wan w;
+  w.la = net.add_node("hub.la");
+  w.chi = net.add_node("hub.chi");
+  w.sdsc = add_site(net, "sdsc", sdsc_hosts, host_rate, 50e-6, 1.0);
+  w.baltimore = add_site(net, "balt", floor_hosts, host_rate, 50e-6, 1.0);
+  // One-way 3 + 25 + 12 = 40 ms -> the measured 80 ms RTT of §2.
+  net.connect(w.sdsc.sw, w.la, wan_rate, 3e-3, 1.0, "sdsc-la");
+  net.connect(w.la, w.chi, wan_rate, 25e-3, 1.0, "la-chi");
+  net.connect(w.chi, w.baltimore.sw, wan_rate, 12e-3, 1.0, "chi-balt");
+  return w;
+}
+
+}  // namespace mgfs::net

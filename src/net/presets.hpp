@@ -1,0 +1,78 @@
+// Canned topologies for the paper's configurations.
+//
+// All WAN latencies are one-way seconds. The calibration anchors:
+//   * SC'02: SDSC -> Baltimore show floor measured 80 ms RTT (paper §2)
+//   * TeraGrid 2004 (paper Fig. 6): 40 Gb/s LA<->Chicago backbone, each
+//     site attached at 30 Gb/s
+//   * hosts are 1 GbE (IA64 NSD servers and clients of the era)
+//
+// Parallel show-floor uplinks (SC'04's three monitored 10 GbE links) are
+// modeled by attaching host groups to distinct uplink switches — the
+// same way per-host link aggregation spread load in the real setup —
+// because routing is single-shortest-path.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace mgfs::net {
+
+/// Ethernet efficiency after framing + IP/TCP headers at ~1500 MTU.
+inline constexpr double kEtherEfficiency = 0.94;
+
+/// A LAN site: one switch plus `hosts` endpoints on GbE-class links.
+struct Site {
+  std::string name;
+  NodeId sw;
+  std::vector<NodeId> hosts;
+};
+
+Site add_site(Network& net, const std::string& name, std::size_t hosts,
+              BytesPerSec host_rate = gbps(1.0),
+              sim::Time host_latency = 50e-6,
+              double host_efficiency = kEtherEfficiency);
+
+/// The TeraGrid as of early 2004 (paper Fig. 6): LA and Chicago hubs,
+/// five sites. One-way hub latencies reproduce ~60 ms SDSC<->NCSA RTT.
+struct TeraGrid {
+  NodeId la;
+  NodeId chi;
+  Site sdsc;
+  Site ncsa;
+  Site anl;
+  Site caltech;
+  Site psc;
+};
+
+struct TeraGridSpec {
+  std::size_t sdsc_hosts = 8;
+  std::size_t ncsa_hosts = 8;
+  std::size_t anl_hosts = 8;
+  std::size_t caltech_hosts = 4;
+  std::size_t psc_hosts = 4;
+  BytesPerSec host_rate = gbps(1.0);
+  BytesPerSec site_uplink = gbps(30.0);
+  BytesPerSec backbone = gbps(40.0);
+};
+
+TeraGrid make_teragrid_2004(Network& net, const TeraGridSpec& spec = {});
+
+/// SC'02 path: SDSC machine room to the Baltimore show floor over the
+/// TeraGrid backbone plus a SciNet extension; total one-way 40 ms
+/// (80 ms RTT), `wan_rate` end to end (8 Gb/s usable via 2x4 GbE in the
+/// demo).
+struct Sc02Wan {
+  Site sdsc;       // storage side
+  Site baltimore;  // show-floor side
+  NodeId la;
+  NodeId chi;
+};
+
+Sc02Wan make_sc02_wan(Network& net, std::size_t sdsc_hosts,
+                      std::size_t floor_hosts,
+                      BytesPerSec wan_rate = gbps(8.0),
+                      BytesPerSec host_rate = gbps(4.0));
+
+}  // namespace mgfs::net

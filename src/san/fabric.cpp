@@ -1,0 +1,97 @@
+#include "san/fabric.hpp"
+
+#include <utility>
+
+namespace mgfs::san {
+
+FcSwitch::FcSwitch(sim::Simulator& sim, BytesPerSec port_rate,
+                   std::string name)
+    : sim_(sim), port_rate_(port_rate), name_(std::move(name)) {
+  MGFS_ASSERT(port_rate > 0, "bad port rate");
+}
+
+FcSwitch::Port& FcSwitch::port(PortId p) {
+  MGFS_ASSERT(p.v < ports_.size(), "bad port id");
+  return ports_[p.v];
+}
+
+const FcSwitch::Port& FcSwitch::port(PortId p) const {
+  MGFS_ASSERT(p.v < ports_.size(), "bad port id");
+  return ports_[p.v];
+}
+
+PortId FcSwitch::attach_initiator(const std::string& wwn) {
+  Port p;
+  p.wwn = wwn;
+  p.pipe = std::make_unique<sim::Pipe>(sim_, port_rate_, 10e-6,
+                                       name_ + ".p" +
+                                           std::to_string(ports_.size()));
+  ports_.push_back(std::move(p));
+  return PortId{static_cast<std::uint32_t>(ports_.size() - 1)};
+}
+
+PortId FcSwitch::attach_target(storage::BlockDevice* device,
+                               const std::string& wwn) {
+  MGFS_ASSERT(device != nullptr, "null target device");
+  PortId id = attach_initiator(wwn);
+  ports_[id.v].is_target = true;
+  ports_[id.v].device = device;
+  return id;
+}
+
+Status FcSwitch::zone(PortId initiator, PortId target) {
+  if (port(initiator).is_target || !port(target).is_target) {
+    return Status(Errc::invalid_argument,
+                  "zone needs an initiator and a target");
+  }
+  zones_.insert({initiator.v, target.v});
+  return Status{};
+}
+
+void FcSwitch::unzone(PortId initiator, PortId target) {
+  zones_.erase({initiator.v, target.v});
+}
+
+bool FcSwitch::zoned(PortId initiator, PortId target) const {
+  return zones_.count({initiator.v, target.v}) > 0;
+}
+
+void FcSwitch::io(PortId initiator, PortId target, Bytes offset, Bytes len,
+                  bool write, storage::IoCallback done) {
+  if (!zoned(initiator, target)) {
+    sim_.defer([done = std::move(done)] {
+      done(Status(Errc::not_authorized, "ports not zoned together"));
+    });
+    return;
+  }
+  storage::BlockDevice* dev = port(target).device;
+  sim::Pipe* ini = port(initiator).pipe.get();
+  sim::Pipe* tgt = port(target).pipe.get();
+  if (write) {
+    // Data crosses initiator port, target port, then lands on media.
+    ini->transfer(len, [tgt, dev, offset, len,
+                        done = std::move(done)]() mutable {
+      tgt->transfer(len, [dev, offset, len, done = std::move(done)]() mutable {
+        dev->io(offset, len, true, std::move(done));
+      });
+    });
+  } else {
+    dev->io(offset, len, false,
+            [ini, tgt, len, done = std::move(done)](const Status& st) mutable {
+              if (!st.ok()) {
+                done(st);
+                return;
+              }
+              tgt->transfer(len, [ini, len, done = std::move(done)]() mutable {
+                ini->transfer(len,
+                              [done = std::move(done)] { done(Status{}); });
+              });
+            });
+  }
+}
+
+const std::string& FcSwitch::wwn(PortId p) const { return port(p).wwn; }
+
+Bytes FcSwitch::port_bytes(PortId p) const { return port(p).pipe->bytes_moved(); }
+
+}  // namespace mgfs::san

@@ -1,0 +1,29 @@
+#include "san/hba.hpp"
+
+#include <utility>
+
+namespace mgfs::san {
+
+Hba::Hba(sim::Simulator& sim, BytesPerSec rate, std::string name)
+    : sim_(sim), pipe_(sim, rate, 20e-6, std::move(name)) {}
+
+void Hba::io(storage::BlockDevice& dev, Bytes offset, Bytes len, bool write,
+             storage::IoCallback done) {
+  if (write) {
+    pipe_.transfer(len, [&dev, offset, len, done = std::move(done)]() mutable {
+      dev.io(offset, len, true, std::move(done));
+    });
+  } else {
+    dev.io(offset, len, false,
+           [this, len, done = std::move(done)](const Status& st) mutable {
+             if (!st.ok()) {
+               done(st);
+               return;
+             }
+             pipe_.transfer(len,
+                            [done = std::move(done)] { done(Status{}); });
+           });
+  }
+}
+
+}  // namespace mgfs::san

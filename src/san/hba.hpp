@@ -1,0 +1,39 @@
+// Fibre Channel host bus adapter.
+//
+// Block traffic between a host and a LUN serializes through the HBA at
+// FC payload rate (2 Gb/s FC moves ~200 MB/s of data after 8b/10b
+// coding and framing). SC'04's show-floor SAN was 40 servers x 3 HBAs x
+// 2 Gb/s = 240 Gb/s theoretical — the paper saw ~15 GB/s of file-system
+// rate against it, a shape bench/tab_sc04_local_san reproduces.
+#pragma once
+
+#include <string>
+
+#include "sim/pipe.hpp"
+#include "storage/array.hpp"
+
+namespace mgfs::san {
+
+/// FC payload rate for a 2 Gb/s link after 8b/10b + framing.
+inline constexpr BytesPerSec kFc2GPayload = 200e6;
+
+class Hba {
+ public:
+  Hba(sim::Simulator& sim, BytesPerSec rate = kFc2GPayload,
+      std::string name = "hba");
+
+  /// Block I/O to a device through this adapter. Reads move data
+  /// device -> HBA -> host (storage first, then the adapter); writes
+  /// move host -> HBA -> device.
+  void io(storage::BlockDevice& dev, Bytes offset, Bytes len, bool write,
+          storage::IoCallback done);
+
+  sim::Pipe& pipe() { return pipe_; }
+  Bytes bytes_transferred() const { return pipe_.bytes_moved(); }
+
+ private:
+  sim::Simulator& sim_;
+  sim::Pipe pipe_;
+};
+
+}  // namespace mgfs::san

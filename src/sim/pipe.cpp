@@ -1,0 +1,43 @@
+#include "sim/pipe.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/result.hpp"
+
+namespace mgfs::sim {
+
+Pipe::Pipe(Simulator& sim, BytesPerSec rate, Time latency, std::string name)
+    : sim_(sim), rate_(rate), latency_(latency), name_(std::move(name)) {
+  MGFS_ASSERT(rate > 0, "pipe rate must be positive");
+  MGFS_ASSERT(latency >= 0, "pipe latency must be non-negative");
+}
+
+void Pipe::transfer(Bytes n, Callback done) {
+  if (!up_) {
+    dropped_ += n;
+    return;  // black hole; callers recover via timeout/failover paths
+  }
+  const Time start = std::max(sim_.now(), busy_until_);
+  const Time ser_time = static_cast<double>(n) / rate_;
+  const Time ser_done = start + ser_time;
+  busy_until_ = ser_done;
+  busy_time_ += ser_time;
+  bytes_moved_ += n;
+  if (meter_ != nullptr) meter_->note(ser_done, n);
+  sim_.at(ser_done + latency_, std::move(done));
+}
+
+Time Pipe::queue_delay() const {
+  return std::max(0.0, busy_until_ - sim_.now());
+}
+
+double Pipe::utilization() const {
+  const Time t = sim_.now();
+  if (t <= 0) return 0.0;
+  // busy_time_ counts scheduled serialization, which may extend past now;
+  // clamp so the answer stays in [0, 1].
+  return std::min(1.0, busy_time_ / t);
+}
+
+}  // namespace mgfs::sim

@@ -1,0 +1,68 @@
+// Pipe: a rate-limited FIFO resource with propagation latency.
+//
+// This one primitive models every serial bottleneck in the system:
+//   * a network link (rate = line rate, latency = propagation delay)
+//   * a Fibre Channel port or arbitrated loop (2 Gb/s, ~0 latency)
+//   * a RAID controller (the paper: "200 MB/s per controller")
+//   * a tape drive (30-120 MB/s streaming)
+//
+// Semantics are store-and-forward: a transfer of n bytes begins
+// serializing when the pipe frees up (FIFO), occupies the pipe for
+// n/rate seconds, and is delivered latency seconds after its last byte
+// is serialized. Utilization and per-bin throughput are tracked so
+// benches can print SciNet-style link monitors.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/timeseries.hpp"
+#include "common/units.hpp"
+#include "sim/simulator.hpp"
+
+namespace mgfs::sim {
+
+class Pipe {
+ public:
+  Pipe(Simulator& sim, BytesPerSec rate, Time latency, std::string name = {});
+
+  /// Enqueue a transfer; `done` fires at delivery time (serialization done
+  /// + latency). Zero-byte transfers still pay the latency.
+  void transfer(Bytes n, Callback done);
+
+  /// Seconds a transfer enqueued now would wait before starting to
+  /// serialize (current queue backlog).
+  Time queue_delay() const;
+
+  BytesPerSec rate() const { return rate_; }
+  Time latency() const { return latency_; }
+  const std::string& name() const { return name_; }
+  Bytes bytes_moved() const { return bytes_moved_; }
+
+  /// Fraction of [0, now] the pipe spent serializing.
+  double utilization() const;
+
+  /// Attach a meter that receives (serialization-finish-time, bytes) for
+  /// every transfer — the hook benches use to plot per-link bandwidth.
+  void set_meter(RateMeter* meter) { meter_ = meter; }
+
+  /// Administrative state: a down pipe drops transfers (done is never
+  /// called). Used for link-failure injection.
+  void set_up(bool up) { up_ = up; }
+  bool up() const { return up_; }
+  Bytes dropped_bytes() const { return dropped_; }
+
+ private:
+  Simulator& sim_;
+  BytesPerSec rate_;
+  Time latency_;
+  std::string name_;
+  Time busy_until_ = 0.0;
+  Bytes bytes_moved_ = 0;
+  Bytes dropped_ = 0;
+  double busy_time_ = 0.0;
+  RateMeter* meter_ = nullptr;
+  bool up_ = true;
+};
+
+}  // namespace mgfs::sim

@@ -1,0 +1,44 @@
+// SerialResource: a unit-capacity resource consumed for a caller-
+// specified duration, FIFO. Models a CPU doing per-byte work (software
+// encryption, checksumming): concurrent requests queue instead of
+// overlapping, unlike Simulator::after.
+#pragma once
+
+#include <algorithm>
+#include <string>
+
+#include "sim/simulator.hpp"
+
+namespace mgfs::sim {
+
+class SerialResource {
+ public:
+  explicit SerialResource(Simulator& sim, std::string name = {})
+      : sim_(sim), name_(std::move(name)) {}
+
+  /// Hold the resource for `cost` seconds after any queued work, then
+  /// run `done`. A zero cost completes on the next event round without
+  /// queueing.
+  void acquire(Time cost, Callback done) {
+    if (cost <= 0.0) {
+      sim_.defer(std::move(done));
+      return;
+    }
+    const Time start = std::max(sim_.now(), busy_until_);
+    busy_until_ = start + cost;
+    busy_time_ += cost;
+    sim_.at(busy_until_, std::move(done));
+  }
+
+  Time queue_delay() const { return std::max(0.0, busy_until_ - sim_.now()); }
+  double busy_seconds() const { return busy_time_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  Simulator& sim_;
+  std::string name_;
+  Time busy_until_ = 0.0;
+  double busy_time_ = 0.0;
+};
+
+}  // namespace mgfs::sim

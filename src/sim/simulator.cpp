@@ -1,0 +1,53 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+#include "common/result.hpp"
+
+namespace mgfs::sim {
+
+void Simulator::at(Time t, Callback cb) {
+  MGFS_ASSERT(t >= now_, "cannot schedule event in the past");
+  MGFS_ASSERT(static_cast<bool>(cb), "null event callback");
+  queue_.push(Event{t, next_seq_++, std::move(cb)});
+}
+
+void Simulator::after(Time delay, Callback cb) {
+  MGFS_ASSERT(delay >= 0.0, "negative delay");
+  at(now_ + delay, std::move(cb));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top is const; the callback is moved out via const_cast,
+  // which is safe because pop() immediately discards the node.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.t;
+  ++processed_;
+  ev.cb();
+  return true;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(Time t) {
+  MGFS_ASSERT(t >= now_, "run_until into the past");
+  while (!queue_.empty() && queue_.top().t <= t) step();
+  now_ = t;
+}
+
+void Simulator::every(Time start, Time interval, Time until,
+                      std::function<void(Time)> cb) {
+  MGFS_ASSERT(interval > 0.0, "non-positive sampling interval");
+  if (start > until) return;
+  at(start, [this, interval, until, cb = std::move(cb)]() mutable {
+    cb(now());
+    every(now() + interval, interval, until, std::move(cb));
+  });
+}
+
+}  // namespace mgfs::sim

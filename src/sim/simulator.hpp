@@ -1,0 +1,82 @@
+// Discrete-event simulation kernel.
+//
+// MGFS models the whole grid storage stack (WAN links, FC loops, disks,
+// NSD servers, clients) as callbacks scheduled on one Simulator. Time is
+// simulated seconds in a double; ties are broken by insertion order so
+// runs are fully deterministic.
+//
+// Components hold `Simulator&` and schedule continuations:
+//
+//   sim.after(0.080, [this] { on_ack(); });   // 80 ms later
+//
+// There is no implicit wall-clock anywhere in the library.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace mgfs::sim {
+
+using Time = double;  // simulated seconds
+using Callback = std::function<void()>;
+
+class Simulator {
+ public:
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time now() const { return now_; }
+
+  /// Schedule `cb` at absolute time `t` (>= now).
+  void at(Time t, Callback cb);
+
+  /// Schedule `cb` after a delay (>= 0).
+  void after(Time delay, Callback cb);
+
+  /// Schedule `cb` to run at the current time, after already-queued
+  /// same-time events (a "yield": breaks deep synchronous recursion).
+  void defer(Callback cb) { after(0.0, std::move(cb)); }
+
+  /// Execute the next event. Returns false if the queue is empty.
+  bool step();
+
+  /// Run until the queue drains.
+  void run();
+
+  /// Run until simulated time reaches `t` (events at exactly `t` run).
+  /// Afterwards now() == t if the run was cut short by the horizon.
+  void run_until(Time t);
+
+  /// Schedule `cb(t)` every `interval` until `until` (inclusive start at
+  /// `start`). Used by bandwidth samplers and periodic workloads.
+  void every(Time start, Time interval, Time until,
+             std::function<void(Time)> cb);
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t events_processed() const { return processed_; }
+
+ private:
+  struct Event {
+    Time t;
+    std::uint64_t seq;  // FIFO among equal-time events
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace mgfs::sim

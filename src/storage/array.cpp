@@ -1,0 +1,86 @@
+#include "storage/array.hpp"
+
+#include <utility>
+
+namespace mgfs::storage {
+
+ArraySpec ArraySpec::ds4100() { return ArraySpec{}; }
+
+ArraySpec ArraySpec::fastt600() {
+  ArraySpec s;
+  s.raid_sets = 4;
+  s.raid.data_disks = 4;  // 4+P FC sets, smaller/faster drives
+  s.spares = 2;
+  s.disk = DiskSpec::fc_73();
+  s.controller_rate = mB_per_s(200.0);
+  return s;
+}
+
+StorageArray::StorageArray(sim::Simulator& sim, ArraySpec spec, Rng rng)
+    : sim_(sim), spec_(std::move(spec)), spares_available_(spec_.spares) {
+  MGFS_ASSERT(spec_.raid_sets > 0 && spec_.controllers > 0, "bad array spec");
+  for (std::size_t c = 0; c < spec_.controllers; ++c) {
+    controllers_.push_back(std::make_unique<sim::Pipe>(
+        sim_, spec_.controller_rate, 0.2e-3, "ctrl" + std::to_string(c)));
+  }
+  for (std::size_t s = 0; s < spec_.raid_sets; ++s) {
+    std::vector<Disk*> members;
+    for (std::size_t d = 0; d < spec_.raid.data_disks + 1; ++d) {
+      disks_.push_back(std::make_unique<Disk>(sim_, spec_.disk, rng.split()));
+      members.push_back(disks_.back().get());
+    }
+    sets_.push_back(std::make_unique<RaidSet>(sim_, std::move(members),
+                                              spec_.raid));
+    luns_.push_back(std::make_unique<Lun>(
+        sim_, sets_.back().get(),
+        controllers_[s % spec_.controllers].get()));
+  }
+}
+
+Bytes StorageArray::total_capacity() const {
+  Bytes total = 0;
+  for (const auto& s : sets_) total += s->capacity();
+  return total;
+}
+
+void StorageArray::fail_disk(std::size_t set, std::size_t member) {
+  MGFS_ASSERT(set < sets_.size(), "bad set index");
+  sets_[set]->member(member).fail();
+}
+
+bool StorageArray::spare_swap(std::size_t set, std::size_t member,
+                              sim::Callback on_done) {
+  MGFS_ASSERT(set < sets_.size(), "bad set index");
+  RaidSet& rs = *sets_[set];
+  if (spares_available_ == 0 || !rs.member(member).failed()) return false;
+  --spares_available_;
+  // The spare takes over the failed slot (same Disk object models the
+  // slot; replace() swaps in fresh media), then the set reconstructs it.
+  rs.member(member).replace();
+  rs.rebuild(member, std::move(on_done));
+  return true;
+}
+
+void Lun::io(Bytes offset, Bytes len, bool write, IoCallback done) {
+  if (write) {
+    // Host data crosses the controller port, then lands on the spindles.
+    controller_->transfer(
+        len, [this, offset, len, done = std::move(done)]() mutable {
+          raid_->io(offset, len, true, std::move(done));
+        });
+  } else {
+    // Read: spindles first, then the data crosses the controller port.
+    raid_->io(offset, len, false,
+              [this, len, done = std::move(done)](const Status& st) mutable {
+                if (!st.ok()) {
+                  done(st);
+                  return;
+                }
+                controller_->transfer(len, [done = std::move(done)] {
+                  done(Status{});
+                });
+              });
+  }
+}
+
+}  // namespace mgfs::storage

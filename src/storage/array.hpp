@@ -1,0 +1,87 @@
+// Dual-controller storage array — the IBM DS4100 of the paper's 2005
+// production system (§5, Fig. 9): 67× 250 GB SATA drives organized as
+// seven 8+P RAID-5 sets plus hot spares, two controllers each with one
+// 2 Gb/s FC host port (the paper: "200 MB/s per controller"), RAID sets
+// alternating between controllers.
+//
+// A Lun is one RAID set exposed through its owning controller: host I/O
+// serializes through the controller port Pipe, then fans out to the
+// spindles.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/pipe.hpp"
+#include "storage/block_device.hpp"
+#include "storage/raid.hpp"
+
+namespace mgfs::storage {
+
+struct ArraySpec {
+  std::size_t raid_sets = 7;
+  RaidConfig raid{};                              // 8+P, 256 KiB units
+  std::size_t spares = 4;                         // 67 - 7*9 = 4
+  DiskSpec disk = DiskSpec::sata_250();
+  std::size_t controllers = 2;
+  BytesPerSec controller_rate = mB_per_s(200.0);  // 2 Gb/s FC payload
+
+  /// The paper's production building block.
+  static ArraySpec ds4100();
+  /// The SC'04 StorCloud building block (FC drives, FastT600-class).
+  static ArraySpec fastt600();
+};
+
+class StorageArray;
+
+/// One exported logical unit: a RAID set behind a controller port.
+class Lun final : public BlockDevice {
+ public:
+  Lun(sim::Simulator& sim, RaidSet* raid, sim::Pipe* controller)
+      : sim_(sim), raid_(raid), controller_(controller) {}
+
+  Bytes capacity() const override { return raid_->capacity(); }
+  void io(Bytes offset, Bytes len, bool write, IoCallback done) override;
+  RaidSet& raid() { return *raid_; }
+  const RaidSet& raid() const { return *raid_; }
+
+ private:
+  sim::Simulator& sim_;
+  RaidSet* raid_;
+  sim::Pipe* controller_;
+};
+
+class StorageArray {
+ public:
+  StorageArray(sim::Simulator& sim, ArraySpec spec, Rng rng);
+  StorageArray(const StorageArray&) = delete;
+  StorageArray& operator=(const StorageArray&) = delete;
+
+  std::size_t lun_count() const { return luns_.size(); }
+  Lun& lun(std::size_t i) { return *luns_[i]; }
+  Bytes total_capacity() const;
+  std::size_t spares_available() const { return spares_available_; }
+  const ArraySpec& spec() const { return spec_; }
+
+  /// Fail a specific spindle of a specific set (fault injection).
+  void fail_disk(std::size_t set, std::size_t member);
+
+  /// Swap a hot spare into `(set, member)` and start the rebuild;
+  /// `on_done` fires when reconstruction completes. Returns false if no
+  /// spare remains or the slot is not failed.
+  bool spare_swap(std::size_t set, std::size_t member, sim::Callback on_done);
+
+  RaidSet& raid_set(std::size_t i) { return *sets_[i]; }
+  sim::Pipe& controller(std::size_t i) { return *controllers_[i]; }
+
+ private:
+  sim::Simulator& sim_;
+  ArraySpec spec_;
+  std::vector<std::unique_ptr<Disk>> disks_;
+  std::vector<std::unique_ptr<RaidSet>> sets_;
+  std::vector<std::unique_ptr<sim::Pipe>> controllers_;
+  std::vector<std::unique_ptr<Lun>> luns_;
+  std::size_t spares_available_;
+};
+
+}  // namespace mgfs::storage

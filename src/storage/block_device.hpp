@@ -1,0 +1,53 @@
+// BlockDevice: the abstraction NSDs are built on.
+//
+// Anything addressable by (offset, len) with async completion qualifies:
+// a RAID LUN behind an array controller (Lun), a WAN-remote SAN volume
+// over FCIP (san::RemoteSanVolume), or a plain rate-limited device used
+// by tests and ablations to isolate network effects from spindle
+// effects.
+#pragma once
+
+#include "sim/pipe.hpp"
+#include "storage/disk.hpp"
+
+namespace mgfs::storage {
+
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+  virtual void io(Bytes offset, Bytes len, bool write, IoCallback done) = 0;
+  virtual Bytes capacity() const = 0;
+};
+
+/// A device that simply streams at a fixed rate (FIFO), with optional
+/// fixed per-op latency — "infinitely healthy storage" for isolating
+/// network bottlenecks, or a crude aggregate stand-in for a disk farm.
+class RateDevice final : public BlockDevice {
+ public:
+  RateDevice(sim::Simulator& sim, Bytes capacity, BytesPerSec rate,
+             sim::Time op_latency = 0.5e-3, std::string name = "ratedev")
+      : sim_(sim),
+        capacity_(capacity),
+        pipe_(sim, rate, op_latency, std::move(name)) {}
+
+  void io(Bytes offset, Bytes len, bool write, IoCallback done) override {
+    (void)write;
+    if (len == 0 || offset + len > capacity_) {
+      sim_.defer([done = std::move(done)] {
+        done(Status(Errc::invalid_argument, "rate device io out of range"));
+      });
+      return;
+    }
+    pipe_.transfer(len, [done = std::move(done)] { done(Status{}); });
+  }
+
+  Bytes capacity() const override { return capacity_; }
+  sim::Pipe& pipe() { return pipe_; }
+
+ private:
+  sim::Simulator& sim_;
+  Bytes capacity_;
+  sim::Pipe pipe_;
+};
+
+}  // namespace mgfs::storage

@@ -1,0 +1,91 @@
+#include "storage/disk.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace mgfs::storage {
+
+DiskSpec DiskSpec::sata_250() {
+  DiskSpec s;
+  s.model = "sata-250";
+  s.capacity = 250 * GB;
+  s.stream_rate = mB_per_s(60.0);
+  s.avg_seek_s = 8.5e-3;
+  s.rot_latency_s = 4.16e-3;  // 7200 rpm
+  return s;
+}
+
+DiskSpec DiskSpec::fc_73() {
+  DiskSpec s;
+  s.model = "fc-73";
+  s.capacity = 73 * GB;
+  s.stream_rate = mB_per_s(75.0);
+  s.avg_seek_s = 4.7e-3;
+  s.rot_latency_s = 3.0e-3;  // 10k rpm
+  return s;
+}
+
+Disk::Disk(sim::Simulator& sim, DiskSpec spec, Rng rng)
+    : sim_(sim), spec_(std::move(spec)), rng_(rng) {}
+
+sim::Time Disk::service_time(Bytes offset, Bytes len) {
+  sim::Time t = static_cast<double>(len) / spec_.stream_rate;
+  if (offset != next_sequential_) {
+    // Random positioning: seek (jittered around the average) + half a
+    // rotation. Sequential continuation pays neither.
+    const double seek =
+        std::max(0.5e-3, rng_.normal(spec_.avg_seek_s, spec_.avg_seek_s / 4));
+    t += seek + spec_.rot_latency_s;
+  }
+  next_sequential_ = offset + len;
+  return t;
+}
+
+void Disk::io(Bytes offset, Bytes len, bool write, IoCallback done) {
+  (void)write;  // reads and writes cost the same at the spindle
+  MGFS_ASSERT(static_cast<bool>(done), "disk io without completion");
+  if (failed_) {
+    sim_.defer([done = std::move(done), this] {
+      done(Status(Errc::io_error, spec_.model + ": disk failed"));
+    });
+    return;
+  }
+  if (len == 0 || offset + len > spec_.capacity) {
+    sim_.defer([done = std::move(done)] {
+      done(Status(Errc::invalid_argument, "disk io out of range"));
+    });
+    return;
+  }
+  const sim::Time svc = service_time(offset, len);
+  const sim::Time start = std::max(sim_.now(), busy_until_);
+  busy_until_ = start + svc;
+  busy_time_ += svc;
+  sim_.at(busy_until_, [this, len, done = std::move(done)] {
+    if (failed_) {
+      done(Status(Errc::io_error, spec_.model + ": disk failed"));
+      return;
+    }
+    ++ios_;
+    bytes_ += len;
+    done(Status{});
+  });
+}
+
+void Disk::fail() { failed_ = true; }
+
+void Disk::replace() {
+  failed_ = false;
+  next_sequential_ = kNowhere;
+}
+
+double Disk::utilization() const {
+  const sim::Time t = sim_.now();
+  if (t <= 0) return 0.0;
+  return std::min(1.0, busy_time_ / t);
+}
+
+sim::Time Disk::queue_delay() const {
+  return std::max(0.0, busy_until_ - sim_.now());
+}
+
+}  // namespace mgfs::storage

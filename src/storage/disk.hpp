@@ -1,0 +1,78 @@
+// Single-spindle disk model.
+//
+// Service time = positioning (seek + rotational latency, skipped when the
+// access continues sequentially from the previous one) + bytes/stream
+// rate, served FIFO from a per-disk queue. Parameters ship for the two
+// drive families of the paper: 250 GB SATA (the 2005 production DS4100
+// fill, §5) and 73 GB FC 10k (the SC-era server-class drives).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "sim/simulator.hpp"
+
+namespace mgfs::storage {
+
+/// Completion callback for all storage-layer I/O.
+using IoCallback = std::function<void(const Status&)>;
+
+struct DiskSpec {
+  std::string model = "generic";
+  Bytes capacity = 250 * GB;
+  BytesPerSec stream_rate = mB_per_s(60.0);  // sustained media rate
+  double avg_seek_s = 8.5e-3;
+  double rot_latency_s = 4.16e-3;  // 7200 rpm half-rotation
+
+  /// 250 GB 7.2k SATA — DS4100 fill drive (paper §5, Fig. 9).
+  static DiskSpec sata_250();
+  /// 73 GB 10k FC — SC'02/SC'04 server-class drive.
+  static DiskSpec fc_73();
+};
+
+class Disk {
+ public:
+  Disk(sim::Simulator& sim, DiskSpec spec, Rng rng);
+  Disk(const Disk&) = delete;
+  Disk& operator=(const Disk&) = delete;
+
+  /// Queue a transfer of `len` bytes at byte `offset`. Out-of-range
+  /// requests fail with invalid_argument; requests against a failed disk
+  /// fail with io_error.
+  void io(Bytes offset, Bytes len, bool write, IoCallback done);
+
+  /// Mark the disk failed: queued and future I/O completes with io_error.
+  void fail();
+  /// Replace the medium (hot-spare swap-in); the disk accepts I/O again.
+  void replace();
+  bool failed() const { return failed_; }
+
+  const DiskSpec& spec() const { return spec_; }
+  std::uint64_t completed_ios() const { return ios_; }
+  Bytes bytes_transferred() const { return bytes_; }
+  double utilization() const;
+  /// Seconds of queued service ahead of a request arriving now.
+  sim::Time queue_delay() const;
+
+ private:
+  sim::Time service_time(Bytes offset, Bytes len);
+
+  sim::Simulator& sim_;
+  DiskSpec spec_;
+  Rng rng_;
+  bool failed_ = false;
+  sim::Time busy_until_ = 0.0;
+  double busy_time_ = 0.0;
+  // Offset that would continue sequentially; starts as "nowhere" so the
+  // first access after spin-up (or replace()) pays positioning.
+  static constexpr Bytes kNowhere = ~0ULL;
+  Bytes next_sequential_ = kNowhere;
+  std::uint64_t ios_ = 0;
+  Bytes bytes_ = 0;
+};
+
+}  // namespace mgfs::storage

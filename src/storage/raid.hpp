@@ -1,0 +1,85 @@
+// RAID-5 set with rotating (left-symmetric) parity — the paper's DS4100s
+// are organized as seven 8+P sets per tray (Fig. 9).
+//
+// Logical blocks stripe across the data columns of each stripe; the
+// parity column rotates per stripe. Reads touch only the data columns
+// they cover (unless degraded, when a lost column is reconstructed by
+// reading every surviving member). Small writes pay the classic
+// read-modify-write penalty; full-stripe writes update parity for free
+// (one write per member).
+//
+// File contents are not materialized — parity is structural — but the
+// geometry (who is read/written, where, how many operations) is exact,
+// which is what the performance figures depend on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "storage/disk.hpp"
+
+namespace mgfs::storage {
+
+struct RaidConfig {
+  std::size_t data_disks = 8;     // 8+P
+  Bytes stripe_unit = 256 * KiB;  // per-member chunk
+};
+
+class RaidSet {
+ public:
+  /// `members` = data_disks + 1 drives (parity is distributed, not a
+  /// dedicated spindle). Members are referenced, not owned.
+  RaidSet(sim::Simulator& sim, std::vector<Disk*> members, RaidConfig cfg);
+
+  Bytes capacity() const { return capacity_; }
+  const RaidConfig& config() const { return cfg_; }
+  std::size_t member_count() const { return members_.size(); }
+
+  /// Logical I/O against the set's data address space.
+  void io(Bytes offset, Bytes len, bool write, IoCallback done);
+
+  /// Member index holding parity for `stripe` (left-symmetric rotation).
+  std::size_t parity_member(std::uint64_t stripe) const;
+  /// Member index holding data column `col` (0..data_disks-1) of `stripe`.
+  std::size_t data_member(std::uint64_t stripe, std::size_t col) const;
+
+  /// One physical disk operation implied by a logical request.
+  struct DiskOp {
+    std::size_t member;
+    Bytes offset;
+    Bytes len;
+    bool write;
+  };
+  /// The exact op list a request decomposes into, honoring current
+  /// failure state (reconstruction reads, degraded writes, RMW).
+  /// Empty if the set cannot serve the request (>= 2 members lost).
+  std::vector<DiskOp> plan(Bytes offset, Bytes len, bool write) const;
+
+  std::size_t failed_members() const;
+  bool degraded() const { return failed_members() == 1; }
+  bool failed() const { return failed_members() >= 2; }
+
+  /// Rebuild `member` (after Disk::replace()) by streaming reconstruct:
+  /// for each chunk, read all survivors then write the target. Interferes
+  /// with foreground I/O through the member disk queues. `on_done` fires
+  /// when the last chunk is written.
+  void rebuild(std::size_t member, sim::Callback on_done,
+               Bytes chunk = 8 * MiB);
+  bool rebuilding() const { return rebuilding_; }
+
+  Disk& member(std::size_t i) { return *members_[i]; }
+
+ private:
+  void rebuild_chunk(std::size_t member, Bytes offset, Bytes chunk,
+                     std::shared_ptr<sim::Callback> on_done);
+
+  sim::Simulator& sim_;
+  std::vector<Disk*> members_;
+  RaidConfig cfg_;
+  Bytes member_capacity_;  // usable, unit-aligned
+  Bytes capacity_;
+  bool rebuilding_ = false;
+};
+
+}  // namespace mgfs::storage

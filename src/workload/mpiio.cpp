@@ -1,0 +1,101 @@
+#include "workload/mpiio.hpp"
+
+#include <algorithm>
+
+namespace mgfs::workload {
+
+MpiIoJob::MpiIoJob(std::vector<gpfs::Client*> tasks, std::string path,
+                   gpfs::Principal who, MpiIoConfig cfg)
+    : path_(std::move(path)), who_(std::move(who)), cfg_(cfg) {
+  MGFS_ASSERT(!tasks.empty(), "MPI-IO job with no tasks");
+  MGFS_ASSERT(cfg_.block % cfg_.transfer == 0,
+              "block must be a multiple of transfer");
+  MGFS_ASSERT(cfg_.per_task % cfg_.block == 0,
+              "per_task must be a multiple of block");
+  tasks_.reserve(tasks.size());
+  for (gpfs::Client* c : tasks) {
+    Task t;
+    t.client = c;
+    tasks_.push_back(t);
+  }
+}
+
+Bytes MpiIoJob::task_offset(std::size_t task, Bytes linear) const {
+  // linear is the task-local byte position; map block-strided into the
+  // shared file: owned block k sits at file block (task + k*N).
+  const Bytes k = linear / cfg_.block;
+  const Bytes within = linear % cfg_.block;
+  return (static_cast<Bytes>(task) + k * tasks_.size()) * cfg_.block + within;
+}
+
+void MpiIoJob::fail(const Error& e) {
+  if (failed_) return;
+  failed_ = true;
+  done_(e);
+}
+
+void MpiIoJob::run(std::function<void(Result<MpiIoResult>)> done) {
+  done_ = std::move(done);
+  remaining_tasks_ = tasks_.size();
+  t0_ = tasks_.front().client->simulator().now();
+  gpfs::OpenFlags flags =
+      cfg_.write ? gpfs::OpenFlags::create_rw() : gpfs::OpenFlags::ro();
+  for (std::size_t t = 0; t < tasks_.size(); ++t) {
+    tasks_[t].client->open(path_, who_, flags, [this, t](Result<gpfs::Fh> r) {
+      if (!r.ok()) {
+        fail(r.error());
+        return;
+      }
+      tasks_[t].fh = *r;
+      pump(t);
+    });
+  }
+}
+
+void MpiIoJob::pump(std::size_t ti) {
+  if (failed_) return;
+  Task& t = tasks_[ti];
+  while (t.inflight < cfg_.queue_depth && t.issued < cfg_.per_task) {
+    const Bytes n = cfg_.transfer;
+    const Bytes off = task_offset(ti, t.issued);
+    t.issued += n;
+    ++t.inflight;
+    auto cont = [this, ti, n](Result<Bytes> r) {
+      if (!r.ok()) {
+        fail(r.error());
+        return;
+      }
+      Task& tk = tasks_[ti];
+      --tk.inflight;
+      tk.moved += n;
+      if (tk.moved == cfg_.per_task && tk.inflight == 0) {
+        task_done(ti);
+      } else {
+        pump(ti);
+      }
+    };
+    if (cfg_.write) {
+      t.client->write(t.fh, off, n, cont);
+    } else {
+      t.client->read(t.fh, off, n, cont);
+    }
+  }
+}
+
+void MpiIoJob::task_done(std::size_t ti) {
+  Task& t = tasks_[ti];
+  t.client->close(t.fh, [this](Status st) {
+    if (!st.ok()) {
+      fail(st.error());
+      return;
+    }
+    if (--remaining_tasks_ == 0 && !failed_) {
+      MpiIoResult res;
+      res.bytes = cfg_.per_task * tasks_.size();
+      res.seconds = tasks_.front().client->simulator().now() - t0_;
+      done_(res);
+    }
+  });
+}
+
+}  // namespace mgfs::workload

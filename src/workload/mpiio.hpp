@@ -1,0 +1,69 @@
+// MPI-IO style parallel I/O benchmark — the workload of the paper's
+// Fig. 11 ("MPI IO, 128 MB Block Size, 1 MB Transfer Size").
+//
+// N tasks (each a mounted client on its own node) share one file. Task
+// i owns application blocks i, i+N, i+2N, ... of `block` bytes and
+// moves each with `transfer`-sized sequential operations, keeping a
+// small number in flight (collective I/O progresses loosely in step).
+// The job reports the aggregate rate from first byte to last completion
+// (writes include fsync, as MPI_File_close would).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gpfs/client.hpp"
+
+namespace mgfs::workload {
+
+struct MpiIoConfig {
+  Bytes block = 128 * MiB;   // application block per task turn
+  Bytes transfer = 1 * MiB;  // per-operation size
+  std::size_t queue_depth = 2;
+  Bytes per_task = 512 * MiB;
+  bool write = true;
+};
+
+struct MpiIoResult {
+  Bytes bytes = 0;
+  double seconds = 0;
+  double aggregate_MBps() const {
+    return seconds > 0 ? static_cast<double>(bytes) / seconds / 1e6 : 0;
+  }
+};
+
+class MpiIoJob {
+ public:
+  MpiIoJob(std::vector<gpfs::Client*> tasks, std::string path,
+           gpfs::Principal who, MpiIoConfig cfg);
+
+  /// Run to completion. For reads the file must already exist and cover
+  /// tasks * per_task bytes.
+  void run(std::function<void(Result<MpiIoResult>)> done);
+
+ private:
+  struct Task {
+    gpfs::Client* client = nullptr;
+    gpfs::Fh fh = -1;
+    Bytes moved = 0;    // bytes completed
+    Bytes issued = 0;   // bytes issued
+    std::size_t inflight = 0;
+  };
+
+  Bytes task_offset(std::size_t task, Bytes task_linear) const;
+  void pump(std::size_t t);
+  void task_done(std::size_t t);
+  void fail(const Error& e);
+
+  std::vector<Task> tasks_;
+  std::string path_;
+  gpfs::Principal who_;
+  MpiIoConfig cfg_;
+  double t0_ = 0;
+  std::size_t remaining_tasks_ = 0;
+  bool failed_ = false;
+  std::function<void(Result<MpiIoResult>)> done_;
+};
+
+}  // namespace mgfs::workload

@@ -1,0 +1,105 @@
+// Sequential streaming workloads over a mounted GPFS client.
+//
+// These are the building blocks of every demonstration in the paper:
+// applications that pour data into the GFS (Enzo writing its dumps) or
+// drain it out as fast as the WAN allows (the visualization hosts on
+// the show floor). Both keep a configurable number of requests in
+// flight and can be throttled to an application-level rate cap.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/timeseries.hpp"
+#include "gpfs/client.hpp"
+
+namespace mgfs::workload {
+
+struct StreamConfig {
+  Bytes request = 4 * MiB;      // per-call I/O size
+  std::size_t queue_depth = 4;  // concurrent requests in flight
+  BytesPerSec rate_cap = 0;     // 0 = unthrottled (network-limited)
+  Bytes total = 0;              // writer: bytes to write (required)
+                                // reader: 0 = read to EOF
+};
+
+/// Writes `total` bytes sequentially to a (created) file, then fsyncs
+/// and closes. Progress bytes are fed to an optional RateMeter.
+class SequentialWriter {
+ public:
+  SequentialWriter(gpfs::Client* client, std::string path,
+                   gpfs::Principal who, StreamConfig cfg);
+
+  void set_meter(RateMeter* meter) { meter_ = meter; }
+  void start(std::function<void(const Status&)> done);
+  Bytes written() const { return completed_; }
+
+ private:
+  void pump();
+  void finish(const Status& st);
+
+  gpfs::Client* client_;
+  std::string path_;
+  gpfs::Principal who_;
+  StreamConfig cfg_;
+  RateMeter* meter_ = nullptr;
+  gpfs::Fh fh_ = -1;
+  Bytes issued_ = 0;
+  Bytes completed_ = 0;
+  std::size_t inflight_ = 0;
+  double t0_ = 0;
+  bool throttled_wait_ = false;
+  bool failed_ = false;
+  std::function<void(const Status&)> done_;
+};
+
+/// Reads a file sequentially. With `follow` it polls the manager for a
+/// growing size when it catches up (a viz host chasing a producer);
+/// with `reopen_on_eof` it pauses `restart_delay` seconds at the end and
+/// starts over — the behaviour behind the dip in the paper's Fig. 5.
+class SequentialReader {
+ public:
+  struct Options {
+    StreamConfig stream{};
+    bool follow = false;
+    bool reopen_on_eof = false;
+    double restart_delay = 0.0;
+    double follow_poll_interval = 1.0;
+    std::uint64_t max_passes = 0;  // 0 = unlimited (stop via stop())
+  };
+
+  SequentialReader(gpfs::Client* client, std::string path,
+                   gpfs::Principal who, Options opt);
+
+  void set_meter(RateMeter* meter) { meter_ = meter; }
+  void start(std::function<void(const Status&)> done);
+  /// Request a graceful stop at the next quiescent point.
+  void stop() { stopping_ = true; }
+
+  Bytes bytes_read() const { return completed_; }
+  std::uint64_t passes() const { return passes_; }
+
+ private:
+  void pump();
+  void on_eof();
+  void on_eof_retry();
+  void finish(const Status& st);
+
+  gpfs::Client* client_;
+  std::string path_;
+  gpfs::Principal who_;
+  Options opt_;
+  RateMeter* meter_ = nullptr;
+  gpfs::Fh fh_ = -1;
+  Bytes offset_ = 0;
+  Bytes completed_ = 0;
+  std::size_t inflight_ = 0;
+  std::uint64_t passes_ = 0;
+  double t0_ = 0;
+  bool stopping_ = false;
+  bool failed_ = false;
+  bool eof_handling_ = false;
+  std::function<void(const Status&)> done_;
+};
+
+}  // namespace mgfs::workload

@@ -1,0 +1,95 @@
+// Administrative introspection commands (mmlscluster, mmlsfs, mmdf,
+// mmlsdisk, mmauth show) — the operator-facing surface of the cluster.
+#include <gtest/gtest.h>
+
+#include "gpfs_test_util.hpp"
+
+namespace mgfs::gpfs {
+namespace {
+
+using testutil::kAlice;
+using testutil::MiniCluster;
+
+TEST(Admin, MmlsclusterListsNodesAndServices) {
+  MiniCluster mc;
+  const std::string out = mc.cluster->mmlscluster();
+  EXPECT_NE(out.find("cluster name: sdsc"), std::string::npos);
+  EXPECT_NE(out.find("cipherList:   AUTHONLY"), std::string::npos);
+  EXPECT_NE(out.find("sdsc.h0"), std::string::npos);
+  EXPECT_NE(out.find("nsd-server"), std::string::npos);
+  EXPECT_NE(out.find("key digest:"), std::string::npos);
+}
+
+TEST(Admin, MmlsclusterMarksDownNodes) {
+  MiniCluster mc;
+  mc.net.set_node_up(mc.site.hosts[0], false);
+  EXPECT_NE(mc.cluster->mmlscluster().find("DOWN"), std::string::npos);
+}
+
+TEST(Admin, MmlsfsReportsAttributes) {
+  MiniCluster mc;
+  const std::string out = mc.cluster->mmlsfs("gpfs0");
+  EXPECT_NE(out.find("Block size"), std::string::npos);
+  EXPECT_NE(out.find("1048576"), std::string::npos);  // 1 MiB
+  EXPECT_NE(out.find("/gpfs0"), std::string::npos);
+  EXPECT_EQ(mc.cluster->mmlsfs("nope"), "mmlsfs: no such file system\n");
+}
+
+TEST(Admin, MmdfTracksAllocation) {
+  MiniCluster mc;
+  Client* c = mc.mount_on(2);
+  const std::string before = mc.cluster->mmdf("gpfs0");
+  EXPECT_NE(before.find("nsd0"), std::string::npos);
+  EXPECT_NE(before.find("100.0"), std::string::npos);  // 100% free
+
+  auto fh = mc.open(c, "/big", kAlice, OpenFlags::create_rw());
+  ASSERT_TRUE(mc.write(c, *fh, 0, 64 * MiB).ok());
+  ASSERT_TRUE(mc.close(c, *fh).ok());
+  const std::string after = mc.cluster->mmdf("gpfs0");
+  EXPECT_NE(after, before);  // free space moved
+}
+
+TEST(Admin, MmlsdiskShowsServingNodesAndAvailability) {
+  MiniCluster mc;
+  std::string out = mc.cluster->mmlsdisk("gpfs0");
+  EXPECT_NE(out.find("nsd0"), std::string::npos);
+  EXPECT_NE(out.find("sdsc.h0"), std::string::npos);
+  EXPECT_NE(out.find("up"), std::string::npos);
+  EXPECT_EQ(out.find("down"), std::string::npos);
+  // Both serving nodes down -> NSD shows down.
+  mc.net.set_node_up(mc.site.hosts[0], false);
+  mc.net.set_node_up(mc.site.hosts[1], false);
+  out = mc.cluster->mmlsdisk("gpfs0");
+  EXPECT_NE(out.find("down"), std::string::npos);
+}
+
+TEST(Admin, MmauthShowListsGrants) {
+  MiniCluster mc;
+  Rng rng(9);
+  auth::KeyPair ncsa = auth::KeyPair::generate(rng);
+  mc.cluster->mmauth_add("ncsa", ncsa.pub);
+  ASSERT_TRUE(
+      mc.cluster->mmauth_grant("ncsa", "gpfs0", auth::AccessMode::read_only)
+          .ok());
+  const std::string out = mc.cluster->mmauth_show();
+  EXPECT_NE(out.find("sdsc (this cluster)"), std::string::npos);
+  EXPECT_NE(out.find("Cluster name:  ncsa"), std::string::npos);
+  EXPECT_NE(out.find("gpfs0 (ro)"), std::string::npos);
+  mc.cluster->mmauth_deny("ncsa", "gpfs0");
+  EXPECT_EQ(mc.cluster->mmauth_show().find("gpfs0 (ro)"),
+            std::string::npos);
+}
+
+TEST(Admin, GrantOnUnknownFsRejected) {
+  MiniCluster mc;
+  Rng rng(10);
+  auth::KeyPair k = auth::KeyPair::generate(rng);
+  mc.cluster->mmauth_add("x", k.pub);
+  EXPECT_EQ(
+      mc.cluster->mmauth_grant("x", "nofs", auth::AccessMode::read_only)
+          .code(),
+      Errc::not_found);
+}
+
+}  // namespace
+}  // namespace mgfs::gpfs

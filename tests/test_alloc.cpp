@@ -1,0 +1,139 @@
+#include "gpfs/alloc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace mgfs::gpfs {
+namespace {
+
+TEST(AllocationMap, CountsStartFull) {
+  AllocationMap m({100, 200, 300});
+  EXPECT_EQ(m.nsd_count(), 3u);
+  EXPECT_EQ(m.total_capacity(), 600u);
+  EXPECT_EQ(m.total_free(), 600u);
+  EXPECT_EQ(m.free_blocks(2), 300u);
+}
+
+TEST(AllocationMap, AllocateOnTracksUsage) {
+  AllocationMap m({10});
+  auto a = m.allocate_on(0);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->nsd, 0u);
+  EXPECT_TRUE(m.is_allocated(*a));
+  EXPECT_EQ(m.free_blocks(0), 9u);
+}
+
+TEST(AllocationMap, NoDoubleAllocation) {
+  AllocationMap m({64});
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 64; ++i) {
+    auto a = m.allocate_on(0);
+    ASSERT_TRUE(a.ok());
+    EXPECT_TRUE(seen.insert(a->block).second) << "block " << a->block;
+  }
+  EXPECT_EQ(m.allocate_on(0).code(), Errc::no_space);
+}
+
+TEST(AllocationMap, NonMultipleOf64Capacity) {
+  AllocationMap m({70});
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 70; ++i) {
+    auto a = m.allocate_on(0);
+    ASSERT_TRUE(a.ok()) << "i=" << i;
+    EXPECT_LT(a->block, 70u);
+    EXPECT_TRUE(seen.insert(a->block).second);
+  }
+  EXPECT_EQ(m.allocate_on(0).code(), Errc::no_space);
+}
+
+TEST(AllocationMap, FreeMakesBlockReusable) {
+  AllocationMap m({1});
+  auto a = m.allocate_on(0);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(m.allocate_on(0).code(), Errc::no_space);
+  ASSERT_TRUE(m.free_block(*a).ok());
+  EXPECT_FALSE(m.is_allocated(*a));
+  EXPECT_TRUE(m.allocate_on(0).ok());
+}
+
+TEST(AllocationMap, DoubleFreeRejected) {
+  AllocationMap m({4});
+  auto a = m.allocate_on(0);
+  ASSERT_TRUE(m.free_block(*a).ok());
+  EXPECT_EQ(m.free_block(*a).code(), Errc::invalid_argument);
+}
+
+TEST(AllocationMap, FreeBogusAddressRejected) {
+  AllocationMap m({4});
+  EXPECT_EQ(m.free_block({5, 0}).code(), Errc::invalid_argument);
+  EXPECT_EQ(m.free_block({0, 99}).code(), Errc::invalid_argument);
+}
+
+TEST(AllocationMap, StripedRoundRobin) {
+  AllocationMap m({10, 10, 10, 10});
+  auto blocks = m.allocate_striped(1, 8);
+  ASSERT_TRUE(blocks.ok());
+  ASSERT_EQ(blocks->size(), 8u);
+  // Starting at NSD 1, wrapping: 1,2,3,0,1,2,3,0.
+  const std::uint32_t expect[] = {1, 2, 3, 0, 1, 2, 3, 0};
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ((*blocks)[i].nsd, expect[i]) << "i=" << i;
+  }
+}
+
+TEST(AllocationMap, StripedFallsBackWhenPreferredFull) {
+  AllocationMap m({2, 100});
+  // Fill NSD 0.
+  ASSERT_TRUE(m.allocate_on(0).ok());
+  ASSERT_TRUE(m.allocate_on(0).ok());
+  auto blocks = m.allocate_striped(0, 4);
+  ASSERT_TRUE(blocks.ok());
+  for (const auto& b : *blocks) EXPECT_EQ(b.nsd, 1u);
+}
+
+TEST(AllocationMap, StripedAllOrNothing) {
+  AllocationMap m({2, 2});
+  auto blocks = m.allocate_striped(0, 5);  // only 4 available
+  ASSERT_FALSE(blocks.ok());
+  EXPECT_EQ(blocks.code(), Errc::no_space);
+  EXPECT_EQ(m.total_free(), 4u);  // nothing leaked
+}
+
+TEST(AllocationMap, RotorKeepsAllocationsMostlySequential) {
+  AllocationMap m({1000});
+  auto a = m.allocate_on(0);
+  auto b = m.allocate_on(0);
+  auto c = m.allocate_on(0);
+  EXPECT_EQ(b->block, a->block + 1);
+  EXPECT_EQ(c->block, b->block + 1);
+}
+
+class AllocStress : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AllocStress, AllocFreeChurnPreservesInvariants) {
+  const std::uint64_t cap = GetParam();
+  AllocationMap m({cap, cap});
+  std::vector<BlockAddr> live;
+  Rng rng(cap);
+  for (int round = 0; round < 2000; ++round) {
+    if (live.empty() || (rng.chance(0.6) && m.total_free() > 0)) {
+      auto a = m.allocate_on(static_cast<std::uint32_t>(rng.below(2)));
+      if (a.ok()) live.push_back(*a);
+    } else {
+      const std::size_t i = rng.below(live.size());
+      ASSERT_TRUE(m.free_block(live[i]).ok());
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    ASSERT_EQ(m.total_free(), 2 * cap - live.size());
+  }
+  for (const auto& b : live) EXPECT_TRUE(m.is_allocated(b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, AllocStress,
+                         ::testing::Values(17, 64, 65, 130, 1024));
+
+}  // namespace
+}  // namespace mgfs::gpfs

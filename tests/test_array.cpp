@@ -1,0 +1,105 @@
+#include "storage/array.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mgfs::storage {
+namespace {
+
+struct ArrayFixture : ::testing::Test {
+  sim::Simulator sim;
+};
+
+TEST_F(ArrayFixture, Ds4100Shape) {
+  StorageArray a(sim, ArraySpec::ds4100(), Rng(1));
+  EXPECT_EQ(a.lun_count(), 7u);
+  EXPECT_EQ(a.spares_available(), 4u);
+  // 7 sets x 8 data x ~250 GB ≈ 14 TB usable per tray.
+  EXPECT_NEAR(static_cast<double>(a.total_capacity()), 14e12, 0.1e12);
+}
+
+TEST_F(ArrayFixture, LunIoRoundTrips) {
+  StorageArray a(sim, ArraySpec::ds4100(), Rng(2));
+  Status got(Errc::io_error, "unset");
+  a.lun(0).io(0, 1 * MiB, true, [&](const Status& st) { got = st; });
+  sim.run();
+  EXPECT_TRUE(got.ok()) << got.to_string();
+}
+
+TEST_F(ArrayFixture, ControllerCapsLunThroughput) {
+  // The paper: "200 MB/s per controller". Stream 200 MB through one LUN;
+  // it cannot finish faster than 1 s even though 8 spindles could.
+  StorageArray a(sim, ArraySpec::ds4100(), Rng(3));
+  const Bytes total = 200 * MB;
+  const Bytes chunk = 4 * MiB;
+  int outstanding = 0;
+  double last = 0;
+  for (Bytes off = 0; off + chunk <= total; off += chunk) {
+    ++outstanding;
+    a.lun(0).io(off, chunk, false, [&](const Status& st) {
+      ASSERT_TRUE(st.ok());
+      if (--outstanding == 0) last = sim.now();
+    });
+  }
+  sim.run();
+  EXPECT_GT(last, 0.95);
+}
+
+TEST_F(ArrayFixture, LunsAlternateControllers) {
+  StorageArray a(sim, ArraySpec::ds4100(), Rng(4));
+  // Drive LUN 0 and LUN 1 concurrently: they sit on different
+  // controllers, so combined they beat a single controller's 200 MB/s.
+  const Bytes per_lun = 100 * MB;
+  const Bytes chunk = 4 * MiB;
+  int outstanding = 0;
+  double last = 0;
+  for (std::size_t lun : {0u, 1u}) {
+    for (Bytes off = 0; off + chunk <= per_lun; off += chunk) {
+      ++outstanding;
+      a.lun(lun).io(off, chunk, false, [&](const Status& st) {
+        ASSERT_TRUE(st.ok());
+        if (--outstanding == 0) last = sim.now();
+      });
+    }
+  }
+  sim.run();
+  const double rate = 2.0 * static_cast<double>(per_lun) / last;
+  EXPECT_GT(rate, 250e6);  // clearly more than one controller's worth
+}
+
+TEST_F(ArrayFixture, SpareSwapRebuildsDegradedSet) {
+  ArraySpec spec = ArraySpec::ds4100();
+  spec.disk.capacity = 4 * GB;  // shrink so the rebuild completes quickly
+  StorageArray a(sim, spec, Rng(5));
+  a.fail_disk(0, 2);
+  EXPECT_TRUE(a.raid_set(0).degraded());
+  bool rebuilt = false;
+  ASSERT_TRUE(a.spare_swap(0, 2, [&] { rebuilt = true; }));
+  EXPECT_EQ(a.spares_available(), 3u);
+  sim.run();
+  EXPECT_TRUE(rebuilt);
+  EXPECT_FALSE(a.raid_set(0).degraded());
+}
+
+TEST_F(ArrayFixture, SpareSwapRefusedWhenExhausted) {
+  ArraySpec spec = ArraySpec::ds4100();
+  spec.spares = 0;
+  StorageArray a(sim, spec, Rng(6));
+  a.fail_disk(0, 0);
+  EXPECT_FALSE(a.spare_swap(0, 0, [] {}));
+}
+
+TEST_F(ArrayFixture, SpareSwapRefusedOnHealthySlot) {
+  StorageArray a(sim, ArraySpec::ds4100(), Rng(7));
+  EXPECT_FALSE(a.spare_swap(0, 0, [] {}));
+  EXPECT_EQ(a.spares_available(), 4u);
+}
+
+TEST_F(ArrayFixture, FastT600Shape) {
+  StorageArray a(sim, ArraySpec::fastt600(), Rng(8));
+  EXPECT_EQ(a.lun_count(), 4u);
+  EXPECT_EQ(a.spec().raid.data_disks, 4u);
+  EXPECT_EQ(a.spec().disk.model, "fc-73");
+}
+
+}  // namespace
+}  // namespace mgfs::storage

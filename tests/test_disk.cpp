@@ -1,0 +1,118 @@
+#include "storage/disk.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mgfs::storage {
+namespace {
+
+struct DiskFixture : ::testing::Test {
+  sim::Simulator sim;
+};
+
+TEST_F(DiskFixture, SequentialReadHitsStreamRate) {
+  Disk d(sim, DiskSpec::sata_250(), Rng(1));
+  // 64 MiB in 1 MiB sequential chunks: one initial seek, then streaming.
+  const Bytes chunk = 1 * MiB;
+  int done = 0;
+  double last = 0;
+  for (Bytes off = 0; off < 64 * MiB; off += chunk) {
+    d.io(off, chunk, false, [&](const Status& st) {
+      ASSERT_TRUE(st.ok());
+      ++done;
+      last = sim.now();
+    });
+  }
+  sim.run();
+  EXPECT_EQ(done, 64);
+  const double rate = 64.0 * MiB / last;
+  EXPECT_GT(rate, 0.9 * 60e6);
+  EXPECT_LT(rate, 1.05 * 60e6);
+}
+
+TEST_F(DiskFixture, RandomIoPaysSeek) {
+  Disk d(sim, DiskSpec::sata_250(), Rng(2));
+  double t_done = 0;
+  d.io(0, 4096, false, [&](const Status&) { t_done = sim.now(); });
+  sim.run();
+  // Positioning dominates a 4 KiB random read: at least a few ms.
+  EXPECT_GT(t_done, 4e-3);
+}
+
+TEST_F(DiskFixture, SequentialContinuationSkipsSeek) {
+  Disk d(sim, DiskSpec::sata_250(), Rng(3));
+  double first = 0, second = 0;
+  d.io(0, 1 * MiB, false, [&](const Status&) { first = sim.now(); });
+  d.io(1 * MiB, 1 * MiB, false, [&](const Status&) { second = sim.now(); });
+  sim.run();
+  const double xfer = static_cast<double>(1 * MiB) / 60e6;
+  EXPECT_GT(first, xfer);                    // paid positioning
+  EXPECT_NEAR(second - first, xfer, 1e-6);   // did not
+}
+
+TEST_F(DiskFixture, OutOfRangeRejected) {
+  Disk d(sim, DiskSpec::sata_250(), Rng(4));
+  Status got;
+  d.io(d.spec().capacity - 100, 200, false,
+       [&](const Status& st) { got = st; });
+  sim.run();
+  EXPECT_EQ(got.code(), Errc::invalid_argument);
+}
+
+TEST_F(DiskFixture, ZeroLengthRejected) {
+  Disk d(sim, DiskSpec::sata_250(), Rng(5));
+  Status got;
+  d.io(0, 0, false, [&](const Status& st) { got = st; });
+  sim.run();
+  EXPECT_EQ(got.code(), Errc::invalid_argument);
+}
+
+TEST_F(DiskFixture, FailedDiskErrorsNewIo) {
+  Disk d(sim, DiskSpec::sata_250(), Rng(6));
+  d.fail();
+  Status got;
+  d.io(0, 4096, false, [&](const Status& st) { got = st; });
+  sim.run();
+  EXPECT_EQ(got.code(), Errc::io_error);
+  EXPECT_TRUE(d.failed());
+}
+
+TEST_F(DiskFixture, FailureAlsoPoisonsQueuedIo) {
+  Disk d(sim, DiskSpec::sata_250(), Rng(7));
+  Status got;
+  d.io(0, 32 * MiB, false, [&](const Status& st) { got = st; });
+  sim.after(1e-4, [&] { d.fail(); });
+  sim.run();
+  EXPECT_EQ(got.code(), Errc::io_error);
+}
+
+TEST_F(DiskFixture, ReplaceRestoresService) {
+  Disk d(sim, DiskSpec::sata_250(), Rng(8));
+  d.fail();
+  d.replace();
+  Status got(Errc::io_error, "unset");
+  d.io(0, 4096, true, [&](const Status& st) { got = st; });
+  sim.run();
+  EXPECT_TRUE(got.ok());
+  EXPECT_FALSE(d.failed());
+}
+
+TEST_F(DiskFixture, StatsAccumulate) {
+  Disk d(sim, DiskSpec::fc_73(), Rng(9));
+  d.io(0, 1 * MiB, false, [](const Status&) {});
+  d.io(1 * MiB, 1 * MiB, true, [](const Status&) {});
+  sim.run();
+  EXPECT_EQ(d.completed_ios(), 2u);
+  EXPECT_EQ(d.bytes_transferred(), 2 * MiB);
+  EXPECT_GT(d.utilization(), 0.0);
+}
+
+TEST_F(DiskFixture, SpecFamiliesDiffer) {
+  const auto sata = DiskSpec::sata_250();
+  const auto fc = DiskSpec::fc_73();
+  EXPECT_GT(sata.capacity, fc.capacity);
+  EXPECT_LT(sata.stream_rate, fc.stream_rate);
+  EXPECT_GT(sata.avg_seek_s, fc.avg_seek_s);
+}
+
+}  // namespace
+}  // namespace mgfs::storage

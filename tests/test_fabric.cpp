@@ -1,0 +1,158 @@
+// FC fabric zoning and third-party GridFTP transfers.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <sstream>
+
+#include "gpfs_test_util.hpp"
+#include "gridftp/gridftp.hpp"
+#include "net/presets.hpp"
+#include "san/fabric.hpp"
+
+namespace mgfs {
+namespace {
+
+struct FabricFixture : ::testing::Test {
+  sim::Simulator sim;
+  storage::RateDevice devA{sim, 1 * TiB, 2e9, 0.5e-3, "devA"};
+  storage::RateDevice devB{sim, 1 * TiB, 2e9, 0.5e-3, "devB"};
+  san::FcSwitch sw{sim};
+  san::PortId host = sw.attach_initiator("10:00:00:00:c9:aa:bb:01");
+  san::PortId lunA = sw.attach_target(&devA, "50:05:07:68:01:00:00:01");
+  san::PortId lunB = sw.attach_target(&devB, "50:05:07:68:01:00:00:02");
+};
+
+TEST_F(FabricFixture, ZonedIoSucceeds) {
+  ASSERT_TRUE(sw.zone(host, lunA).ok());
+  Status got(Errc::io_error, "unset");
+  sw.io(host, lunA, 0, 4 * MiB, false, [&](const Status& st) { got = st; });
+  sim.run();
+  EXPECT_TRUE(got.ok()) << got.to_string();
+  EXPECT_EQ(sw.port_bytes(host), 4 * MiB);
+  EXPECT_EQ(sw.port_bytes(lunA), 4 * MiB);
+}
+
+TEST_F(FabricFixture, UnzonedIoRefused) {
+  ASSERT_TRUE(sw.zone(host, lunA).ok());
+  Status got;
+  sw.io(host, lunB, 0, 1 * MiB, false, [&](const Status& st) { got = st; });
+  sim.run();
+  EXPECT_EQ(got.code(), Errc::not_authorized);
+  EXPECT_EQ(sw.port_bytes(lunB), 0u);
+}
+
+TEST_F(FabricFixture, UnzoneRevokesAccess) {
+  ASSERT_TRUE(sw.zone(host, lunA).ok());
+  sw.unzone(host, lunA);
+  EXPECT_FALSE(sw.zoned(host, lunA));
+  Status got;
+  sw.io(host, lunA, 0, 1 * MiB, true, [&](const Status& st) { got = st; });
+  sim.run();
+  EXPECT_EQ(got.code(), Errc::not_authorized);
+}
+
+TEST_F(FabricFixture, ZoneValidatesRoles) {
+  EXPECT_EQ(sw.zone(lunA, lunB).code(), Errc::invalid_argument);
+  EXPECT_EQ(sw.zone(host, host).code(), Errc::invalid_argument);
+}
+
+TEST_F(FabricFixture, PortSerializationCapsThroughput) {
+  ASSERT_TRUE(sw.zone(host, lunA).ok());
+  ASSERT_TRUE(sw.zone(host, lunB).ok());
+  // One host port feeding from two targets: the initiator port (200
+  // MB/s) is the bottleneck.
+  const Bytes per = 200 * MB;
+  int remaining = 2;
+  double last = 0;
+  for (san::PortId t : {lunA, lunB}) {
+    for (Bytes off = 0; off < per; off += 8 * MiB) {
+      ++remaining;
+      sw.io(host, t, off, 8 * MiB, false, [&](const Status& st) {
+        ASSERT_TRUE(st.ok());
+        --remaining;
+        last = sim.now();
+      });
+    }
+    --remaining;
+  }
+  sim.run();
+  const double rate = 2.0 * per / last;
+  EXPECT_LT(rate, 210e6);
+  EXPECT_GT(rate, 180e6);
+}
+
+TEST_F(FabricFixture, WriteCrossesBothPorts) {
+  ASSERT_TRUE(sw.zone(host, lunA).ok());
+  Status got(Errc::io_error, "unset");
+  sw.io(host, lunA, 0, 2 * MiB, true, [&](const Status& st) { got = st; });
+  sim.run();
+  EXPECT_TRUE(got.ok());
+  EXPECT_EQ(sw.port_bytes(host), 2 * MiB);
+  EXPECT_EQ(sw.port_bytes(lunA), 2 * MiB);
+}
+
+TEST(ThirdParty, ServerToServerTransfer) {
+  // SDSC and PSC replicate archives directly; the orchestrating client
+  // sits at a third site and never carries the data.
+  sim::Simulator sim;
+  net::Network net(sim);
+  net::TeraGrid tg = net::make_teragrid_2004(net);
+  storage::RateDevice sdsc_dev(sim, 1 * TiB, 2e9);
+  storage::RateDevice psc_dev(sim, 1 * TiB, 2e9);
+  gridftp::FileStore sdsc_store(sdsc_dev);
+  gridftp::FileStore psc_store(psc_dev);
+  gridftp::GridFtpServer sdsc_srv(net, tg.sdsc.hosts[0], sdsc_store);
+  gridftp::GridFtpServer psc_srv(net, tg.psc.hosts[0], psc_store);
+  ASSERT_TRUE(sdsc_store.add("/archive.tar", 256 * MiB).ok());
+
+  gridftp::GridFtpClient controller(net, tg.ncsa.hosts[0]);
+  std::optional<Result<gridftp::TransferStats>> out;
+  controller.transfer(sdsc_srv, psc_srv, "/archive.tar",
+                      [&](Result<gridftp::TransferStats> r) {
+                        out = std::move(r);
+                      });
+  sim.run();
+  ASSERT_TRUE(out.has_value() && out->ok())
+      << (out.has_value() ? out->error().to_string() : "hang");
+  EXPECT_EQ((*out)->bytes, 256 * MiB);
+  EXPECT_TRUE(psc_store.contains("/archive.tar"));
+  // Data flowed SDSC -> PSC, not through the controller at NCSA.
+  EXPECT_GE(net.pipe(tg.psc.sw, tg.psc.hosts[0])->bytes_moved(), 256 * MiB);
+  EXPECT_LT(net.pipe(tg.ncsa.sw, tg.ncsa.hosts[0])->bytes_moved(), 1 * MiB);
+}
+
+TEST(ThirdParty, DuplicateDestinationRefused) {
+  sim::Simulator sim;
+  net::Network net(sim);
+  net::TeraGrid tg = net::make_teragrid_2004(net);
+  storage::RateDevice d1(sim, 1 * TiB, 2e9), d2(sim, 1 * TiB, 2e9);
+  gridftp::FileStore s1(d1), s2(d2);
+  gridftp::GridFtpServer srv1(net, tg.sdsc.hosts[0], s1);
+  gridftp::GridFtpServer srv2(net, tg.psc.hosts[0], s2);
+  ASSERT_TRUE(s1.add("/a", 1 * MiB).ok());
+  ASSERT_TRUE(s2.add("/a", 1 * MiB).ok());  // already there
+  gridftp::GridFtpClient c(net, tg.ncsa.hosts[0]);
+  std::optional<Result<gridftp::TransferStats>> out;
+  c.transfer(srv1, srv2, "/a",
+             [&](Result<gridftp::TransferStats> r) { out = std::move(r); });
+  sim.run();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->code(), Errc::exists);
+}
+
+TEST(Mmpmon, ReportsCounters) {
+  gpfs::testutil::MiniCluster mc;
+  gpfs::Client* c = mc.mount_on(2);
+  auto fh = mc.open(c, "/f", gpfs::testutil::kAlice,
+                    gpfs::OpenFlags::create_rw());
+  ASSERT_TRUE(mc.write(c, *fh, 0, 4 * MiB).ok());
+  ASSERT_TRUE(mc.fsync(c, *fh).ok());
+  const std::string out = c->mmpmon();
+  EXPECT_NE(out.find("_bw_ 4194304"), std::string::npos) << out;
+  EXPECT_NE(out.find("_dir_ 1"), std::string::npos);
+  EXPECT_NE(out.find("_cd_ 0"), std::string::npos);
+  EXPECT_NE(out.find("_fo_ 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mgfs

@@ -1,0 +1,219 @@
+// Failure injection across the stack: manager loss, link flaps, RAID
+// degradation under file-system load, spare swap during traffic, and
+// write-path failover. These are the events a production GFS (paper §5)
+// must absorb; the paper's NSD primary/backup design and RAID-5 sets
+// exist exactly for them.
+#include <gtest/gtest.h>
+
+#include "gpfs_test_util.hpp"
+#include "storage/array.hpp"
+
+namespace mgfs::gpfs {
+namespace {
+
+using testutil::kAlice;
+using testutil::MiniCluster;
+
+TEST(Failures, ManagerDownFailsMetadataNotCache) {
+  MiniCluster mc;
+  Client* c = mc.mount_on(2);
+  auto fh = mc.open(c, "/f", kAlice, OpenFlags::create_rw());
+  ASSERT_TRUE(mc.write(c, *fh, 0, 4 * MiB).ok());
+  ASSERT_TRUE(mc.fsync(c, *fh).ok());
+  // Kill the manager (hosts[1]).
+  mc.net.set_node_up(mc.site.hosts[1], false);
+  // Metadata op fails fast with unavailable.
+  auto st = mc.stat(c, "/f");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), Errc::unavailable);
+  // Cached reads still work: token + pages + block map are client-side.
+  auto r = mc.read(c, *fh, 0, 4 * MiB);
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  EXPECT_EQ(*r, 4 * MiB);
+}
+
+TEST(Failures, ManagerRecoveryRestoresService) {
+  MiniCluster mc;
+  Client* c = mc.mount_on(2);
+  mc.net.set_node_up(mc.site.hosts[1], false);
+  ASSERT_FALSE(mc.stat(c, "/").ok());
+  mc.net.set_node_up(mc.site.hosts[1], true);
+  EXPECT_TRUE(mc.stat(c, "/").ok());
+}
+
+TEST(Failures, WritePathFailsOverToBackupServer) {
+  MiniCluster mc;
+  Client* c = mc.mount_on(2);
+  auto fh = mc.open(c, "/f", kAlice, OpenFlags::create_rw());
+  ASSERT_TRUE(fh.ok());
+  // Primary server for NSDs 0 and 2 dies before any data lands.
+  mc.net.set_node_up(mc.site.hosts[0], false);
+  ASSERT_TRUE(mc.write(c, *fh, 0, 8 * MiB).ok());
+  ASSERT_TRUE(mc.fsync(c, *fh).ok());
+  EXPECT_GT(c->nsd_failovers(), 0u);
+  EXPECT_EQ(c->pool().dirty_bytes(), 0u);
+}
+
+TEST(Failures, LinkFlapHealsTransparently) {
+  MiniCluster mc;
+  Client* c = mc.mount_on(2);
+  auto fh = mc.open(c, "/f", kAlice, OpenFlags::create_rw());
+  ASSERT_TRUE(fh.ok());
+  std::optional<Result<Bytes>> w;
+  c->write(*fh, 0, 32 * MiB, [&](Result<Bytes> r) { w = std::move(r); });
+  // Flap the client's own link mid-transfer: writes retry until it heals
+  // (the backup server is on the same broken path, so only healing
+  // makes progress).
+  mc.sim.after(0.05, [&] {
+    mc.net.set_link_up(mc.site.hosts[2], mc.site.sw, false);
+  });
+  mc.sim.after(0.60, [&] {
+    mc.net.set_link_up(mc.site.hosts[2], mc.site.sw, true);
+  });
+  mc.sim.run();
+  ASSERT_TRUE(w.has_value());
+  ASSERT_TRUE(w->ok()) << w->error().to_string();
+  ASSERT_TRUE(mc.fsync(c, *fh).ok());
+  EXPECT_EQ(mc.fs->ns().stat("/f")->size, 32 * MiB);
+}
+
+TEST(Failures, RaidDegradedModeInvisibleToFs) {
+  // Back the FS with a real DS4100; fail one spindle mid-run.
+  sim::Simulator sim;
+  net::Network net(sim);
+  net::Site site = net::add_site(net, "s", 4, gbps(1.0));
+  ClusterConfig cfg;
+  cfg.name = "s";
+  Cluster cluster(sim, net, cfg, Rng(1));
+  for (net::NodeId h : site.hosts) cluster.add_node(h);
+  cluster.add_nsd_server(site.hosts[0]);
+  storage::StorageArray arr(sim, storage::ArraySpec::ds4100(), Rng(2));
+  auto nsd = cluster.create_nsd("n0", &arr.lun(0), site.hosts[0]);
+  FileSystem& fs =
+      cluster.create_filesystem("fs", {nsd}, 1 * MiB, site.hosts[1]);
+  (void)fs;
+  auto c = cluster.mount("fs", site.hosts[2]);
+  ASSERT_TRUE(c.ok());
+
+  std::optional<Result<Fh>> fh;
+  (*c)->open("/f", kAlice, OpenFlags::create_rw(),
+             [&](Result<Fh> r) { fh = std::move(r); });
+  sim.run();
+  ASSERT_TRUE(fh.has_value() && fh->ok());
+  std::optional<Result<Bytes>> w;
+  (*c)->write(**fh, 0, 16 * MiB, [&](Result<Bytes> r) { w = std::move(r); });
+  sim.after(1e-3, [&] { arr.fail_disk(0, 3); });
+  sim.run();
+  ASSERT_TRUE(w.has_value() && w->ok()) << "degraded write failed";
+  EXPECT_TRUE(arr.raid_set(0).degraded());
+
+  // Reads reconstruct transparently.
+  std::optional<Result<Bytes>> r;
+  (*c)->read(**fh, 0, 16 * MiB, [&](Result<Bytes> res) { r = std::move(res); });
+  sim.run();
+  ASSERT_TRUE(r.has_value() && r->ok());
+
+  // Spare swap + rebuild while the client keeps reading.
+  bool rebuilt = false;
+  ASSERT_TRUE(arr.spare_swap(0, 3, [&] { rebuilt = true; }));
+  std::optional<Result<Bytes>> r2;
+  (*c)->read(**fh, 0, 16 * MiB, [&](Result<Bytes> res) { r2 = std::move(res); });
+  sim.run();
+  EXPECT_TRUE(rebuilt);
+  EXPECT_FALSE(arr.raid_set(0).degraded());
+  ASSERT_TRUE(r2.has_value() && r2->ok());
+}
+
+TEST(Failures, DoubleDiskFailureSurfacesIoError) {
+  sim::Simulator sim;
+  net::Network net(sim);
+  net::Site site = net::add_site(net, "s", 4, gbps(1.0));
+  ClusterConfig cfg;
+  cfg.name = "s";
+  Cluster cluster(sim, net, cfg, Rng(1));
+  for (net::NodeId h : site.hosts) cluster.add_node(h);
+  cluster.add_nsd_server(site.hosts[0]);
+  storage::StorageArray arr(sim, storage::ArraySpec::ds4100(), Rng(2));
+  auto nsd = cluster.create_nsd("n0", &arr.lun(0), site.hosts[0]);
+  cluster.create_filesystem("fs", {nsd}, 1 * MiB, site.hosts[1]);
+  auto c = cluster.mount("fs", site.hosts[2]);
+  ASSERT_TRUE(c.ok());
+  std::optional<Result<Fh>> fh;
+  (*c)->open("/f", kAlice, OpenFlags::create_rw(),
+             [&](Result<Fh> r) { fh = std::move(r); });
+  sim.run();
+  std::optional<Result<Bytes>> w;
+  (*c)->write(**fh, 0, 4 * MiB, [&](Result<Bytes> r) { w = std::move(r); });
+  sim.run();
+  ASSERT_TRUE(w.has_value() && w->ok());
+  std::optional<Status> fsynced;
+  (*c)->fsync(**fh, [&](Status st) { fsynced = st; });
+  sim.run();
+  ASSERT_TRUE(fsynced.has_value() && fsynced->ok());
+
+  arr.fail_disk(0, 1);
+  arr.fail_disk(0, 5);
+  ASSERT_TRUE(arr.raid_set(0).failed());
+  // Cold client (no cache) must see the loss.
+  auto c2 = cluster.mount("fs", site.hosts[3]);
+  ASSERT_TRUE(c2.ok());
+  std::optional<Result<Fh>> fh2;
+  (*c2)->open("/f", kAlice, OpenFlags::ro(),
+              [&](Result<Fh> r) { fh2 = std::move(r); });
+  sim.run();
+  ASSERT_TRUE(fh2.has_value() && fh2->ok());
+  std::optional<Result<Bytes>> r;
+  (*c2)->read(**fh2, 0, 4 * MiB, [&](Result<Bytes> res) { r = std::move(res); });
+  sim.run();
+  ASSERT_TRUE(r.has_value());
+  ASSERT_FALSE(r->ok());
+  EXPECT_EQ(r->code(), Errc::io_error);
+}
+
+TEST(Failures, RemoteMountSurvivesBackboneFlapOnRetry) {
+  // A remote mount attempt during a backbone outage fails cleanly; the
+  // retry after healing succeeds.
+  sim::Simulator sim;
+  net::Network net(sim);
+  net::TeraGrid tg = net::make_teragrid_2004(net);
+  ClusterConfig scfg;
+  scfg.name = "sdsc";
+  Cluster sdsc(sim, net, scfg, Rng(1));
+  for (net::NodeId h : tg.sdsc.hosts) sdsc.add_node(h);
+  sdsc.add_nsd_server(tg.sdsc.hosts[0]);
+  storage::RateDevice dev(sim, 1 * TiB, 300e6);
+  auto nsd = sdsc.create_nsd("n0", &dev, tg.sdsc.hosts[0]);
+  sdsc.create_filesystem("fs", {nsd}, 1 * MiB, tg.sdsc.hosts[1]);
+
+  ClusterConfig ncfg;
+  ncfg.name = "ncsa";
+  Cluster ncsa(sim, net, ncfg, Rng(2));
+  for (net::NodeId h : tg.ncsa.hosts) ncsa.add_node(h);
+  sdsc.mmauth_add("ncsa", ncsa.public_key());
+  ASSERT_TRUE(
+      sdsc.mmauth_grant("ncsa", "fs", auth::AccessMode::read_only).ok());
+  ASSERT_TRUE(ncsa.mmremotecluster_add("sdsc", sdsc.public_key(), &sdsc,
+                                       tg.sdsc.hosts[1])
+                  .ok());
+  ASSERT_TRUE(ncsa.mmremotefs_add("/fs", "sdsc", "fs").ok());
+
+  net.set_link_up(tg.la, tg.chi, false);
+  std::optional<Result<Client*>> m1;
+  ncsa.mount_remote("/fs", tg.ncsa.hosts[0],
+                    [&](Result<Client*> r) { m1 = std::move(r); });
+  sim.run();
+  ASSERT_TRUE(m1.has_value());
+  ASSERT_FALSE(m1->ok());
+  EXPECT_EQ(m1->code(), Errc::unavailable);
+
+  net.set_link_up(tg.la, tg.chi, true);
+  std::optional<Result<Client*>> m2;
+  ncsa.mount_remote("/fs", tg.ncsa.hosts[0],
+                    [&](Result<Client*> r) { m2 = std::move(r); });
+  sim.run();
+  ASSERT_TRUE(m2.has_value());
+  ASSERT_TRUE(m2->ok()) << m2->error().to_string();
+}
+
+}  // namespace
+}  // namespace mgfs::gpfs

@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include "gpfs_test_util.hpp"
+
+namespace mgfs::gpfs {
+namespace {
+
+using testutil::kAlice;
+using testutil::kBob;
+using testutil::MiniCluster;
+
+TEST(GpfsClient, CreateWriteFsyncStat) {
+  MiniCluster mc;
+  Client* c = mc.mount_on(2);
+  auto fh = mc.open(c, "/data.bin", kAlice, OpenFlags::create_rw());
+  ASSERT_TRUE(fh.ok()) << fh.error().to_string();
+  auto w = mc.write(c, *fh, 0, 10 * MiB);
+  ASSERT_TRUE(w.ok()) << w.error().to_string();
+  EXPECT_EQ(*w, 10 * MiB);
+  ASSERT_TRUE(mc.fsync(c, *fh).ok());
+  auto st = mc.stat(c, "/data.bin");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, 10 * MiB);
+  EXPECT_EQ(st->owner_dn, "/CN=alice");
+  // All dirty data reached the NSDs.
+  EXPECT_EQ(c->pool().dirty_bytes(), 0u);
+  EXPECT_EQ(c->bytes_written_remote(), 10 * MiB);
+}
+
+TEST(GpfsClient, ReadBackHitsCacheSecondTime) {
+  MiniCluster mc;
+  Client* c = mc.mount_on(2);
+  auto fh = mc.open(c, "/f", kAlice, OpenFlags::create_rw());
+  ASSERT_TRUE(mc.write(c, *fh, 0, 4 * MiB).ok());
+  ASSERT_TRUE(mc.fsync(c, *fh).ok());
+  // First read: pages are still cached from the write.
+  const Bytes before = c->bytes_read_remote();
+  auto r = mc.read(c, *fh, 0, 4 * MiB);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 4 * MiB);
+  EXPECT_EQ(c->bytes_read_remote(), before);  // pure cache hits
+}
+
+TEST(GpfsClient, SecondClientReadsWhatFirstWrote) {
+  MiniCluster mc;
+  Client* a = mc.mount_on(2);
+  Client* b = mc.mount_on(3);
+  auto fa = mc.open(a, "/shared", kAlice, OpenFlags::create_rw());
+  ASSERT_TRUE(mc.write(a, *fa, 0, 8 * MiB).ok());
+  ASSERT_TRUE(mc.fsync(a, *fa).ok());
+
+  auto fb = mc.open(b, "/shared", kBob, OpenFlags::ro());
+  ASSERT_TRUE(fb.ok()) << fb.error().to_string();
+  auto r = mc.read(b, *fb, 0, 8 * MiB);
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  EXPECT_EQ(*r, 8 * MiB);
+  EXPECT_EQ(b->bytes_read_remote(), 8 * MiB);
+  // B's read conflicted with A's whole-file rw token -> revocation.
+  EXPECT_GT(mc.fs->revocations(), 0u);
+}
+
+TEST(GpfsClient, RevokeFlushesWritersDirtyPages) {
+  MiniCluster mc;
+  Client* a = mc.mount_on(2);
+  Client* b = mc.mount_on(3);
+  auto fa = mc.open(a, "/f", kAlice, OpenFlags::create_rw());
+  ASSERT_TRUE(mc.write(a, *fa, 0, 4 * MiB).ok());
+  // No fsync: A holds dirty pages under an rw token.
+  auto fb = mc.open(b, "/f", kBob, OpenFlags::ro());
+  ASSERT_TRUE(fb.ok());
+  // Note: A's in-flight write-behind may still be running; the revoke
+  // must wait for dirty data to land before B reads.
+  auto r = mc.read(b, *fb, 0, mc.fs->ns().stat("/f")->size);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(a->pool().dirty_bytes(), 0u);
+}
+
+TEST(GpfsClient, EofSemantics) {
+  MiniCluster mc;
+  Client* c = mc.mount_on(2);
+  auto fh = mc.open(c, "/f", kAlice, OpenFlags::create_rw());
+  ASSERT_TRUE(mc.write(c, *fh, 0, 1000).ok());
+  auto r = mc.read(c, *fh, 0, 5000);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 1000u);  // clamped at EOF
+  auto r2 = mc.read(c, *fh, 5000, 100);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r2, 0u);  // past EOF
+}
+
+TEST(GpfsClient, HoleReadCostsNoNetwork) {
+  MiniCluster mc;
+  Client* c = mc.mount_on(2);
+  auto fh = mc.open(c, "/sparse", kAlice, OpenFlags::create_rw());
+  // Write 1 MiB at a 64 MiB offset: blocks 0..63 are holes.
+  ASSERT_TRUE(mc.write(c, *fh, 64 * MiB, 1 * MiB).ok());
+  ASSERT_TRUE(mc.fsync(c, *fh).ok());
+  const Bytes before = c->bytes_read_remote();
+  auto r = mc.read(c, *fh, 0, 16 * MiB);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 16 * MiB);
+  EXPECT_EQ(c->bytes_read_remote(), before);  // holes are free
+}
+
+TEST(GpfsClient, StripingSpreadsBlocksAcrossNsds) {
+  MiniCluster mc(6, 4);
+  Client* c = mc.mount_on(2);
+  auto fh = mc.open(c, "/big", kAlice, OpenFlags::create_rw());
+  ASSERT_TRUE(mc.write(c, *fh, 0, 32 * MiB).ok());
+  ASSERT_TRUE(mc.fsync(c, *fh).ok());
+  const Inode* ino = mc.fs->ns().inode(*mc.fs->ns().resolve("/big"));
+  ASSERT_NE(ino, nullptr);
+  std::vector<int> per_nsd(4, 0);
+  for (const auto& b : ino->blocks) {
+    ASSERT_TRUE(b.has_value());
+    ++per_nsd[b->nsd];
+  }
+  for (int n : per_nsd) EXPECT_EQ(n, 8);  // 32 blocks over 4 NSDs
+}
+
+TEST(GpfsClient, UnlinkReturnsSpace) {
+  MiniCluster mc;
+  Client* c = mc.mount_on(2);
+  const std::uint64_t free0 = mc.fs->alloc().total_free();
+  auto fh = mc.open(c, "/tmp", kAlice, OpenFlags::create_rw());
+  ASSERT_TRUE(mc.write(c, *fh, 0, 8 * MiB).ok());
+  ASSERT_TRUE(mc.close(c, *fh).ok());
+  EXPECT_EQ(mc.fs->alloc().total_free(), free0 - 8);
+  std::optional<Status> st;
+  c->unlink("/tmp", kAlice, [&](Status s) { st = s; });
+  mc.sim.run();
+  ASSERT_TRUE(st.has_value() && st->ok());
+  EXPECT_EQ(mc.fs->alloc().total_free(), free0);
+}
+
+TEST(GpfsClient, PermissionDeniedForOtherPrincipal) {
+  MiniCluster mc;
+  Client* c = mc.mount_on(2);
+  auto fh = mc.open(c, "/secret", kAlice, OpenFlags::create_rw());
+  ASSERT_TRUE(fh.ok());
+  ASSERT_TRUE(mc.close(c, *fh).ok());
+  // Make it owner-only.
+  std::optional<Status> st;
+  // chmod via direct namespace (admin path is tested in test_namespace).
+  ASSERT_TRUE(mc.fs->ns().chmod("/secret", kAlice, Mode{060}).ok());
+  auto fb = mc.open(c, "/secret", kBob, OpenFlags::ro());
+  ASSERT_FALSE(fb.ok());
+  EXPECT_EQ(fb.code(), Errc::permission_denied);
+  (void)st;
+}
+
+TEST(GpfsClient, ReadaheadPrefetchesSequentialStream) {
+  MiniCluster mc;
+  Client* c = mc.mount_on(2);
+  auto fh = mc.open(c, "/seq", kAlice, OpenFlags::create_rw());
+  ASSERT_TRUE(mc.write(c, *fh, 0, 32 * MiB).ok());
+  ASSERT_TRUE(mc.close(c, *fh).ok());
+
+  // Unmount the writer so its cached whole-file token releases and the
+  // fresh reader is granted a whole-file ro token (prefetch coverage).
+  mc.cluster->unmount(c);
+
+  // Fresh client so the cache is cold.
+  Client* r = mc.mount_on(3);
+  auto fr = mc.open(r, "/seq", kAlice, OpenFlags::ro());
+  ASSERT_TRUE(mc.read(r, *fr, 0, 2 * MiB).ok());  // blocks 0,1 (+RA)
+  const InodeNum ino = *mc.fs->ns().resolve("/seq");
+  // After the simulator drained, readahead has landed well past block 1.
+  int cached_ahead = 0;
+  for (std::uint64_t b = 2; b < 10; ++b) {
+    if (r->pool().contains({ino, b})) ++cached_ahead;
+  }
+  EXPECT_GE(cached_ahead, r->config().readahead_blocks);
+}
+
+TEST(GpfsClient, WriteBehindStallsAtDirtyCap) {
+  ClusterConfig cfg;
+  cfg.client.max_dirty = 8 * MiB;
+  MiniCluster mc(6, 4, 1 * MiB, cfg);
+  Client* c = mc.mount_on(2);
+  auto fh = mc.open(c, "/burst", kAlice, OpenFlags::create_rw());
+  // A 64 MiB burst cannot be absorbed instantly: the writer must stall
+  // on write-behind, so completion time reflects NSD throughput (4
+  // devices x 200 MB/s = 800 MB/s floor, plus the GbE client link cap of
+  // ~118 MB/s, which dominates).
+  const double t0 = mc.sim.now();
+  auto w = mc.write(c, *fh, 0, 64 * MiB);
+  ASSERT_TRUE(w.ok());
+  const double elapsed = mc.sim.now() - t0;
+  EXPECT_GT(elapsed, 0.3);  // >= (64-8) MiB at GbE speed
+}
+
+TEST(GpfsClient, NsdFailoverToBackupServer) {
+  MiniCluster mc;
+  Client* c = mc.mount_on(2);
+  auto fh = mc.open(c, "/f", kAlice, OpenFlags::create_rw());
+  ASSERT_TRUE(mc.write(c, *fh, 0, 8 * MiB).ok());
+  ASSERT_TRUE(mc.close(c, *fh).ok());
+
+  // Kill NSD server 0 (primary for NSDs 0 and 2); the manager lives on
+  // host 1 and keeps serving tokens/metadata.
+  Client* r = mc.mount_on(3);
+  auto fr = mc.open(r, "/f", kAlice, OpenFlags::ro());
+  ASSERT_TRUE(fr.ok());
+  mc.net.set_node_up(mc.site.hosts[0], false);
+  auto rd = mc.read(r, *fr, 0, 8 * MiB);
+  ASSERT_TRUE(rd.ok()) << rd.error().to_string();
+  EXPECT_EQ(*rd, 8 * MiB);
+  EXPECT_GT(r->nsd_failovers(), 0u);
+}
+
+TEST(GpfsClient, ReadFailsWhenBothServersDown) {
+  MiniCluster mc;
+  Client* r = mc.mount_on(3);
+  Client* w = mc.mount_on(2);
+  auto fw = mc.open(w, "/f", kAlice, OpenFlags::create_rw());
+  ASSERT_TRUE(mc.write(w, *fw, 0, 4 * MiB).ok());
+  ASSERT_TRUE(mc.close(w, *fw).ok());
+  auto fr = mc.open(r, "/f", kAlice, OpenFlags::ro());
+  ASSERT_TRUE(fr.ok());
+  mc.net.set_node_up(mc.site.hosts[0], false);
+  mc.net.set_node_up(mc.site.hosts[1], false);
+  auto rd = mc.read(r, *fr, 0, 4 * MiB);
+  ASSERT_FALSE(rd.ok());
+  EXPECT_EQ(rd.code(), Errc::unavailable);
+}
+
+TEST(GpfsClient, RefreshSizeSeesAppendingWriter) {
+  // The Fig. 5 usage pattern: a visualization host polls a growing file.
+  MiniCluster mc;
+  Client* w = mc.mount_on(2);
+  Client* r = mc.mount_on(3);
+  auto fw = mc.open(w, "/enzo.out", kAlice, OpenFlags::create_rw());
+  ASSERT_TRUE(mc.write(w, *fw, 0, 4 * MiB).ok());
+  ASSERT_TRUE(mc.fsync(w, *fw).ok());
+
+  auto fr = mc.open(r, "/enzo.out", kBob, OpenFlags::ro());
+  EXPECT_EQ(r->known_size(*fr), 4 * MiB);
+
+  ASSERT_TRUE(mc.write(w, *fw, 4 * MiB, 4 * MiB).ok());
+  ASSERT_TRUE(mc.fsync(w, *fw).ok());
+  EXPECT_EQ(r->known_size(*fr), 4 * MiB);  // stale until refresh
+  std::optional<Result<Bytes>> sz;
+  r->refresh_size(*fr, [&](Result<Bytes> s) { sz = std::move(s); });
+  mc.sim.run();
+  ASSERT_TRUE(sz.has_value() && sz->ok());
+  EXPECT_EQ(r->known_size(*fr), 8 * MiB);
+}
+
+TEST(GpfsClient, WriteToRoHandleRejected) {
+  MiniCluster mc;
+  Client* c = mc.mount_on(2);
+  auto fh = mc.open(c, "/f", kAlice, OpenFlags::create_rw());
+  ASSERT_TRUE(mc.close(c, *fh).ok());
+  auto ro = mc.open(c, "/f", kAlice, OpenFlags::ro());
+  auto w = mc.write(c, *ro, 0, 1 * MiB);
+  ASSERT_FALSE(w.ok());
+  EXPECT_EQ(w.code(), Errc::permission_denied);
+}
+
+TEST(GpfsClient, UnalignedWritePaysReadModifyWrite) {
+  MiniCluster mc;
+  Client* c = mc.mount_on(2);
+  auto fh = mc.open(c, "/f", kAlice, OpenFlags::create_rw());
+  ASSERT_TRUE(mc.write(c, *fh, 0, 4 * MiB).ok());
+  ASSERT_TRUE(mc.close(c, *fh).ok());
+
+  Client* c2 = mc.mount_on(3);
+  auto f2 = mc.open(c2, "/f", kAlice, OpenFlags::rw());
+  const Bytes reads_before = c2->bytes_read_remote();
+  // 100 KiB write in the middle of block 1: block must be fetched first.
+  ASSERT_TRUE(mc.write(c2, *f2, 1 * MiB + 300, 100 * KiB).ok());
+  EXPECT_GT(c2->bytes_read_remote(), reads_before);
+}
+
+TEST(GpfsClient, ManyFilesManyClients) {
+  MiniCluster mc(6, 4);
+  std::vector<Client*> clients = {mc.mount_on(2), mc.mount_on(3),
+                                  mc.mount_on(4), mc.mount_on(5)};
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    auto fh = mc.open(clients[i], "/file" + std::to_string(i), kAlice,
+                      OpenFlags::create_rw());
+    ASSERT_TRUE(fh.ok());
+    ASSERT_TRUE(mc.write(clients[i], *fh, 0, 4 * MiB).ok());
+    ASSERT_TRUE(mc.close(clients[i], *fh).ok());
+  }
+  // Everyone reads everyone's file.
+  for (Client* c : clients) {
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+      auto fh = mc.open(c, "/file" + std::to_string(i), kBob,
+                        OpenFlags::ro());
+      ASSERT_TRUE(fh.ok());
+      auto r = mc.read(c, *fh, 0, 4 * MiB);
+      ASSERT_TRUE(r.ok());
+      EXPECT_EQ(*r, 4 * MiB);
+    }
+  }
+}
+
+TEST(GpfsClient, UnmountReleasesTokens) {
+  MiniCluster mc;
+  Client* c = mc.mount_on(2);
+  auto fh = mc.open(c, "/f", kAlice, OpenFlags::create_rw());
+  ASSERT_TRUE(mc.write(c, *fh, 0, 1 * MiB).ok());
+  ASSERT_TRUE(mc.fsync(c, *fh).ok());
+  EXPECT_GT(mc.fs->tokens().total_holdings(), 0u);
+  mc.cluster->unmount(c);
+  EXPECT_EQ(mc.fs->tokens().total_holdings(), 0u);
+  EXPECT_FALSE(c->mounted());
+}
+
+}  // namespace
+}  // namespace mgfs::gpfs

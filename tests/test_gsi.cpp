@@ -1,0 +1,80 @@
+#include "auth/gsi.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mgfs::auth {
+namespace {
+
+struct GsiFixture : ::testing::Test {
+  Rng rng{1234};
+};
+
+TEST_F(GsiFixture, CaIssuesValidCertificates) {
+  CertificateAuthority ca("/C=US/O=TeraGrid/CN=CA", rng);
+  Rng user_rng = rng.split();
+  KeyPair user = KeyPair::generate(user_rng);
+  Certificate cert = ca.issue("/C=US/O=NPACI/OU=SDSC/CN=alice", user.pub);
+  EXPECT_EQ(cert.issuer_dn, "/C=US/O=TeraGrid/CN=CA");
+  EXPECT_TRUE(CertificateAuthority::validate(cert, ca.public_key()));
+}
+
+TEST_F(GsiFixture, TamperedSubjectFailsValidation) {
+  CertificateAuthority ca("/CN=CA", rng);
+  Rng user_rng = rng.split();
+  KeyPair user = KeyPair::generate(user_rng);
+  Certificate cert = ca.issue("/CN=alice", user.pub);
+  cert.subject_dn = "/CN=mallory";
+  EXPECT_FALSE(CertificateAuthority::validate(cert, ca.public_key()));
+}
+
+TEST_F(GsiFixture, SwappedKeyFailsValidation) {
+  CertificateAuthority ca("/CN=CA", rng);
+  Rng user_rng = rng.split();
+  KeyPair alice = KeyPair::generate(user_rng);
+  KeyPair mallory = KeyPair::generate(user_rng);
+  Certificate cert = ca.issue("/CN=alice", alice.pub);
+  cert.subject_key = mallory.pub;
+  EXPECT_FALSE(CertificateAuthority::validate(cert, ca.public_key()));
+}
+
+TEST_F(GsiFixture, WrongCaFailsValidation) {
+  CertificateAuthority real_ca("/CN=CA", rng);
+  CertificateAuthority rogue_ca("/CN=CA", rng);  // same DN, different key
+  Rng user_rng = rng.split();
+  KeyPair user = KeyPair::generate(user_rng);
+  Certificate cert = rogue_ca.issue("/CN=alice", user.pub);
+  EXPECT_FALSE(CertificateAuthority::validate(cert, real_ca.public_key()));
+}
+
+// The paper's §6 scenario: one person, three sites, three different UIDs.
+TEST_F(GsiFixture, GridMapResolvesPerSite) {
+  const std::string dn = "/C=US/O=NPACI/CN=phil";
+  GridMapFile sdsc, ncsa, anl;
+  sdsc.map(dn, {501, 100, "pandrews"});
+  ncsa.map(dn, {8812, 250, "andrews"});
+  anl.map(dn, {1377, 77, "phila"});
+
+  EXPECT_EQ(sdsc.lookup(dn)->uid, 501u);
+  EXPECT_EQ(ncsa.lookup(dn)->uid, 8812u);
+  EXPECT_EQ(anl.lookup(dn)->uid, 1377u);
+}
+
+TEST_F(GsiFixture, GridMapUnknownDnIsNotFound) {
+  GridMapFile gm;
+  auto r = gm.lookup("/CN=nobody");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), Errc::not_found);
+}
+
+TEST_F(GsiFixture, GridMapUpdateAndUnmap) {
+  GridMapFile gm;
+  gm.map("/CN=x", {1, 1, "x"});
+  gm.map("/CN=x", {2, 2, "x2"});  // update wins
+  EXPECT_EQ(gm.lookup("/CN=x")->uid, 2u);
+  EXPECT_EQ(gm.size(), 1u);
+  gm.unmap("/CN=x");
+  EXPECT_FALSE(gm.contains("/CN=x"));
+}
+
+}  // namespace
+}  // namespace mgfs::auth

@@ -1,0 +1,174 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/presets.hpp"
+
+namespace mgfs::net {
+namespace {
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim;
+  Network net{sim};
+};
+
+TEST_F(NetworkTest, DirectDelivery) {
+  NodeId a = net.add_node("a");
+  NodeId b = net.add_node("b");
+  net.connect(a, b, 1e6, 0.5);
+  double at = -1;
+  net.send(a, b, 1'000'000, [&] { at = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(at, 1.5);
+}
+
+TEST_F(NetworkTest, MultiHopAccumulatesLatencyAndSerialization) {
+  NodeId a = net.add_node("a");
+  NodeId r = net.add_node("r");
+  NodeId b = net.add_node("b");
+  net.connect(a, r, 1e6, 0.1);
+  net.connect(r, b, 1e6, 0.2);
+  double at = -1;
+  net.send(a, b, 1'000'000, [&] { at = sim.now(); });
+  sim.run();
+  // Store-and-forward: 1 s + 0.1 + 1 s + 0.2.
+  EXPECT_DOUBLE_EQ(at, 2.3);
+}
+
+TEST_F(NetworkTest, ShortestPathChosen) {
+  // a - b - c and a - c directly: direct link wins.
+  NodeId a = net.add_node("a");
+  NodeId b = net.add_node("b");
+  NodeId c = net.add_node("c");
+  net.connect(a, b, 1e9, 0.001);
+  net.connect(b, c, 1e9, 0.001);
+  net.connect(a, c, 1e9, 0.5);
+  auto p = net.path(a, c);
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.front(), a);
+  EXPECT_EQ(p.back(), c);
+}
+
+TEST_F(NetworkTest, PathUnreachable) {
+  NodeId a = net.add_node("a");
+  NodeId b = net.add_node("b");
+  EXPECT_TRUE(net.path(a, b).empty());
+  bool failed = false;
+  net.send(a, b, 100, [] { FAIL() << "delivered across no path"; },
+           [&] { failed = true; });
+  sim.run();
+  EXPECT_TRUE(failed);
+}
+
+TEST_F(NetworkTest, RttSumsBothDirections) {
+  NodeId a = net.add_node("a");
+  NodeId r = net.add_node("r");
+  NodeId b = net.add_node("b");
+  net.connect(a, r, 1e9, 0.010);
+  net.connect(r, b, 1e9, 0.030);
+  auto rtt = net.rtt(a, b);
+  ASSERT_TRUE(rtt.has_value());
+  EXPECT_DOUBLE_EQ(*rtt, 0.080);
+}
+
+TEST_F(NetworkTest, DownNodeFailsDelivery) {
+  NodeId a = net.add_node("a");
+  NodeId r = net.add_node("r");
+  NodeId b = net.add_node("b");
+  net.connect(a, r, 1e9, 0.001);
+  net.connect(r, b, 1e9, 0.001);
+  net.set_node_up(r, false);
+  bool failed = false;
+  net.send(a, b, 1000, [] { FAIL() << "delivered via down node"; },
+           [&] { failed = true; });
+  sim.run();
+  EXPECT_TRUE(failed);
+}
+
+TEST_F(NetworkTest, DownLinkFailsDelivery) {
+  NodeId a = net.add_node("a");
+  NodeId b = net.add_node("b");
+  net.connect(a, b, 1e9, 0.001);
+  net.set_link_up(a, b, false);
+  bool failed = false;
+  net.send(a, b, 1000, nullptr, [&] { failed = true; });
+  sim.run();
+  EXPECT_TRUE(failed);
+}
+
+TEST_F(NetworkTest, EfficiencyDeratesLinkRate) {
+  NodeId a = net.add_node("a");
+  NodeId b = net.add_node("b");
+  net.connect(a, b, 1e6, 0.0, 0.5);
+  double at = -1;
+  net.send(a, b, 1'000'000, [&] { at = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(at, 2.0);  // half the rate, double the time
+}
+
+TEST_F(NetworkTest, ContentionSharesLink) {
+  // Two flows over one 1 MB/s bottleneck: 2 MB total takes 2 s.
+  NodeId a = net.add_node("a");
+  NodeId b = net.add_node("b");
+  NodeId c = net.add_node("c");
+  NodeId d = net.add_node("d");
+  net.connect(a, c, 1e9, 0.0);
+  net.connect(b, c, 1e9, 0.0);
+  net.connect(c, d, 1e6, 0.0);
+  int done = 0;
+  double last = 0;
+  auto fin = [&] {
+    ++done;
+    last = sim.now();
+  };
+  net.send(a, d, 1'000'000, fin);
+  net.send(b, d, 1'000'000, fin);
+  sim.run();
+  EXPECT_EQ(done, 2);
+  EXPECT_NEAR(last, 2.0, 0.01);
+}
+
+TEST_F(NetworkTest, NodeNamesPreserved) {
+  NodeId a = net.add_node("sdsc.h0");
+  EXPECT_EQ(net.node_name(a), "sdsc.h0");
+  EXPECT_EQ(net.node_count(), 1u);
+}
+
+TEST(NetworkPresets, SiteShape) {
+  sim::Simulator s;
+  Network net(s);
+  Site site = add_site(net, "sdsc", 4);
+  EXPECT_EQ(site.hosts.size(), 4u);
+  for (NodeId h : site.hosts) {
+    EXPECT_NE(net.pipe(h, site.sw), nullptr);
+    EXPECT_NE(net.pipe(site.sw, h), nullptr);
+  }
+}
+
+TEST(NetworkPresets, TeraGridConnectivityAndRtt) {
+  sim::Simulator s;
+  Network net(s);
+  TeraGrid tg = make_teragrid_2004(net);
+  // Every site host reaches every other site host.
+  auto rtt = net.rtt(tg.sdsc.hosts[0], tg.ncsa.hosts[0]);
+  ASSERT_TRUE(rtt.has_value());
+  // ~60 ms coast-to-coast RTT (plus microseconds of host links).
+  EXPECT_NEAR(*rtt, 0.060, 0.002);
+  auto rtt2 = net.rtt(tg.anl.hosts[0], tg.sdsc.hosts[0]);
+  ASSERT_TRUE(rtt2.has_value());
+  EXPECT_GT(*rtt2, 0.05);
+}
+
+TEST(NetworkPresets, Sc02RttMatchesPaper) {
+  sim::Simulator s;
+  Network net(s);
+  Sc02Wan w = make_sc02_wan(net, 1, 1);
+  auto rtt = net.rtt(w.sdsc.hosts[0], w.baltimore.hosts[0]);
+  ASSERT_TRUE(rtt.has_value());
+  // Paper §2: "latencies (measured at 80ms round trip SDSC-Baltimore)".
+  EXPECT_NEAR(*rtt, 0.080, 0.001);
+}
+
+}  // namespace
+}  // namespace mgfs::net

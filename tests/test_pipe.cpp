@@ -1,0 +1,135 @@
+#include "sim/pipe.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace mgfs::sim {
+namespace {
+
+TEST(Pipe, SingleTransferTiming) {
+  Simulator s;
+  Pipe p(s, 1e6, 0.5);  // 1 MB/s, 500 ms latency
+  double done_at = -1;
+  p.transfer(1'000'000, [&] { done_at = s.now(); });
+  s.run();
+  // 1 s serialization + 0.5 s propagation.
+  EXPECT_DOUBLE_EQ(done_at, 1.5);
+}
+
+TEST(Pipe, ZeroBytesPaysLatencyOnly) {
+  Simulator s;
+  Pipe p(s, 1e6, 0.25);
+  double done_at = -1;
+  p.transfer(0, [&] { done_at = s.now(); });
+  s.run();
+  EXPECT_DOUBLE_EQ(done_at, 0.25);
+}
+
+TEST(Pipe, FifoSerialization) {
+  Simulator s;
+  Pipe p(s, 1e6, 0.0);
+  std::vector<double> done;
+  p.transfer(1'000'000, [&] { done.push_back(s.now()); });
+  p.transfer(1'000'000, [&] { done.push_back(s.now()); });
+  p.transfer(500'000, [&] { done.push_back(s.now()); });
+  s.run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_DOUBLE_EQ(done[0], 1.0);
+  EXPECT_DOUBLE_EQ(done[1], 2.0);
+  EXPECT_DOUBLE_EQ(done[2], 2.5);
+}
+
+TEST(Pipe, LatencyOverlapsPipelining) {
+  // Two back-to-back transfers: second completes one serialization time
+  // after the first (latency overlapped), i.e. the pipe is store-and-
+  // forward, not stop-and-wait.
+  Simulator s;
+  Pipe p(s, 1e6, 1.0);
+  std::vector<double> done;
+  p.transfer(1'000'000, [&] { done.push_back(s.now()); });
+  p.transfer(1'000'000, [&] { done.push_back(s.now()); });
+  s.run();
+  EXPECT_DOUBLE_EQ(done[0], 2.0);
+  EXPECT_DOUBLE_EQ(done[1], 3.0);
+}
+
+TEST(Pipe, QueueDelayReflectsBacklog) {
+  Simulator s;
+  Pipe p(s, 1e6, 0.0);
+  EXPECT_DOUBLE_EQ(p.queue_delay(), 0.0);
+  p.transfer(2'000'000, [] {});
+  EXPECT_DOUBLE_EQ(p.queue_delay(), 2.0);
+}
+
+TEST(Pipe, TracksBytesAndUtilization) {
+  Simulator s;
+  Pipe p(s, 1e6, 0.0);
+  p.transfer(500'000, [] {});
+  s.run();
+  EXPECT_EQ(p.bytes_moved(), 500'000u);
+  EXPECT_DOUBLE_EQ(p.utilization(), 1.0);  // busy the whole run
+  // Let time pass idle: utilization halves.
+  s.at(1.0, [] {});
+  s.run();
+  EXPECT_DOUBLE_EQ(p.utilization(), 0.5);
+}
+
+TEST(Pipe, MeterSeesSerializationCompletions) {
+  Simulator s;
+  Pipe p(s, 1e6, 10.0);  // long latency: meter notes at serialization end
+  RateMeter m(1.0);
+  p.set_meter(&m);
+  p.transfer(1'000'000, [] {});
+  s.run();
+  EXPECT_EQ(m.total_bytes(), 1'000'000u);
+  TimeSeries ts = m.series_MBps();
+  ASSERT_GE(ts.size(), 1u);
+  // Noted at t=1.0 (serialization end), not t=11.0 (delivery).
+  EXPECT_EQ(ts.size(), 2u);
+}
+
+TEST(Pipe, DownPipeDropsTransfers) {
+  Simulator s;
+  Pipe p(s, 1e6, 0.0);
+  p.set_up(false);
+  bool delivered = false;
+  p.transfer(1000, [&] { delivered = true; });
+  s.run();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(p.dropped_bytes(), 1000u);
+  EXPECT_EQ(p.bytes_moved(), 0u);
+}
+
+TEST(Pipe, RecoversAfterUp) {
+  Simulator s;
+  Pipe p(s, 1e6, 0.0);
+  p.set_up(false);
+  p.transfer(1000, [] {});
+  p.set_up(true);
+  bool delivered = false;
+  p.transfer(1000, [&] { delivered = true; });
+  s.run();
+  EXPECT_TRUE(delivered);
+}
+
+class PipeRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PipeRateSweep, ThroughputMatchesRate) {
+  const double rate = GetParam();
+  Simulator s;
+  Pipe p(s, rate, 0.0);
+  const Bytes total = static_cast<Bytes>(rate * 10);  // 10 s of traffic
+  double done_at = -1;
+  for (int i = 0; i < 10; ++i) {
+    p.transfer(total / 10, [&] { done_at = s.now(); });
+  }
+  s.run();
+  EXPECT_NEAR(done_at, 10.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, PipeRateSweep,
+                         ::testing::Values(1e6, 125e6, 1.25e9, 5e9));
+
+}  // namespace
+}  // namespace mgfs::sim

@@ -1,0 +1,115 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace mgfs {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.range(3, 5));
+  EXPECT_EQ(seen.size(), 3u);
+  EXPECT_EQ(*seen.begin(), 3u);
+  EXPECT_EQ(*seen.rbegin(), 5u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(11);
+  double lo = 1.0, hi = 0.0, sum = 0.0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double u = r.uniform();
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+    sum += u;
+  }
+  EXPECT_GE(lo, 0.0);
+  EXPECT_LT(hi, 1.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(13);
+  double sum = 0;
+  constexpr int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.05);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(17);
+  double sum = 0, sq = 0;
+  constexpr int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(23);
+  Rng child = parent.split();
+  // Child continues differently from a fresh copy of the parent seed.
+  Rng parent2(23);
+  parent2.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child.next() == parent.next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+class RngBelowProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngBelowProperty, CoversSmallRangesUniformly) {
+  const std::uint64_t n = GetParam();
+  Rng r(n * 2654435761u + 1);
+  std::vector<int> counts(n, 0);
+  const int draws = 2000 * static_cast<int>(n);
+  for (int i = 0; i < draws; ++i) ++counts[r.below(n)];
+  for (std::uint64_t v = 0; v < n; ++v) {
+    EXPECT_NEAR(counts[v], 2000, 2000 * 0.15) << "value " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallRanges, RngBelowProperty,
+                         ::testing::Values(2, 3, 5, 8, 13));
+
+}  // namespace
+}  // namespace mgfs

@@ -1,0 +1,126 @@
+#include "auth/rsa.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mgfs::auth {
+namespace {
+
+TEST(ModMath, MulmodMatchesSmallCases) {
+  EXPECT_EQ(mulmod(7, 8, 5), 1u);
+  EXPECT_EQ(mulmod(0, 123, 7), 0u);
+  // Overflow territory: (2^63)*(2^63) mod (2^64-59).
+  const std::uint64_t big = 1ULL << 63;
+  const std::uint64_t m = 18446744073709551557ULL;
+  EXPECT_EQ(mulmod(big, big, m), (unsigned __int128)(big) * big % m);
+}
+
+TEST(ModMath, PowmodKnownValues) {
+  EXPECT_EQ(powmod(2, 10, 1000), 24u);
+  EXPECT_EQ(powmod(3, 0, 7), 1u);
+  EXPECT_EQ(powmod(5, 1, 7), 5u);
+  EXPECT_EQ(powmod(10, 9, 6), 4u);
+  EXPECT_EQ(powmod(2, 64, 18446744073709551557ULL), 59u * 1);  // 2^64 mod m
+}
+
+TEST(ModMath, FermatLittleTheorem) {
+  // a^(p-1) ≡ 1 (mod p) for prime p and gcd(a,p)=1.
+  const std::uint64_t p = 4294967311ULL;  // prime > 2^32
+  for (std::uint64_t a : {2ULL, 3ULL, 123456789ULL}) {
+    EXPECT_EQ(powmod(a, p - 1, p), 1u);
+  }
+}
+
+TEST(Primality, KnownPrimes) {
+  Rng rng(1);
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 97ULL, 7919ULL, 2147483647ULL,
+                          4294967311ULL}) {
+    EXPECT_TRUE(is_probable_prime(p, rng)) << p;
+  }
+}
+
+TEST(Primality, KnownComposites) {
+  Rng rng(2);
+  for (std::uint64_t c : {1ULL, 4ULL, 100ULL, 561ULL /* Carmichael */,
+                          2147483649ULL, 4294967297ULL /* F5 = 641*6700417 */}) {
+    EXPECT_FALSE(is_probable_prime(c, rng)) << c;
+  }
+}
+
+TEST(Rsa, GenerateProducesWorkingKey) {
+  Rng rng(42);
+  KeyPair kp = KeyPair::generate(rng);
+  EXPECT_GT(kp.pub.n, 1ULL << 62);  // two top-bit-set 32-bit primes
+  EXPECT_EQ(kp.pub.e, 65537u);
+  EXPECT_GT(kp.d, 0u);
+}
+
+TEST(Rsa, SignVerifyRoundTrip) {
+  Rng rng(7);
+  KeyPair kp = KeyPair::generate(rng);
+  const std::string msg = "challenge|12345|sdsc|ncsa";
+  const std::uint64_t sig = sign(kp, msg);
+  EXPECT_TRUE(verify(kp.pub, msg, sig));
+}
+
+TEST(Rsa, VerifyRejectsTamperedMessage) {
+  Rng rng(8);
+  KeyPair kp = KeyPair::generate(rng);
+  const std::uint64_t sig = sign(kp, "original");
+  EXPECT_FALSE(verify(kp.pub, "0riginal", sig));
+}
+
+TEST(Rsa, VerifyRejectsWrongKey) {
+  Rng rng(9);
+  KeyPair alice = KeyPair::generate(rng);
+  KeyPair mallory = KeyPair::generate(rng);
+  const std::uint64_t sig = sign(mallory, "mount /gpfs-wan");
+  EXPECT_FALSE(verify(alice.pub, "mount /gpfs-wan", sig));
+}
+
+TEST(Rsa, VerifyRejectsTamperedSignature) {
+  Rng rng(10);
+  KeyPair kp = KeyPair::generate(rng);
+  const std::uint64_t sig = sign(kp, "msg");
+  EXPECT_FALSE(verify(kp.pub, "msg", sig ^ 1));
+}
+
+TEST(Rsa, EmptyKeyNeverVerifies) {
+  PublicKey empty;
+  EXPECT_FALSE(verify(empty, "msg", 12345));
+}
+
+TEST(Rsa, FingerprintStableAndDistinct) {
+  Rng rng(11);
+  KeyPair a = KeyPair::generate(rng);
+  KeyPair b = KeyPair::generate(rng);
+  EXPECT_EQ(a.pub.fingerprint(), a.pub.fingerprint());
+  EXPECT_NE(a.pub.fingerprint(), b.pub.fingerprint());
+  EXPECT_EQ(a.pub.fingerprint().size(), 64u);
+}
+
+TEST(Rsa, DeterministicGenerationPerSeed) {
+  Rng r1(99), r2(99);
+  KeyPair a = KeyPair::generate(r1);
+  KeyPair b = KeyPair::generate(r2);
+  EXPECT_EQ(a.pub, b.pub);
+  EXPECT_EQ(a.d, b.d);
+}
+
+class RsaSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RsaSeedSweep, EveryGeneratedKeyRoundTrips) {
+  Rng rng(GetParam());
+  KeyPair kp = KeyPair::generate(rng);
+  for (const char* msg :
+       {"", "a", "challenge|1|x|y", "a long message spanning blocks........."
+                                    ".......................................",
+        "mmremotefs add /gpfs-wan"}) {
+    EXPECT_TRUE(verify(kp.pub, msg, sign(kp, msg))) << "seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RsaSeedSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace mgfs::auth

@@ -1,0 +1,71 @@
+#include "auth/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mgfs::auth {
+namespace {
+
+// FIPS 180-4 / NIST test vectors.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(to_hex(sha256("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(to_hex(sha256("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(to_hex(sha256(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionA) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string msg =
+      "The quick brown fox jumps over the lazy dog, repeatedly, until the "
+      "message clearly spans multiple 64-byte blocks in the compressor.";
+  Sha256 h;
+  for (char c : msg) h.update(std::string_view(&c, 1));
+  EXPECT_EQ(to_hex(h.finish()), to_hex(sha256(msg)));
+}
+
+TEST(Sha256, ExactBlockBoundary) {
+  const std::string block(64, 'x');
+  const std::string two_blocks(128, 'x');
+  EXPECT_NE(to_hex(sha256(block)), to_hex(sha256(two_blocks)));
+  // 55/56/57 bytes straddle the padding split.
+  for (std::size_t n : {55u, 56u, 57u, 63u, 64u, 65u}) {
+    Sha256 h;
+    h.update(std::string(n, 'y'));
+    EXPECT_EQ(to_hex(h.finish()), to_hex(sha256(std::string(n, 'y'))))
+        << "length " << n;
+  }
+}
+
+TEST(Sha256, DigestPrefix64BigEndian) {
+  // For "abc", digest starts ba7816bf8f01cfea...
+  EXPECT_EQ(digest_prefix64(sha256("abc")), 0xba7816bf8f01cfeaULL);
+}
+
+TEST(Sha256, SmallChangesChangeEverything) {
+  const auto a = sha256("mmauth genkey new");
+  const auto b = sha256("mmauth genkey neW");
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a[i] != b[i]) ++differing;
+  }
+  EXPECT_GT(differing, 20);  // avalanche
+}
+
+}  // namespace
+}  // namespace mgfs::auth

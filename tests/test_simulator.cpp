@@ -1,0 +1,123 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mgfs::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator s;
+  EXPECT_DOUBLE_EQ(s.now(), 0.0);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.at(2.0, [&] { order.push_back(2); });
+  s.at(1.0, [&] { order.push_back(1); });
+  s.at(3.0, [&] { order.push_back(3); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(s.now(), 3.0);
+}
+
+TEST(Simulator, TiesBreakFifo) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.at(1.0, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, AfterIsRelative) {
+  Simulator s;
+  double fired_at = -1;
+  s.at(5.0, [&] { s.after(2.5, [&] { fired_at = s.now(); }); });
+  s.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(Simulator, DeferRunsAfterQueuedSameTimeEvents) {
+  Simulator s;
+  std::vector<int> order;
+  s.at(1.0, [&] {
+    s.defer([&] { order.push_back(99); });
+    order.push_back(1);
+  });
+  s.at(1.0, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 99}));
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  Simulator s;
+  int fired = 0;
+  s.at(1.0, [&] { ++fired; });
+  s.at(10.0, [&] { ++fired; });
+  s.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(s.now(), 5.0);
+  EXPECT_EQ(s.pending(), 1u);
+  s.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunUntilIncludesBoundaryEvents) {
+  Simulator s;
+  int fired = 0;
+  s.at(5.0, [&] { ++fired; });
+  s.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) s.after(1.0, recurse);
+  };
+  s.after(1.0, recurse);
+  s.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_DOUBLE_EQ(s.now(), 100.0);
+  EXPECT_EQ(s.events_processed(), 100u);
+}
+
+TEST(Simulator, EveryFiresPeriodically) {
+  Simulator s;
+  std::vector<double> times;
+  s.every(1.0, 2.0, 7.0, [&](double t) { times.push_back(t); });
+  s.run();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 3.0, 5.0, 7.0}));
+}
+
+TEST(Simulator, EveryWithStartPastUntilIsNoop) {
+  Simulator s;
+  int fired = 0;
+  s.every(10.0, 1.0, 5.0, [&](double) { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  Simulator s;
+  EXPECT_FALSE(s.step());
+  s.at(1.0, [] {});
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+}
+
+TEST(SimulatorDeath, PastSchedulingAborts) {
+  Simulator s;
+  s.at(5.0, [] {});
+  s.run();
+  EXPECT_DEATH(s.at(1.0, [] {}), "past");
+}
+
+}  // namespace
+}  // namespace mgfs::sim

@@ -1,0 +1,118 @@
+#include "common/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mgfs {
+namespace {
+
+TEST(TimeSeries, Basics) {
+  TimeSeries s("t");
+  EXPECT_TRUE(s.empty());
+  s.add(0.0, 10.0);
+  s.add(1.0, 20.0);
+  s.add(2.0, 30.0);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.max_y(), 30.0);
+  EXPECT_DOUBLE_EQ(s.min_y(), 10.0);
+  EXPECT_DOUBLE_EQ(s.mean_y(), 20.0);
+}
+
+TEST(TimeSeries, MeanBetweenExcludesRamp) {
+  TimeSeries s;
+  s.add(0.0, 0.0);   // ramp
+  s.add(1.0, 100.0);
+  s.add(2.0, 110.0);
+  s.add(3.0, 90.0);
+  EXPECT_DOUBLE_EQ(s.mean_y_between(1.0, 3.0), 100.0);
+}
+
+TEST(TimeSeries, EmptyEdgeCases) {
+  TimeSeries s;
+  EXPECT_DOUBLE_EQ(s.max_y(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min_y(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean_y(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean_y_between(0, 100), 0.0);
+}
+
+TEST(TimeSeries, PrintsRows) {
+  TimeSeries s;
+  s.add(1.0, 2.5);
+  std::ostringstream os;
+  s.print(os, "sec", "MB/s");
+  EXPECT_NE(os.str().find("sec"), std::string::npos);
+  EXPECT_NE(os.str().find("2.50"), std::string::npos);
+}
+
+TEST(TimeSeries, PrintsCsv) {
+  TimeSeries s;
+  s.add(1.0, 2.5);
+  s.add(2.0, 3.5);
+  std::ostringstream os;
+  s.print_csv(os, "x", "y");
+  EXPECT_EQ(os.str(), "x,y\n1,2.5\n2,3.5\n");
+}
+
+TEST(RateMeter, BinsBytes) {
+  RateMeter m(1.0, "link");
+  m.note(0.2, 50'000'000);   // bin 0
+  m.note(0.9, 50'000'000);   // bin 0
+  m.note(1.5, 200'000'000);  // bin 1
+  EXPECT_EQ(m.total_bytes(), 300'000'000u);
+  TimeSeries s = m.series_MBps();
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.points()[0].y, 100.0);  // 100 MB in 1 s
+  EXPECT_DOUBLE_EQ(s.points()[1].y, 200.0);
+  EXPECT_DOUBLE_EQ(s.points()[0].x, 0.5);  // bin center
+}
+
+TEST(RateMeter, SubSecondBins) {
+  RateMeter m(0.25);
+  m.note(0.0, 1'000'000);
+  m.note(0.26, 1'000'000);
+  TimeSeries s = m.series_MBps();
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.points()[0].y, 4.0);  // 1 MB / 0.25 s
+}
+
+TEST(RateMeter, GapsAreZero) {
+  RateMeter m(1.0);
+  m.note(0.5, 1'000'000);
+  m.note(3.5, 1'000'000);
+  TimeSeries s = m.series_MBps();
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_DOUBLE_EQ(s.points()[1].y, 0.0);
+  EXPECT_DOUBLE_EQ(s.points()[2].y, 0.0);
+}
+
+TEST(PrintMulti, AlignsSeries) {
+  TimeSeries a("link1"), b("link2");
+  a.add(0.5, 10.0);
+  a.add(1.5, 11.0);
+  b.add(0.5, 20.0);
+  std::ostringstream os;
+  print_multi(os, "sec", {&a, &b});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("link1"), std::string::npos);
+  EXPECT_NE(out.find("link2"), std::string::npos);
+  // Second row of link2 is a dash (missing).
+  EXPECT_NE(out.find("-"), std::string::npos);
+}
+
+TEST(Sparkline, ScalesToMax) {
+  TimeSeries s;
+  for (int i = 0; i < 100; ++i) s.add(i, i < 50 ? 0.0 : 100.0);
+  const std::string line = sparkline(s, 10);
+  EXPECT_EQ(line.size(), 10u);
+  EXPECT_EQ(line.front(), ' ');
+  EXPECT_EQ(line.back(), '@');
+}
+
+TEST(Sparkline, EmptySeries) {
+  TimeSeries s;
+  EXPECT_TRUE(sparkline(s, 10).empty());
+}
+
+}  // namespace
+}  // namespace mgfs

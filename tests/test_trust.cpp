@@ -1,0 +1,129 @@
+#include "auth/trust.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mgfs::auth {
+namespace {
+
+struct TrustFixture : ::testing::Test {
+  Rng rng{77};
+  KeyPair sdsc_key = KeyPair::generate(rng);
+  KeyPair ncsa_key = KeyPair::generate(rng);
+  TrustStore trust;  // lives at the exporting cluster (sdsc)
+
+  HandshakeServer make_server(CipherList c = CipherList::authonly) {
+    return HandshakeServer("sdsc", sdsc_key, &trust, c, rng.split());
+  }
+};
+
+TEST_F(TrustFixture, GrantRequiresKnownCluster) {
+  auto st = trust.grant("ncsa", "/gpfs-wan", AccessMode::read_only);
+  EXPECT_EQ(st.code(), Errc::not_authorized);
+  trust.add_cluster("ncsa", ncsa_key.pub);
+  EXPECT_TRUE(trust.grant("ncsa", "/gpfs-wan", AccessMode::read_only).ok());
+}
+
+TEST_F(TrustFixture, AccessReflectsGrants) {
+  trust.add_cluster("ncsa", ncsa_key.pub);
+  EXPECT_EQ(trust.access("ncsa", "/gpfs-wan"), AccessMode::none);
+  ASSERT_TRUE(trust.grant("ncsa", "/gpfs-wan", AccessMode::read_write).ok());
+  EXPECT_EQ(trust.access("ncsa", "/gpfs-wan"), AccessMode::read_write);
+  trust.revoke("ncsa", "/gpfs-wan");
+  EXPECT_EQ(trust.access("ncsa", "/gpfs-wan"), AccessMode::none);
+}
+
+TEST_F(TrustFixture, RemoveClusterRevokesEverything) {
+  trust.add_cluster("ncsa", ncsa_key.pub);
+  ASSERT_TRUE(trust.grant("ncsa", "/gpfs-wan", AccessMode::read_write).ok());
+  trust.remove_cluster("ncsa");
+  EXPECT_FALSE(trust.knows("ncsa"));
+  EXPECT_EQ(trust.access("ncsa", "/gpfs-wan"), AccessMode::none);
+  EXPECT_EQ(trust.key_of("ncsa").code(), Errc::not_authorized);
+}
+
+TEST_F(TrustFixture, HandshakeHappyPath) {
+  trust.add_cluster("ncsa", ncsa_key.pub);
+  HandshakeServer server = make_server();
+  HandshakeClient client("ncsa", ncsa_key, rng.split());
+
+  auto ch = server.issue_challenge("ncsa");
+  ASSERT_TRUE(ch.ok());
+  auto ticket = server.complete("ncsa", client.respond(*ch));
+  ASSERT_TRUE(ticket.ok());
+  EXPECT_EQ(ticket->client_cluster, "ncsa");
+  EXPECT_EQ(ticket->server_cluster, "sdsc");
+  EXPECT_EQ(ticket->cipher, CipherList::authonly);
+  EXPECT_GT(ticket->session_id, 0u);
+}
+
+TEST_F(TrustFixture, UnknownClusterRefusedAtChallenge) {
+  HandshakeServer server = make_server();
+  auto ch = server.issue_challenge("evil");
+  ASSERT_FALSE(ch.ok());
+  EXPECT_EQ(ch.code(), Errc::not_authorized);
+}
+
+TEST_F(TrustFixture, WrongKeyFailsHandshake) {
+  trust.add_cluster("ncsa", ncsa_key.pub);
+  HandshakeServer server = make_server();
+  // Attacker knows the cluster name but not the private key.
+  Rng attacker_rng(666);
+  KeyPair attacker = KeyPair::generate(attacker_rng);
+  HandshakeClient impostor("ncsa", attacker, rng.split());
+  auto ch = server.issue_challenge("ncsa");
+  ASSERT_TRUE(ch.ok());
+  auto ticket = server.complete("ncsa", impostor.respond(*ch));
+  ASSERT_FALSE(ticket.ok());
+  EXPECT_EQ(ticket.code(), Errc::not_authenticated);
+}
+
+TEST_F(TrustFixture, ChallengeIsSingleUse) {
+  trust.add_cluster("ncsa", ncsa_key.pub);
+  HandshakeServer server = make_server();
+  HandshakeClient client("ncsa", ncsa_key, rng.split());
+  auto ch = server.issue_challenge("ncsa");
+  ASSERT_TRUE(ch.ok());
+  const std::uint64_t sig = client.respond(*ch);
+  ASSERT_TRUE(server.complete("ncsa", sig).ok());
+  // Replay.
+  auto replay = server.complete("ncsa", sig);
+  ASSERT_FALSE(replay.ok());
+  EXPECT_EQ(replay.code(), Errc::not_authenticated);
+}
+
+TEST_F(TrustFixture, MutualAuthClientVerifiesServer) {
+  trust.add_cluster("ncsa", ncsa_key.pub);
+  HandshakeServer server = make_server();
+  HandshakeClient client("ncsa", ncsa_key, rng.split());
+  Challenge ch = client.challenge("sdsc");
+  const std::uint64_t proof = server.prove(ch);
+  EXPECT_TRUE(client.verify_server(ch, proof, sdsc_key.pub));
+  // A different key (e.g. a spoofed server) fails.
+  EXPECT_FALSE(client.verify_server(ch, proof, ncsa_key.pub));
+}
+
+TEST_F(TrustFixture, CipherListNoneSkipsVerification) {
+  // Pre-GPFS-2.3 behaviour: no cluster authentication (the problem the
+  // redesign fixed). Any signature is accepted.
+  HandshakeServer server = make_server(CipherList::none);
+  auto ch = server.issue_challenge("anyone");
+  ASSERT_TRUE(ch.ok());
+  auto ticket = server.complete("anyone", 0xdeadbeef);
+  ASSERT_TRUE(ticket.ok());
+  EXPECT_EQ(ticket->cipher, CipherList::none);
+}
+
+TEST_F(TrustFixture, CipherCpuCosts) {
+  EXPECT_EQ(cipher_cpu_s_per_byte(CipherList::none), 0.0);
+  EXPECT_EQ(cipher_cpu_s_per_byte(CipherList::authonly), 0.0);
+  EXPECT_GT(cipher_cpu_s_per_byte(CipherList::encrypt), 0.0);
+}
+
+TEST_F(TrustFixture, CipherNames) {
+  EXPECT_STREQ(cipher_name(CipherList::authonly), "AUTHONLY");
+  EXPECT_STREQ(cipher_name(CipherList::encrypt), "encrypt");
+  EXPECT_STREQ(access_name(AccessMode::read_only), "ro");
+}
+
+}  // namespace
+}  // namespace mgfs::auth

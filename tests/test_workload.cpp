@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "gpfs_test_util.hpp"
+#include "workload/apps.hpp"
+#include "workload/mpiio.hpp"
+#include "workload/stream.hpp"
+
+namespace mgfs::workload {
+namespace {
+
+using gpfs::testutil::kAlice;
+using gpfs::testutil::MiniCluster;
+
+TEST(Workload, SequentialWriterMovesAllBytes) {
+  MiniCluster mc;
+  gpfs::Client* c = mc.mount_on(2);
+  StreamConfig cfg;
+  cfg.total = 32 * MiB;
+  SequentialWriter w(c, "/out", kAlice, cfg);
+  RateMeter meter(1.0);
+  w.set_meter(&meter);
+  std::optional<Status> st;
+  w.start([&](const Status& s) { st = s; });
+  mc.sim.run();
+  ASSERT_TRUE(st.has_value() && st->ok()) << st->to_string();
+  EXPECT_EQ(w.written(), 32 * MiB);
+  EXPECT_EQ(meter.total_bytes(), 32 * MiB);
+  EXPECT_EQ(mc.fs->ns().stat("/out")->size, 32 * MiB);
+}
+
+TEST(Workload, WriterRespectsRateCap) {
+  MiniCluster mc;
+  gpfs::Client* c = mc.mount_on(2);
+  StreamConfig cfg;
+  cfg.total = 32 * MiB;
+  cfg.rate_cap = mB_per_s(16.0);  // ~2.1 s for 33.5 MB
+  SequentialWriter w(c, "/slow", kAlice, cfg);
+  std::optional<Status> st;
+  const double t0 = mc.sim.now();
+  w.start([&](const Status& s) { st = s; });
+  mc.sim.run();
+  ASSERT_TRUE(st.has_value() && st->ok());
+  EXPECT_GT(mc.sim.now() - t0, 1.8);
+}
+
+TEST(Workload, SequentialReaderReadsToEof) {
+  MiniCluster mc;
+  gpfs::Client* w = mc.mount_on(2);
+  auto fh = mc.open(w, "/in", kAlice, gpfs::OpenFlags::create_rw());
+  ASSERT_TRUE(mc.write(w, *fh, 0, 24 * MiB).ok());
+  ASSERT_TRUE(mc.close(w, *fh).ok());
+  mc.cluster->unmount(w);
+
+  gpfs::Client* r = mc.mount_on(3);
+  SequentialReader::Options opt;
+  SequentialReader reader(r, "/in", kAlice, opt);
+  std::optional<Status> st;
+  reader.start([&](const Status& s) { st = s; });
+  mc.sim.run();
+  ASSERT_TRUE(st.has_value() && st->ok());
+  EXPECT_EQ(reader.bytes_read(), 24 * MiB);
+  EXPECT_EQ(reader.passes(), 1u);
+}
+
+TEST(Workload, ReaderReopensOnEof) {
+  MiniCluster mc;
+  gpfs::Client* w = mc.mount_on(2);
+  auto fh = mc.open(w, "/loop", kAlice, gpfs::OpenFlags::create_rw());
+  ASSERT_TRUE(mc.write(w, *fh, 0, 8 * MiB).ok());
+  ASSERT_TRUE(mc.close(w, *fh).ok());
+  mc.cluster->unmount(w);
+
+  gpfs::Client* r = mc.mount_on(3);
+  SequentialReader::Options opt;
+  opt.reopen_on_eof = true;
+  opt.restart_delay = 2.0;
+  opt.max_passes = 3;
+  SequentialReader reader(r, "/loop", kAlice, opt);
+  std::optional<Status> st;
+  const double t0 = mc.sim.now();
+  reader.start([&](const Status& s) { st = s; });
+  mc.sim.run();
+  ASSERT_TRUE(st.has_value() && st->ok());
+  EXPECT_EQ(reader.passes(), 3u);
+  EXPECT_EQ(reader.bytes_read(), 3 * 8 * MiB);
+  // Two restart delays elapsed (the Fig. 5 dips).
+  EXPECT_GT(mc.sim.now() - t0, 4.0);
+}
+
+TEST(Workload, FollowReaderChasesProducer) {
+  MiniCluster mc;
+  gpfs::Client* w = mc.mount_on(2);
+  auto fh = mc.open(w, "/grow", kAlice, gpfs::OpenFlags::create_rw());
+  ASSERT_TRUE(mc.write(w, *fh, 0, 4 * MiB).ok());
+  std::optional<Status> fs_st;
+  w->fsync(*fh, [&](Status s) { fs_st = s; });
+  mc.sim.run();
+  ASSERT_TRUE(fs_st.has_value() && fs_st->ok());
+
+  gpfs::Client* r = mc.mount_on(3);
+  SequentialReader::Options opt;
+  opt.follow = true;
+  opt.follow_poll_interval = 0.5;
+  SequentialReader reader(r, "/grow", kAlice, opt);
+  std::optional<Status> st;
+  reader.start([&](const Status& s) { st = s; });
+  // Schedule: producer appends at t+2, reader told to stop at t+6.
+  mc.sim.after(2.0, [&] {
+    w->write(*fh, 4 * MiB, 4 * MiB, [&](Result<Bytes> res) {
+      ASSERT_TRUE(res.ok());
+      w->fsync(*fh, [](Status) {});
+    });
+  });
+  mc.sim.after(6.0, [&] { reader.stop(); });
+  mc.sim.run();
+  ASSERT_TRUE(st.has_value() && st->ok());
+  EXPECT_EQ(reader.bytes_read(), 8 * MiB);
+}
+
+TEST(Workload, MpiIoWriteThenReadBack) {
+  MiniCluster mc(8, 4, 1 * MiB);
+  std::vector<gpfs::Client*> tasks = {mc.mount_on(2), mc.mount_on(3),
+                                      mc.mount_on(4), mc.mount_on(5)};
+  MpiIoConfig cfg;
+  cfg.block = 8 * MiB;
+  cfg.per_task = 32 * MiB;
+  cfg.write = true;
+  MpiIoJob job(tasks, "/mpi.dat", kAlice, cfg);
+  std::optional<Result<MpiIoResult>> out;
+  job.run([&](Result<MpiIoResult> r) { out = std::move(r); });
+  mc.sim.run();
+  ASSERT_TRUE(out.has_value() && out->ok())
+      << (out.has_value() ? out->error().to_string() : "hang");
+  EXPECT_EQ((*out)->bytes, 4 * 32 * MiB);
+  EXPECT_EQ(mc.fs->ns().stat("/mpi.dat")->size, 4 * 32 * MiB);
+
+  // Fresh clients read it back (interleaved-block access pattern).
+  std::vector<gpfs::Client*> readers;
+  for (std::size_t i = 2; i <= 5; ++i) readers.push_back(mc.mount_on(i));
+  cfg.write = false;
+  MpiIoJob rjob(readers, "/mpi.dat", kAlice, cfg);
+  std::optional<Result<MpiIoResult>> rout;
+  rjob.run([&](Result<MpiIoResult> r) { rout = std::move(r); });
+  mc.sim.run();
+  ASSERT_TRUE(rout.has_value() && rout->ok());
+  EXPECT_GT((*rout)->aggregate_MBps(), 0.0);
+}
+
+TEST(Workload, EnzoWritesNumberedDumps) {
+  MiniCluster mc;
+  gpfs::Client* c = mc.mount_on(2);
+  EnzoConfig cfg;
+  cfg.dump_bytes = 8 * MiB;
+  cfg.dumps = 3;
+  cfg.app_rate = 0;  // unthrottled for test speed
+  cfg.compute_gap_s = 1.0;
+  EnzoWriter enzo(c, "/enzo", kAlice, cfg);
+  std::optional<Status> st;
+  enzo.run([&](const Status& s) { st = s; });
+  mc.sim.run();
+  ASSERT_TRUE(st.has_value() && st->ok()) << st->to_string();
+  EXPECT_EQ(enzo.dumps_completed(), 3u);
+  EXPECT_TRUE(mc.fs->ns().exists("/enzo/dump_0000"));
+  EXPECT_TRUE(mc.fs->ns().exists("/enzo/dump_0002"));
+  EXPECT_EQ(mc.fs->ns().stat("/enzo/dump_0001")->size, 8 * MiB);
+}
+
+TEST(Workload, SortAppReadsAndWritesEqually) {
+  MiniCluster mc;
+  gpfs::Client* w = mc.mount_on(2);
+  auto fh = mc.open(w, "/input", kAlice, gpfs::OpenFlags::create_rw());
+  ASSERT_TRUE(mc.write(w, *fh, 0, 16 * MiB).ok());
+  ASSERT_TRUE(mc.close(w, *fh).ok());
+  mc.cluster->unmount(w);
+
+  gpfs::Client* s = mc.mount_on(3);
+  SortConfig cfg;
+  cfg.total = 16 * MiB;
+  cfg.phase = 4 * MiB;
+  SortApp sort(s, "/input", "/output", kAlice, cfg);
+  std::optional<Status> st;
+  sort.run([&](const Status& r) { st = r; });
+  mc.sim.run();
+  ASSERT_TRUE(st.has_value() && st->ok()) << st->to_string();
+  EXPECT_EQ(sort.bytes_read(), 16 * MiB);
+  EXPECT_EQ(sort.bytes_written(), 16 * MiB);
+  EXPECT_EQ(mc.fs->ns().stat("/output")->size, 16 * MiB);
+}
+
+TEST(Workload, NvoTouchesOnlyAFraction) {
+  MiniCluster mc;
+  gpfs::Client* w = mc.mount_on(2);
+  auto fh = mc.open(w, "/nvo.dat", kAlice, gpfs::OpenFlags::create_rw());
+  ASSERT_TRUE(mc.write(w, *fh, 0, 256 * MiB).ok());
+  ASSERT_TRUE(mc.close(w, *fh).ok());
+  mc.cluster->unmount(w);
+
+  gpfs::Client* q = mc.mount_on(3);
+  NvoConfig cfg;
+  cfg.queries = 8;
+  cfg.mean_query_bytes = 4 * MiB;
+  NvoQueryStream nvo(q, "/nvo.dat", kAlice, cfg);
+  std::optional<Result<NvoStats>> out;
+  nvo.run([&](Result<NvoStats> r) { out = std::move(r); });
+  mc.sim.run();
+  ASSERT_TRUE(out.has_value() && out->ok());
+  EXPECT_EQ((*out)->queries, 8u);
+  EXPECT_GT((*out)->bytes_touched, 0u);
+  // The point of the paradigm: far less than the whole dataset moved.
+  EXPECT_LT(q->bytes_read_remote(), 128 * MiB);
+}
+
+}  // namespace
+}  // namespace mgfs::workload
