@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_readahead.dir/ablation_readahead.cpp.o"
+  "CMakeFiles/ablation_readahead.dir/ablation_readahead.cpp.o.d"
+  "ablation_readahead"
+  "ablation_readahead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_readahead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

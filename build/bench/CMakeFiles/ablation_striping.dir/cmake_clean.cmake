@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_striping.dir/ablation_striping.cpp.o"
+  "CMakeFiles/ablation_striping.dir/ablation_striping.cpp.o.d"
+  "ablation_striping"
+  "ablation_striping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_striping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wan_transport.dir/ablation_wan_transport.cpp.o"
+  "CMakeFiles/ablation_wan_transport.dir/ablation_wan_transport.cpp.o.d"
+  "ablation_wan_transport"
+  "ablation_wan_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wan_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_sc02_fcip.dir/fig2_sc02_fcip.cpp.o"
+  "CMakeFiles/fig2_sc02_fcip.dir/fig2_sc02_fcip.cpp.o.d"
+  "fig2_sc02_fcip"
+  "fig2_sc02_fcip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_sc02_fcip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

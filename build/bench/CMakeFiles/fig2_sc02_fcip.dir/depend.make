@@ -1,0 +1,2 @@
+# Empty dependencies file for fig2_sc02_fcip.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_sc03_native.dir/fig5_sc03_native.cpp.o"
+  "CMakeFiles/fig5_sc03_native.dir/fig5_sc03_native.cpp.o.d"
+  "fig5_sc03_native"
+  "fig5_sc03_native.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_sc03_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_sc04_grid.dir/fig8_sc04_grid.cpp.o"
+  "CMakeFiles/fig8_sc04_grid.dir/fig8_sc04_grid.cpp.o.d"
+  "fig8_sc04_grid"
+  "fig8_sc04_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_sc04_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

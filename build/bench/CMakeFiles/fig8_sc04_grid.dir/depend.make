@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_sc04_grid.
+# This may be replaced when dependencies are built.

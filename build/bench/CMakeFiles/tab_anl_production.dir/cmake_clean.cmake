@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_anl_production.dir/tab_anl_production.cpp.o"
+  "CMakeFiles/tab_anl_production.dir/tab_anl_production.cpp.o.d"
+  "tab_anl_production"
+  "tab_anl_production.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_anl_production.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_auth_modes.dir/tab_auth_modes.cpp.o"
+  "CMakeFiles/tab_auth_modes.dir/tab_auth_modes.cpp.o.d"
+  "tab_auth_modes"
+  "tab_auth_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_auth_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

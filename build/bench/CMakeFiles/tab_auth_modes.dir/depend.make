@@ -1,0 +1,2 @@
+# Empty dependencies file for tab_auth_modes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_deisa.dir/tab_deisa.cpp.o"
+  "CMakeFiles/tab_deisa.dir/tab_deisa.cpp.o.d"
+  "tab_deisa"
+  "tab_deisa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_deisa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab_deisa.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_future_upgrades.dir/tab_future_upgrades.cpp.o"
+  "CMakeFiles/tab_future_upgrades.dir/tab_future_upgrades.cpp.o.d"
+  "tab_future_upgrades"
+  "tab_future_upgrades.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_future_upgrades.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

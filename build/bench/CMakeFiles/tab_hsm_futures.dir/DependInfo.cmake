@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/tab_hsm_futures.cpp" "bench/CMakeFiles/tab_hsm_futures.dir/tab_hsm_futures.cpp.o" "gcc" "bench/CMakeFiles/tab_hsm_futures.dir/tab_hsm_futures.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mgfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mgfs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mgfs_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/san/CMakeFiles/mgfs_san.dir/DependInfo.cmake"
+  "/root/repo/build/src/auth/CMakeFiles/mgfs_auth.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpfs/CMakeFiles/mgfs_gpfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/gridftp/CMakeFiles/mgfs_gridftp.dir/DependInfo.cmake"
+  "/root/repo/build/src/hsm/CMakeFiles/mgfs_hsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mgfs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mgfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_hsm_futures.dir/tab_hsm_futures.cpp.o"
+  "CMakeFiles/tab_hsm_futures.dir/tab_hsm_futures.cpp.o.d"
+  "tab_hsm_futures"
+  "tab_hsm_futures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_hsm_futures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab_hsm_futures.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_paradigm_gfs_vs_ftp.dir/tab_paradigm_gfs_vs_ftp.cpp.o"
+  "CMakeFiles/tab_paradigm_gfs_vs_ftp.dir/tab_paradigm_gfs_vs_ftp.cpp.o.d"
+  "tab_paradigm_gfs_vs_ftp"
+  "tab_paradigm_gfs_vs_ftp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_paradigm_gfs_vs_ftp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

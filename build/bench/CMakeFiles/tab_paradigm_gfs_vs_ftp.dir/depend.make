@@ -1,0 +1,2 @@
+# Empty dependencies file for tab_paradigm_gfs_vs_ftp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_sc04_local_san.dir/tab_sc04_local_san.cpp.o"
+  "CMakeFiles/tab_sc04_local_san.dir/tab_sc04_local_san.cpp.o.d"
+  "tab_sc04_local_san"
+  "tab_sc04_local_san.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_sc04_local_san.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab_sc04_local_san.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deisa_federation.dir/deisa_federation.cpp.o"
+  "CMakeFiles/deisa_federation.dir/deisa_federation.cpp.o.d"
+  "deisa_federation"
+  "deisa_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deisa_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

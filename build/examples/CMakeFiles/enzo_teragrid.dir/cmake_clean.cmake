@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enzo_teragrid.dir/enzo_teragrid.cpp.o"
+  "CMakeFiles/enzo_teragrid.dir/enzo_teragrid.cpp.o.d"
+  "enzo_teragrid"
+  "enzo_teragrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enzo_teragrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

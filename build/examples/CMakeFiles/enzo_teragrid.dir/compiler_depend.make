@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for enzo_teragrid.
+# This may be replaced when dependencies are built.

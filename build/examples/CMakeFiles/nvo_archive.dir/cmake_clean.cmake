@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvo_archive.dir/nvo_archive.cpp.o"
+  "CMakeFiles/nvo_archive.dir/nvo_archive.cpp.o.d"
+  "nvo_archive"
+  "nvo_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvo_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

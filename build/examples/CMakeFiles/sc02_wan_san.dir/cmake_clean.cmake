@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc02_wan_san.dir/sc02_wan_san.cpp.o"
+  "CMakeFiles/sc02_wan_san.dir/sc02_wan_san.cpp.o.d"
+  "sc02_wan_san"
+  "sc02_wan_san.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc02_wan_san.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/auth/gsi.cpp" "src/auth/CMakeFiles/mgfs_auth.dir/gsi.cpp.o" "gcc" "src/auth/CMakeFiles/mgfs_auth.dir/gsi.cpp.o.d"
+  "/root/repo/src/auth/rsa.cpp" "src/auth/CMakeFiles/mgfs_auth.dir/rsa.cpp.o" "gcc" "src/auth/CMakeFiles/mgfs_auth.dir/rsa.cpp.o.d"
+  "/root/repo/src/auth/sha256.cpp" "src/auth/CMakeFiles/mgfs_auth.dir/sha256.cpp.o" "gcc" "src/auth/CMakeFiles/mgfs_auth.dir/sha256.cpp.o.d"
+  "/root/repo/src/auth/trust.cpp" "src/auth/CMakeFiles/mgfs_auth.dir/trust.cpp.o" "gcc" "src/auth/CMakeFiles/mgfs_auth.dir/trust.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mgfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgfs_auth.dir/gsi.cpp.o"
+  "CMakeFiles/mgfs_auth.dir/gsi.cpp.o.d"
+  "CMakeFiles/mgfs_auth.dir/rsa.cpp.o"
+  "CMakeFiles/mgfs_auth.dir/rsa.cpp.o.d"
+  "CMakeFiles/mgfs_auth.dir/sha256.cpp.o"
+  "CMakeFiles/mgfs_auth.dir/sha256.cpp.o.d"
+  "CMakeFiles/mgfs_auth.dir/trust.cpp.o"
+  "CMakeFiles/mgfs_auth.dir/trust.cpp.o.d"
+  "libmgfs_auth.a"
+  "libmgfs_auth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgfs_auth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgfs_common.dir/histogram.cpp.o"
+  "CMakeFiles/mgfs_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/mgfs_common.dir/log.cpp.o"
+  "CMakeFiles/mgfs_common.dir/log.cpp.o.d"
+  "CMakeFiles/mgfs_common.dir/rng.cpp.o"
+  "CMakeFiles/mgfs_common.dir/rng.cpp.o.d"
+  "CMakeFiles/mgfs_common.dir/timeseries.cpp.o"
+  "CMakeFiles/mgfs_common.dir/timeseries.cpp.o.d"
+  "libmgfs_common.a"
+  "libmgfs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgfs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpfs/alloc.cpp" "src/gpfs/CMakeFiles/mgfs_gpfs.dir/alloc.cpp.o" "gcc" "src/gpfs/CMakeFiles/mgfs_gpfs.dir/alloc.cpp.o.d"
+  "/root/repo/src/gpfs/client.cpp" "src/gpfs/CMakeFiles/mgfs_gpfs.dir/client.cpp.o" "gcc" "src/gpfs/CMakeFiles/mgfs_gpfs.dir/client.cpp.o.d"
+  "/root/repo/src/gpfs/cluster.cpp" "src/gpfs/CMakeFiles/mgfs_gpfs.dir/cluster.cpp.o" "gcc" "src/gpfs/CMakeFiles/mgfs_gpfs.dir/cluster.cpp.o.d"
+  "/root/repo/src/gpfs/filesystem.cpp" "src/gpfs/CMakeFiles/mgfs_gpfs.dir/filesystem.cpp.o" "gcc" "src/gpfs/CMakeFiles/mgfs_gpfs.dir/filesystem.cpp.o.d"
+  "/root/repo/src/gpfs/namespace.cpp" "src/gpfs/CMakeFiles/mgfs_gpfs.dir/namespace.cpp.o" "gcc" "src/gpfs/CMakeFiles/mgfs_gpfs.dir/namespace.cpp.o.d"
+  "/root/repo/src/gpfs/nsd.cpp" "src/gpfs/CMakeFiles/mgfs_gpfs.dir/nsd.cpp.o" "gcc" "src/gpfs/CMakeFiles/mgfs_gpfs.dir/nsd.cpp.o.d"
+  "/root/repo/src/gpfs/pagepool.cpp" "src/gpfs/CMakeFiles/mgfs_gpfs.dir/pagepool.cpp.o" "gcc" "src/gpfs/CMakeFiles/mgfs_gpfs.dir/pagepool.cpp.o.d"
+  "/root/repo/src/gpfs/rpc.cpp" "src/gpfs/CMakeFiles/mgfs_gpfs.dir/rpc.cpp.o" "gcc" "src/gpfs/CMakeFiles/mgfs_gpfs.dir/rpc.cpp.o.d"
+  "/root/repo/src/gpfs/token.cpp" "src/gpfs/CMakeFiles/mgfs_gpfs.dir/token.cpp.o" "gcc" "src/gpfs/CMakeFiles/mgfs_gpfs.dir/token.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/mgfs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mgfs_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/auth/CMakeFiles/mgfs_auth.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mgfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mgfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

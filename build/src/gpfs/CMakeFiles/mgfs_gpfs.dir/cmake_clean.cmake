@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgfs_gpfs.dir/alloc.cpp.o"
+  "CMakeFiles/mgfs_gpfs.dir/alloc.cpp.o.d"
+  "CMakeFiles/mgfs_gpfs.dir/client.cpp.o"
+  "CMakeFiles/mgfs_gpfs.dir/client.cpp.o.d"
+  "CMakeFiles/mgfs_gpfs.dir/cluster.cpp.o"
+  "CMakeFiles/mgfs_gpfs.dir/cluster.cpp.o.d"
+  "CMakeFiles/mgfs_gpfs.dir/filesystem.cpp.o"
+  "CMakeFiles/mgfs_gpfs.dir/filesystem.cpp.o.d"
+  "CMakeFiles/mgfs_gpfs.dir/namespace.cpp.o"
+  "CMakeFiles/mgfs_gpfs.dir/namespace.cpp.o.d"
+  "CMakeFiles/mgfs_gpfs.dir/nsd.cpp.o"
+  "CMakeFiles/mgfs_gpfs.dir/nsd.cpp.o.d"
+  "CMakeFiles/mgfs_gpfs.dir/pagepool.cpp.o"
+  "CMakeFiles/mgfs_gpfs.dir/pagepool.cpp.o.d"
+  "CMakeFiles/mgfs_gpfs.dir/rpc.cpp.o"
+  "CMakeFiles/mgfs_gpfs.dir/rpc.cpp.o.d"
+  "CMakeFiles/mgfs_gpfs.dir/token.cpp.o"
+  "CMakeFiles/mgfs_gpfs.dir/token.cpp.o.d"
+  "libmgfs_gpfs.a"
+  "libmgfs_gpfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgfs_gpfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

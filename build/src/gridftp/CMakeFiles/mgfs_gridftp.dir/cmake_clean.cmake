@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgfs_gridftp.dir/filestore.cpp.o"
+  "CMakeFiles/mgfs_gridftp.dir/filestore.cpp.o.d"
+  "CMakeFiles/mgfs_gridftp.dir/gridftp.cpp.o"
+  "CMakeFiles/mgfs_gridftp.dir/gridftp.cpp.o.d"
+  "libmgfs_gridftp.a"
+  "libmgfs_gridftp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgfs_gridftp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

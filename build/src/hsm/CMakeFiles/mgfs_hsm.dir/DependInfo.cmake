@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hsm/hsm.cpp" "src/hsm/CMakeFiles/mgfs_hsm.dir/hsm.cpp.o" "gcc" "src/hsm/CMakeFiles/mgfs_hsm.dir/hsm.cpp.o.d"
+  "/root/repo/src/hsm/tape.cpp" "src/hsm/CMakeFiles/mgfs_hsm.dir/tape.cpp.o" "gcc" "src/hsm/CMakeFiles/mgfs_hsm.dir/tape.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mgfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mgfs_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/gridftp/CMakeFiles/mgfs_gridftp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mgfs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mgfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgfs_hsm.dir/hsm.cpp.o"
+  "CMakeFiles/mgfs_hsm.dir/hsm.cpp.o.d"
+  "CMakeFiles/mgfs_hsm.dir/tape.cpp.o"
+  "CMakeFiles/mgfs_hsm.dir/tape.cpp.o.d"
+  "libmgfs_hsm.a"
+  "libmgfs_hsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgfs_hsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mgfs_hsm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgfs_net.dir/network.cpp.o"
+  "CMakeFiles/mgfs_net.dir/network.cpp.o.d"
+  "CMakeFiles/mgfs_net.dir/presets.cpp.o"
+  "CMakeFiles/mgfs_net.dir/presets.cpp.o.d"
+  "CMakeFiles/mgfs_net.dir/tcp.cpp.o"
+  "CMakeFiles/mgfs_net.dir/tcp.cpp.o.d"
+  "libmgfs_net.a"
+  "libmgfs_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgfs_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgfs_san.dir/fabric.cpp.o"
+  "CMakeFiles/mgfs_san.dir/fabric.cpp.o.d"
+  "CMakeFiles/mgfs_san.dir/fcip.cpp.o"
+  "CMakeFiles/mgfs_san.dir/fcip.cpp.o.d"
+  "CMakeFiles/mgfs_san.dir/hba.cpp.o"
+  "CMakeFiles/mgfs_san.dir/hba.cpp.o.d"
+  "libmgfs_san.a"
+  "libmgfs_san.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgfs_san.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

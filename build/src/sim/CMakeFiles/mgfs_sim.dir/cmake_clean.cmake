@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgfs_sim.dir/pipe.cpp.o"
+  "CMakeFiles/mgfs_sim.dir/pipe.cpp.o.d"
+  "CMakeFiles/mgfs_sim.dir/simulator.cpp.o"
+  "CMakeFiles/mgfs_sim.dir/simulator.cpp.o.d"
+  "libmgfs_sim.a"
+  "libmgfs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgfs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

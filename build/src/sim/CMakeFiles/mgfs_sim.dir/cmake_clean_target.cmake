@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmgfs_sim.a"
+)

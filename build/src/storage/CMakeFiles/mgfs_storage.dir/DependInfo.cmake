@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/array.cpp" "src/storage/CMakeFiles/mgfs_storage.dir/array.cpp.o" "gcc" "src/storage/CMakeFiles/mgfs_storage.dir/array.cpp.o.d"
+  "/root/repo/src/storage/disk.cpp" "src/storage/CMakeFiles/mgfs_storage.dir/disk.cpp.o" "gcc" "src/storage/CMakeFiles/mgfs_storage.dir/disk.cpp.o.d"
+  "/root/repo/src/storage/raid.cpp" "src/storage/CMakeFiles/mgfs_storage.dir/raid.cpp.o" "gcc" "src/storage/CMakeFiles/mgfs_storage.dir/raid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mgfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mgfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgfs_storage.dir/array.cpp.o"
+  "CMakeFiles/mgfs_storage.dir/array.cpp.o.d"
+  "CMakeFiles/mgfs_storage.dir/disk.cpp.o"
+  "CMakeFiles/mgfs_storage.dir/disk.cpp.o.d"
+  "CMakeFiles/mgfs_storage.dir/raid.cpp.o"
+  "CMakeFiles/mgfs_storage.dir/raid.cpp.o.d"
+  "libmgfs_storage.a"
+  "libmgfs_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgfs_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgfs_workload.dir/apps.cpp.o"
+  "CMakeFiles/mgfs_workload.dir/apps.cpp.o.d"
+  "CMakeFiles/mgfs_workload.dir/mpiio.cpp.o"
+  "CMakeFiles/mgfs_workload.dir/mpiio.cpp.o.d"
+  "CMakeFiles/mgfs_workload.dir/stream.cpp.o"
+  "CMakeFiles/mgfs_workload.dir/stream.cpp.o.d"
+  "libmgfs_workload.a"
+  "libmgfs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgfs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_admin.cpp" "tests/CMakeFiles/mgfs_tests.dir/test_admin.cpp.o" "gcc" "tests/CMakeFiles/mgfs_tests.dir/test_admin.cpp.o.d"
+  "/root/repo/tests/test_alloc.cpp" "tests/CMakeFiles/mgfs_tests.dir/test_alloc.cpp.o" "gcc" "tests/CMakeFiles/mgfs_tests.dir/test_alloc.cpp.o.d"
+  "/root/repo/tests/test_array.cpp" "tests/CMakeFiles/mgfs_tests.dir/test_array.cpp.o" "gcc" "tests/CMakeFiles/mgfs_tests.dir/test_array.cpp.o.d"
+  "/root/repo/tests/test_client_namespace.cpp" "tests/CMakeFiles/mgfs_tests.dir/test_client_namespace.cpp.o" "gcc" "tests/CMakeFiles/mgfs_tests.dir/test_client_namespace.cpp.o.d"
+  "/root/repo/tests/test_concurrency.cpp" "tests/CMakeFiles/mgfs_tests.dir/test_concurrency.cpp.o" "gcc" "tests/CMakeFiles/mgfs_tests.dir/test_concurrency.cpp.o.d"
+  "/root/repo/tests/test_determinism.cpp" "tests/CMakeFiles/mgfs_tests.dir/test_determinism.cpp.o" "gcc" "tests/CMakeFiles/mgfs_tests.dir/test_determinism.cpp.o.d"
+  "/root/repo/tests/test_disk.cpp" "tests/CMakeFiles/mgfs_tests.dir/test_disk.cpp.o" "gcc" "tests/CMakeFiles/mgfs_tests.dir/test_disk.cpp.o.d"
+  "/root/repo/tests/test_fabric.cpp" "tests/CMakeFiles/mgfs_tests.dir/test_fabric.cpp.o" "gcc" "tests/CMakeFiles/mgfs_tests.dir/test_fabric.cpp.o.d"
+  "/root/repo/tests/test_failures.cpp" "tests/CMakeFiles/mgfs_tests.dir/test_failures.cpp.o" "gcc" "tests/CMakeFiles/mgfs_tests.dir/test_failures.cpp.o.d"
+  "/root/repo/tests/test_fs_properties.cpp" "tests/CMakeFiles/mgfs_tests.dir/test_fs_properties.cpp.o" "gcc" "tests/CMakeFiles/mgfs_tests.dir/test_fs_properties.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/mgfs_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/mgfs_tests.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_gpfs_client.cpp" "tests/CMakeFiles/mgfs_tests.dir/test_gpfs_client.cpp.o" "gcc" "tests/CMakeFiles/mgfs_tests.dir/test_gpfs_client.cpp.o.d"
+  "/root/repo/tests/test_gridftp.cpp" "tests/CMakeFiles/mgfs_tests.dir/test_gridftp.cpp.o" "gcc" "tests/CMakeFiles/mgfs_tests.dir/test_gridftp.cpp.o.d"
+  "/root/repo/tests/test_gsi.cpp" "tests/CMakeFiles/mgfs_tests.dir/test_gsi.cpp.o" "gcc" "tests/CMakeFiles/mgfs_tests.dir/test_gsi.cpp.o.d"
+  "/root/repo/tests/test_histogram.cpp" "tests/CMakeFiles/mgfs_tests.dir/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/mgfs_tests.dir/test_histogram.cpp.o.d"
+  "/root/repo/tests/test_hsm.cpp" "tests/CMakeFiles/mgfs_tests.dir/test_hsm.cpp.o" "gcc" "tests/CMakeFiles/mgfs_tests.dir/test_hsm.cpp.o.d"
+  "/root/repo/tests/test_misc.cpp" "tests/CMakeFiles/mgfs_tests.dir/test_misc.cpp.o" "gcc" "tests/CMakeFiles/mgfs_tests.dir/test_misc.cpp.o.d"
+  "/root/repo/tests/test_multicluster.cpp" "tests/CMakeFiles/mgfs_tests.dir/test_multicluster.cpp.o" "gcc" "tests/CMakeFiles/mgfs_tests.dir/test_multicluster.cpp.o.d"
+  "/root/repo/tests/test_namespace.cpp" "tests/CMakeFiles/mgfs_tests.dir/test_namespace.cpp.o" "gcc" "tests/CMakeFiles/mgfs_tests.dir/test_namespace.cpp.o.d"
+  "/root/repo/tests/test_network.cpp" "tests/CMakeFiles/mgfs_tests.dir/test_network.cpp.o" "gcc" "tests/CMakeFiles/mgfs_tests.dir/test_network.cpp.o.d"
+  "/root/repo/tests/test_pagepool.cpp" "tests/CMakeFiles/mgfs_tests.dir/test_pagepool.cpp.o" "gcc" "tests/CMakeFiles/mgfs_tests.dir/test_pagepool.cpp.o.d"
+  "/root/repo/tests/test_pipe.cpp" "tests/CMakeFiles/mgfs_tests.dir/test_pipe.cpp.o" "gcc" "tests/CMakeFiles/mgfs_tests.dir/test_pipe.cpp.o.d"
+  "/root/repo/tests/test_raid.cpp" "tests/CMakeFiles/mgfs_tests.dir/test_raid.cpp.o" "gcc" "tests/CMakeFiles/mgfs_tests.dir/test_raid.cpp.o.d"
+  "/root/repo/tests/test_result.cpp" "tests/CMakeFiles/mgfs_tests.dir/test_result.cpp.o" "gcc" "tests/CMakeFiles/mgfs_tests.dir/test_result.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/mgfs_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/mgfs_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_rpc.cpp" "tests/CMakeFiles/mgfs_tests.dir/test_rpc.cpp.o" "gcc" "tests/CMakeFiles/mgfs_tests.dir/test_rpc.cpp.o.d"
+  "/root/repo/tests/test_rsa.cpp" "tests/CMakeFiles/mgfs_tests.dir/test_rsa.cpp.o" "gcc" "tests/CMakeFiles/mgfs_tests.dir/test_rsa.cpp.o.d"
+  "/root/repo/tests/test_san.cpp" "tests/CMakeFiles/mgfs_tests.dir/test_san.cpp.o" "gcc" "tests/CMakeFiles/mgfs_tests.dir/test_san.cpp.o.d"
+  "/root/repo/tests/test_sha256.cpp" "tests/CMakeFiles/mgfs_tests.dir/test_sha256.cpp.o" "gcc" "tests/CMakeFiles/mgfs_tests.dir/test_sha256.cpp.o.d"
+  "/root/repo/tests/test_simulator.cpp" "tests/CMakeFiles/mgfs_tests.dir/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/mgfs_tests.dir/test_simulator.cpp.o.d"
+  "/root/repo/tests/test_tcp.cpp" "tests/CMakeFiles/mgfs_tests.dir/test_tcp.cpp.o" "gcc" "tests/CMakeFiles/mgfs_tests.dir/test_tcp.cpp.o.d"
+  "/root/repo/tests/test_timeseries.cpp" "tests/CMakeFiles/mgfs_tests.dir/test_timeseries.cpp.o" "gcc" "tests/CMakeFiles/mgfs_tests.dir/test_timeseries.cpp.o.d"
+  "/root/repo/tests/test_token.cpp" "tests/CMakeFiles/mgfs_tests.dir/test_token.cpp.o" "gcc" "tests/CMakeFiles/mgfs_tests.dir/test_token.cpp.o.d"
+  "/root/repo/tests/test_trust.cpp" "tests/CMakeFiles/mgfs_tests.dir/test_trust.cpp.o" "gcc" "tests/CMakeFiles/mgfs_tests.dir/test_trust.cpp.o.d"
+  "/root/repo/tests/test_units.cpp" "tests/CMakeFiles/mgfs_tests.dir/test_units.cpp.o" "gcc" "tests/CMakeFiles/mgfs_tests.dir/test_units.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/mgfs_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/mgfs_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mgfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mgfs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mgfs_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/san/CMakeFiles/mgfs_san.dir/DependInfo.cmake"
+  "/root/repo/build/src/auth/CMakeFiles/mgfs_auth.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpfs/CMakeFiles/mgfs_gpfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/gridftp/CMakeFiles/mgfs_gridftp.dir/DependInfo.cmake"
+  "/root/repo/build/src/hsm/CMakeFiles/mgfs_hsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mgfs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mgfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
