@@ -1,0 +1,168 @@
+// Chaos soak: the fault-injection acceptance run.
+//
+// Phase A runs an MPI-IO write + read-back workload on a healthy
+// 4-server / 4-client cluster and records the fault-free goodput.
+// Phase B rebuilds the identical cluster (same seeds) and replays the
+// identical workload under a seeded fault schedule:
+//   * the first NSD server's LAN link flaps (Exp MTTF/MTTR),
+//   * the second NSD server turns fail-slow (50x request CPU),
+//   * the third NSD server is blackholed — accepts traffic, answers
+//     nothing — for a stretch,
+// all while clients run with a tight RPC deadline so recovery comes
+// from the retry/breaker machinery, not from waiting out the faults.
+//
+// Pass criteria (printed and enforced via exit code):
+//   * the job completes, and every byte written is read back (no loss),
+//   * chaos goodput >= 50% of the fault-free run,
+//   * the recovery counters (retries, timeouts, breaker opens) are
+//     nonzero — the run actually exercised the machinery.
+#include <cstdio>
+#include <iostream>
+#include <optional>
+
+#include "bench_util.hpp"
+#include "fault/injector.hpp"
+#include "workload/mpiio.hpp"
+
+using namespace mgfs;
+
+namespace {
+
+struct RunResult {
+  double write_MBps = 0;
+  double read_MBps = 0;
+  Bytes bytes_written = 0;
+  Bytes bytes_read = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t breaker_opens = 0;
+  std::uint64_t failovers = 0;
+  std::string mmpmon;
+};
+
+constexpr std::size_t kServers = 4;
+constexpr std::size_t kClients = 4;
+constexpr Bytes kPerTask = 64 * MiB;
+
+RunResult run_workload(bool inject_faults) {
+  sim::Simulator sim;
+  net::Network net(sim);
+  // Hosts: servers, manager, writer clients, then a second bank of
+  // reader clients (cold caches — the read-back must hit the devices,
+  // otherwise "zero data loss" only checks the writers' pagepools).
+  net::Site site =
+      net::add_site(net, "s", kServers + 1 + 2 * kClients, gbps(1.0));
+
+  gpfs::ClusterConfig ccfg;
+  ccfg.name = "chaos";
+  // Tight deadline: faults must be survived by retry/failover/breakers,
+  // not by outlasting them.
+  ccfg.client.rpc_deadline = 0.5;
+  gpfs::Cluster cluster(sim, net, ccfg, Rng(42));
+
+  bench::ServerFarm farm = bench::make_rate_farm(
+      cluster, sim, site, /*first_host=*/0, kServers, /*nsd_count=*/8,
+      BytesPerSec(200e6), /*device_capacity=*/4 * GiB, "chaos");
+
+  std::vector<gpfs::Client*> clients;
+  std::vector<gpfs::Client*> readers;
+  for (std::size_t i = 0; i < 2 * kClients; ++i) {
+    net::NodeId n = site.hosts.at(kServers + 1 + i);
+    cluster.add_node(n);
+    auto c = cluster.mount("chaos", n);
+    MGFS_ASSERT(c.ok(), "mount failed");
+    (i < kClients ? clients : readers).push_back(*c);
+  }
+
+  fault::FaultInjector inject(net, Rng(1337));
+  inject.watch_pool(cluster.connection_pool());
+  if (inject_faults) {
+    // Server 0: LAN link flaps between host and switch.
+    inject.flap_link(farm.server_nodes[0], site.sw, /*mttf=*/1.5,
+                     /*mttr=*/0.2, /*start=*/0.1, /*until=*/8.0);
+    // Server 1: fail-slow, 50x request CPU for 1.5 s.
+    inject.schedule_fail_slow(0.2, *cluster.server_on(farm.server_nodes[1]),
+                              50.0, 1.5);
+    // Server 2: blackholed for 1.5 s.
+    inject.schedule_blackhole(0.5, farm.server_nodes[2], 1.5);
+  }
+
+  workload::MpiIoConfig wcfg;
+  wcfg.block = 16 * MiB;
+  wcfg.transfer = 1 * MiB;
+  wcfg.per_task = kPerTask;
+  wcfg.write = true;
+  std::optional<Result<workload::MpiIoResult>> wres;
+  workload::MpiIoJob writer(clients, "/soak", bench::kUser, wcfg);
+  writer.run([&](Result<workload::MpiIoResult> r) { wres = std::move(r); });
+  sim.run();
+  MGFS_ASSERT(wres.has_value(), "write phase did not complete");
+  MGFS_ASSERT(wres->ok(), "write phase failed");
+
+  wcfg.write = false;
+  std::optional<Result<workload::MpiIoResult>> rres;
+  workload::MpiIoJob reader(readers, "/soak", bench::kUser, wcfg);
+  reader.run([&](Result<workload::MpiIoResult> r) { rres = std::move(r); });
+  sim.run();
+  MGFS_ASSERT(rres.has_value(), "read phase did not complete");
+  MGFS_ASSERT(rres->ok(), "read-back phase failed");
+
+  RunResult out;
+  out.write_MBps = (*wres)->aggregate_MBps();
+  out.read_MBps = (*rres)->aggregate_MBps();
+  out.bytes_written = (*wres)->bytes;
+  out.bytes_read = (*rres)->bytes;
+  for (gpfs::Client* c : clients) {
+    out.retries += c->rpc_retries();
+    out.timeouts += c->rpc_timeouts();
+    out.breaker_opens += c->breaker_opens();
+    out.failovers += c->nsd_failovers();
+  }
+  out.mmpmon = clients[0]->mmpmon();
+  if (inject_faults) {
+    std::cout << "\n" << inject.report();
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("chaos_soak",
+                "seeded fault schedule vs. fault-free baseline");
+
+  std::cout << "\nPhase A: fault-free baseline\n";
+  RunResult base = run_workload(/*inject_faults=*/false);
+  std::printf("  write %.1f MB/s, read %.1f MB/s\n", base.write_MBps,
+              base.read_MBps);
+
+  std::cout << "\nPhase B: chaos (link flaps + fail-slow + blackhole)\n";
+  RunResult chaos = run_workload(/*inject_faults=*/true);
+  std::printf("  write %.1f MB/s, read %.1f MB/s\n", chaos.write_MBps,
+              chaos.read_MBps);
+  std::printf("  retries %llu, timeouts %llu, breaker opens %llu, "
+              "failovers %llu\n",
+              static_cast<unsigned long long>(chaos.retries),
+              static_cast<unsigned long long>(chaos.timeouts),
+              static_cast<unsigned long long>(chaos.breaker_opens),
+              static_cast<unsigned long long>(chaos.failovers));
+  std::cout << "\nclient 0 mmpmon (chaos run):\n" << chaos.mmpmon;
+
+  const Bytes expected = kClients * kPerTask;
+  bool ok = true;
+  auto check = [&](bool cond, const char* what) {
+    std::printf("  [%s] %s\n", cond ? "PASS" : "FAIL", what);
+    ok = ok && cond;
+  };
+  std::cout << "\nAcceptance:\n";
+  check(chaos.bytes_written == expected && chaos.bytes_read == expected,
+        "all bytes written and read back (zero data loss)");
+  check(chaos.write_MBps >= 0.5 * base.write_MBps,
+        "chaos write goodput >= 50% of fault-free");
+  check(chaos.read_MBps >= 0.5 * base.read_MBps,
+        "chaos read goodput >= 50% of fault-free");
+  check(chaos.timeouts > 0, "RPC deadlines actually expired");
+  check(chaos.retries > 0, "retry policy actually engaged");
+  check(chaos.breaker_opens > 0, "circuit breaker actually opened");
+  return ok ? 0 : 1;
+}

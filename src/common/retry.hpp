@@ -1,0 +1,44 @@
+// RetryPolicy: bounded exponential backoff with deterministic jitter.
+//
+// The recovery half of the fault model (DESIGN.md "Failure model"):
+// callers facing a transient error — an unreachable node, an RPC
+// deadline expiry — re-issue the operation after an exponentially
+// growing delay. Jitter is drawn from the caller's seeded Rng so two
+// runs with the same seed back off identically; there is no wall clock
+// and no global randomness anywhere in the policy.
+#pragma once
+
+#include <algorithm>
+
+#include "common/result.hpp"
+#include "common/rng.hpp"
+
+namespace mgfs {
+
+struct RetryPolicy {
+  int max_attempts = 4;      // total tries, including the first
+  double base = 0.010;       // backoff before the first retry (seconds)
+  double multiplier = 2.0;   // growth per retry
+  double max_backoff = 1.0;  // backoff ceiling (seconds)
+  double jitter = 0.5;       // +/- fraction of the nominal delay
+
+  /// Is a `attempt`-th failure (0-based) final under this policy?
+  bool exhausted(int attempt) const { return attempt + 1 >= max_attempts; }
+
+  /// Delay before retry number `attempt` + 1 (attempt is 0-based).
+  double backoff(int attempt, Rng& rng) const {
+    double d = base;
+    for (int i = 0; i < attempt; ++i) d *= multiplier;
+    d = std::min(d, max_backoff);
+    if (jitter > 0.0) d *= rng.uniform(1.0 - jitter, 1.0 + jitter);
+    return std::max(d, 0.0);
+  }
+};
+
+/// Errors worth re-issuing: the peer (or path) may heal. Everything
+/// else — permission, namespace, media loss — is final.
+inline bool retryable(Errc e) {
+  return e == Errc::unavailable || e == Errc::timed_out;
+}
+
+}  // namespace mgfs

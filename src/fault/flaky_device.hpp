@@ -1,0 +1,52 @@
+// FlakyDevice: latent media errors for the fault engine.
+//
+// Wraps any BlockDevice and fails a seeded fraction of operations with
+// Errc::io_error before they reach the inner device — the latent sector
+// error / controller hiccup class of fault. Errors here are FINAL from
+// the client's point of view (retrying a dead sector does not help;
+// see retryable() in common/retry.hpp), which is exactly what makes
+// them worth injecting: they must surface, not be retried into
+// oblivion.
+#pragma once
+
+#include "common/rng.hpp"
+#include "storage/block_device.hpp"
+
+namespace mgfs::fault {
+
+class FlakyDevice final : public storage::BlockDevice {
+ public:
+  /// Fail each op independently with probability `error_rate`, drawn
+  /// from `rng` at issue time (deterministic given seed + op order).
+  FlakyDevice(sim::Simulator& sim, storage::BlockDevice& inner, Rng rng,
+              double error_rate)
+      : sim_(sim), inner_(inner), rng_(rng), error_rate_(error_rate) {
+    MGFS_ASSERT(error_rate >= 0.0 && error_rate <= 1.0,
+                "error rate must be a probability");
+  }
+
+  void io(Bytes offset, Bytes len, bool write,
+          storage::IoCallback done) override {
+    if (rng_.uniform() < error_rate_) {
+      ++errors_injected_;
+      sim_.defer([done = std::move(done)] {
+        done(Status(Errc::io_error, "injected latent media error"));
+      });
+      return;
+    }
+    inner_.io(offset, len, write, std::move(done));
+  }
+
+  Bytes capacity() const override { return inner_.capacity(); }
+
+  std::uint64_t errors_injected() const { return errors_injected_; }
+
+ private:
+  sim::Simulator& sim_;
+  storage::BlockDevice& inner_;
+  Rng rng_;
+  double error_rate_;
+  std::uint64_t errors_injected_ = 0;
+};
+
+}  // namespace mgfs::fault

@@ -1,0 +1,149 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace mgfs::fault {
+
+namespace {
+/// Absolute schedule time -> relative delay; an `at` already in the
+/// past fires immediately instead of asserting on a negative delay.
+sim::Time delay_until(sim::Simulator& sim, sim::Time at) {
+  return std::max(0.0, at - sim.now());
+}
+}  // namespace
+
+FaultInjector::FaultInjector(net::Network& net, Rng rng)
+    : net_(net), rng_(rng) {}
+
+// --- scripted one-shots ------------------------------------------------
+
+void FaultInjector::schedule_link_cut(sim::Time at, net::NodeId a,
+                                      net::NodeId b, sim::Time duration) {
+  net_.simulator().after(delay_until(net_.simulator(), at),
+                         [this, a, b, duration] { cut_link_now(a, b, duration); });
+}
+
+void FaultInjector::schedule_node_crash(sim::Time at, net::NodeId n,
+                                        sim::Time duration) {
+  net_.simulator().after(delay_until(net_.simulator(), at),
+                         [this, n, duration] { crash_node_now(n, duration); });
+}
+
+void FaultInjector::schedule_blackhole(sim::Time at, net::NodeId n,
+                                       sim::Time duration) {
+  sim::Simulator& sim = net_.simulator();
+  sim.after(delay_until(sim, at), [this, n, duration] {
+    ++blackholes_;
+    MGFS_WARN("fault", "node " << n.v << " blackholed for " << duration
+                               << "s");
+    net_.set_node_blackholed(n, true);
+    net_.simulator().after(duration, [this, n] {
+      net_.set_node_blackholed(n, false);
+      MGFS_INFO("fault", "node " << n.v << " un-blackholed");
+    });
+  });
+}
+
+void FaultInjector::schedule_fail_slow(sim::Time at, gpfs::NsdServer& srv,
+                                       double factor, sim::Time duration) {
+  sim::Simulator& sim = net_.simulator();
+  gpfs::NsdServer* s = &srv;
+  sim.after(delay_until(sim, at), [this, s, factor, duration] {
+    ++fail_slows_;
+    MGFS_WARN("fault", "NSD server " << s->name() << " fail-slow x" << factor
+                                     << " for " << duration << "s");
+    s->set_slow_factor(factor);
+    net_.simulator().after(duration, [s] { s->set_slow_factor(1.0); });
+  });
+}
+
+// --- fault bodies ------------------------------------------------------
+
+void FaultInjector::cut_link_now(net::NodeId a, net::NodeId b,
+                                 sim::Time duration) {
+  ++link_cuts_;
+  MGFS_WARN("fault", "link " << a.v << "<->" << b.v << " cut for " << duration
+                             << "s");
+  net_.set_link_up(a, b, false);
+  net_.simulator().after(duration, [this, a, b] {
+    net_.set_link_up(a, b, true);
+    MGFS_INFO("fault", "link " << a.v << "<->" << b.v << " restored");
+  });
+}
+
+void FaultInjector::crash_node_now(net::NodeId n, sim::Time duration) {
+  ++node_crashes_;
+  MGFS_WARN("fault", "node " << n.v << " crashed for " << duration << "s");
+  net_.set_node_up(n, false);
+  net_.simulator().after(duration, [this, n] {
+    net_.set_node_up(n, true);
+    // Restart semantics: the daemon comes back and re-dials, so pooled
+    // connections that failed while it was down are usable again.
+    if (pool_ != nullptr) pool_->reset_node(n);
+    MGFS_INFO("fault", "node " << n.v << " restarted");
+  });
+}
+
+// --- stochastic processes ----------------------------------------------
+
+void FaultInjector::flap_link(net::NodeId a, net::NodeId b, sim::Time mttf,
+                              sim::Time mttr, sim::Time start,
+                              sim::Time until) {
+  MGFS_ASSERT(mttf > 0.0 && mttr > 0.0, "MTTF/MTTR must be positive");
+  net_.simulator().after(delay_until(net_.simulator(), start),
+                         [this, a, b, mttf, mttr, until] {
+                           flap_once(a, b, mttf, mttr, until);
+                         });
+}
+
+void FaultInjector::flap_once(net::NodeId a, net::NodeId b, sim::Time mttf,
+                              sim::Time mttr, sim::Time until) {
+  const sim::Time ttf = rng_.exponential(mttf);
+  const sim::Time outage = rng_.exponential(mttr);
+  net_.simulator().after(ttf, [this, a, b, mttf, mttr, outage, until] {
+    if (net_.simulator().now() > until) return;  // schedule expired
+    cut_link_now(a, b, outage);
+    // Next failure is drawn after this outage heals.
+    net_.simulator().after(outage, [this, a, b, mttf, mttr, until] {
+      flap_once(a, b, mttf, mttr, until);
+    });
+  });
+}
+
+void FaultInjector::churn_node(net::NodeId n, sim::Time mttf, sim::Time mttr,
+                               sim::Time start, sim::Time until) {
+  MGFS_ASSERT(mttf > 0.0 && mttr > 0.0, "MTTF/MTTR must be positive");
+  net_.simulator().after(delay_until(net_.simulator(), start),
+                         [this, n, mttf, mttr, until] {
+                           churn_once(n, mttf, mttr, until);
+                         });
+}
+
+void FaultInjector::churn_once(net::NodeId n, sim::Time mttf, sim::Time mttr,
+                               sim::Time until) {
+  const sim::Time ttf = rng_.exponential(mttf);
+  const sim::Time outage = rng_.exponential(mttr);
+  net_.simulator().after(ttf, [this, n, mttf, mttr, outage, until] {
+    if (net_.simulator().now() > until) return;
+    crash_node_now(n, outage);
+    net_.simulator().after(outage, [this, n, mttf, mttr, until] {
+      churn_once(n, mttf, mttr, until);
+    });
+  });
+}
+
+std::string FaultInjector::report() const {
+  std::ostringstream os;
+  os << "fault injector report\n"
+     << "  link_cuts    " << link_cuts_ << "\n"
+     << "  node_crashes " << node_crashes_ << "\n"
+     << "  blackholes   " << blackholes_ << "\n"
+     << "  fail_slows   " << fail_slows_ << "\n";
+  return os.str();
+}
+
+}  // namespace mgfs::fault

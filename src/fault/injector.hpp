@@ -1,0 +1,94 @@
+// FaultInjector: deterministic, seed-driven failure schedules.
+//
+// The robustness half of the simulator: production WAN file systems die
+// from the faults the demos never showed — flapping transatlantic
+// links, crashed NSD servers, and the gray failures (silent blackholes,
+// fail-slow servers, latent media errors) the recovery machinery in
+// gpfs/ exists for. The injector turns a seed plus a schedule into
+// simulator events, so a chaos run is exactly as reproducible as a
+// clean one: same seed, same faults, same byte-identical mmpmon.
+//
+// Two idioms:
+//   * scripted one-shots — schedule_link_cut(at, a, b, for) and
+//     friends; exact times, exact targets. Tests use these.
+//   * stochastic processes — flap_link / churn_node draw failure and
+//     repair intervals from exponential distributions (MTTF / MTTR)
+//     on the injector's own Rng stream. Soak benches use these.
+//
+// Every injected fault schedules its own repair, even past `until`, so
+// when the schedule ends the system is healed — a run that finishes
+// degraded is a recovery bug, not an injector artifact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+#include "gpfs/nsd.hpp"
+#include "gpfs/rpc.hpp"
+#include "net/network.hpp"
+
+namespace mgfs::fault {
+
+class FaultInjector {
+ public:
+  FaultInjector(net::Network& net, Rng rng);
+
+  /// Optional: when a crashed/churned node restarts, also reset the
+  /// broken pooled connections touching it, like a reconnecting daemon.
+  void watch_pool(gpfs::ConnectionPool& pool) { pool_ = &pool; }
+
+  // --- scripted one-shots -----------------------------------------------
+  /// Cut the a<->b link at `at`; restore it `duration` later.
+  void schedule_link_cut(sim::Time at, net::NodeId a, net::NodeId b,
+                         sim::Time duration);
+  /// Crash node `n` at `at` (connection-reset semantics for everyone
+  /// talking to it); restart it `duration` later.
+  void schedule_node_crash(sim::Time at, net::NodeId n, sim::Time duration);
+  /// Blackhole node `n` at `at`: it keeps accepting traffic but answers
+  /// nothing until `duration` later. Only peer deadlines recover.
+  void schedule_blackhole(sim::Time at, net::NodeId n, sim::Time duration);
+  /// Fail-slow: multiply `srv`'s request CPU by `factor` (the gray-
+  /// failure literature's 10-100x) from `at` until `at + duration`.
+  void schedule_fail_slow(sim::Time at, gpfs::NsdServer& srv, double factor,
+                          sim::Time duration);
+
+  // --- stochastic processes ---------------------------------------------
+  /// Flap the a<->b link: starting at `start`, draw time-to-failure from
+  /// Exp(mttf) and outage length from Exp(mttr); stop injecting new
+  /// failures after `until` (in-progress outages still heal).
+  void flap_link(net::NodeId a, net::NodeId b, sim::Time mttf, sim::Time mttr,
+                 sim::Time start, sim::Time until);
+  /// Same process, but crashing and restarting a node.
+  void churn_node(net::NodeId n, sim::Time mttf, sim::Time mttr,
+                  sim::Time start, sim::Time until);
+
+  // --- introspection ------------------------------------------------------
+  std::uint64_t link_cuts() const { return link_cuts_; }
+  std::uint64_t node_crashes() const { return node_crashes_; }
+  std::uint64_t blackholes() const { return blackholes_; }
+  std::uint64_t fail_slows() const { return fail_slows_; }
+  std::uint64_t faults_injected() const {
+    return link_cuts_ + node_crashes_ + blackholes_ + fail_slows_;
+  }
+  /// Human-readable per-kind totals, one line per kind.
+  std::string report() const;
+
+ private:
+  void cut_link_now(net::NodeId a, net::NodeId b, sim::Time duration);
+  void crash_node_now(net::NodeId n, sim::Time duration);
+  void flap_once(net::NodeId a, net::NodeId b, sim::Time mttf, sim::Time mttr,
+                 sim::Time until);
+  void churn_once(net::NodeId n, sim::Time mttf, sim::Time mttr,
+                  sim::Time until);
+
+  net::Network& net_;
+  Rng rng_;
+  gpfs::ConnectionPool* pool_ = nullptr;
+  std::uint64_t link_cuts_ = 0;
+  std::uint64_t node_crashes_ = 0;
+  std::uint64_t blackholes_ = 0;
+  std::uint64_t fail_slows_ = 0;
+};
+
+}  // namespace mgfs::fault

@@ -17,14 +17,53 @@ TokenRange block_span(Bytes offset, Bytes len, Bytes bs) {
 
 }  // namespace
 
-Client::Client(Rpc& rpc, net::NodeId node, ClientId id, ClientConfig cfg)
+Client::Client(Rpc& rpc, net::NodeId node, ClientId id, ClientConfig cfg,
+               Rng rng)
     : rpc_(rpc),
       node_(node),
       id_(id),
       cfg_(cfg),
+      rng_(rng),
       pool_(cfg.pagepool, 1 * MiB),
       cpu_(rpc.pool().network().simulator(),
            "client" + std::to_string(id) + ".cpu") {}
+
+// --------------------------------------------------------------------------
+// metadata path: deadline + bounded retry toward the FS manager
+// --------------------------------------------------------------------------
+
+template <typename R>
+void Client::meta_call(Bytes req_payload, Rpc::ServerFn<R> server,
+                       std::function<void(Result<R>)> done, int attempt) {
+  MGFS_ASSERT(mounted(), "metadata RPC without a mount");
+  rpc_.call<R>(
+      node_, fs_->manager_node(), req_payload, server,
+      [this, req_payload, server, attempt,
+       done = std::move(done)](Result<R> res) mutable {
+        if (res.ok()) {
+          done(std::move(res));
+          return;
+        }
+        if (res.code() == Errc::timed_out) ++rpc_timeouts_;
+        if (!retryable(res.code()) || cfg_.retry.exhausted(attempt)) {
+          done(std::move(res));
+          return;
+        }
+        ++rpc_retries_;
+        simulator().after(
+            cfg_.retry.backoff(attempt, rng_),
+            [this, req_payload, server = std::move(server), attempt,
+             done = std::move(done)]() mutable {
+              if (!mounted()) {
+                done(err(Errc::unavailable, "unmounted during retry"));
+                return;
+              }
+              meta_call<R>(req_payload, std::move(server), std::move(done),
+                           attempt + 1);
+            });
+      },
+      Rpc::CallOptions{cfg_.rpc_deadline});
+}
 
 void Client::bind(FileSystem* fs, AccessMode access, double cipher_s_per_byte,
                   ServerLookup servers) {
@@ -125,8 +164,8 @@ void Client::ensure_token(InodeNum ino, TokenRange r, LockMode mode,
   }
   FileSystem* fs = fs_;
   const ClientId me = id_;
-  rpc_.call<TokenRange>(
-      node_, fs->manager_node(), 64,
+  meta_call<TokenRange>(
+      64,
       [fs, me, ino, r, mode](Rpc::ReplyFn<TokenRange> reply) {
         fs->op_token_acquire(me, ino, r, mode,
                              [reply](Result<TokenRange> res) {
@@ -189,8 +228,8 @@ void Client::ensure_map(InodeNum ino, std::uint64_t first,
       Gather{chunk_starts.size(), Status{}, std::move(done)});
   FileSystem* fs = fs_;
   for (std::uint64_t start : chunk_starts) {
-    rpc_.call<BlockMapChunk>(
-        node_, fs->manager_node(), cfg_.meta_payload,
+    meta_call<BlockMapChunk>(
+        cfg_.meta_payload,
         [fs, ino, start, cs](Rpc::ReplyFn<BlockMapChunk> reply) {
           auto res = fs->op_block_map(ino, start, cs);
           const Bytes payload = 16 * cs;  // ~16 bytes per map entry
@@ -211,21 +250,119 @@ void Client::ensure_map(InodeNum ino, std::uint64_t first,
 // NSD data path
 // --------------------------------------------------------------------------
 
-void Client::nsd_io_attempt(BlockAddr addr, bool write, bool use_backup,
-                            std::function<void(Status)> done) {
+bool Client::admit_server(net::NodeId n) const {
+  auto it = nsd_health_.find(n.v);
+  if (it == nsd_health_.end() || !it->second.open) return true;
+  return simulator().now() >= it->second.next_probe;
+}
+
+void Client::consume_probe(net::NodeId n) {
+  auto it = nsd_health_.find(n.v);
+  if (it == nsd_health_.end() || !it->second.open) return;
+  // Half-open trial: this request is the probe. Push the next one out
+  // so concurrent I/O doesn't stampede a server we believe is dead.
+  // Consumed here — at issue time — rather than when the target list
+  // was built: a backup-position slot that is never exercised must not
+  // burn the probe window.
+  it->second.next_probe = simulator().now() + cfg_.breaker_probe;
+  ++breaker_probes_;
+}
+
+void Client::note_server_ok(net::NodeId n) {
+  auto it = nsd_health_.find(n.v);
+  if (it == nsd_health_.end()) return;
+  it->second.fails = 0;
+  it->second.open = false;
+}
+
+void Client::note_server_fail(net::NodeId n) {
+  ServerHealth& h = nsd_health_[n.v];
+  ++h.fails;
+  if (h.open) {
+    // Failed probe: stay open, space out the next trial.
+    h.next_probe = simulator().now() + cfg_.breaker_probe;
+    return;
+  }
+  if (h.fails >= cfg_.breaker_threshold) {
+    h.open = true;
+    h.next_probe = simulator().now() + cfg_.breaker_probe;
+    ++breaker_opens_;
+    MGFS_WARN("client", "circuit breaker open for NSD server node "
+                            << n.v << " after " << h.fails
+                            << " consecutive failures");
+  }
+}
+
+bool Client::breaker_open(net::NodeId node) const {
+  auto it = nsd_health_.find(node.v);
+  return it != nsd_health_.end() && it->second.open;
+}
+
+void Client::nsd_io(BlockAddr addr, bool write,
+                    std::function<void(Status)> done) {
+  nsd_io_round(addr, write, 0, std::move(done));
+}
+
+/// One round = try every admitted serving node in preference order
+/// (primary, then backup). Rounds are re-run under the retry policy's
+/// backoff until it is exhausted.
+void Client::nsd_io_round(BlockAddr addr, bool write, int attempt,
+                          std::function<void(Status)> done) {
+  if (!mounted()) {
+    done(err(Errc::unavailable, "unmounted"));
+    return;
+  }
   const Nsd& nsd = fs_->nsd(addr.nsd);
-  const net::NodeId target = use_backup ? nsd.backup : nsd.primary;
+  std::vector<net::NodeId> targets;
+  if (admit_server(nsd.primary)) {
+    targets.push_back(nsd.primary);
+  } else {
+    ++breaker_skips_;
+  }
+  if (nsd.has_backup && admit_server(nsd.backup)) {
+    targets.push_back(nsd.backup);
+  }
+  if (targets.empty()) {
+    // Every serving node is circuit-broken with no probe due: fail the
+    // round without touching the wire and let the backoff retry pick it
+    // up once a probe window opens.
+    auto e = err(Errc::unavailable, "all NSD servers circuit-broken");
+    if (cfg_.retry.exhausted(attempt)) {
+      done(e);
+      return;
+    }
+    ++rpc_retries_;
+    simulator().after(cfg_.retry.backoff(attempt, rng_),
+                      [this, addr, write, attempt,
+                       done = std::move(done)]() mutable {
+                        nsd_io_round(addr, write, attempt + 1,
+                                     std::move(done));
+                      });
+    return;
+  }
+  nsd_io_attempt(addr, write, std::move(targets), 0, attempt,
+                 std::move(done));
+}
+
+void Client::nsd_io_attempt(BlockAddr addr, bool write,
+                            std::vector<net::NodeId> targets, std::size_t ti,
+                            int attempt, std::function<void(Status)> done) {
+  const Nsd& nsd = fs_->nsd(addr.nsd);
+  const net::NodeId target = targets[ti];
   const Bytes bs = block_size();
   const Bytes req = write ? kDataHeader + bs : kDataHeader;
   const Bytes resp = write ? kDataHeader : bs;
+  (void)resp;
   storage::BlockDevice* dev = nsd.device;
   const Bytes dev_off = addr.block * bs;
   ServerLookup servers = servers_;
   const double cipher = cipher_;
 
-  auto after_transport = [this, addr, write, use_backup, bs,
+  auto after_transport = [this, addr, write, targets = std::move(targets),
+                          ti, attempt, target, bs,
                           done = std::move(done)](Result<int> r) mutable {
     if (r.ok()) {
+      note_server_ok(target);
       // cipherList=encrypt: the client pays its half of the per-byte
       // cost too (decrypt on read / encrypt accounted on send path).
       // The client CPU is serial, so concurrent blocks queue on it.
@@ -237,17 +374,37 @@ void Client::nsd_io_attempt(BlockAddr addr, bool write, bool use_backup,
       }
       return;
     }
-    if (r.code() == Errc::unavailable && !use_backup &&
-        fs_->nsd(addr.nsd).has_backup) {
-      ++failovers_;
-      MGFS_WARN("client", "nsd " << addr.nsd << " primary unavailable, "
-                                 << "failing over to backup");
-      nsd_io_attempt(addr, write, true, std::move(done));
+    if (r.code() == Errc::timed_out) ++rpc_timeouts_;
+    if (!retryable(r.code())) {
+      // Media/namespace errors are final: failing over or retrying
+      // would hide real data loss (e.g. a dead RAID set).
+      done(r.error());
       return;
     }
-    done(r.error());
+    note_server_fail(target);
+    if (ti + 1 < targets.size()) {
+      ++failovers_;
+      MGFS_WARN("client", "nsd " << addr.nsd << " server node " << target.v
+                                 << " " << errc_name(r.code())
+                                 << ", failing over to backup");
+      nsd_io_attempt(addr, write, std::move(targets), ti + 1, attempt,
+                     std::move(done));
+      return;
+    }
+    if (cfg_.retry.exhausted(attempt)) {
+      done(r.error());
+      return;
+    }
+    ++rpc_retries_;
+    simulator().after(cfg_.retry.backoff(attempt, rng_),
+                      [this, addr, write, attempt,
+                       done = std::move(done)]() mutable {
+                        nsd_io_round(addr, write, attempt + 1,
+                                     std::move(done));
+                      });
   };
 
+  consume_probe(target);
   rpc_.call<int>(
       node_, target, req,
       [servers, target, dev, dev_off, bs, write,
@@ -268,12 +425,7 @@ void Client::nsd_io_attempt(BlockAddr addr, bool write, bool use_backup,
                       }
                     });
       },
-      std::move(after_transport));
-}
-
-void Client::nsd_io(BlockAddr addr, bool write,
-                    std::function<void(Status)> done) {
-  nsd_io_attempt(addr, write, false, std::move(done));
+      std::move(after_transport), Rpc::CallOptions{cfg_.rpc_deadline});
 }
 
 void Client::ensure_block_present(InodeNum ino, std::uint64_t bi,
@@ -333,8 +485,8 @@ void Client::open(const std::string& path, const Principal& who,
   }
   FileSystem* fs = fs_;
   const ClientId me = id_;
-  rpc_.call<OpenResult>(
-      node_, fs->manager_node(), cfg_.meta_payload,
+  meta_call<OpenResult>(
+      cfg_.meta_payload,
       [fs, path, who, flags, me](Rpc::ReplyFn<OpenResult> reply) {
         reply(64, fs->op_open(path, who, flags, me));
       },
@@ -542,8 +694,8 @@ void Client::write(Fh fh, Bytes offset, Bytes len,
         FileSystem* fs = fs_;
         const ClientId me = id_;
         const std::size_t count = b1 - b0 + 1;
-        rpc_.call<BlockMapChunk>(
-            node_, fs->manager_node(), cfg_.meta_payload,
+        meta_call<BlockMapChunk>(
+            cfg_.meta_payload,
             [fs, ino, b0, count, new_size,
              me](Rpc::ReplyFn<BlockMapChunk> reply) {
               reply(16 * count,
@@ -582,8 +734,17 @@ void Client::pump_flush() {
         pool_.mark_clean(key);
         dirty_addr_.erase(key);
       } else {
-        // Transient failure (e.g. both servers down): retry later.
-        dirty_fifo_.push_back(key);
+        // Transient failure (e.g. both servers down): requeue after a
+        // delay. An immediate requeue would spin at zero simulated cost
+        // when the breaker fast-fails without touching the network.
+        simulator().after(cfg_.flush_retry_delay, [this, key] {
+          if (!mounted() || !pool_.is_dirty(key)) {
+            dirty_addr_.erase(key);
+            return;
+          }
+          dirty_fifo_.push_back(key);
+          pump_flush();
+        });
       }
       unstall_writers();
       // fsync()/revoke waiters whose inode fully flushed?
@@ -639,8 +800,8 @@ void Client::fsync(Fh fh, std::function<void(Status)> done) {
       return;
     }
     FileSystem* fs = fs_;
-    rpc_.call<int>(
-        node_, fs->manager_node(), 64,
+    meta_call<int>(
+        64,
         [fs, ino, size](Rpc::ReplyFn<int> reply) {
           const Status st = fs->op_extend_size(ino, size);
           reply(64, st.ok() ? Result<int>(0) : Result<int>(st.error()));
@@ -695,8 +856,8 @@ void Client::refresh_size(Fh fh, std::function<void(Result<Bytes>)> done) {
   }
   FileSystem* fs = fs_;
   const InodeNum ino = f->ino;
-  rpc_.call<Bytes>(
-      node_, fs->manager_node(), 64,
+  meta_call<Bytes>(
+      64,
       [fs, ino](Rpc::ReplyFn<Bytes> reply) {
         auto st = fs->ns().stat(ino);
         if (!st.ok()) {
@@ -720,8 +881,8 @@ void Client::refresh_size(Fh fh, std::function<void(Result<Bytes>)> done) {
 void Client::stat(const std::string& path,
                   std::function<void(Result<StatInfo>)> done) {
   FileSystem* fs = fs_;
-  rpc_.call<StatInfo>(
-      node_, fs->manager_node(), cfg_.meta_payload,
+  meta_call<StatInfo>(
+      cfg_.meta_payload,
       [fs, path](Rpc::ReplyFn<StatInfo> reply) {
         reply(128, fs->op_stat(path));
       },
@@ -731,8 +892,8 @@ void Client::stat(const std::string& path,
 void Client::mkdir(const std::string& path, const Principal& who, Mode mode,
                    std::function<void(Status)> done) {
   FileSystem* fs = fs_;
-  rpc_.call<int>(
-      node_, fs->manager_node(), cfg_.meta_payload,
+  meta_call<int>(
+      cfg_.meta_payload,
       [fs, path, who, mode](Rpc::ReplyFn<int> reply) {
         auto r = fs->op_mkdir(path, who, mode);
         reply(64, r.ok() ? Result<int>(0) : Result<int>(r.error()));
@@ -746,8 +907,8 @@ void Client::readdir(const std::string& path, const Principal& who,
                      std::function<void(Result<std::vector<std::string>>)>
                          done) {
   FileSystem* fs = fs_;
-  rpc_.call<std::vector<std::string>>(
-      node_, fs->manager_node(), cfg_.meta_payload,
+  meta_call<std::vector<std::string>>(
+      cfg_.meta_payload,
       [fs, path, who](Rpc::ReplyFn<std::vector<std::string>> reply) {
         auto r = fs->op_readdir(path, who);
         const Bytes payload = r.ok() ? 32 * r->size() + 64 : 64;
@@ -760,8 +921,8 @@ void Client::unlink(const std::string& path, const Principal& who,
                     std::function<void(Status)> done) {
   FileSystem* fs = fs_;
   const ClientId me = id_;
-  rpc_.call<int>(
-      node_, fs->manager_node(), cfg_.meta_payload,
+  meta_call<int>(
+      cfg_.meta_payload,
       [fs, path, who, me](Rpc::ReplyFn<int> reply) {
         const Status st = fs->op_unlink(path, who, me);
         reply(64, st.ok() ? Result<int>(0) : Result<int>(st.error()));
@@ -774,8 +935,8 @@ void Client::unlink(const std::string& path, const Principal& who,
 void Client::rename(const std::string& from, const std::string& to,
                     const Principal& who, std::function<void(Status)> done) {
   FileSystem* fs = fs_;
-  rpc_.call<int>(
-      node_, fs->manager_node(), cfg_.meta_payload,
+  meta_call<int>(
+      cfg_.meta_payload,
       [fs, from, to, who](Rpc::ReplyFn<int> reply) {
         const Status st = fs->op_rename(from, to, who);
         reply(64, st.ok() ? Result<int>(0) : Result<int>(st.error()));
@@ -798,7 +959,12 @@ std::string Client::mmpmon() const {
      << "  _ch_ " << pool_.hits() << "\n"            // cache hits
      << "  _cm_ " << pool_.misses() << "\n"          // cache misses
      << "  _cd_ " << pool_.dirty_bytes() << "\n"     // dirty bytes pending
-     << "  _fo_ " << failovers_ << "\n";             // NSD failovers
+     << "  _fo_ " << failovers_ << "\n"              // NSD failovers
+     << "  _rtr_ " << rpc_retries_ << "\n"           // RPC retries
+     << "  _to_ " << rpc_timeouts_ << "\n"           // RPC deadline expiries
+     << "  _bop_ " << breaker_opens_ << "\n"         // breaker opens
+     << "  _bsc_ " << breaker_skips_ << "\n"         // breaker-skipped I/Os
+     << "  _prb_ " << breaker_probes_ << "\n";       // half-open probes
   return os.str();
 }
 

@@ -8,6 +8,10 @@
 //     kept coherent by the manager's revoke protocol
 //   * a client-side block-address cache fetched in batches
 //   * NSD server failover: primary, then backup, per I/O
+//   * fault tolerance: per-RPC deadlines, bounded retry with backoff,
+//     and a per-NSD-server circuit breaker (health tracking) so I/O
+//     prefers the healthy replica instead of re-probing a dead or
+//     blackholed primary on every block
 //
 // All operations are asynchronous (completion callbacks), since every
 // miss is real simulated network + disk traffic. One Client == one
@@ -23,6 +27,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/retry.hpp"
 #include "gpfs/filesystem.hpp"
 #include "gpfs/pagepool.hpp"
 #include "gpfs/rpc.hpp"
@@ -37,6 +42,13 @@ struct ClientConfig {
   std::size_t flush_parallel = 16;   // concurrent write-behind I/Os
   std::size_t map_chunk = 64;        // block-map entries per metadata RPC
   Bytes meta_payload = 256;          // metadata request/response payload
+
+  // --- fault model (DESIGN.md "Failure model & recovery semantics") ---
+  sim::Time rpc_deadline = 30.0;     // per-RPC round-trip bound (0 = none)
+  RetryPolicy retry{};               // metadata + NSD I/O re-issue policy
+  int breaker_threshold = 3;         // consecutive failures to open
+  sim::Time breaker_probe = 1.0;     // half-open probe spacing while open
+  sim::Time flush_retry_delay = 0.05;  // write-behind requeue after failure
 };
 
 using Fh = int;  // file handle
@@ -47,7 +59,10 @@ class Client {
   /// given node (installed by the cluster glue).
   using ServerLookup = std::function<NsdServer*(net::NodeId)>;
 
-  Client(Rpc& rpc, net::NodeId node, ClientId id, ClientConfig cfg = {});
+  /// `rng` feeds retry jitter; pass a per-client split of the cluster
+  /// stream so runs stay seed-deterministic.
+  Client(Rpc& rpc, net::NodeId node, ClientId id, ClientConfig cfg = {},
+         Rng rng = Rng(0x6d6766735f636c69ULL));
 
   /// Bind to a file system. `access` is the mount session's ceiling
   /// (read_write locally; per mmauth grant for a remote mount) and
@@ -60,7 +75,7 @@ class Client {
 
   net::NodeId node() const { return node_; }
   ClientId id() const { return id_; }
-  sim::Simulator& simulator() { return rpc_.pool().network().simulator(); }
+  sim::Simulator& simulator() const { return rpc_.pool().network().simulator(); }
   PagePool& pool() { return pool_; }
   const ClientConfig& config() const { return cfg_; }
   AccessMode access() const { return access_; }
@@ -104,6 +119,13 @@ class Client {
   Bytes bytes_read_remote() const { return bytes_read_remote_; }
   Bytes bytes_written_remote() const { return bytes_written_remote_; }
   std::uint64_t nsd_failovers() const { return failovers_; }
+  std::uint64_t rpc_retries() const { return rpc_retries_; }
+  std::uint64_t rpc_timeouts() const { return rpc_timeouts_; }
+  std::uint64_t breaker_opens() const { return breaker_opens_; }
+  std::uint64_t breaker_skips() const { return breaker_skips_; }
+  std::uint64_t breaker_probes() const { return breaker_probes_; }
+  /// Is the breaker for NSD-server `node` currently open?
+  bool breaker_open(net::NodeId node) const;
   /// mmpmon-style per-client I/O counter report (the GPFS monitoring
   /// interface operators scripted against).
   std::string mmpmon() const;
@@ -135,12 +157,34 @@ class Client {
                   std::function<void(Status)> done);
   void install_chunk(InodeNum ino, const BlockMapChunk& chunk);
 
+  // metadata path: manager RPC with deadline + bounded backoff retry
+  template <typename R>
+  void meta_call(Bytes req_payload, Rpc::ServerFn<R> server,
+                 std::function<void(Result<R>)> done, int attempt = 0);
+
   // data path
   void ensure_block_present(InodeNum ino, std::uint64_t bi,
                             std::function<void(Status)> done);
   void nsd_io(BlockAddr addr, bool write, std::function<void(Status)> done);
-  void nsd_io_attempt(BlockAddr addr, bool write, bool use_backup,
-                      std::function<void(Status)> done);
+  void nsd_io_round(BlockAddr addr, bool write, int attempt,
+                    std::function<void(Status)> done);
+  void nsd_io_attempt(BlockAddr addr, bool write,
+                      std::vector<net::NodeId> targets, std::size_t ti,
+                      int attempt, std::function<void(Status)> done);
+
+  // NSD server health (circuit breaker)
+  struct ServerHealth {
+    int fails = 0;             // consecutive transient failures
+    bool open = false;         // breaker state
+    sim::Time next_probe = 0;  // earliest half-open trial while open
+  };
+  /// May this server be tried now? (closed, or open with a probe due.)
+  bool admit_server(net::NodeId n) const;
+  /// Called when a request is actually issued to `n`: if the breaker is
+  /// open this is the half-open trial, so consume the probe window.
+  void consume_probe(net::NodeId n);
+  void note_server_ok(net::NodeId n);
+  void note_server_fail(net::NodeId n);
 
   // write-behind
   void pump_flush();
@@ -155,6 +199,7 @@ class Client {
   net::NodeId node_;
   ClientId id_;
   ClientConfig cfg_;
+  Rng rng_;                  // retry jitter (deterministic per client)
   PagePool pool_;
   sim::SerialResource cpu_;  // client-side per-byte cipher work
 
@@ -185,9 +230,17 @@ class Client {
   std::vector<std::pair<InodeNum, sim::Callback>> flush_waiters_;
   std::unordered_map<InodeNum, std::size_t> inflight_per_ino_;
 
+  // NSD server health, keyed by serving node id
+  std::unordered_map<std::uint32_t, ServerHealth> nsd_health_;
+
   Bytes bytes_read_remote_ = 0;
   Bytes bytes_written_remote_ = 0;
   std::uint64_t failovers_ = 0;
+  std::uint64_t rpc_retries_ = 0;
+  std::uint64_t rpc_timeouts_ = 0;
+  std::uint64_t breaker_opens_ = 0;
+  std::uint64_t breaker_skips_ = 0;
+  std::uint64_t breaker_probes_ = 0;
 };
 
 }  // namespace mgfs::gpfs

@@ -175,7 +175,7 @@ Result<Client*> Cluster::mount(const std::string& fsname,
   FileSystem* fs = filesystem(fsname);
   if (fs == nullptr) return err(Errc::not_found, "no such file system");
   auto client = std::make_unique<Client>(rpc_, client_node, next_client_id(),
-                                         cfg_.client);
+                                         cfg_.client, rng_.split());
   Client* ptr = client.get();
   clients_.push_back(std::move(client));
   register_client(*fs, ptr, AccessMode::read_write, "");
@@ -392,7 +392,7 @@ void Cluster::mount_remote(const std::string& local_device,
         // Phase 2: prove ourselves, get the mount grant, register.
         auto client = std::make_shared<std::unique_ptr<Client>>(
             std::make_unique<Client>(rpc_, client_node, next_client_id(),
-                                     cfg_.client));
+                                     cfg_.client, rng_.split()));
         Client* cptr = client->get();
         rpc_.call<MountGrant>(
             client_node, def.contact, 256,

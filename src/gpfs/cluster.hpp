@@ -51,6 +51,7 @@ class Cluster {
   auth::CipherList cipher() const { return cfg_.cipher; }
   sim::Simulator& simulator() { return sim_; }
   Rpc& rpc() { return rpc_; }
+  ConnectionPool& connection_pool() { return pool_; }
 
   // --- membership / services --------------------------------------------
   void add_node(net::NodeId node);

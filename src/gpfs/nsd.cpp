@@ -12,11 +12,17 @@ NsdServer::NsdServer(sim::Simulator& sim, net::NodeId node, std::string name,
       cpu_per_request_(cpu_per_request),
       cpu_(sim, name_ + ".cpu") {}
 
+void NsdServer::set_slow_factor(double factor) {
+  MGFS_ASSERT(factor > 0.0, "slow factor must be positive");
+  slow_factor_ = factor;
+}
+
 void NsdServer::handle(storage::BlockDevice& dev, Bytes offset, Bytes len,
                        bool write, double cipher_s_per_byte,
                        storage::IoCallback done) {
   const sim::Time cpu =
-      cpu_per_request_ + cipher_s_per_byte * static_cast<double>(len);
+      (cpu_per_request_ + cipher_s_per_byte * static_cast<double>(len)) *
+      slow_factor_;
   cpu_.acquire(cpu, [this, &dev, offset, len, write,
                      done = std::move(done)]() mutable {
     dev.io(offset, len, write,

@@ -47,11 +47,18 @@ class NsdServer {
   /// The server's CPU — serial, so per-byte cipher work queues.
   sim::SerialResource& cpu() { return cpu_; }
 
+  /// Fail-slow injection (fault engine): multiply all request CPU by
+  /// `factor`. 1.0 is healthy; the gray-failure literature's fail-slow
+  /// NSD is 10-100x. Never zero — requests still complete, just late.
+  void set_slow_factor(double factor);
+  double slow_factor() const { return slow_factor_; }
+
  private:
   sim::Simulator& sim_;
   net::NodeId node_;
   std::string name_;
   sim::Time cpu_per_request_;
+  double slow_factor_ = 1.0;
   sim::SerialResource cpu_;
   std::uint64_t requests_ = 0;
   Bytes bytes_ = 0;

@@ -8,6 +8,12 @@
 // Errc::unavailable (and the pooled connection is reset so a retry can
 // take a different path, e.g. the backup NSD server).
 //
+// Gray failures need more than error callbacks: a blackholed peer
+// accepts bytes and never answers, so a call may simply make no
+// progress. CallOptions::deadline bounds every call — on expiry the
+// caller gets Errc::timed_out and both directions of the pair are
+// reset, unwedging any bytes stalled behind the silent peer.
+//
 // The pool is also where WAN behaviour comes from: each (src, dst) pair
 // is one TCP connection with a 2005-sized window, so a client talking
 // to 64 NSD servers has 64 independent windows in flight — the paper's
@@ -18,6 +24,7 @@
 #include <map>
 #include <memory>
 #include <utility>
+#include <vector>
 
 #include "common/result.hpp"
 #include "net/tcp.hpp"
@@ -37,13 +44,65 @@ class ConnectionPool {
                .emplace(key, std::make_unique<net::TcpConnection>(net_, src,
                                                                   dst, cfg_))
                .first;
+      ++created_;
     }
     return *it->second;
+  }
+
+  /// Drop the (src, dst) connection from the pool, failing anything
+  /// still queued on it. The object itself is retired, not destroyed,
+  /// until the pool goes away: in-flight simulator continuations hold
+  /// raw pointers into it (they become epoch-guarded no-ops after the
+  /// reset). Returns true if a connection existed.
+  bool evict(net::NodeId src, net::NodeId dst) {
+    auto it = conns_.find(std::make_pair(src.v, dst.v));
+    if (it == conns_.end()) return false;
+    it->second->reset();
+    retired_.push_back(std::move(it->second));
+    conns_.erase(it);
+    ++evicted_;
+    return true;
+  }
+
+  /// Retire every pair touching `n` (either endpoint). Long-running
+  /// multi-cluster sims call this when a node leaves for good so dead
+  /// pairs don't accumulate. Returns the number evicted.
+  std::size_t evict_node(net::NodeId n) {
+    std::size_t count = 0;
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if (it->first.first == n.v || it->first.second == n.v) {
+        it->second->reset();
+        retired_.push_back(std::move(it->second));
+        it = conns_.erase(it);
+        ++evicted_;
+        ++count;
+      } else {
+        ++it;
+      }
+    }
+    return count;
+  }
+
+  /// Reset (not evict) every broken connection touching `n` — the node
+  /// restart path: the pairs are about to be reused, so clear the
+  /// failed state instead of reallocating. Returns the number reset.
+  std::size_t reset_node(net::NodeId n) {
+    std::size_t count = 0;
+    for (auto& [key, conn] : conns_) {
+      if ((key.first == n.v || key.second == n.v) && conn->broken()) {
+        conn->reset();
+        ++count;
+      }
+    }
+    return count;
   }
 
   net::Network& network() { return net_; }
   const net::TcpConfig& config() const { return cfg_; }
   std::size_t open_connections() const { return conns_.size(); }
+  std::uint64_t connections_created() const { return created_; }
+  std::uint64_t connections_evicted() const { return evicted_; }
+  std::size_t retired_connections() const { return retired_.size(); }
 
  private:
   net::Network& net_;
@@ -51,6 +110,11 @@ class ConnectionPool {
   std::map<std::pair<std::uint32_t, std::uint32_t>,
            std::unique_ptr<net::TcpConnection>>
       conns_;
+  // Evicted but possibly still referenced by in-flight continuations;
+  // reclaimed with the pool.
+  std::vector<std::unique_ptr<net::TcpConnection>> retired_;
+  std::uint64_t created_ = 0;
+  std::uint64_t evicted_ = 0;
 };
 
 /// Default header cost of one protocol message beyond its payload.
@@ -59,6 +123,13 @@ inline constexpr Bytes kRpcHeader = 128;
 class Rpc {
  public:
   explicit Rpc(ConnectionPool& pool) : pool_(pool) {}
+
+  /// Per-call knobs. deadline == 0 means "wait forever" (the pre-fault-
+  /// model behaviour); anything else bounds the whole request+reply
+  /// round trip in simulated seconds.
+  struct CallOptions {
+    sim::Time deadline = 0.0;
+  };
 
   /// One reply sender: the server continuation calls it exactly once
   /// with the size of the response payload and the typed outcome.
@@ -72,48 +143,95 @@ class Rpc {
 
   /// Issue a request of `req_payload` bytes from src to dst, run
   /// `server` at delivery, return its result to `done` after the
-  /// response bytes arrive back at src.
+  /// response bytes arrive back at src. Exactly one completion fires:
+  /// the reply, a transport error (Errc::unavailable), or — when
+  /// opts.deadline is set — Errc::timed_out at the deadline. A server
+  /// reply that arrives after the deadline fired is dropped.
   template <typename R>
   void call(net::NodeId src, net::NodeId dst, Bytes req_payload,
-            ServerFn<R> server, std::function<void(Result<R>)> done) {
+            ServerFn<R> server, std::function<void(Result<R>)> done,
+            CallOptions opts = {}) {
+    ++calls_;
     auto& fwd = pool_.get(src, dst);
     if (fwd.broken()) fwd.reset();  // allow retry after a healed failure
+    auto state = std::make_shared<CallState<R>>();
+    state->done = std::move(done);
     if (!pool_.network().node_up(dst)) {
       // Fast-fail like a refused connection; do not queue bytes.
-      pool_.network().simulator().defer([done = std::move(done)] {
-        done(err(Errc::unavailable, "destination node down"));
+      // (A blackholed destination is NOT caught here: it accepts the
+      // connection and the deadline is the only way out.)
+      pool_.network().simulator().defer([state] {
+        finish(state, Result<R>(
+                          err(Errc::unavailable, "destination node down")));
       });
       return;
     }
-    auto fail = std::make_shared<std::function<void(Result<R>)>>(done);
+    if (opts.deadline > 0.0) {
+      state->sim = &pool_.network().simulator();
+      state->timer = state->sim->after_cancellable(
+          opts.deadline, [this, state, src, dst] {
+            if (state->finished) return;
+            ++timeouts_;
+            // Unwedge the pair: stalled bytes (e.g. toward a blackholed
+            // peer) would otherwise block every later message behind
+            // them.
+            pool_.get(src, dst).reset();
+            pool_.get(dst, src).reset();
+            finish(state,
+                   Result<R>(err(Errc::timed_out, "rpc deadline exceeded")));
+          });
+    }
     fwd.send(
         kRpcHeader + req_payload,
-        [this, src, dst, server = std::move(server),
-         done = std::move(done)]() mutable {
+        [this, src, dst, server = std::move(server), state]() mutable {
           // Request delivered: run the server continuation.
-          server([this, src, dst, done = std::move(done)](
-                     Bytes resp_payload, Result<R> result) mutable {
+          server([this, src, dst, state](Bytes resp_payload,
+                                         Result<R> result) mutable {
+            if (state->finished) return;  // deadline already fired
             auto& rev = pool_.get(dst, src);
             if (rev.broken()) rev.reset();
-            auto shared =
-                std::make_shared<std::pair<std::function<void(Result<R>)>,
-                                           Result<R>>>(std::move(done),
-                                                       std::move(result));
+            auto shared = std::make_shared<Result<R>>(std::move(result));
             rev.send(
                 kRpcHeader + resp_payload,
-                [shared] { shared->first(std::move(shared->second)); },
-                [shared] {
-                  shared->first(err(Errc::unavailable, "response path lost"));
+                [state, shared] { finish(state, std::move(*shared)); },
+                [state] {
+                  finish(state, Result<R>(err(Errc::unavailable,
+                                              "response path lost")));
                 });
           });
         },
-        [fail] { (*fail)(err(Errc::unavailable, "request path lost")); });
+        [state] {
+          finish(state,
+                 Result<R>(err(Errc::unavailable, "request path lost")));
+        });
   }
 
   ConnectionPool& pool() { return pool_; }
+  std::uint64_t calls() const { return calls_; }
+  std::uint64_t timeouts() const { return timeouts_; }
 
  private:
+  template <typename R>
+  struct CallState {
+    std::function<void(Result<R>)> done;
+    bool finished = false;
+    sim::Simulator* sim = nullptr;  // set iff a deadline timer is armed
+    sim::TimerId timer = 0;
+  };
+
+  template <typename R>
+  static void finish(const std::shared_ptr<CallState<R>>& state,
+                     Result<R> result) {
+    if (state->finished) return;
+    state->finished = true;
+    if (state->sim != nullptr) state->sim->cancel(state->timer);
+    auto done = std::move(state->done);
+    done(std::move(result));
+  }
+
   ConnectionPool& pool_;
+  std::uint64_t calls_ = 0;
+  std::uint64_t timeouts_ = 0;
 };
 
 }  // namespace mgfs::gpfs

@@ -18,7 +18,10 @@
 #include "common/result.hpp"
 #include "common/rng.hpp"
 #include "common/timeseries.hpp"
+#include "common/retry.hpp"
 #include "common/units.hpp"
+#include "fault/flaky_device.hpp"
+#include "fault/injector.hpp"
 #include "gpfs/cluster.hpp"
 #include "gridftp/gridftp.hpp"
 #include "hsm/hsm.hpp"

@@ -6,7 +6,7 @@
 namespace mgfs::net {
 
 NodeId Network::add_node(std::string name) {
-  nodes_.push_back(Node{std::move(name), true, {}});
+  nodes_.push_back(Node{std::move(name), true, false, {}});
   invalidate_routes();
   return NodeId{static_cast<std::uint32_t>(nodes_.size() - 1)};
 }
@@ -99,6 +99,16 @@ bool Network::node_up(NodeId n) const {
   return nodes_[n.v].up;
 }
 
+void Network::set_node_blackholed(NodeId n, bool blackholed) {
+  MGFS_ASSERT(n.v < nodes_.size(), "bad node id");
+  nodes_[n.v].blackholed = blackholed;
+}
+
+bool Network::node_blackholed(NodeId n) const {
+  MGFS_ASSERT(n.v < nodes_.size(), "bad node id");
+  return nodes_[n.v].blackholed;
+}
+
 void Network::set_link_up(NodeId a, NodeId b, bool up) {
   sim::Pipe* ab = pipe(a, b);
   sim::Pipe* ba = pipe(b, a);
@@ -137,6 +147,11 @@ void Network::forward(std::vector<NodeId> hops, std::size_t idx, Bytes payload,
   const NodeId here = hops[idx];
   if (!node_up(here)) {
     fail(on_fail);
+    return;
+  }
+  if (nodes_[here.v].blackholed) {
+    // Gray failure: the message vanishes — no delivery, no reset. The
+    // sender can only find out through its own deadline.
     return;
   }
   if (idx + 1 == hops.size()) {

@@ -70,6 +70,14 @@ class Network {
   bool node_up(NodeId n) const;
   void set_link_up(NodeId a, NodeId b, bool up);  // both directions
 
+  /// Gray failure: a blackholed node accepts traffic (senders see no
+  /// connection reset) but silently swallows every message that reaches
+  /// it, whether in transit or as the destination. Callers only recover
+  /// via their own deadlines (Rpc::CallOptions) — exactly the fail-slow/
+  /// fail-silent behaviour that distinguishes this from set_node_up.
+  void set_node_blackholed(NodeId n, bool blackholed);
+  bool node_blackholed(NodeId n) const;
+
   const std::string& node_name(NodeId n) const;
   std::size_t node_count() const { return nodes_.size(); }
   sim::Simulator& simulator() { return sim_; }
@@ -78,6 +86,7 @@ class Network {
   struct Node {
     std::string name;
     bool up = true;
+    bool blackholed = false;
     // adjacency: neighbor -> index into pipes_
     std::unordered_map<std::uint32_t, std::size_t> out;
   };

@@ -118,7 +118,16 @@ void TcpConnection::reset() {
   broken_ = false;
   inflight_ = 0;
   send_cursor_ = 0;
+  // Queued messages die with the old connection; their senders must
+  // hear about it (deferred — reset is often called from inside another
+  // message's completion path).
+  std::vector<ErrorCallback> to_fail;
+  to_fail.reserve(queue_.size());
+  for (auto& m : queue_) {
+    if (m.on_error) to_fail.push_back(std::move(m.on_error));
+  }
   queue_.clear();
+  for (auto& cb : to_fail) net_.simulator().defer(std::move(cb));
   cwnd_ = cfg_.slow_start ? cfg_.chunk : cfg_.window;
 }
 

@@ -45,6 +45,10 @@ class TcpConnection {
   /// True once a path failure has been observed; subsequent sends fail
   /// immediately until reset() is called.
   bool broken() const { return broken_; }
+  /// Abandon the connection state: in-flight chunks are disowned (their
+  /// continuations become no-ops) and still-queued messages fail via
+  /// their error callbacks, deferred. Used after a path failure and by
+  /// RPC deadline expiry to unwedge a stalled (e.g. blackholed) pair.
   void reset();
 
   Bytes bytes_delivered() const { return bytes_delivered_; }

@@ -17,12 +17,33 @@ void Simulator::after(Time delay, Callback cb) {
   at(now_ + delay, std::move(cb));
 }
 
+TimerId Simulator::after_cancellable(Time delay, Callback cb) {
+  MGFS_ASSERT(delay >= 0.0, "negative delay");
+  MGFS_ASSERT(static_cast<bool>(cb), "null event callback");
+  const std::uint64_t id = next_seq_++;
+  queue_.push(Event{now_ + delay, id, std::move(cb), /*cancellable=*/true});
+  cancellable_.insert(id);
+  return id;
+}
+
+void Simulator::cancel(TimerId id) {
+  // Only ids still queued are worth remembering; cancelling a timer
+  // that already fired (or was never cancellable) is a no-op.
+  if (cancellable_.count(id) > 0) cancelled_.insert(id);
+}
+
 bool Simulator::step() {
   if (queue_.empty()) return false;
   // priority_queue::top is const; the callback is moved out via const_cast,
   // which is safe because pop() immediately discards the node.
   Event ev = std::move(const_cast<Event&>(queue_.top()));
   queue_.pop();
+  if (ev.cancellable) {
+    cancellable_.erase(ev.seq);
+    // Discard without advancing now(): a disarmed watchdog must not
+    // stretch the run out to its expiry time.
+    if (cancelled_.erase(ev.seq) > 0) return true;
+  }
   now_ = ev.t;
   ++processed_;
   ev.cb();

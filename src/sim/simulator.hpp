@@ -15,12 +15,16 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 namespace mgfs::sim {
 
 using Time = double;  // simulated seconds
 using Callback = std::function<void()>;
+
+/// Handle for a cancellable timer; 0 is never a valid id.
+using TimerId = std::uint64_t;
 
 class Simulator {
  public:
@@ -40,6 +44,18 @@ class Simulator {
   /// Schedule `cb` to run at the current time, after already-queued
   /// same-time events (a "yield": breaks deep synchronous recursion).
   void defer(Callback cb) { after(0.0, std::move(cb)); }
+
+  /// Like after(), but returns a handle that cancel() accepts. A
+  /// cancelled event is discarded when it surfaces — it neither runs
+  /// nor advances now(), so a watchdog that was disarmed in time does
+  /// not stretch the run to its expiry (deadline timers fire on almost
+  /// no call; without this every RPC would pad the drain by the
+  /// deadline).
+  TimerId after_cancellable(Time delay, Callback cb);
+
+  /// Cancel a timer from after_cancellable(). Safe to call after the
+  /// timer fired (no-op); ids are never reused.
+  void cancel(TimerId id);
 
   /// Execute the next event. Returns false if the queue is empty.
   bool step();
@@ -65,6 +81,7 @@ class Simulator {
     Time t;
     std::uint64_t seq;  // FIFO among equal-time events
     Callback cb;
+    bool cancellable = false;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -77,6 +94,10 @@ class Simulator {
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // seq ids of cancelled-but-still-queued events; entries are erased
+  // when the matching event surfaces, so the set stays small.
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::unordered_set<std::uint64_t> cancellable_;
 };
 
 }  // namespace mgfs::sim

@@ -5,6 +5,7 @@
 // exist exactly for them.
 #include <gtest/gtest.h>
 
+#include "fault/injector.hpp"
 #include "gpfs_test_util.hpp"
 #include "storage/array.hpp"
 
@@ -213,6 +214,97 @@ TEST(Failures, RemoteMountSurvivesBackboneFlapOnRetry) {
   sim.run();
   ASSERT_TRUE(m2.has_value());
   ASSERT_TRUE(m2->ok()) << m2->error().to_string();
+}
+
+TEST(Failures, BlackholedManagerTimesOutInsteadOfHanging) {
+  // Gray failure: the manager accepts RPCs and never answers. Without
+  // deadlines this wedged the client forever; with them, metadata ops
+  // fail with timed_out in bounded simulated time.
+  ClusterConfig cfg;
+  cfg.client.rpc_deadline = 0.5;
+  cfg.client.retry.max_attempts = 2;
+  MiniCluster mc(6, 4, 1 * MiB, cfg);
+  Client* c = mc.mount_on(2);
+  mc.net.set_node_blackholed(mc.site.hosts[1], true);
+  const sim::Time t0 = mc.sim.now();
+  auto st = mc.stat(c, "/");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), Errc::timed_out);
+  // Two attempts, each bounded by the deadline, plus <= ~1.5x backoff.
+  EXPECT_LT(mc.sim.now() - t0, 2.0);
+  EXPECT_GT(c->rpc_timeouts(), 0u);
+  EXPECT_GT(c->rpc_retries(), 0u);
+
+  // Un-blackhole: service resumes without remounting.
+  mc.net.set_node_blackholed(mc.site.hosts[1], false);
+  EXPECT_TRUE(mc.stat(c, "/").ok());
+}
+
+TEST(Failures, FailSlowPrimaryTripsBreakerAndFailsOver) {
+  // The primary NSD server turns fail-slow (gray: accepts work, serves
+  // it absurdly late). Deadlines convert that into timeouts, the
+  // breaker opens, and I/O completes via the backup.
+  ClusterConfig cfg;
+  cfg.client.rpc_deadline = 0.2;
+  MiniCluster mc(6, 4, 1 * MiB, cfg);
+  Client* c = mc.mount_on(2);
+  auto fh = mc.open(c, "/f", kAlice, OpenFlags::create_rw());
+  ASSERT_TRUE(fh.ok());
+
+  // hosts[0] is primary for half the NSDs; make every request on it
+  // cost ~30 s of CPU — far past any deadline.
+  mc.cluster->server_on(mc.site.hosts[0])->set_slow_factor(1e6);
+
+  ASSERT_TRUE(mc.write(c, *fh, 0, 16 * MiB).ok());
+  ASSERT_TRUE(mc.fsync(c, *fh).ok());
+  EXPECT_EQ(c->pool().dirty_bytes(), 0u);       // everything landed
+  EXPECT_GT(c->rpc_timeouts(), 0u);             // via deadline expiries
+  EXPECT_GT(c->nsd_failovers(), 0u);            // onto the backup
+  EXPECT_GT(c->breaker_opens(), 0u);            // primary circuit-broken
+  EXPECT_TRUE(c->breaker_open(mc.site.hosts[0]));
+  EXPECT_FALSE(c->breaker_open(mc.site.hosts[1]));
+
+  // Heal the server; the next I/O burst probes it half-open and closes
+  // the breaker again.
+  mc.cluster->server_on(mc.site.hosts[0])->set_slow_factor(1.0);
+  ASSERT_TRUE(mc.write(c, *fh, 16 * MiB, 16 * MiB).ok());
+  ASSERT_TRUE(mc.fsync(c, *fh).ok());
+  EXPECT_GT(c->breaker_probes(), 0u);
+  EXPECT_FALSE(c->breaker_open(mc.site.hosts[0]));
+}
+
+TEST(Failures, FaultScheduleIsSeedDeterministic) {
+  // Same seeds, same fault schedule, same workload => byte-identical
+  // mmpmon and identical final time. The whole chaos pipeline is
+  // reproducible.
+  auto run = [] {
+    ClusterConfig cfg;
+    cfg.client.rpc_deadline = 0.5;
+    MiniCluster mc(6, 4, 1 * MiB, cfg);
+    Client* c = mc.mount_on(2);
+    auto fh = mc.open(c, "/f", kAlice, OpenFlags::create_rw());
+    EXPECT_TRUE(fh.ok());
+
+    fault::FaultInjector inject(mc.net, Rng(77));
+    inject.watch_pool(mc.cluster->connection_pool());
+    inject.flap_link(mc.site.hosts[0], mc.site.sw, /*mttf=*/0.1,
+                     /*mttr=*/0.05, /*start=*/0.0, /*until=*/2.0);
+    inject.schedule_blackhole(0.05, mc.site.hosts[1], 0.4);
+
+    std::optional<Result<Bytes>> w;
+    c->write(*fh, 0, 16 * MiB, [&](Result<Bytes> r) { w = std::move(r); });
+    mc.sim.run();
+    EXPECT_TRUE(w.has_value() && w->ok());
+    std::optional<Status> fs;
+    c->fsync(*fh, [&](Status st) { fs = st; });
+    mc.sim.run();
+    EXPECT_TRUE(fs.has_value() && fs->ok());
+    return std::make_pair(c->mmpmon(), mc.sim.now());
+  };
+  auto r1 = run();
+  auto r2 = run();
+  EXPECT_EQ(r1.first, r2.first);  // byte-identical counters
+  EXPECT_DOUBLE_EQ(r1.second, r2.second);
 }
 
 }  // namespace

@@ -1,0 +1,186 @@
+// The fault-injection engine itself: scripted one-shots, stochastic
+// flap schedules, gray failures (blackhole, fail-slow, flaky media) and
+// the determinism guarantee — same seed, same fault schedule, same
+// outcome.
+#include "fault/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fault/flaky_device.hpp"
+#include "gpfs_test_util.hpp"
+
+namespace mgfs::fault {
+namespace {
+
+using gpfs::testutil::kAlice;
+using gpfs::testutil::MiniCluster;
+
+TEST(Fault, BlackholeSwallowsMessagesSilently) {
+  sim::Simulator sim;
+  net::Network net(sim);
+  net::NodeId a = net.add_node("a");
+  net::NodeId b = net.add_node("b");
+  net.connect(a, b, gbps(1.0), 1e-3);
+
+  net.set_node_blackholed(b, true);
+  bool delivered = false;
+  bool failed = false;
+  net.send(a, b, 1024, [&] { delivered = true; }, [&] { failed = true; });
+  sim.run();
+  // Gray failure: neither outcome fires — the message just vanishes.
+  EXPECT_FALSE(delivered);
+  EXPECT_FALSE(failed);
+
+  net.set_node_blackholed(b, false);
+  net.send(a, b, 1024, [&] { delivered = true; }, [&] { failed = true; });
+  sim.run();
+  EXPECT_TRUE(delivered);
+  EXPECT_FALSE(failed);
+}
+
+TEST(Fault, ScriptedLinkCutHealsOnSchedule) {
+  sim::Simulator sim;
+  net::Network net(sim);
+  net::NodeId a = net.add_node("a");
+  net::NodeId b = net.add_node("b");
+  net.connect(a, b, gbps(1.0), 1e-3);
+
+  FaultInjector inject(net, Rng(7));
+  inject.schedule_link_cut(/*at=*/0.1, a, b, /*duration=*/0.5);
+
+  std::vector<std::pair<double, bool>> outcomes;  // (time, delivered)
+  auto probe = [&](sim::Time at) {
+    sim.after(at, [&] {
+      net.send(a, b, 64, [&] { outcomes.emplace_back(sim.now(), true); },
+               [&] { outcomes.emplace_back(sim.now(), false); });
+    });
+  };
+  probe(0.05);  // before the cut
+  probe(0.30);  // during
+  probe(0.70);  // after the heal
+  sim.run();
+
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_TRUE(outcomes[0].second);
+  EXPECT_FALSE(outcomes[1].second);
+  EXPECT_TRUE(outcomes[2].second);
+  EXPECT_EQ(inject.link_cuts(), 1u);
+  EXPECT_EQ(inject.faults_injected(), 1u);
+}
+
+TEST(Fault, NodeCrashRestartResetsWatchedPool) {
+  MiniCluster mc;
+  gpfs::Client* c = mc.mount_on(2);
+  auto fh = mc.open(c, "/f", kAlice, gpfs::OpenFlags::create_rw());
+  ASSERT_TRUE(fh.ok());
+  ASSERT_TRUE(mc.write(c, *fh, 0, 2 * MiB).ok());
+  ASSERT_TRUE(mc.fsync(c, *fh).ok());
+
+  FaultInjector inject(mc.net, Rng(3));
+  inject.watch_pool(mc.cluster->connection_pool());
+  // Crash the manager; a metadata op during the outage fails (breaking
+  // the pooled pair), and after the scripted restart — which resets the
+  // watched pool's broken pairs — service resumes.
+  inject.schedule_node_crash(mc.sim.now(), mc.site.hosts[1], 0.3);
+  EXPECT_FALSE(mc.stat(c, "/f").ok());  // drives sim past the crash
+  mc.sim.run();                         // ... and past the restart
+  EXPECT_EQ(inject.node_crashes(), 1u);
+  EXPECT_TRUE(mc.stat(c, "/f").ok());
+}
+
+TEST(Fault, FailSlowMultiplierAppliesAndExpires) {
+  MiniCluster mc;
+  gpfs::NsdServer* srv = mc.cluster->server_on(mc.site.hosts[0]);
+  ASSERT_NE(srv, nullptr);
+  FaultInjector inject(mc.net, Rng(3));
+  inject.schedule_fail_slow(0.1, *srv, 50.0, 0.4);
+  mc.sim.run_until(0.2);
+  EXPECT_DOUBLE_EQ(srv->slow_factor(), 50.0);
+  mc.sim.run();
+  EXPECT_DOUBLE_EQ(srv->slow_factor(), 1.0);
+  EXPECT_EQ(inject.fail_slows(), 1u);
+}
+
+TEST(Fault, FlapScheduleEndsHealed) {
+  sim::Simulator sim;
+  net::Network net(sim);
+  net::NodeId a = net.add_node("a");
+  net::NodeId b = net.add_node("b");
+  net.connect(a, b, gbps(1.0), 1e-3);
+
+  FaultInjector inject(net, Rng(99));
+  inject.flap_link(a, b, /*mttf=*/0.2, /*mttr=*/0.05, /*start=*/0.0,
+                   /*until=*/2.0);
+  sim.run();
+  EXPECT_GT(inject.link_cuts(), 0u);
+  // Every cut schedules its own repair: the drained system is healthy.
+  bool delivered = false;
+  net.send(a, b, 64, [&] { delivered = true; });
+  sim.run();
+  EXPECT_TRUE(delivered);
+}
+
+TEST(Fault, FlapScheduleIsSeedDeterministic) {
+  auto run = [](std::uint64_t seed) {
+    sim::Simulator sim;
+    net::Network net(sim);
+    net::NodeId a = net.add_node("a");
+    net::NodeId b = net.add_node("b");
+    net.connect(a, b, gbps(1.0), 1e-3);
+    FaultInjector inject(net, Rng(seed));
+    inject.flap_link(a, b, 0.3, 0.1, 0.0, 5.0);
+    sim.run();
+    return std::make_pair(inject.link_cuts(), sim.now());
+  };
+  auto r1 = run(123);
+  auto r2 = run(123);
+  auto r3 = run(321);
+  EXPECT_EQ(r1.first, r2.first);
+  EXPECT_DOUBLE_EQ(r1.second, r2.second);
+  // Different seed, different schedule (with overwhelming probability).
+  EXPECT_TRUE(r1.first != r3.first || r1.second != r3.second);
+}
+
+TEST(Fault, FlakyDeviceInjectsLatentErrors) {
+  sim::Simulator sim;
+  storage::RateDevice inner(sim, 1 * GiB, 100e6);
+
+  FlakyDevice always(sim, inner, Rng(5), 1.0);
+  std::optional<Status> st;
+  always.io(0, 4096, false, [&](Status s) { st = s; });
+  sim.run();
+  ASSERT_TRUE(st.has_value());
+  EXPECT_EQ(st->code(), Errc::io_error);
+  EXPECT_EQ(always.errors_injected(), 1u);
+
+  FlakyDevice never(sim, inner, Rng(5), 0.0);
+  st.reset();
+  never.io(0, 4096, false, [&](Status s) { st = s; });
+  sim.run();
+  ASSERT_TRUE(st.has_value());
+  EXPECT_TRUE(st->ok());
+  EXPECT_EQ(never.errors_injected(), 0u);
+  EXPECT_EQ(never.capacity(), 1 * GiB);
+}
+
+TEST(Fault, ReportListsEveryKind) {
+  sim::Simulator sim;
+  net::Network net(sim);
+  net::NodeId a = net.add_node("a");
+  net::NodeId b = net.add_node("b");
+  net.connect(a, b, gbps(1.0), 1e-3);
+  FaultInjector inject(net, Rng(1));
+  inject.schedule_link_cut(0.0, a, b, 0.1);
+  inject.schedule_blackhole(0.0, b, 0.1);
+  inject.schedule_node_crash(0.2, b, 0.1);
+  sim.run();
+  const std::string r = inject.report();
+  EXPECT_NE(r.find("link_cuts    1"), std::string::npos);
+  EXPECT_NE(r.find("node_crashes 1"), std::string::npos);
+  EXPECT_NE(r.find("blackholes   1"), std::string::npos);
+  EXPECT_NE(r.find("fail_slows   0"), std::string::npos);
+  EXPECT_EQ(inject.faults_injected(), 3u);
+}
+
+}  // namespace
+}  // namespace mgfs::fault

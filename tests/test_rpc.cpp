@@ -138,6 +138,121 @@ TEST_F(RpcFixture, ManyConcurrentCallsAllComplete) {
   EXPECT_EQ(done, 200);
 }
 
+TEST_F(RpcFixture, BlackholedPeerTimesOutAtDeadline) {
+  // A blackholed destination accepts the bytes and never answers; only
+  // the deadline gets the caller unstuck.
+  net.set_node_blackholed(b, true);
+  std::optional<Result<int>> got;
+  bool server_ran = false;
+  rpc->call<int>(
+      a, b, 64,
+      [&](Rpc::ReplyFn<int> reply) {
+        server_ran = true;
+        reply(64, 1);
+      },
+      [&](Result<int> r) { got = std::move(r); }, Rpc::CallOptions{0.5});
+  sim.run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->code(), Errc::timed_out);
+  EXPECT_FALSE(server_ran);  // the request vanished in the blackhole
+  EXPECT_DOUBLE_EQ(sim.now(), 0.5);  // exactly at the deadline, not later
+  EXPECT_EQ(rpc->timeouts(), 1u);
+}
+
+TEST_F(RpcFixture, FastReplyCancelsDeadlineTimer) {
+  std::optional<Result<int>> got;
+  rpc->call<int>(
+      a, b, 64, [](Rpc::ReplyFn<int> reply) { reply(64, 9); },
+      [&](Result<int> r) { got = std::move(r); }, Rpc::CallOptions{30.0});
+  sim.run();
+  ASSERT_TRUE(got.has_value() && got->ok());
+  // The disarmed watchdog must not stretch the drain out to t=30.
+  EXPECT_LT(sim.now(), 1.0);
+  EXPECT_EQ(rpc->timeouts(), 0u);
+}
+
+TEST_F(RpcFixture, ServerThatNeverRepliesTimesOut) {
+  // Regression: a server continuation that never calls reply() (its
+  // node wedged after taking delivery) used to hang the caller forever.
+  std::optional<Result<int>> got;
+  rpc->call<int>(
+      a, b, 64, [](Rpc::ReplyFn<int>) { /* never replies */ },
+      [&](Result<int> r) { got = std::move(r); }, Rpc::CallOptions{2.0});
+  sim.run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->code(), Errc::timed_out);
+}
+
+TEST_F(RpcFixture, LateReplyAfterDeadlineIsDropped) {
+  // Server answers after the deadline fired: the caller must see
+  // exactly one completion (the timeout), never a second one.
+  int completions = 0;
+  std::optional<Result<int>> got;
+  rpc->call<int>(
+      a, b, 64,
+      [this](Rpc::ReplyFn<int> reply) {
+        sim.after(5.0, [reply] { reply(64, 3); });
+      },
+      [&](Result<int> r) {
+        ++completions;
+        got = std::move(r);
+      },
+      Rpc::CallOptions{1.0});
+  sim.run();
+  EXPECT_EQ(completions, 1);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->code(), Errc::timed_out);
+}
+
+TEST_F(RpcFixture, PoolEvictDropsPairAndCountsIt) {
+  rpc->call<int>(a, b, 64, [](Rpc::ReplyFn<int> reply) { reply(64, 0); },
+                 [](Result<int>) {});
+  sim.run();
+  EXPECT_EQ(pool->open_connections(), 2u);
+  EXPECT_EQ(pool->connections_created(), 2u);
+
+  EXPECT_TRUE(pool->evict(a, b));
+  EXPECT_FALSE(pool->evict(a, b));  // already gone
+  EXPECT_EQ(pool->open_connections(), 1u);
+  EXPECT_EQ(pool->connections_evicted(), 1u);
+  EXPECT_EQ(pool->retired_connections(), 1u);
+
+  // The pair is recreated on demand and works.
+  std::optional<Result<int>> got;
+  rpc->call<int>(a, b, 64, [](Rpc::ReplyFn<int> reply) { reply(64, 5); },
+                 [&](Result<int> r) { got = std::move(r); });
+  sim.run();
+  ASSERT_TRUE(got.has_value() && got->ok());
+  EXPECT_EQ(pool->connections_created(), 3u);
+}
+
+TEST_F(RpcFixture, PoolEvictNodeRetiresEveryTouchingPair) {
+  net::NodeId c = net.add_node("c");
+  net.connect(a, c, gbps(1.0), 5e-3);
+  rpc->call<int>(a, b, 64, [](Rpc::ReplyFn<int> reply) { reply(64, 0); },
+                 [](Result<int>) {});
+  rpc->call<int>(a, c, 64, [](Rpc::ReplyFn<int> reply) { reply(64, 0); },
+                 [](Result<int>) {});
+  sim.run();
+  EXPECT_EQ(pool->open_connections(), 4u);
+  EXPECT_EQ(pool->evict_node(b), 2u);  // a->b and b->a
+  EXPECT_EQ(pool->open_connections(), 2u);
+}
+
+TEST_F(RpcFixture, PoolResetNodeRevivesBrokenPairsInPlace) {
+  net.set_link_up(a, b, false);
+  rpc->call<int>(a, b, 64, [](Rpc::ReplyFn<int> reply) { reply(64, 0); },
+                 [](Result<int>) {});
+  sim.run();
+  EXPECT_TRUE(pool->get(a, b).broken());
+
+  net.set_link_up(a, b, true);
+  const std::size_t before = pool->open_connections();
+  EXPECT_EQ(pool->reset_node(b), 1u);  // only a->b had failed
+  EXPECT_FALSE(pool->get(a, b).broken());
+  EXPECT_EQ(pool->open_connections(), before);  // nothing evicted
+}
+
 TEST(SerialResource, QueuesWork) {
   sim::Simulator sim;
   sim::SerialResource cpu(sim, "cpu");
