@@ -14,9 +14,13 @@
 // Scale note: 32 DS4100 trays (2016 spindles, 12.8 GB/s of controller
 // bandwidth) match the full production build-out;
 // the spindle and network ceilings shape the saturation knee.
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <optional>
+#include <string>
 
 #include "bench_util.hpp"
 #include "workload/mpiio.hpp"
@@ -44,7 +48,9 @@ struct World {
     cfg.name = "sdsc";
     cfg.tcp.window = 2 * MiB;
     cfg.tcp.chunk = 1 * MiB;
-    cfg.client.readahead_blocks = 8;
+    // Readahead is adaptive (ClientConfig::readahead_min ramping to
+    // the readahead_blocks cap, clamped by the strided-run detector);
+    // no fixed depth override.
     cluster = std::make_unique<gpfs::Cluster>(sim, net, cfg, Rng(42));
     for (net::NodeId h : room.hosts) cluster->add_node(h);
 
@@ -75,7 +81,19 @@ struct World {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --smoke: reduced node-count sweep and per-task volume for CI.
+  // --json <path>: dump the sweep as a machine-readable JSON file.
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
   bench::banner("FIG-11",
                 "MPI-IO scaling with remote node count (128 MB block, "
                 "1 MB transfer)");
@@ -88,7 +106,9 @@ int main() {
   std::cout << "\n  nodes   write MB/s    read MB/s\n";
 
   TimeSeries writes("write"), reads("read");
-  const std::vector<std::size_t> counts = {1, 2, 4, 8, 16, 32, 48, 64};
+  const std::vector<std::size_t> counts =
+      smoke ? std::vector<std::size_t>{1, 4, 16}
+            : std::vector<std::size_t>{1, 2, 4, 8, 16, 32, 48, 64};
   for (std::size_t n : counts) {
     // --- write phase: n fresh clients share one file -------------------
     std::vector<gpfs::Client*> wtasks;
@@ -101,7 +121,7 @@ int main() {
     mcfg.block = 128 * MiB;
     mcfg.transfer = 1 * MiB;
     mcfg.queue_depth = 6;
-    mcfg.per_task = 512 * MiB;
+    mcfg.per_task = smoke ? 128 * MiB : 512 * MiB;
     const std::string path = "/mpi_" + std::to_string(n);
 
     mcfg.write = true;
@@ -111,6 +131,9 @@ int main() {
     w.sim.run();
     MGFS_ASSERT(wres.has_value() && wres->ok(), "mpi-io write failed");
     const double wr = (*wres)->aggregate_MBps();
+    if (std::getenv("MGFS_FIG11_DBG")) {
+      std::cerr << wtasks[0]->mmpmon() << "\n";
+    }
     for (gpfs::Client* c : wtasks) w.cluster->unmount(c);
 
     // --- read phase: fresh (cold-cache) clients ------------------------
@@ -127,6 +150,9 @@ int main() {
     w.sim.run();
     MGFS_ASSERT(rres.has_value() && rres->ok(), "mpi-io read failed");
     const double rr = (*rres)->aggregate_MBps();
+    if (std::getenv("MGFS_FIG11_DBG")) {
+      std::cerr << rtasks[0]->mmpmon() << "\n";
+    }
     for (gpfs::Client* c : rtasks) w.cluster->unmount(c);
 
     writes.add(static_cast<double>(n), wr);
@@ -138,6 +164,38 @@ int main() {
   std::cout << "\n  read  [" << sparkline(reads) << "]\n";
   std::cout << "  write [" << sparkline(writes) << "]\n";
   std::cout << std::defaultfloat;
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << std::fixed << std::setprecision(1);
+    out << "{\n  \"bench\": \"fig11_scaling\",\n  \"smoke\": "
+        << (smoke ? "true" : "false") << ",\n  \"nodes\": [";
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      out << (i ? ", " : "") << counts[i];
+    }
+    out << "],\n  \"write_MBps\": [";
+    for (std::size_t i = 0; i < writes.size(); ++i) {
+      out << (i ? ", " : "") << writes.points()[i].y;
+    }
+    out << "],\n  \"read_MBps\": [";
+    for (std::size_t i = 0; i < reads.size(); ++i) {
+      out << (i ? ", " : "") << reads.points()[i].y;
+    }
+    out << "]\n}\n";
+    std::cout << "\n  JSON written to " << json_path << "\n";
+  }
+
+  if (smoke) {
+    // CI smoke: no paper-scale comparison at reduced node counts; the
+    // sweep completing with sane throughput is the signal.
+    std::cout << std::fixed << std::setprecision(0) << "\nSmoke run complete ("
+              << counts.back() << " nodes max: write "
+              << writes.points().back().y << " MB/s, read "
+              << reads.points().back().y << " MB/s)\n"
+              << std::defaultfloat;
+    return 0;
+  }
+
   std::cout << "\nSummary (paper §5 / Fig. 11):\n";
   bench::report("read at 64 nodes", reads.points().back().y, 5900.0, "MB/s");
   bench::report("write at 64 nodes", writes.points().back().y, 3500.0,

@@ -10,10 +10,12 @@ namespace {
 /// Wire cost of a bare request/ack frame on the NSD data protocol.
 constexpr Bytes kDataHeader = 64;
 
-TokenRange block_span(Bytes offset, Bytes len, Bytes bs) {
-  (void)bs;
-  return TokenRange{offset, offset + len};
-}
+/// Per-extent descriptor cost in a vectored NSD request header.
+constexpr Bytes kExtentDesc = 16;
+
+/// How deep into the dirty FIFO the flusher looks for same-NSD blocks
+/// to coalesce with the one it just popped.
+constexpr std::size_t kFlushScan = 256;
 
 }  // namespace
 
@@ -85,6 +87,7 @@ void Client::unbind() {
   block_map_.clear();
   dirty_fifo_.clear();
   dirty_addr_.clear();
+  alloc_ahead_hi_.clear();
 }
 
 Client::OpenFile* Client::file(Fh fh) {
@@ -111,7 +114,8 @@ bool Client::token_covers(InodeNum ino, TokenRange r, LockMode mode) const {
   return false;
 }
 
-void Client::token_record(InodeNum ino, TokenRange r, LockMode mode) {
+void Client::token_record(InodeNum ino, TokenRange r, LockMode mode,
+                          bool widened) {
   auto& v = held_[ino];
   // Merge with adjacent/overlapping same-mode holdings; absorb weaker
   // (ro) holdings only where the new rw range already covers them —
@@ -128,11 +132,12 @@ void Client::token_record(InodeNum ino, TokenRange r, LockMode mode) {
     if (absorb) {
       r.lo = std::min(r.lo, h.range.lo);
       r.hi = std::max(r.hi, h.range.hi);
+      widened = widened || h.widened;
     } else {
       kept.push_back(h);
     }
   }
-  kept.push_back(HeldToken{mode, r});
+  kept.push_back(HeldToken{mode, r, widened});
   v = std::move(kept);
 }
 
@@ -146,8 +151,12 @@ void Client::token_trim(InodeNum ino, TokenRange r) {
       next.push_back(h);
       continue;
     }
-    if (h.range.lo < r.lo) next.push_back({h.mode, {h.range.lo, r.lo}});
-    if (r.hi < h.range.hi) next.push_back({h.mode, {r.hi, h.range.hi}});
+    if (h.range.lo < r.lo) {
+      next.push_back({h.mode, {h.range.lo, r.lo}, h.widened});
+    }
+    if (r.hi < h.range.hi) {
+      next.push_back({h.mode, {r.hi, h.range.hi}, h.widened});
+    }
   }
   if (next.empty()) {
     held_.erase(it);
@@ -156,28 +165,41 @@ void Client::token_trim(InodeNum ino, TokenRange r) {
   }
 }
 
-void Client::ensure_token(InodeNum ino, TokenRange r, LockMode mode,
+void Client::ensure_token(InodeNum ino, TokenRange required,
+                          TokenRange desired, LockMode mode,
                           std::function<void(Status)> done) {
-  if (token_covers(ino, r, mode)) {
-    done(Status{});
-    return;
+  auto it = held_.find(ino);
+  if (it != held_.end()) {
+    for (const HeldToken& h : it->second) {
+      if (mode == LockMode::rw && h.mode != LockMode::rw) continue;
+      if (h.range.contains(required)) {
+        // A hit on a batched (widened) grant is a metadata RPC the
+        // per-block protocol would have made.
+        if (h.widened) ++meta_rpcs_saved_;
+        done(Status{});
+        return;
+      }
+    }
   }
   FileSystem* fs = fs_;
   const ClientId me = id_;
   meta_call<TokenRange>(
       64,
-      [fs, me, ino, r, mode](Rpc::ReplyFn<TokenRange> reply) {
-        fs->op_token_acquire(me, ino, r, mode,
+      [fs, me, ino, required, desired, mode](Rpc::ReplyFn<TokenRange> reply) {
+        fs->op_token_acquire(me, ino, required, desired, mode,
                              [reply](Result<TokenRange> res) {
                                reply(64, std::move(res));
                              });
       },
-      [this, ino, mode, done = std::move(done)](Result<TokenRange> res) {
+      [this, ino, required, mode,
+       done = std::move(done)](Result<TokenRange> res) {
         if (!res.ok()) {
           done(res.error());
           return;
         }
-        token_record(ino, *res, mode);
+        const bool widened =
+            res->lo < required.lo || res->hi > required.hi;
+        token_record(ino, *res, mode, widened);
         done(Status{});
       });
 }
@@ -298,21 +320,17 @@ bool Client::breaker_open(net::NodeId node) const {
   return it != nsd_health_.end() && it->second.open;
 }
 
-void Client::nsd_io(BlockAddr addr, bool write,
-                    std::function<void(Status)> done) {
-  nsd_io_round(addr, write, 0, std::move(done));
-}
-
 /// One round = try every admitted serving node in preference order
 /// (primary, then backup). Rounds are re-run under the retry policy's
-/// backoff until it is exhausted.
-void Client::nsd_io_round(BlockAddr addr, bool write, int attempt,
-                          std::function<void(Status)> done) {
+/// backoff until it is exhausted; a multi-block run whose servers all
+/// failed is split back into single-block retries (split_run) so one
+/// poisoned block cannot hold the rest of the run hostage.
+void Client::nsd_io_run(NsdRun run, bool write, int attempt, RunDone done) {
   if (!mounted()) {
-    done(err(Errc::unavailable, "unmounted"));
+    done(run, err(Errc::unavailable, "unmounted"));
     return;
   }
-  const Nsd& nsd = fs_->nsd(addr.nsd);
+  const Nsd& nsd = fs_->nsd(run.nsd);
   std::vector<net::NodeId> targets;
   if (admit_server(nsd.primary)) {
     targets.push_back(nsd.primary);
@@ -325,52 +343,61 @@ void Client::nsd_io_round(BlockAddr addr, bool write, int attempt,
   if (targets.empty()) {
     // Every serving node is circuit-broken with no probe due: fail the
     // round without touching the wire and let the backoff retry pick it
-    // up once a probe window opens.
-    auto e = err(Errc::unavailable, "all NSD servers circuit-broken");
+    // up once a probe window opens. Nothing was attempted, so the run
+    // stays whole.
     if (cfg_.retry.exhausted(attempt)) {
-      done(e);
+      done(run, err(Errc::unavailable, "all NSD servers circuit-broken"));
       return;
     }
     ++rpc_retries_;
     simulator().after(cfg_.retry.backoff(attempt, rng_),
-                      [this, addr, write, attempt,
+                      [this, run = std::move(run), write, attempt,
                        done = std::move(done)]() mutable {
-                        nsd_io_round(addr, write, attempt + 1,
-                                     std::move(done));
+                        nsd_io_run(std::move(run), write, attempt + 1,
+                                   std::move(done));
                       });
     return;
   }
-  nsd_io_attempt(addr, write, std::move(targets), 0, attempt,
-                 std::move(done));
+  nsd_run_attempt(std::move(run), write, std::move(targets), 0, attempt,
+                  std::move(done));
 }
 
-void Client::nsd_io_attempt(BlockAddr addr, bool write,
-                            std::vector<net::NodeId> targets, std::size_t ti,
-                            int attempt, std::function<void(Status)> done) {
-  const Nsd& nsd = fs_->nsd(addr.nsd);
+void Client::nsd_run_attempt(NsdRun run, bool write,
+                             std::vector<net::NodeId> targets, std::size_t ti,
+                             int attempt, RunDone done) {
+  const Nsd& nsd = fs_->nsd(run.nsd);
   const net::NodeId target = targets[ti];
   const Bytes bs = block_size();
-  const Bytes req = write ? kDataHeader + bs : kDataHeader;
-  const Bytes resp = write ? kDataHeader : bs;
-  (void)resp;
+  const Bytes total = run.items.size() * bs;
+  // One wire request for the whole run: the extent descriptors ride in
+  // the header, the data rides in whichever direction the I/O goes.
+  const Bytes req = kDataHeader + kExtentDesc * run.extents.size() +
+                    (write ? total : 0);
   storage::BlockDevice* dev = nsd.device;
-  const Bytes dev_off = addr.block * bs;
+  std::vector<IoExtent> extents;
+  extents.reserve(run.extents.size());
+  for (const NsdExtent& e : run.extents) {
+    extents.push_back(IoExtent{e.block * bs, e.count * bs});
+  }
   ServerLookup servers = servers_;
   const double cipher = cipher_;
 
-  auto after_transport = [this, addr, write, targets = std::move(targets),
-                          ti, attempt, target, bs,
+  auto after_transport = [this, run = std::move(run), write,
+                          targets = std::move(targets), ti, attempt, target,
+                          total,
                           done = std::move(done)](Result<int> r) mutable {
     if (r.ok()) {
       note_server_ok(target);
       // cipherList=encrypt: the client pays its half of the per-byte
       // cost too (decrypt on read / encrypt accounted on send path).
-      // The client CPU is serial, so concurrent blocks queue on it.
+      // The client CPU is serial, so concurrent runs queue on it.
       if (cipher_ > 0) {
-        cpu_.acquire(cipher_ * static_cast<double>(bs),
-                     [done = std::move(done)] { done(Status{}); });
+        cpu_.acquire(cipher_ * static_cast<double>(total),
+                     [run = std::move(run), done = std::move(done)] {
+                       done(run, Status{});
+                     });
       } else {
-        done(Status{});
+        done(run, Status{});
       }
       return;
     }
@@ -378,36 +405,40 @@ void Client::nsd_io_attempt(BlockAddr addr, bool write,
     if (!retryable(r.code())) {
       // Media/namespace errors are final: failing over or retrying
       // would hide real data loss (e.g. a dead RAID set).
-      done(r.error());
+      done(run, r.error());
       return;
     }
     note_server_fail(target);
     if (ti + 1 < targets.size()) {
       ++failovers_;
-      MGFS_WARN("client", "nsd " << addr.nsd << " server node " << target.v
+      MGFS_WARN("client", "nsd " << run.nsd << " server node " << target.v
                                  << " " << errc_name(r.code())
                                  << ", failing over to backup");
-      nsd_io_attempt(addr, write, std::move(targets), ti + 1, attempt,
-                     std::move(done));
+      nsd_run_attempt(std::move(run), write, std::move(targets), ti + 1,
+                      attempt, std::move(done));
       return;
     }
     if (cfg_.retry.exhausted(attempt)) {
-      done(r.error());
+      done(run, r.error());
       return;
     }
     ++rpc_retries_;
+    if (run.items.size() > 1) {
+      split_run(std::move(run), write, attempt, std::move(done));
+      return;
+    }
     simulator().after(cfg_.retry.backoff(attempt, rng_),
-                      [this, addr, write, attempt,
+                      [this, run = std::move(run), write, attempt,
                        done = std::move(done)]() mutable {
-                        nsd_io_round(addr, write, attempt + 1,
-                                     std::move(done));
+                        nsd_io_run(std::move(run), write, attempt + 1,
+                                   std::move(done));
                       });
   };
 
   consume_probe(target);
   rpc_.call<int>(
       node_, target, req,
-      [servers, target, dev, dev_off, bs, write,
+      [servers, target, dev, extents = std::move(extents), write, total,
        cipher](Rpc::ReplyFn<int> reply) {
         NsdServer* srv = servers ? servers(target) : nullptr;
         if (srv == nullptr) {
@@ -415,17 +446,120 @@ void Client::nsd_io_attempt(BlockAddr addr, bool write,
                 err(Errc::unavailable, "no NSD service on node"));
           return;
         }
-        srv->handle(*dev, dev_off, bs, write, cipher,
-                    [reply, write, bs](const Status& st) {
-                      const Bytes payload = write ? kDataHeader : bs;
-                      if (st.ok()) {
-                        reply(payload, 0);
-                      } else {
-                        reply(kDataHeader, Result<int>(st.error()));
-                      }
-                    });
+        srv->handle_vectored(*dev, extents, write, cipher,
+                             [reply, write, total](const Status& st) {
+                               const Bytes payload =
+                                   write ? kDataHeader : total;
+                               if (st.ok()) {
+                                 reply(payload, 0);
+                               } else {
+                                 reply(kDataHeader, Result<int>(st.error()));
+                               }
+                             });
       },
       std::move(after_transport), Rpc::CallOptions{cfg_.rpc_deadline});
+}
+
+/// Both servers failed a coalesced request: re-issue every block as its
+/// own single-block run under the next backoff round. Each sub-run
+/// reaches the shared RunDone exactly once, so together they cover the
+/// original run's items exactly once — no block is lost and none
+/// completes twice.
+void Client::split_run(NsdRun run, bool write, int attempt, RunDone done) {
+  ++coal_splits_;
+  MGFS_WARN("client", "splitting failed coalesced request: nsd "
+                          << run.nsd << ", " << run.items.size()
+                          << " blocks retried singly");
+  simulator().after(
+      cfg_.retry.backoff(attempt, rng_),
+      [this, run = std::move(run), write, attempt,
+       done = std::move(done)]() mutable {
+        for (const BlockFetch& f : run.items) {
+          NsdRun single;
+          single.nsd = run.nsd;
+          single.items.push_back(f);
+          single.extents.push_back(NsdExtent{f.addr.block, 1});
+          nsd_io_run(std::move(single), write, attempt + 1, done);
+        }
+      });
+}
+
+void Client::issue_fills(std::vector<BlockFetch> fetch) {
+  if (fetch.empty()) return;
+  const Bytes bs = block_size();
+  auto runs = build_nsd_runs(std::move(fetch), cfg_.coalesce_blocks);
+  for (NsdRun& run : runs) {
+    for (const BlockFetch& f : run.items) {
+      if (f.speculative) fill_inflight_ += bs;
+    }
+    if (run.items.size() > 1) {
+      coal_blocks_ += run.items.size();
+      ++coal_requests_;
+    }
+    nsd_io_run(std::move(run), false, 0,
+               [this](const NsdRun& r, const Status& st) {
+                 for (const BlockFetch& f : r.items) {
+                   finish_fill(f.key, st, f.speculative);
+                 }
+               });
+  }
+}
+
+void Client::finish_fill(const PageKey& key, const Status& st,
+                         bool speculative) {
+  const Bytes bs = pool_.page_size();  // == block size; safe when unmounted
+  if (speculative) {
+    fill_inflight_ = fill_inflight_ >= bs ? fill_inflight_ - bs : 0;
+  }
+  if (st.ok()) {
+    bytes_read_remote_ += bs;
+    // Install only if we still may cache this range (a revoke may have
+    // raced with the fill).
+    const TokenRange r{key.block * bs, (key.block + 1) * bs};
+    if (token_covers(key.ino, r, LockMode::ro) ||
+        token_covers(key.ino, r, LockMode::rw)) {
+      pool_.insert_clean(key);
+    }
+  }
+  auto node = fill_waiters_.extract(key);
+  if (node.empty()) return;
+  for (auto& cb : node.mapped()) cb(st);
+}
+
+void Client::prefetch_strided(InodeNum ino, std::uint64_t b0,
+                              std::uint64_t count) {
+  if (count == 0) return;
+  const Bytes bs = block_size();
+  const TokenRange want{b0 * bs, (b0 + count) * bs};
+  ensure_token(
+      ino, want, want, LockMode::ro, [this, ino, b0, count](Status st) {
+        // Speculative: any failure (or an unmount that raced with the
+        // token RPC) just means no prefetch.
+        if (!st.ok() || !mounted()) return;
+        ensure_map(ino, b0, count, [this, ino, b0, count](Status st) {
+          if (!st.ok() || !mounted()) return;
+          const Bytes bs = block_size();
+          std::vector<BlockFetch> fetch;
+          for (std::uint64_t bi = b0; bi < b0 + count; ++bi) {
+            if (fill_inflight_ + fetch.size() * bs >= cfg_.max_inflight_fill) {
+              break;
+            }
+            const PageKey key{ino, bi};
+            if (pool_.contains(key) || fill_waiters_.count(key) > 0) continue;
+            std::optional<BlockAddr>* entry = map_entry(ino, bi);
+            if (entry == nullptr || !entry->has_value()) continue;
+            const TokenRange r{bi * bs, (bi + 1) * bs};
+            if (!token_covers(ino, r, LockMode::ro) &&
+                !token_covers(ino, r, LockMode::rw)) {
+              continue;
+            }
+            fill_waiters_[key];
+            fetch.push_back(BlockFetch{key, **entry, /*speculative=*/true});
+            ++ra_issued_;
+          }
+          issue_fills(std::move(fetch));
+        });
+      });
 }
 
 void Client::ensure_block_present(InodeNum ino, std::uint64_t bi,
@@ -451,22 +585,7 @@ void Client::ensure_block_present(InodeNum ino, std::uint64_t bi,
   }
   const BlockAddr addr = **entry;
   fill_waiters_[key].push_back(std::move(done));
-  nsd_io(addr, false, [this, key](const Status& st) {
-    if (st.ok()) {
-      bytes_read_remote_ += block_size();
-      // Install only if we still may cache this range (a revoke may have
-      // raced with the fill).
-      const Bytes bs = block_size();
-      const TokenRange r{key.block * bs, (key.block + 1) * bs};
-      if (token_covers(key.ino, r, LockMode::ro) ||
-          token_covers(key.ino, r, LockMode::rw)) {
-        pool_.insert_clean(key);
-      }
-    }
-    auto node = fill_waiters_.extract(key);
-    if (node.empty()) return;
-    for (auto& cb : node.mapped()) cb(st);
-  });
+  issue_fills({BlockFetch{key, addr}});
 }
 
 // --------------------------------------------------------------------------
@@ -501,6 +620,9 @@ void Client::open(const std::string& path, const Principal& who,
         f.who = who;
         f.flags = flags;
         f.size = res->size;
+        f.ra = ReadaheadRamp(static_cast<std::uint64_t>(cfg_.readahead_min),
+                             static_cast<std::uint64_t>(cfg_.readahead_blocks));
+        f.wb = ReadaheadRamp(8, cfg_.write_batch_blocks);
         open_[fh] = std::move(f);
         done(fh);
       });
@@ -527,18 +649,34 @@ void Client::read(Fh fh, Bytes offset, Bytes len,
   const std::uint64_t b1 = (offset + len - 1) / bs;
   const InodeNum ino = f->ino;
 
-  // Sequential detection for readahead.
-  const bool sequential = (b0 == f->next_seq_block) || (b0 == 0 && offset == 0);
-  f->next_seq_block = b1 + 1;
-  const std::uint64_t ra =
-      sequential ? static_cast<std::uint64_t>(cfg_.readahead_blocks) : 0;
+  // Adaptive readahead: the ramp grows on confirmed sequential access,
+  // collapses on a seek, and the fill budget bounds total prefetch
+  // bytes in flight.
+  const std::uint64_t ra = f->ra.on_access(b0, b1);
   const std::uint64_t last_file_block =
       f->size == 0 ? 0 : (f->size - 1) / bs;
-  const std::uint64_t map_hi =
-      std::min(b1 + ra, last_file_block);
+  const std::uint64_t map_hi = std::min(b1 + ra, last_file_block);
+
+  // Strided stream near its region boundary: the clamp withheld part of
+  // the window, and the detector knows where the next run starts. Spend
+  // the withheld depth there so the fill pipeline never drains across
+  // the boundary (MPI-IO region transitions).
+  const std::uint64_t pred = f->ra.predicted_next_run();
+  if (pred != ReadaheadRamp::kUnknown && pred <= last_file_block &&
+      f->ra.window() > ra) {
+    prefetch_strided(ino, pred,
+                     std::min(f->ra.window() - ra,
+                              last_file_block - pred + 1));
+  }
+
+  // Batch the token and map acquisition over the whole window the ramp
+  // says we will stream through, not just this call's bytes.
+  const TokenRange required{offset, offset + len};
+  const TokenRange desired =
+      ra == 0 ? required : TokenRange{b0 * bs, (map_hi + 1) * bs};
 
   ensure_token(
-      ino, block_span(offset, len, bs), LockMode::ro,
+      ino, required, desired, LockMode::ro,
       [this, ino, b0, b1, map_hi, len, bs,
        done = std::move(done)](Status st) mutable {
         if (!st.ok()) {
@@ -553,6 +691,62 @@ void Client::read(Fh fh, Bytes offset, Bytes len,
                 done(st.error());
                 return;
               }
+              // Plan the demand blocks: cache hits are done, blocks with
+              // a fill already in flight are joined, the rest are fetched.
+              std::vector<std::uint64_t> wait;
+              std::vector<BlockFetch> fetch;
+              for (std::uint64_t bi = b0; bi <= b1; ++bi) {
+                const PageKey key{ino, bi};
+                if (pool_.contains(key)) {
+                  pool_.note_lookup(true);
+                  pool_.touch(key);
+                  continue;
+                }
+                pool_.note_lookup(false);
+                if (fill_waiters_.count(key) > 0) {
+                  wait.push_back(bi);
+                  continue;
+                }
+                std::optional<BlockAddr>* entry = map_entry(ino, bi);
+                MGFS_ASSERT(entry != nullptr,
+                            "block map not populated before fill");
+                if (!entry->has_value()) continue;  // hole: zeros
+                wait.push_back(bi);
+                fetch.push_back(BlockFetch{key, **entry});
+                fill_waiters_[key];  // reserve: dedup point for later reads
+              }
+              // Readahead rides in the same runs as the demand blocks, so
+              // a demand fill and its same-NSD successors become one wire
+              // request. Only readahead is subject to the fill budget.
+              for (std::uint64_t bi = b1 + 1; bi <= map_hi; ++bi) {
+                if (fill_inflight_ + fetch.size() * bs >=
+                    cfg_.max_inflight_fill) {
+                  break;
+                }
+                const PageKey key{ino, bi};
+                if (pool_.contains(key) || fill_waiters_.count(key) > 0) {
+                  continue;
+                }
+                std::optional<BlockAddr>* entry = map_entry(ino, bi);
+                if (entry == nullptr || !entry->has_value()) continue;
+                const TokenRange r{bi * bs, (bi + 1) * bs};
+                if (!token_covers(ino, r, LockMode::ro) &&
+                    !token_covers(ino, r, LockMode::rw)) {
+                  continue;
+                }
+                fill_waiters_[key];
+                fetch.push_back(
+                    BlockFetch{key, **entry, /*speculative=*/true});
+                ++ra_issued_;
+              }
+              if (wait.empty()) {
+                issue_fills(std::move(fetch));
+                // Fully-cached reads must still complete asynchronously:
+                // callers' issue loops are not re-entrant.
+                simulator().defer(
+                    [len, done = std::move(done)] { done(len); });
+                return;
+              }
               struct Gather {
                 std::size_t outstanding;
                 Status first_error;
@@ -560,9 +754,11 @@ void Client::read(Fh fh, Bytes offset, Bytes len,
                 Bytes len;
               };
               auto g = std::make_shared<Gather>(
-                  Gather{b1 - b0 + 1, Status{}, std::move(done), len});
-              for (std::uint64_t bi = b0; bi <= b1; ++bi) {
-                ensure_block_present(ino, bi, [g](Status st) {
+                  Gather{wait.size(), Status{}, std::move(done), len});
+              // Register waiters before issuing: a breaker fast-fail can
+              // complete synchronously.
+              for (std::uint64_t bi : wait) {
+                fill_waiters_[PageKey{ino, bi}].push_back([g](Status st) {
                   if (!st.ok() && g->first_error.ok()) g->first_error = st;
                   if (--g->outstanding == 0) {
                     if (g->first_error.ok()) {
@@ -573,14 +769,7 @@ void Client::read(Fh fh, Bytes offset, Bytes len,
                   }
                 });
               }
-              // Fire-and-forget readahead for blocks we may cache.
-              for (std::uint64_t bi = b1 + 1; bi <= map_hi; ++bi) {
-                const TokenRange r{bi * bs, (bi + 1) * bs};
-                if (token_covers(ino, r, LockMode::ro) ||
-                    token_covers(ino, r, LockMode::rw)) {
-                  ensure_block_present(ino, bi, [](Status) {});
-                }
-              }
+              issue_fills(std::move(fetch));
             });
       });
 }
@@ -607,9 +796,22 @@ void Client::write(Fh fh, Bytes offset, Bytes len,
   const Bytes old_size = f->size;
   const Bytes new_size = std::max(f->size, offset + len);
 
+  // Streaming-write detection: once the sequential pattern is confirmed
+  // (two hits), batch the token grant and block allocation over the
+  // ramp window. One-shot writes keep exact per-call block accounting.
+  const std::uint64_t wnd = f->wb.on_access(b0, b1);
+  const std::uint64_t batch =
+      (f->wb.hits() >= 2 && wnd > 0)
+          ? std::min<std::uint64_t>(wnd, cfg_.write_batch_blocks)
+          : 0;
+
+  const TokenRange required{offset, offset + len};
+  const TokenRange desired =
+      batch == 0 ? required : TokenRange{b0 * bs, (b1 + 1 + batch) * bs};
+
   ensure_token(
-      ino, block_span(offset, len, bs), LockMode::rw,
-      [this, f, ino, b0, b1, offset, len, bs, old_size, new_size,
+      ino, required, desired, LockMode::rw,
+      [this, f, ino, b0, b1, batch, offset, len, bs, old_size, new_size,
        done = std::move(done)](Status st) mutable {
         if (!st.ok()) {
           done(st.error());
@@ -621,6 +823,14 @@ void Client::write(Fh fh, Bytes offset, Bytes len,
         for (std::uint64_t bi = b0; bi <= b1 && !need_alloc; ++bi) {
           auto* e = map_entry(ino, bi);
           if (e == nullptr || !e->has_value()) need_alloc = true;
+        }
+        if (!need_alloc) {
+          // Covered by an earlier allocate-ahead batch: an allocation
+          // RPC the per-call protocol would have made.
+          auto wm = alloc_ahead_hi_.find(ino);
+          if (wm != alloc_ahead_hi_.end() && b1 < wm->second) {
+            ++meta_rpcs_saved_;
+          }
         }
         auto proceed = [this, f, ino, b0, b1, offset, len, bs, old_size,
                         new_size, done = std::move(done)](Status st) mutable {
@@ -661,10 +871,16 @@ void Client::write(Fh fh, Bytes offset, Bytes len,
                 dirty_addr_[key] = **e;
               }
             }
-            f->size = new_size;
+            // Commits can land out of order: an allocate-ahead-covered
+            // write completes synchronously while an earlier write still
+            // waits on its allocation reply. Size only ever grows.
+            f->size = std::max(f->size, new_size);
             pump_flush();
             if (pool_.dirty_bytes() <= cfg_.max_dirty) {
-              done(len);
+              // A write whose token, map and allocation are all batched
+              // ahead reaches here synchronously; callers' issue loops
+              // are not re-entrant, so complete through the event queue.
+              simulator().defer([len, done = std::move(done)] { done(len); });
             } else {
               // Write-behind cap reached: stall the writer until flushes
               // bring the dirty total back under the cap.
@@ -693,7 +909,10 @@ void Client::write(Fh fh, Bytes offset, Bytes len,
         }
         FileSystem* fs = fs_;
         const ClientId me = id_;
-        const std::size_t count = b1 - b0 + 1;
+        // On a confirmed streak, allocate the ramp window ahead of the
+        // write so the next `batch` writes skip the allocation RPC.
+        const std::size_t count =
+            static_cast<std::size_t>(b1 - b0 + 1 + batch);
         meta_call<BlockMapChunk>(
             cfg_.meta_payload,
             [fs, ino, b0, count, new_size,
@@ -701,13 +920,17 @@ void Client::write(Fh fh, Bytes offset, Bytes len,
               reply(16 * count,
                     fs->op_allocate(ino, b0, count, new_size, me));
             },
-            [this, ino, proceed = std::move(proceed)](
+            [this, ino, b0, count, batch, proceed = std::move(proceed)](
                 Result<BlockMapChunk> res) mutable {
               if (!res.ok()) {
                 proceed(res.error());
                 return;
               }
               install_chunk(ino, *res);
+              if (batch > 0) {
+                std::uint64_t& hi = alloc_ahead_hi_[ino];
+                hi = std::max(hi, b0 + count);
+              }
               proceed(Status{});
             });
       });
@@ -721,30 +944,69 @@ void Client::pump_flush() {
     auto ait = dirty_addr_.find(key);
     MGFS_ASSERT(ait != dirty_addr_.end(), "dirty page without address");
     const BlockAddr addr = ait->second;
-    ++flights_;
-    ++inflight_per_ino_[key.ino];
-    nsd_io(addr, true, [this, key](const Status& st) {
-      --flights_;
-      auto it = inflight_per_ino_.find(key.ino);
-      if (it != inflight_per_ino_.end() && --it->second == 0) {
-        inflight_per_ino_.erase(it);
+
+    // Coalesce: pull other dirty blocks bound for the same NSD out of
+    // the FIFO head so the whole run goes out as one wire request.
+    std::vector<BlockFetch> items{BlockFetch{key, addr}};
+    if (cfg_.coalesce_blocks > 1) {
+      std::size_t scanned = 0;
+      for (auto it = dirty_fifo_.begin();
+           it != dirty_fifo_.end() && scanned < kFlushScan &&
+           items.size() < cfg_.coalesce_blocks;) {
+        ++scanned;
+        const PageKey k = *it;
+        if (!pool_.is_dirty(k)) {
+          it = dirty_fifo_.erase(it);
+          continue;
+        }
+        auto a2 = dirty_addr_.find(k);
+        MGFS_ASSERT(a2 != dirty_addr_.end(), "dirty page without address");
+        if (a2->second.nsd == addr.nsd) {
+          items.push_back(BlockFetch{k, a2->second});
+          it = dirty_fifo_.erase(it);
+        } else {
+          ++it;
+        }
       }
-      if (st.ok()) {
-        bytes_written_remote_ += block_size();
-        pool_.mark_clean(key);
-        dirty_addr_.erase(key);
-      } else {
-        // Transient failure (e.g. both servers down): requeue after a
-        // delay. An immediate requeue would spin at zero simulated cost
-        // when the breaker fast-fails without touching the network.
-        simulator().after(cfg_.flush_retry_delay, [this, key] {
-          if (!mounted() || !pool_.is_dirty(key)) {
-            dirty_addr_.erase(key);
-            return;
-          }
-          dirty_fifo_.push_back(key);
-          pump_flush();
-        });
+    }
+    auto runs = build_nsd_runs(std::move(items), cfg_.coalesce_blocks);
+    MGFS_ASSERT(runs.size() == 1, "flush coalescing spans one NSD");
+    NsdRun run = std::move(runs.front());
+    if (run.items.size() > 1) {
+      coal_blocks_ += run.items.size();
+      ++coal_requests_;
+    }
+    ++flights_;
+    for (const BlockFetch& f : run.items) ++inflight_per_ino_[f.key.ino];
+    // One flight covers the whole run; it frees up when every item has
+    // reached a terminal sub-run (splits re-issue under the same done).
+    auto remaining = std::make_shared<std::size_t>(run.items.size());
+    nsd_io_run(std::move(run), true, 0,
+               [this, remaining](const NsdRun& r, const Status& st) {
+      for (const BlockFetch& f : r.items) {
+        const PageKey k = f.key;
+        auto it = inflight_per_ino_.find(k.ino);
+        if (it != inflight_per_ino_.end() && --it->second == 0) {
+          inflight_per_ino_.erase(it);
+        }
+        if (st.ok()) {
+          bytes_written_remote_ += pool_.page_size();
+          pool_.mark_clean(k);
+          dirty_addr_.erase(k);
+        } else {
+          // Transient failure (e.g. both servers down): requeue after a
+          // delay. An immediate requeue would spin at zero simulated
+          // cost when the breaker fast-fails without touching the
+          // network.
+          simulator().after(cfg_.flush_retry_delay, [this, k] {
+            if (!mounted() || !pool_.is_dirty(k)) {
+              dirty_addr_.erase(k);
+              return;
+            }
+            dirty_fifo_.push_back(k);
+            pump_flush();
+          });
+        }
       }
       unstall_writers();
       // fsync()/revoke waiters whose inode fully flushed?
@@ -760,7 +1022,11 @@ void Client::pump_flush() {
           ++wit;
         }
       }
-      pump_flush();
+      *remaining -= r.items.size();
+      if (*remaining == 0) {
+        --flights_;
+        pump_flush();
+      }
     });
   }
 }
@@ -964,7 +1230,11 @@ std::string Client::mmpmon() const {
      << "  _to_ " << rpc_timeouts_ << "\n"           // RPC deadline expiries
      << "  _bop_ " << breaker_opens_ << "\n"         // breaker opens
      << "  _bsc_ " << breaker_skips_ << "\n"         // breaker-skipped I/Os
-     << "  _prb_ " << breaker_probes_ << "\n";       // half-open probes
+     << "  _prb_ " << breaker_probes_ << "\n"        // half-open probes
+     << "  _ra_ " << ra_issued_ << "\n"              // readahead fills issued
+     << "  _coal_ " << coal_blocks_ << "\n"          // blocks coalesced
+     << "  _spl_ " << coal_splits_ << "\n"           // coalesced-run splits
+     << "  _mrpc_ " << meta_rpcs_saved_ << "\n";     // metadata RPCs saved
   return os.str();
 }
 

@@ -30,6 +30,7 @@
 #include "common/retry.hpp"
 #include "gpfs/filesystem.hpp"
 #include "gpfs/pagepool.hpp"
+#include "gpfs/readahead.hpp"
 #include "gpfs/rpc.hpp"
 #include "sim/serial_resource.hpp"
 
@@ -37,9 +38,13 @@ namespace mgfs::gpfs {
 
 struct ClientConfig {
   Bytes pagepool = 256 * MiB;
-  int readahead_blocks = 8;
+  int readahead_blocks = 32;         // adaptive readahead cap (blocks)
+  int readahead_min = 4;             // ramp start after first sequential hit
+  Bytes max_inflight_fill = 48 * MiB;  // speculative fill bytes in flight
+  std::size_t coalesce_blocks = 8;   // max blocks per coalesced NSD request
+  std::size_t write_batch_blocks = 64;  // token/alloc batch on write streaks
   Bytes max_dirty = 64 * MiB;        // write-behind ceiling
-  std::size_t flush_parallel = 16;   // concurrent write-behind I/Os
+  std::size_t flush_parallel = 32;   // concurrent write-behind I/Os
   std::size_t map_chunk = 64;        // block-map entries per metadata RPC
   Bytes meta_payload = 256;          // metadata request/response payload
 
@@ -124,6 +129,11 @@ class Client {
   std::uint64_t breaker_opens() const { return breaker_opens_; }
   std::uint64_t breaker_skips() const { return breaker_skips_; }
   std::uint64_t breaker_probes() const { return breaker_probes_; }
+  std::uint64_t readahead_issued() const { return ra_issued_; }
+  std::uint64_t blocks_coalesced() const { return coal_blocks_; }
+  std::uint64_t coalesced_requests() const { return coal_requests_; }
+  std::uint64_t coalesced_splits() const { return coal_splits_; }
+  std::uint64_t meta_rpcs_saved() const { return meta_rpcs_saved_; }
   /// Is the breaker for NSD-server `node` currently open?
   bool breaker_open(net::NodeId node) const;
   /// mmpmon-style per-client I/O counter report (the GPFS monitoring
@@ -136,20 +146,24 @@ class Client {
     Principal who;
     OpenFlags flags;
     Bytes size = 0;  // client's view; refresh_size() re-fetches
-    std::uint64_t next_seq_block = ~0ULL;  // readahead detector
+    ReadaheadRamp ra;  // sequential-read prefetch ramp
+    ReadaheadRamp wb;  // sequential-write batch ramp (token/alloc window)
   };
 
   struct HeldToken {
     LockMode mode;
     TokenRange range;
+    bool widened = false;  // manager granted more than we asked for
   };
 
   // token cache helpers
   bool token_covers(InodeNum ino, TokenRange r, LockMode mode) const;
-  void token_record(InodeNum ino, TokenRange r, LockMode mode);
+  void token_record(InodeNum ino, TokenRange r, LockMode mode, bool widened);
   void token_trim(InodeNum ino, TokenRange r);
-  void ensure_token(InodeNum ino, TokenRange r, LockMode mode,
-                    std::function<void(Status)> done);
+  /// Acquire `required` (a cache hit short-circuits); `desired` ⊇
+  /// `required` is the batch window handed to the manager for clipping.
+  void ensure_token(InodeNum ino, TokenRange required, TokenRange desired,
+                    LockMode mode, std::function<void(Status)> done);
 
   // block map cache helpers
   std::optional<BlockAddr>* map_entry(InodeNum ino, std::uint64_t bi);
@@ -162,15 +176,23 @@ class Client {
   void meta_call(Bytes req_payload, Rpc::ServerFn<R> server,
                  std::function<void(Result<R>)> done, int attempt = 0);
 
-  // data path
+  // data path. Fills and flushes travel as NsdRuns — coalesced wire
+  // requests. RunDone is a *shared* completion: it fires once per
+  // terminal (unsplit) sub-run, covering every item exactly once.
+  using RunDone = std::function<void(const NsdRun&, const Status&)>;
   void ensure_block_present(InodeNum ino, std::uint64_t bi,
                             std::function<void(Status)> done);
-  void nsd_io(BlockAddr addr, bool write, std::function<void(Status)> done);
-  void nsd_io_round(BlockAddr addr, bool write, int attempt,
-                    std::function<void(Status)> done);
-  void nsd_io_attempt(BlockAddr addr, bool write,
-                      std::vector<net::NodeId> targets, std::size_t ti,
-                      int attempt, std::function<void(Status)> done);
+  void issue_fills(std::vector<BlockFetch> fetch);
+  void finish_fill(const PageKey& key, const Status& st, bool speculative);
+  /// Speculative fill of `count` blocks starting at `b0` — the strided
+  /// detector's prediction of the next sequential run. Acquires its own
+  /// token/map coverage and rides the normal fill path.
+  void prefetch_strided(InodeNum ino, std::uint64_t b0, std::uint64_t count);
+  void nsd_io_run(NsdRun run, bool write, int attempt, RunDone done);
+  void nsd_run_attempt(NsdRun run, bool write,
+                       std::vector<net::NodeId> targets, std::size_t ti,
+                       int attempt, RunDone done);
+  void split_run(NsdRun run, bool write, int attempt, RunDone done);
 
   // NSD server health (circuit breaker)
   struct ServerHealth {
@@ -216,10 +238,17 @@ class Client {
                                         std::optional<BlockAddr>>>
       block_map_;
 
-  // in-flight read fills: waiters per page
+  // in-flight read fills: waiters per page (an entry with no waiters
+  // marks a fire-and-forget readahead fill in flight — the dedup point)
   std::unordered_map<PageKey, std::vector<std::function<void(Status)>>,
                      PageKeyHash>
       fill_waiters_;
+  Bytes fill_inflight_ = 0;  // speculative fill bytes in flight
+
+  // allocation high-water mark from write-streak batching, per inode:
+  // blocks below it were allocated ahead, so a later write skips the
+  // allocation RPC entirely
+  std::unordered_map<InodeNum, std::uint64_t> alloc_ahead_hi_;
 
   // write-behind state
   std::deque<PageKey> dirty_fifo_;
@@ -241,6 +270,11 @@ class Client {
   std::uint64_t breaker_opens_ = 0;
   std::uint64_t breaker_skips_ = 0;
   std::uint64_t breaker_probes_ = 0;
+  std::uint64_t ra_issued_ = 0;        // readahead fills issued
+  std::uint64_t coal_blocks_ = 0;      // blocks carried by coalesced requests
+  std::uint64_t coal_requests_ = 0;    // coalesced (multi-block) requests
+  std::uint64_t coal_splits_ = 0;      // coalesced requests split on failure
+  std::uint64_t meta_rpcs_saved_ = 0;  // token/alloc RPCs skipped by batching
 };
 
 }  // namespace mgfs::gpfs

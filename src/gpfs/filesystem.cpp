@@ -179,15 +179,15 @@ Status FileSystem::op_extend_size(InodeNum ino, Bytes size) {
 }
 
 void FileSystem::op_token_acquire(
-    ClientId client, InodeNum ino, TokenRange range, LockMode mode,
-    std::function<void(Result<TokenRange>)> done) {
-  token_retry(client, ino, range, mode, 8, std::move(done));
+    ClientId client, InodeNum ino, TokenRange range, TokenRange desired,
+    LockMode mode, std::function<void(Result<TokenRange>)> done) {
+  token_retry(client, ino, range, desired, mode, 8, std::move(done));
 }
 
 void FileSystem::token_retry(ClientId client, InodeNum ino, TokenRange range,
-                             LockMode mode, int attempts,
+                             TokenRange desired, LockMode mode, int attempts,
                              std::function<void(Result<TokenRange>)> done) {
-  TokenDecision d = tokens_.request(client, ino, range, mode);
+  TokenDecision d = tokens_.request(client, ino, range, desired, mode);
   if (d.granted) {
     ++tokens_granted_;
     done(d.granted_range);
@@ -201,9 +201,10 @@ void FileSystem::token_retry(ClientId client, InodeNum ino, TokenRange range,
               "token conflict with no revoker installed");
   // Revoke every conflicting holding, then retry.
   auto remaining = std::make_shared<std::size_t>(d.conflicts.size());
-  auto retry = [this, client, ino, range, mode, attempts,
+  auto retry = [this, client, ino, range, desired, mode, attempts,
                 done = std::move(done)]() mutable {
-    token_retry(client, ino, range, mode, attempts - 1, std::move(done));
+    token_retry(client, ino, range, desired, mode, attempts - 1,
+                std::move(done));
   };
   auto shared_retry = std::make_shared<decltype(retry)>(std::move(retry));
   for (const Holding& h : d.conflicts) {
@@ -212,8 +213,15 @@ void FileSystem::token_retry(ClientId client, InodeNum ino, TokenRange range,
                                    << " [" << h.range.lo << "," << h.range.hi
                                    << ") from client " << h.client
                                    << " for client " << client);
-    const TokenRange overlap{std::max(h.range.lo, range.lo),
-                             std::min(h.range.hi, range.hi)};
+    // rw conflicts were probed against the full desired window, and the
+    // revocation takes the whole overlap back in this one round — the
+    // requester's next `batch` writes then hit its token cache instead
+    // of re-colliding with the residue block by block. ro conflicts
+    // stay scoped to the required bytes (readers never evict a writer
+    // for speculative readahead).
+    const TokenRange claim = mode == LockMode::rw ? desired : range;
+    const TokenRange overlap{std::max(h.range.lo, claim.lo),
+                             std::min(h.range.hi, claim.hi)};
     revoker_(h.client, ino, overlap,
              [this, holder = h.client, ino, overlap, remaining,
               shared_retry] {

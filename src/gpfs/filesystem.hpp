@@ -91,8 +91,11 @@ class FileSystem {
 
   // --- token operations -------------------------------------------------
   /// Asynchronous: resolves after any needed revocations complete.
+  /// `desired` (⊇ `range`) is the batch window the client would like if
+  /// free; the grant is clipped against other holders (see
+  /// TokenManager::request) and revocations are driven by `range` only.
   void op_token_acquire(ClientId client, InodeNum ino, TokenRange range,
-                        LockMode mode,
+                        TokenRange desired, LockMode mode,
                         std::function<void(Result<TokenRange>)> done);
   void op_token_release(ClientId client, InodeNum ino, TokenRange range);
   void op_client_gone(ClientId client);
@@ -110,7 +113,7 @@ class FileSystem {
 
  private:
   void token_retry(ClientId client, InodeNum ino, TokenRange range,
-                   LockMode mode, int attempts,
+                   TokenRange desired, LockMode mode, int attempts,
                    std::function<void(Result<TokenRange>)> done);
 
   sim::Simulator& sim_;

@@ -1,5 +1,6 @@
 #include "gpfs/nsd.hpp"
 
+#include <memory>
 #include <utility>
 
 namespace mgfs::gpfs {
@@ -20,19 +21,41 @@ void NsdServer::set_slow_factor(double factor) {
 void NsdServer::handle(storage::BlockDevice& dev, Bytes offset, Bytes len,
                        bool write, double cipher_s_per_byte,
                        storage::IoCallback done) {
+  handle_vectored(dev, {IoExtent{offset, len}}, write, cipher_s_per_byte,
+                  std::move(done));
+}
+
+void NsdServer::handle_vectored(storage::BlockDevice& dev,
+                                std::vector<IoExtent> extents, bool write,
+                                double cipher_s_per_byte,
+                                storage::IoCallback done) {
+  MGFS_ASSERT(!extents.empty(), "vectored serve with no extents");
+  Bytes total = 0;
+  for (const IoExtent& e : extents) total += e.len;
   const sim::Time cpu =
-      (cpu_per_request_ + cipher_s_per_byte * static_cast<double>(len)) *
+      (cpu_per_request_ + cipher_s_per_byte * static_cast<double>(total)) *
       slow_factor_;
-  cpu_.acquire(cpu, [this, &dev, offset, len, write,
+  cpu_.acquire(cpu, [this, &dev, extents = std::move(extents), write, total,
                      done = std::move(done)]() mutable {
-    dev.io(offset, len, write,
-           [this, len, done = std::move(done)](const Status& st) {
-             if (st.ok()) {
-               ++requests_;
-               bytes_ += len;
-             }
-             done(st);
-           });
+    struct Gather {
+      std::size_t outstanding;
+      Status first_error;
+      storage::IoCallback done;
+    };
+    auto g = std::make_shared<Gather>(
+        Gather{extents.size(), Status{}, std::move(done)});
+    for (const IoExtent& e : extents) {
+      dev.io(e.offset, e.len, write, [this, g, total](const Status& st) {
+        if (!st.ok() && g->first_error.ok()) g->first_error = st;
+        if (--g->outstanding == 0) {
+          if (g->first_error.ok()) {
+            ++requests_;
+            bytes_ += total;
+          }
+          g->done(g->first_error);
+        }
+      });
+    }
   });
 }
 

@@ -13,12 +13,19 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "net/network.hpp"
 #include "sim/serial_resource.hpp"
 #include "storage/block_device.hpp"
 
 namespace mgfs::gpfs {
+
+/// One device-contiguous piece of a vectored NSD request.
+struct IoExtent {
+  Bytes offset = 0;
+  Bytes len = 0;
+};
 
 struct Nsd {
   std::uint32_t id = 0;
@@ -41,6 +48,15 @@ class NsdServer {
   /// AUTHONLY sessions) + the device transfer.
   void handle(storage::BlockDevice& dev, Bytes offset, Bytes len, bool write,
               double cipher_s_per_byte, storage::IoCallback done);
+
+  /// Vectored serve — one coalesced client request. A single
+  /// request-processing CPU charge covers the whole run (that is the
+  /// point of coalescing), cipher cost scales with the total bytes, and
+  /// each extent becomes one device transfer. Completes once, with the
+  /// first error, after every extent finishes.
+  void handle_vectored(storage::BlockDevice& dev,
+                       std::vector<IoExtent> extents, bool write,
+                       double cipher_s_per_byte, storage::IoCallback done);
 
   std::uint64_t requests_served() const { return requests_; }
   Bytes bytes_served() const { return bytes_; }

@@ -25,9 +25,17 @@ struct PageKey {
 };
 
 struct PageKeyHash {
+  // splitmix64 finalizer applied per word: `ino * C ^ block` folded
+  // low-entropy block indices straight into the low bits, colliding
+  // whole bucket chains for small blocks across inodes.
+  static std::uint64_t mix(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
   std::size_t operator()(const PageKey& k) const {
-    return std::hash<std::uint64_t>{}(k.ino * 0x9e3779b97f4a7c15ULL ^
-                                      k.block);
+    return static_cast<std::size_t>(mix(mix(k.ino) ^ k.block));
   }
 };
 

@@ -10,10 +10,26 @@ const std::vector<Holding> TokenManager::kEmpty{};
 
 TokenDecision TokenManager::request(ClientId client, InodeNum ino,
                                     TokenRange range, LockMode mode) {
+  return request(client, ino, range, range, mode);
+}
+
+TokenDecision TokenManager::request(ClientId client, InodeNum ino,
+                                    TokenRange range, TokenRange desired,
+                                    LockMode mode) {
   MGFS_ASSERT(range.lo < range.hi, "empty token range");
+  MGFS_ASSERT(desired.contains(range), "desired must cover the request");
   TokenDecision d;
   auto& hs = by_inode_[ino];
 
+  // Conflicts are probed against the *required* bytes only. A holding
+  // that overlaps just the speculative tail of `desired` clips the
+  // grant instead of triggering a revoke — two streaming writers whose
+  // batch windows brush at a region boundary must not evict each
+  // other's active window (probing `desired` here caused exactly that
+  // mutual-eviction thrash when every MPI task crossed its boundary in
+  // phase). The manager widens the *revocation* to the desired overlap
+  // once a real conflict exists, which is what consumes a stale wide
+  // holding window-by-window instead of block-by-block.
   for (const Holding& h : hs) {
     if (h.client == client) continue;  // own holdings never conflict
     if (!h.range.overlaps(range)) continue;
@@ -33,7 +49,24 @@ TokenDecision TokenManager::request(ClientId client, InodeNum ino,
       break;
     }
   }
-  TokenRange grant = others ? range : TokenRange{0, kWholeFile};
+
+  // Otherwise grant the desired range clipped back to what no other
+  // client's incompatible holding touches. Every extra byte must be
+  // provably free: an incompatible holding entirely above the request
+  // caps the grant from above, one entirely below caps it from below
+  // (a holding overlapping the request itself would have conflicted
+  // already).
+  TokenRange grant = desired;
+  if (!others) {
+    grant = TokenRange{0, kWholeFile};
+  } else {
+    for (const Holding& h : hs) {
+      if (h.client == client) continue;
+      if (compatible(h.mode, mode)) continue;
+      if (h.range.lo >= range.hi) grant.hi = std::min(grant.hi, h.range.lo);
+      if (h.range.hi <= range.lo) grant.lo = std::max(grant.lo, h.range.hi);
+    }
+  }
 
   // Upgrades: absorb the client's own overlapping/adjacent same-mode
   // holdings. An rw grant may absorb an own ro holding ONLY if the grant

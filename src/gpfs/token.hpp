@@ -61,6 +61,15 @@ class TokenManager {
   TokenDecision request(ClientId client, InodeNum ino, TokenRange range,
                         LockMode mode);
 
+  /// As above, but with a `desired` range (⊇ `range`) the requester
+  /// would like if it is free: conflicts are computed on `range` only,
+  /// and the grant is `desired` clipped back wherever another client
+  /// holds an incompatible range. Streaming clients use this to batch
+  /// token traffic over their readahead/write-behind window without
+  /// ever forcing a revocation the narrow request would not have.
+  TokenDecision request(ClientId client, InodeNum ino, TokenRange range,
+                        TokenRange desired, LockMode mode);
+
   /// Give back (part of) a holding — used both for voluntary release and
   /// to apply a revocation the holder acknowledged.
   void release(ClientId client, InodeNum ino, TokenRange range);

@@ -255,7 +255,10 @@ TEST(Failures, FailSlowPrimaryTripsBreakerAndFailsOver) {
   // cost ~30 s of CPU — far past any deadline.
   mc.cluster->server_on(mc.site.hosts[0])->set_slow_factor(1e6);
 
-  ASSERT_TRUE(mc.write(c, *fh, 0, 16 * MiB).ok());
+  // 48 MiB so that even with flush coalescing (up to 8 blocks per wire
+  // request) each NSD on the slow server still sees enough separate
+  // requests to cross the breaker threshold.
+  ASSERT_TRUE(mc.write(c, *fh, 0, 48 * MiB).ok());
   ASSERT_TRUE(mc.fsync(c, *fh).ok());
   EXPECT_EQ(c->pool().dirty_bytes(), 0u);       // everything landed
   EXPECT_GT(c->rpc_timeouts(), 0u);             // via deadline expiries
@@ -267,10 +270,51 @@ TEST(Failures, FailSlowPrimaryTripsBreakerAndFailsOver) {
   // Heal the server; the next I/O burst probes it half-open and closes
   // the breaker again.
   mc.cluster->server_on(mc.site.hosts[0])->set_slow_factor(1.0);
-  ASSERT_TRUE(mc.write(c, *fh, 16 * MiB, 16 * MiB).ok());
+  ASSERT_TRUE(mc.write(c, *fh, 48 * MiB, 16 * MiB).ok());
   ASSERT_TRUE(mc.fsync(c, *fh).ok());
   EXPECT_GT(c->breaker_probes(), 0u);
   EXPECT_FALSE(c->breaker_open(mc.site.hosts[0]));
+}
+
+TEST(Failures, MidRunFaultSplitsCoalescedRequestWithoutLoss) {
+  // Both serving nodes of every NSD turn fail-slow while a coalesced
+  // write-behind stream is in flight: multi-block requests time out on
+  // the primary, fail over, time out again on the backup, and must then
+  // be split back into single-block retries. After the servers heal,
+  // every block lands exactly once — no loss, no double completion.
+  ClusterConfig cfg;
+  cfg.client.rpc_deadline = 0.2;
+  cfg.client.retry.max_attempts = 6;
+  MiniCluster mc(6, 4, 1 * MiB, cfg);
+  Client* c = mc.mount_on(2);
+  auto fh = mc.open(c, "/split", kAlice, OpenFlags::create_rw());
+  ASSERT_TRUE(fh.ok());
+
+  mc.cluster->server_on(mc.site.hosts[0])->set_slow_factor(1e6);
+  mc.cluster->server_on(mc.site.hosts[1])->set_slow_factor(1e6);
+  mc.sim.after(1.5, [&] {
+    mc.cluster->server_on(mc.site.hosts[0])->set_slow_factor(1.0);
+    mc.cluster->server_on(mc.site.hosts[1])->set_slow_factor(1.0);
+  });
+
+  ASSERT_TRUE(mc.write(c, *fh, 0, 16 * MiB).ok());
+  ASSERT_TRUE(mc.fsync(c, *fh).ok());
+
+  EXPECT_GT(c->coalesced_splits(), 0u);  // a run was split mid-fault
+  EXPECT_GT(c->rpc_timeouts(), 0u);
+  EXPECT_EQ(c->pool().dirty_bytes(), 0u);
+  // Exactly-once accounting: every dirty block flushed exactly once
+  // (a double completion would double-count remote write bytes).
+  EXPECT_EQ(c->bytes_written_remote(), 16 * MiB);
+  EXPECT_EQ(mc.fs->ns().stat("/split")->size, 16 * MiB);
+
+  // The healed cluster serves reads of everything that was written.
+  Client* r = mc.mount_on(3);
+  auto fr = mc.open(r, "/split", kAlice, OpenFlags::ro());
+  ASSERT_TRUE(fr.ok());
+  auto rd = mc.read(r, *fr, 0, 16 * MiB);
+  ASSERT_TRUE(rd.ok()) << rd.error().to_string();
+  EXPECT_EQ(*rd, 16 * MiB);
 }
 
 TEST(Failures, FaultScheduleIsSeedDeterministic) {

@@ -155,6 +155,10 @@ TEST(GpfsClient, ReadaheadPrefetchesSequentialStream) {
   auto fh = mc.open(c, "/seq", kAlice, OpenFlags::create_rw());
   ASSERT_TRUE(mc.write(c, *fh, 0, 32 * MiB).ok());
   ASSERT_TRUE(mc.close(c, *fh).ok());
+  // The 32 MiB write-behind stream over 4 NSDs must have merged dirty
+  // blocks bound for the same NSD into multi-block wire requests.
+  EXPECT_GT(c->blocks_coalesced(), 0u);
+  EXPECT_GT(c->coalesced_requests(), 0u);
 
   // Unmount the writer so its cached whole-file token releases and the
   // fresh reader is granted a whole-file ro token (prefetch coverage).
@@ -163,14 +167,68 @@ TEST(GpfsClient, ReadaheadPrefetchesSequentialStream) {
   // Fresh client so the cache is cold.
   Client* r = mc.mount_on(3);
   auto fr = mc.open(r, "/seq", kAlice, OpenFlags::ro());
-  ASSERT_TRUE(mc.read(r, *fr, 0, 2 * MiB).ok());  // blocks 0,1 (+RA)
   const InodeNum ino = *mc.fs->ns().resolve("/seq");
-  // After the simulator drained, readahead has landed well past block 1.
+
+  // First sequential read ramps up cautiously: exactly readahead_min
+  // blocks land ahead of the demand window, no more.
+  ASSERT_TRUE(mc.read(r, *fr, 0, 2 * MiB).ok());  // blocks 0,1 (+RA)
   int cached_ahead = 0;
-  for (std::uint64_t b = 2; b < 10; ++b) {
+  for (std::uint64_t b = 2; b < 12; ++b) {
     if (r->pool().contains({ino, b})) ++cached_ahead;
   }
-  EXPECT_GE(cached_ahead, r->config().readahead_blocks);
+  EXPECT_EQ(cached_ahead, static_cast<int>(r->config().readahead_min));
+  EXPECT_GT(r->readahead_issued(), 0u);
+
+  // Confirmed sequential hits double the window toward the cap; after a
+  // few more reads the prefetch horizon runs well past the demand point.
+  for (Bytes off = 2 * MiB; off < 10 * MiB; off += 2 * MiB) {
+    ASSERT_TRUE(mc.read(r, *fr, off, 2 * MiB).ok());
+  }
+  int deep_ahead = 0;
+  for (std::uint64_t b = 10; b < 32; ++b) {
+    if (r->pool().contains({ino, b})) ++deep_ahead;
+  }
+  EXPECT_GE(deep_ahead, 16);
+
+  // Batched acquisition paid off: the widened ro token absorbed the
+  // follow-up reads without further manager RPCs, and grown readahead
+  // windows coalesced same-NSD fills into multi-block requests.
+  EXPECT_GT(r->meta_rpcs_saved(), 0u);
+  EXPECT_GT(r->blocks_coalesced(), 0u);
+
+  // The new counters are exported through mmpmon.
+  const std::string mm = r->mmpmon();
+  EXPECT_NE(mm.find("_ra_"), std::string::npos);
+  EXPECT_NE(mm.find("_coal_"), std::string::npos);
+  EXPECT_NE(mm.find("_mrpc_"), std::string::npos);
+}
+
+TEST(GpfsClient, WriteBehindCoalescesDirtyFifoRuns) {
+  // 4 NSDs, 1 MiB blocks: a 32 MiB streaming write dirties 8 blocks per
+  // NSD. The flush pump must pull same-NSD blocks out of the dirty FIFO
+  // (where they sit interleaved by the stripe) and send multi-block wire
+  // requests instead of 32 singles.
+  MiniCluster mc;
+  Client* c = mc.mount_on(2);
+  auto fh = mc.open(c, "/wb", kAlice, OpenFlags::create_rw());
+  ASSERT_TRUE(mc.write(c, *fh, 0, 32 * MiB).ok());
+  ASSERT_TRUE(mc.fsync(c, *fh).ok());
+
+  EXPECT_EQ(c->pool().dirty_bytes(), 0u);
+  EXPECT_EQ(c->bytes_written_remote(), 32 * MiB);
+  // Every coalesced request carried >1 block, and enough of the stream
+  // was coalesced that the wire request count dropped well below the
+  // block count.
+  EXPECT_GT(c->coalesced_requests(), 0u);
+  EXPECT_GT(c->blocks_coalesced(), c->coalesced_requests());
+  EXPECT_EQ(c->coalesced_splits(), 0u);  // no faults, no splits
+  // Server-side request tally: 32 blocks must have arrived in far fewer
+  // wire requests (perfect coalescing at 8 blocks/run would give 4).
+  std::uint64_t requests = 0;
+  for (int h = 0; h < 2; ++h) {
+    requests += mc.cluster->server_on(mc.site.hosts[h])->requests_served();
+  }
+  EXPECT_LT(requests, 16u);
 }
 
 TEST(GpfsClient, WriteBehindStallsAtDirtyCap) {
