@@ -16,7 +16,15 @@
 //   * chaos goodput >= 50% of the fault-free run,
 //   * the recovery counters (retries, timeouts, breaker opens) are
 //     nonzero — the run actually exercised the machinery.
+//
+// `--scenario crash_dirty_writer` runs the disk-lease recovery drill
+// instead: a writer with dirty, unfsynced data goes mute, the manager
+// expels it (journal replay + token reclaim), a survivor takes over the
+// range, and the healed victim's late flush is fenced by lease epoch.
+// `--json PATH` dumps the soak metrics machine-readably.
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <optional>
 
@@ -37,6 +45,10 @@ struct RunResult {
   std::uint64_t timeouts = 0;
   std::uint64_t breaker_opens = 0;
   std::uint64_t failovers = 0;
+  std::uint64_t lease_renewals = 0;
+  std::uint64_t expels = 0;
+  std::uint64_t journal_replays = 0;
+  std::uint64_t fenced_writes = 0;
   std::string mmpmon;
 };
 
@@ -76,6 +88,7 @@ RunResult run_workload(bool inject_faults) {
 
   fault::FaultInjector inject(net, Rng(1337));
   inject.watch_pool(cluster.connection_pool());
+  inject.watch_cluster(cluster);
   if (inject_faults) {
     // Server 0: LAN link flaps between host and switch.
     inject.flap_link(farm.server_nodes[0], site.sw, /*mttf=*/1.5,
@@ -85,6 +98,11 @@ RunResult run_workload(bool inject_faults) {
                               50.0, 1.5);
     // Server 2: blackholed for 1.5 s.
     inject.schedule_blackhole(0.5, farm.server_nodes[2], 1.5);
+    // Server 3: crash/restart churn — each outage fails I/O over to the
+    // backup server and the restart notification resets its pooled
+    // connections and (via watch_cluster) any lapsed incarnations.
+    inject.churn_node(farm.server_nodes[3], /*mttf=*/2.0, /*mttr=*/0.25,
+                      /*start=*/0.3, /*until=*/8.0);
   }
 
   workload::MpiIoConfig wcfg;
@@ -118,6 +136,11 @@ RunResult run_workload(bool inject_faults) {
     out.breaker_opens += c->breaker_opens();
     out.failovers += c->nsd_failovers();
   }
+  out.lease_renewals = farm.fs->lease_renewals();
+  out.expels = farm.fs->expels();
+  out.journal_replays = farm.fs->journal_records_replayed();
+  out.fenced_writes = farm.fs->fenced_writes();
+  MGFS_ASSERT(farm.fs->fsck().clean(), "chaos soak left metadata dirty");
   out.mmpmon = clients[0]->mmpmon();
   if (inject_faults) {
     std::cout << "\n" << inject.report();
@@ -125,9 +148,159 @@ RunResult run_workload(bool inject_faults) {
   return out;
 }
 
+/// Disk-lease recovery drill (DESIGN.md §6). A writer stages dirty,
+/// never-fsynced data over a shared region, then goes mute behind a
+/// blackhole. The manager expels it after the lease recovery wait,
+/// replays its metadata journal and re-grants the range; a survivor's
+/// overlapping write completes within a few lease periods. When the
+/// partition heals, the victim's late write-behind flush arrives with
+/// the dead incarnation's epoch and is fenced at the NSD servers; the
+/// victim rejoins under a fresh epoch and finishes cleanly.
+bool run_crash_dirty_writer() {
+  sim::Simulator sim;
+  net::Network net(sim);
+  net::Site site = net::add_site(net, "s", 6, gbps(1.0));
+
+  gpfs::ClusterConfig ccfg;
+  ccfg.name = "chaos";
+  ccfg.client.rpc_deadline = 0.3;
+  ccfg.lease_duration = 0.8;
+  ccfg.lease_recovery_wait = 0.4;
+  gpfs::Cluster cluster(sim, net, ccfg, Rng(42));
+
+  bench::ServerFarm farm = bench::make_rate_farm(
+      cluster, sim, site, /*first_host=*/0, /*servers=*/2, /*nsd_count=*/4,
+      BytesPerSec(200e6), /*device_capacity=*/4 * GiB, "chaos");
+
+  net::NodeId victim_node = site.hosts.at(4);
+  net::NodeId survivor_node = site.hosts.at(5);
+  cluster.add_node(victim_node);
+  cluster.add_node(survivor_node);
+  auto vr = cluster.mount("chaos", victim_node);
+  auto sr = cluster.mount("chaos", survivor_node);
+  MGFS_ASSERT(vr.ok() && sr.ok(), "mount failed");
+  gpfs::Client* victim = *vr;
+  gpfs::Client* survivor = *sr;
+
+  fault::FaultInjector inject(net, Rng(7));
+  inject.watch_pool(cluster.connection_pool());
+  inject.watch_cluster(cluster);
+
+  auto sync_open = [&](gpfs::Client* c, const std::string& p,
+                       gpfs::OpenFlags f) {
+    std::optional<Result<gpfs::Fh>> out;
+    c->open(p, bench::kUser, f, [&](Result<gpfs::Fh> r) { out = r; });
+    sim.run();
+    MGFS_ASSERT(out.has_value() && out->ok(), "open failed");
+    return **out;
+  };
+  gpfs::Fh vfh = sync_open(victim, "/shared", gpfs::OpenFlags::create_rw());
+  gpfs::Fh vpriv = sync_open(victim, "/private", gpfs::OpenFlags::create_rw());
+  gpfs::Fh sfh = sync_open(survivor, "/shared", gpfs::OpenFlags::rw());
+
+  // Victim stages dirty write-behind over the shared and a private
+  // region, then goes mute before the flush drains or fsync commits.
+  std::optional<Result<Bytes>> vw1, vw2;
+  victim->write(vfh, 0, 8 * MiB, [&](Result<Bytes> r) { vw1 = r; });
+  victim->write(vpriv, 0, 4 * MiB, [&](Result<Bytes> r) { vw2 = r; });
+  sim.run_until(sim.now() + 0.02);
+  const double crash_at = sim.now();
+  inject.schedule_blackhole(crash_at, victim_node, 2.5);
+
+  // Survivor writes over the shared range: unanswered revoke -> suspect
+  // -> lease runs out -> expel -> journal replay -> grant.
+  std::optional<Result<Bytes>> sw;
+  double survivor_done_at = 0;
+  sim.after(0.05, [&] {
+    survivor->write(sfh, 0, 4 * MiB, [&](Result<Bytes> r) {
+      sw = r;
+      survivor_done_at = sim.now();
+    });
+  });
+  sim.run();
+
+  // After the heal: the victim's late flush was fenced, it rejoined
+  // under a fresh epoch, and can finish its job cleanly.
+  std::optional<Result<Bytes>> vw3;
+  victim->write(vfh, 8 * MiB, 1 * MiB, [&](Result<Bytes> r) { vw3 = r; });
+  sim.run();
+  if (vw3.has_value() && !vw3->ok()) {  // first op may surface the lapse
+    vw3.reset();
+    victim->write(vfh, 8 * MiB, 1 * MiB, [&](Result<Bytes> r) { vw3 = r; });
+    sim.run();
+  }
+  std::optional<Status> vsync;
+  victim->fsync(vfh, [&](Status st) { vsync = st; });
+  sim.run();
+
+  const gpfs::FsckReport fsck = farm.fs->fsck();
+  const double recovery_s = survivor_done_at - crash_at;
+  const double budget_s = 3.0 * (ccfg.lease_duration + ccfg.lease_recovery_wait);
+  std::uint64_t nsd_fenced = 0;
+  for (net::NodeId n : farm.server_nodes) {
+    if (gpfs::NsdServer* s = cluster.server_on(n)) {
+      nsd_fenced += s->fenced_writes();
+    }
+  }
+
+  std::printf("  survivor takeover:   %.2f s after crash (budget %.2f s)\n",
+              recovery_s, budget_s);
+  std::printf("  manager: %s\n", farm.fs->stats().c_str());
+  std::printf("  NSD fenced writes:   %llu\n",
+              static_cast<unsigned long long>(nsd_fenced));
+  std::printf("  fsck: referenced %llu allocated %llu orphaned %llu "
+              "duplicate %llu dangling %llu uncommitted %llu\n",
+              static_cast<unsigned long long>(fsck.referenced_blocks),
+              static_cast<unsigned long long>(fsck.allocated_blocks),
+              static_cast<unsigned long long>(fsck.orphaned_blocks),
+              static_cast<unsigned long long>(fsck.duplicate_refs),
+              static_cast<unsigned long long>(fsck.dangling_refs),
+              static_cast<unsigned long long>(fsck.uncommitted_records));
+
+  bool ok = true;
+  auto check = [&](bool cond, const char* what) {
+    std::printf("  [%s] %s\n", cond ? "PASS" : "FAIL", what);
+    ok = ok && cond;
+  };
+  std::cout << "\nAcceptance:\n";
+  check(sw.has_value() && sw->ok(), "survivor write completed");
+  check(recovery_s <= budget_s,
+        "survivor takeover within 3 lease periods");
+  check(farm.fs->expels() >= 1, "dead incarnation expelled");
+  check(farm.fs->journal_records_replayed() >= 1,
+        "metadata journal replayed");
+  check(farm.fs->fenced_writes() >= 1 && nsd_fenced >= 1,
+        "late write fenced by lease epoch");
+  check(victim->lease_epoch() > 0 && vw3.has_value() && vw3->ok() &&
+            vsync.has_value() && vsync->ok(),
+        "victim rejoined under a fresh epoch and finished");
+  check(fsck.clean(), "fsck clean after replay");
+  return ok;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string scenario;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scenario") == 0 && i + 1 < argc) {
+      scenario = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  if (scenario == "crash_dirty_writer") {
+    bench::banner("chaos_soak --scenario crash_dirty_writer",
+                  "disk-lease expel, journal replay and epoch fencing");
+    return run_crash_dirty_writer() ? 0 : 1;
+  }
+  if (!scenario.empty()) {
+    std::cerr << "unknown scenario: " << scenario << "\n";
+    return 2;
+  }
+
   bench::banner("chaos_soak",
                 "seeded fault schedule vs. fault-free baseline");
 
@@ -164,5 +337,26 @@ int main() {
   check(chaos.timeouts > 0, "RPC deadlines actually expired");
   check(chaos.retries > 0, "retry policy actually engaged");
   check(chaos.breaker_opens > 0, "circuit breaker actually opened");
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << std::fixed;
+    out.precision(1);
+    out << "{\n  \"bench\": \"chaos_soak\",\n"
+        << "  \"write_MBps_base\": " << base.write_MBps << ",\n"
+        << "  \"read_MBps_base\": " << base.read_MBps << ",\n"
+        << "  \"write_MBps_chaos\": " << chaos.write_MBps << ",\n"
+        << "  \"read_MBps_chaos\": " << chaos.read_MBps << ",\n"
+        << "  \"retries\": " << chaos.retries << ",\n"
+        << "  \"timeouts\": " << chaos.timeouts << ",\n"
+        << "  \"breaker_opens\": " << chaos.breaker_opens << ",\n"
+        << "  \"failovers\": " << chaos.failovers << ",\n"
+        << "  \"lease_renewals\": " << chaos.lease_renewals << ",\n"
+        << "  \"expels\": " << chaos.expels << ",\n"
+        << "  \"journal_replays\": " << chaos.journal_replays << ",\n"
+        << "  \"fenced_writes\": " << chaos.fenced_writes << ",\n"
+        << "  \"pass\": " << (ok ? "true" : "false") << "\n}\n";
+    std::cout << "\n  JSON written to " << json_path << "\n";
+  }
   return ok ? 0 : 1;
 }

@@ -12,8 +12,12 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build-bench}"
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
-cmake --build "$build_dir" -j "$(nproc)" --target fig11_scaling
+cmake --build "$build_dir" -j "$(nproc)" --target fig11_scaling chaos_soak
 
 "$build_dir/bench/fig11_scaling" --smoke --json "$repo_root/BENCH_fig11.json"
 
-echo "bench_smoke: wrote $repo_root/BENCH_fig11.json"
+# Chaos soak numbers ride along so CI can diff recovery behaviour
+# (goodput under faults, retries, expels, fenced writes) across commits.
+"$build_dir/bench/chaos_soak" --json "$repo_root/BENCH_chaos.json"
+
+echo "bench_smoke: wrote $repo_root/BENCH_fig11.json and $repo_root/BENCH_chaos.json"

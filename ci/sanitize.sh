@@ -28,4 +28,8 @@ ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
 # (deadline timers, pool evictions, breaker probes, fault callbacks).
 "$build_dir/bench/chaos_soak"
 
+# Disk-lease recovery drill: expel, journal replay and epoch fencing —
+# the paths where a stale callback or double-free would hide.
+"$build_dir/bench/chaos_soak" --scenario crash_dirty_writer
+
 echo "sanitize: all tests and chaos soak passed clean"

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/log.hpp"
+#include "gpfs/cluster.hpp"
 
 namespace mgfs::fault {
 
@@ -84,6 +85,9 @@ void FaultInjector::crash_node_now(net::NodeId n, sim::Time duration) {
     // Restart semantics: the daemon comes back and re-dials, so pooled
     // connections that failed while it was down are usable again.
     if (pool_ != nullptr) pool_->reset_node(n);
+    // The restarted daemon lost its volatile state: expel the dead
+    // incarnation and re-admit it under a fresh lease epoch.
+    if (cluster_ != nullptr) cluster_->on_node_restart(n);
     MGFS_INFO("fault", "node " << n.v << " restarted");
   });
 }

@@ -28,6 +28,10 @@
 #include "gpfs/rpc.hpp"
 #include "net/network.hpp"
 
+namespace mgfs::gpfs {
+class Cluster;
+}  // namespace mgfs::gpfs
+
 namespace mgfs::fault {
 
 class FaultInjector {
@@ -37,6 +41,10 @@ class FaultInjector {
   /// Optional: when a crashed/churned node restarts, also reset the
   /// broken pooled connections touching it, like a reconnecting daemon.
   void watch_pool(gpfs::ConnectionPool& pool) { pool_ = &pool; }
+  /// Optional: notify the cluster on node restart so clients mounted on
+  /// the node are expelled (journal replay, token reclaim) and re-admit
+  /// themselves under a fresh lease epoch.
+  void watch_cluster(gpfs::Cluster& cluster) { cluster_ = &cluster; }
 
   // --- scripted one-shots -----------------------------------------------
   /// Cut the a<->b link at `at`; restore it `duration` later.
@@ -85,6 +93,7 @@ class FaultInjector {
   net::Network& net_;
   Rng rng_;
   gpfs::ConnectionPool* pool_ = nullptr;
+  gpfs::Cluster* cluster_ = nullptr;
   std::uint64_t link_cuts_ = 0;
   std::uint64_t node_crashes_ = 0;
   std::uint64_t blackholes_ = 0;

@@ -194,6 +194,9 @@ void Client::ensure_token(InodeNum ino, TokenRange required,
       [this, ino, required, mode,
        done = std::move(done)](Result<TokenRange> res) {
         if (!res.ok()) {
+          // stale = the manager expelled us; start lease recovery so
+          // the caller's retry finds a fresh epoch.
+          if (res.code() == Errc::stale) on_lease_lapsed();
           done(res.error());
           return;
         }
@@ -404,7 +407,10 @@ void Client::nsd_run_attempt(NsdRun run, bool write,
     if (r.code() == Errc::timed_out) ++rpc_timeouts_;
     if (!retryable(r.code())) {
       // Media/namespace errors are final: failing over or retrying
-      // would hide real data loss (e.g. a dead RAID set).
+      // would hide real data loss (e.g. a dead RAID set). A fenced
+      // write (stale lease epoch) is equally final — the data belongs
+      // to a dead incarnation.
+      if (write && r.code() == Errc::stale) ++fenced_writes_;
       done(run, r.error());
       return;
     }
@@ -436,14 +442,23 @@ void Client::nsd_run_attempt(NsdRun run, bool write,
   };
 
   consume_probe(target);
+  const ClientId me = id_;
+  const std::uint64_t epoch = lease_epoch_;
   rpc_.call<int>(
       node_, target, req,
       [servers, target, dev, extents = std::move(extents), write, total,
-       cipher](Rpc::ReplyFn<int> reply) {
+       cipher, me, epoch](Rpc::ReplyFn<int> reply) {
         NsdServer* srv = servers ? servers(target) : nullptr;
         if (srv == nullptr) {
           reply(kDataHeader,
                 err(Errc::unavailable, "no NSD service on node"));
+          return;
+        }
+        // Epoch fence: every data RPC carries the client's lease epoch;
+        // writes from a stale epoch never reach the device.
+        if (write && !srv->write_admitted(me, epoch)) {
+          reply(kDataHeader,
+                err(Errc::stale, "write fenced: stale lease epoch"));
           return;
         }
         srv->handle_vectored(*dev, extents, write, cipher,
@@ -639,6 +654,7 @@ void Client::read(Fh fh, Bytes offset, Bytes len,
     done(err(Errc::permission_denied, "not open for read"));
     return;
   }
+  maybe_renew_lease();
   if (offset >= f->size || len == 0) {
     done(Bytes{0});
     return;
@@ -789,6 +805,7 @@ void Client::write(Fh fh, Bytes offset, Bytes len,
     done(Bytes{0});
     return;
   }
+  maybe_renew_lease();
   const Bytes bs = block_size();
   const std::uint64_t b0 = offset / bs;
   const std::uint64_t b1 = (offset + len - 1) / bs;
@@ -923,6 +940,7 @@ void Client::write(Fh fh, Bytes offset, Bytes len,
             [this, ino, b0, count, batch, proceed = std::move(proceed)](
                 Result<BlockMapChunk> res) mutable {
               if (!res.ok()) {
+                if (res.code() == Errc::stale) on_lease_lapsed();
                 proceed(res.error());
                 return;
               }
@@ -983,6 +1001,7 @@ void Client::pump_flush() {
     auto remaining = std::make_shared<std::size_t>(run.items.size());
     nsd_io_run(std::move(run), true, 0,
                [this, remaining](const NsdRun& r, const Status& st) {
+      bool lapsed = false;
       for (const BlockFetch& f : r.items) {
         const PageKey k = f.key;
         auto it = inflight_per_ino_.find(k.ino);
@@ -993,6 +1012,13 @@ void Client::pump_flush() {
           bytes_written_remote_ += pool_.page_size();
           pool_.mark_clean(k);
           dirty_addr_.erase(k);
+        } else if (st.code() == Errc::stale) {
+          // Fenced: our lease epoch is dead, this page can never land.
+          // Uncommitted write-behind data of a lapsed incarnation is
+          // lost by design — drop it and enter lease recovery.
+          pool_.invalidate(k.ino, k.block, k.block + 1);
+          dirty_addr_.erase(k);
+          lapsed = true;
         } else {
           // Transient failure (e.g. both servers down): requeue after a
           // delay. An immediate requeue would spin at zero simulated
@@ -1008,26 +1034,32 @@ void Client::pump_flush() {
           });
         }
       }
+      if (lapsed) on_lease_lapsed();
       unstall_writers();
-      // fsync()/revoke waiters whose inode fully flushed?
-      for (auto wit = flush_waiters_.begin(); wit != flush_waiters_.end();) {
-        const InodeNum ino = wit->first;
-        const bool busy = inflight_per_ino_.count(ino) > 0 ||
-                          !pool_.dirty_pages(ino).empty();
-        if (!busy) {
-          auto cb = std::move(wit->second);
-          wit = flush_waiters_.erase(wit);
-          cb();
-        } else {
-          ++wit;
-        }
-      }
+      check_flush_waiters();
       *remaining -= r.items.size();
       if (*remaining == 0) {
         --flights_;
         pump_flush();
       }
     });
+  }
+}
+
+void Client::check_flush_waiters() {
+  // fsync()/revoke waiters whose inode fully flushed (or whose dirty
+  // pages were discarded by lease recovery)?
+  for (auto wit = flush_waiters_.begin(); wit != flush_waiters_.end();) {
+    const InodeNum ino = wit->first;
+    const bool busy = inflight_per_ino_.count(ino) > 0 ||
+                      !pool_.dirty_pages(ino).empty();
+    if (!busy) {
+      auto cb = std::move(wit->second);
+      wit = flush_waiters_.erase(wit);
+      cb();
+    } else {
+      ++wit;
+    }
   }
 }
 
@@ -1066,13 +1098,15 @@ void Client::fsync(Fh fh, std::function<void(Status)> done) {
       return;
     }
     FileSystem* fs = fs_;
+    const ClientId me = id_;
     meta_call<int>(
         64,
-        [fs, ino, size](Rpc::ReplyFn<int> reply) {
-          const Status st = fs->op_extend_size(ino, size);
+        [fs, ino, size, me](Rpc::ReplyFn<int> reply) {
+          const Status st = fs->op_extend_size(ino, size, me);
           reply(64, st.ok() ? Result<int>(0) : Result<int>(st.error()));
         },
-        [done = std::move(done)](Result<int> r) {
+        [this, done = std::move(done)](Result<int> r) {
+          if (!r.ok() && r.code() == Errc::stale) on_lease_lapsed();
           done(r.ok() ? Status{} : Status(r.error()));
         });
   });
@@ -1234,8 +1268,128 @@ std::string Client::mmpmon() const {
      << "  _ra_ " << ra_issued_ << "\n"              // readahead fills issued
      << "  _coal_ " << coal_blocks_ << "\n"          // blocks coalesced
      << "  _spl_ " << coal_splits_ << "\n"           // coalesced-run splits
-     << "  _mrpc_ " << meta_rpcs_saved_ << "\n";     // metadata RPCs saved
+     << "  _mrpc_ " << meta_rpcs_saved_ << "\n"      // metadata RPCs saved
+     << "  _lse_ " << lease_renewals_ << "\n"        // lease renewals
+     << "  _lps_ " << lease_lapses_ << "\n"          // lease lapses
+     << "  _fnc_ " << fenced_writes_ << "\n";        // fenced (stale) writes
   return os.str();
+}
+
+// --------------------------------------------------------------------------
+// disk lease
+// --------------------------------------------------------------------------
+
+void Client::set_lease(std::uint64_t epoch, double duration) {
+  lease_epoch_ = epoch;
+  lease_duration_ = duration;
+  lease_renewed_at_ = simulator().now();
+}
+
+void Client::maybe_renew_lease() {
+  if (!mounted() || lease_duration_ <= 0 || lapse_handling_ ||
+      lease_renew_inflight_) {
+    return;
+  }
+  const double now = simulator().now();
+  if (now - lease_renewed_at_ < 0.5 * lease_duration_) return;
+  lease_renew_inflight_ = true;
+  FileSystem* fs = fs_;
+  const ClientId me = id_;
+  const std::uint64_t inc = incarnation_;
+  meta_call<std::uint64_t>(
+      64,
+      [fs, me](Rpc::ReplyFn<std::uint64_t> reply) {
+        reply(64, fs->op_lease_renew(me));
+      },
+      [this, inc](Result<std::uint64_t> r) {
+        if (incarnation_ != inc) return;  // superseded by crash/rejoin
+        lease_renew_inflight_ = false;
+        if (!mounted()) return;
+        if (r.ok()) {
+          ++lease_renewals_;
+          lease_renewed_at_ = simulator().now();
+          return;
+        }
+        if (r.code() == Errc::stale) {
+          on_lease_lapsed();
+        }
+        // Transient failure: lease_renewed_at_ stays old, so the next
+        // read/write retries the renewal immediately.
+      });
+}
+
+void Client::on_lease_lapsed() {
+  if (lapse_handling_) return;
+  lapse_handling_ = true;
+  ++lease_lapses_;
+  ++incarnation_;
+  MGFS_WARN("client", "client " << id_
+                                << ": disk lease lapsed; discarding cached "
+                                   "state and rejoining");
+  // A lapsed lease means every cached byte — tokens, maps, dirty
+  // write-behind pages — belongs to a dead incarnation. Drop it all.
+  discard_cached_state(/*reset_breakers=*/false);
+  attempt_rejoin(0);
+}
+
+void Client::attempt_rejoin(int attempt) {
+  if (!mounted() || !rejoin_) {
+    lapse_handling_ = false;
+    return;
+  }
+  const std::uint64_t inc = incarnation_;
+  rejoin_([this, inc, attempt](Result<std::uint64_t> r) {
+    if (incarnation_ != inc) return;  // a crash_reset superseded us
+    if (!mounted()) {
+      lapse_handling_ = false;
+      return;
+    }
+    if (r.ok()) {
+      lapse_handling_ = false;
+      lease_renew_inflight_ = false;
+      lease_epoch_ = *r;
+      lease_renewed_at_ = simulator().now();
+      MGFS_INFO("client", "client " << id_ << ": rejoined under lease epoch "
+                                    << lease_epoch_);
+      pump_flush();
+      unstall_writers();
+      check_flush_waiters();
+      return;
+    }
+    // Manager unreachable: keep trying under backoff — the client is
+    // useless until it rejoins.
+    simulator().after(cfg_.retry.backoff(std::min(attempt, 8), rng_),
+                      [this, inc, attempt] {
+                        if (incarnation_ != inc) return;
+                        attempt_rejoin(attempt + 1);
+                      });
+  });
+}
+
+void Client::discard_cached_state(bool reset_breakers) {
+  pool_.invalidate_all();
+  dirty_fifo_.clear();
+  dirty_addr_.clear();
+  held_.clear();
+  block_map_.clear();
+  alloc_ahead_hi_.clear();
+  fill_inflight_ = 0;
+  if (reset_breakers) nsd_health_.clear();
+  // Writers stalled on the dirty cap and fsync/revoke waiters can
+  // proceed: the dirty pages they were waiting out no longer exist.
+  unstall_writers();
+  check_flush_waiters();
+}
+
+void Client::crash_reset() {
+  ++incarnation_;  // orphan every in-flight completion of the old life
+  lapse_handling_ = false;
+  lease_renew_inflight_ = false;
+  lease_epoch_ = 0;  // cluster glue re-registers and sets the new epoch
+  // open_ survives deliberately: callers hold Fh handles and in-flight
+  // write() continuations hold OpenFile pointers; the handles stay
+  // valid while every cached byte below them is discarded.
+  discard_cached_state(/*reset_breakers=*/true);
 }
 
 void Client::handle_revoke(InodeNum ino, TokenRange range,

@@ -120,6 +120,20 @@ class Client {
   /// Flush dirty pages overlapping `range`, drop cached pages and token.
   void handle_revoke(InodeNum ino, TokenRange range, sim::Callback done);
 
+  // --- disk lease (cluster glue wires these at mount) --------------------
+  /// Rejoin the cluster after a lease lapse: one manager RPC that
+  /// re-registers this client and completes with the fresh epoch.
+  using RejoinFn =
+      std::function<void(std::function<void(Result<std::uint64_t>)>)>;
+  void set_lease(std::uint64_t epoch, double duration);
+  void set_rejoin(RejoinFn fn) { rejoin_ = std::move(fn); }
+  std::uint64_t lease_epoch() const { return lease_epoch_; }
+  /// The node hosting this client rebooted (fault injector / cluster
+  /// glue): all volatile state — caches, tokens, dirty pages, breaker
+  /// history — is gone. Open handles survive as objects (callers may
+  /// still hold them) but every cached byte is dropped.
+  void crash_reset();
+
   // --- stats -------------------------------------------------------------
   Bytes bytes_read_remote() const { return bytes_read_remote_; }
   Bytes bytes_written_remote() const { return bytes_written_remote_; }
@@ -134,6 +148,9 @@ class Client {
   std::uint64_t coalesced_requests() const { return coal_requests_; }
   std::uint64_t coalesced_splits() const { return coal_splits_; }
   std::uint64_t meta_rpcs_saved() const { return meta_rpcs_saved_; }
+  std::uint64_t lease_renewals() const { return lease_renewals_; }
+  std::uint64_t lease_lapses() const { return lease_lapses_; }
+  std::uint64_t fenced_writes() const { return fenced_writes_; }
   /// Is the breaker for NSD-server `node` currently open?
   bool breaker_open(net::NodeId node) const;
   /// mmpmon-style per-client I/O counter report (the GPFS monitoring
@@ -213,6 +230,20 @@ class Client {
   void flush_inode(InodeNum ino, std::optional<TokenRange> range,
                    sim::Callback done);
   void unstall_writers();
+  void check_flush_waiters();
+
+  // disk lease
+  /// Piggybacked renewal at read()/write() entry: past half the lease
+  /// duration, send one renewal RPC (no periodic timer — the sim drains
+  /// its queue between operations).
+  void maybe_renew_lease();
+  /// The manager told us our lease is gone (stale renewal or fenced
+  /// write): drop everything dirty, invalidate caches, rejoin for a
+  /// fresh epoch.
+  void on_lease_lapsed();
+  /// Retry loop for the rejoin RPC (backoff; superseded by incarnation).
+  void attempt_rejoin(int attempt);
+  void discard_cached_state(bool reset_breakers);
 
   OpenFile* file(Fh fh);
   Bytes block_size() const { return fs_->block_size(); }
@@ -262,6 +293,17 @@ class Client {
   // NSD server health, keyed by serving node id
   std::unordered_map<std::uint32_t, ServerHealth> nsd_health_;
 
+  // disk lease state
+  std::uint64_t lease_epoch_ = 0;
+  double lease_duration_ = 0;     // 0 = lease machinery off (raw tests)
+  double lease_renewed_at_ = 0;
+  bool lease_renew_inflight_ = false;
+  bool lapse_handling_ = false;   // rejoin in progress
+  RejoinFn rejoin_;
+  /// Bumped on crash_reset / lease lapse; async completions from an
+  /// older incarnation check it and drop their results.
+  std::uint64_t incarnation_ = 0;
+
   Bytes bytes_read_remote_ = 0;
   Bytes bytes_written_remote_ = 0;
   std::uint64_t failovers_ = 0;
@@ -275,6 +317,9 @@ class Client {
   std::uint64_t coal_requests_ = 0;    // coalesced (multi-block) requests
   std::uint64_t coal_splits_ = 0;      // coalesced requests split on failure
   std::uint64_t meta_rpcs_saved_ = 0;  // token/alloc RPCs skipped by batching
+  std::uint64_t lease_renewals_ = 0;   // renewal RPCs acknowledged
+  std::uint64_t lease_lapses_ = 0;     // times the lease was lost
+  std::uint64_t fenced_writes_ = 0;    // writes rejected by epoch fencing
 };
 
 }  // namespace mgfs::gpfs

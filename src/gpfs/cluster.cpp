@@ -26,6 +26,7 @@ struct MountGrant {
   FileSystem* fs = nullptr;
   AccessMode access = AccessMode::none;
   double cipher_s_per_byte = 0.0;
+  std::uint64_t epoch = 0;  // disk-lease epoch of the registration
 };
 
 }  // namespace
@@ -67,6 +68,20 @@ NsdServer& Cluster::add_nsd_server(net::NodeId node) {
                                       std::to_string(servers_.size()),
                                   cfg_.nsd_cpu_per_request))
              .first;
+    // Lease-epoch fence: a write is only admitted if the sending
+    // client's epoch is still the current grant on its file system.
+    // After an expel the MountRecord is gone, so fall back to whichever
+    // file system still remembers the client in its lease map.
+    it->second->set_write_gate([this](ClientId c, std::uint64_t e) {
+      auto rit = registry_.find(c);
+      if (rit != registry_.end() && rit->second.fs != nullptr) {
+        return rit->second.fs->write_admitted(c, e);
+      }
+      for (auto& [name, fs] : filesystems_) {
+        if (fs->lease().known(c)) return fs->write_admitted(c, e);
+      }
+      return false;
+    });
   }
   return *it->second;
 }
@@ -115,6 +130,8 @@ FileSystem& Cluster::create_filesystem(
   FsConfig fscfg;
   fscfg.name = fsname;
   fscfg.block_size = block_size;
+  fscfg.lease_duration = cfg_.lease_duration;
+  fscfg.lease_recovery_wait = cfg_.lease_recovery_wait;
   auto fs = std::make_unique<FileSystem>(sim_, fscfg, std::move(nsds),
                                          manager_node);
   FileSystem& ref = *fs;
@@ -130,25 +147,29 @@ FileSystem* Cluster::filesystem(const std::string& fsname) {
 
 void Cluster::wire_filesystem(FileSystem& fs) {
   fs.set_access_fn([this](ClientId id) { return access_of_client(id); });
+  fs.set_expel_listener([this](ClientId id) { registry_.erase(id); });
   fs.set_revoker([this, &fs](ClientId holder, InodeNum ino, TokenRange range,
-                             sim::Callback done) {
+                             FileSystem::RevokeAck ack) {
     auto it = registry_.find(holder);
     if (it == registry_.end()) {
       // Holder unmounted/expelled meanwhile; its tokens are moot.
-      sim_.defer(std::move(done));
+      sim_.defer([ack = std::move(ack)] { ack(true); });
       return;
     }
     Client* c = it->second.client;
-    auto shared_done = std::make_shared<sim::Callback>(std::move(done));
+    auto shared_ack = std::make_shared<FileSystem::RevokeAck>(std::move(ack));
+    // A healthy holder acks as soon as its flush completes; one that
+    // stays mute for the whole recovery wait becomes a suspect and the
+    // lease clock decides. A slow-but-alive holder that misses this
+    // deadline renews its lease and gets the revoke re-delivered.
+    Rpc::CallOptions opts;
+    opts.deadline = fs.config().lease_recovery_wait;
     rpc_.call<int>(
         fs.manager_node(), c->node(), 64,
         [c, ino, range](Rpc::ReplyFn<int> reply) {
           c->handle_revoke(ino, range, [reply] { reply(64, 0); });
         },
-        [shared_done](Result<int> r) {
-          (void)r;  // even a lost revoke ack must not wedge the manager
-          (*shared_done)();
-        });
+        [shared_ack](Result<int> r) { (*shared_ack)(r.ok()); }, opts);
   });
 }
 
@@ -161,10 +182,38 @@ Client::ServerLookup Cluster::make_server_lookup() {
   return [this](net::NodeId node) { return server_on(node); };
 }
 
-void Cluster::register_client(FileSystem& fs, Client* client,
-                              AccessMode access,
-                              const std::string& via_cluster) {
+std::uint64_t Cluster::register_client(FileSystem& fs, Client* client,
+                                       AccessMode access,
+                                       const std::string& via_cluster) {
   registry_[client->id()] = MountRecord{client, access, via_cluster, &fs};
+  return fs.op_client_register(client->id());
+}
+
+std::uint64_t Cluster::readmit(FileSystem& fs, Client* client,
+                               AccessMode access,
+                               const std::string& via_cluster) {
+  if (registry_.count(client->id()) == 0) {
+    registry_[client->id()] =
+        MountRecord{client, access, via_cluster, &fs};
+  }
+  return fs.op_client_register(client->id());
+}
+
+Client::RejoinFn Cluster::make_rejoin(Cluster* exporter, FileSystem* fs,
+                                      Client* c, AccessMode access,
+                                      std::string via_cluster) {
+  return [this, exporter, fs, c, access,
+          via = std::move(via_cluster)](
+             std::function<void(Result<std::uint64_t>)> done) {
+    Rpc::CallOptions opts;
+    opts.deadline = cfg_.client.rpc_deadline;
+    rpc_.call<std::uint64_t>(
+        c->node(), fs->manager_node(), 128,
+        [exporter, fs, c, access, via](Rpc::ReplyFn<std::uint64_t> reply) {
+          reply(64, exporter->readmit(*fs, c, access, via));
+        },
+        std::move(done), opts);
+  };
 }
 
 Result<Client*> Cluster::mount(const std::string& fsname,
@@ -178,9 +227,42 @@ Result<Client*> Cluster::mount(const std::string& fsname,
                                          cfg_.client, rng_.split());
   Client* ptr = client.get();
   clients_.push_back(std::move(client));
-  register_client(*fs, ptr, AccessMode::read_write, "");
+  const std::uint64_t epoch =
+      register_client(*fs, ptr, AccessMode::read_write, "");
   ptr->bind(fs, AccessMode::read_write, 0.0, make_server_lookup());
+  ptr->set_lease(epoch, fs->config().lease_duration);
+  ptr->set_rejoin(make_rejoin(this, fs, ptr, AccessMode::read_write, ""));
   return ptr;
+}
+
+void Cluster::on_node_restart(net::NodeId node) {
+  for (auto& c : clients_) {
+    if (!(c->node() == node) || !c->mounted()) continue;
+    auto owner = remote_owner_.find(c.get());
+    Cluster* exporter = owner == remote_owner_.end() ? this : owner->second;
+    exporter->restart_incarnation(c.get());
+  }
+}
+
+void Cluster::restart_incarnation(Client* c) {
+  auto it = registry_.find(c->id());
+  if (it == registry_.end()) {
+    // Already expelled (its lease lapsed during the outage, so the
+    // MountRecord is gone). The restarted daemon still lost its
+    // memory; it rejoins lazily on its next I/O via the rejoin path.
+    c->crash_reset();
+    return;
+  }
+  MountRecord rec = it->second;
+  MGFS_ASSERT(rec.fs != nullptr, "mount record without file system");
+  // The dead incarnation's metadata journal must be replayed and its
+  // tokens reclaimed before the node rejoins under a fresh epoch.
+  rec.fs->expel_client(c->id(), "node restart");
+  registry_.erase(c->id());
+  c->crash_reset();
+  registry_[c->id()] = rec;
+  const std::uint64_t epoch = rec.fs->op_client_register(c->id());
+  c->set_lease(epoch, rec.fs->config().lease_duration);
 }
 
 void Cluster::unmount(Client* client) {
@@ -424,12 +506,12 @@ void Cluster::mount_remote(const std::string& local_device,
                     break;
                 }
               }
-              exporter->register_client(*fs, cptr, access, my_name);
               MountGrant g;
               g.fs = fs;
               g.access = access;
               g.cipher_s_per_byte =
                   auth::cipher_cpu_s_per_byte(exporter->cipher());
+              g.epoch = exporter->register_client(*fs, cptr, access, my_name);
               reply(256, g);
             },
             [this, client, cptr, exporter,
@@ -440,6 +522,9 @@ void Cluster::mount_remote(const std::string& local_device,
               }
               cptr->bind(g->fs, g->access, g->cipher_s_per_byte,
                          exporter->make_server_lookup());
+              cptr->set_lease(g->epoch, g->fs->config().lease_duration);
+              cptr->set_rejoin(make_rejoin(exporter, g->fs, cptr, g->access,
+                                           cfg_.name));
               clients_.push_back(std::move(*client));
               remote_owner_[cptr] = exporter;
               ++handshakes_;

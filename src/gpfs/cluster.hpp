@@ -37,6 +37,10 @@ struct ClusterConfig {
   net::TcpConfig tcp{};          // connection pool config (window etc.)
   ClientConfig client{};         // defaults for mounted clients
   sim::Time nsd_cpu_per_request = 30e-6;
+  /// Disk-lease membership knobs, copied into each FsConfig (tests and
+  /// the chaos bench shrink them to provoke expels quickly).
+  double lease_duration = 60.0;
+  double lease_recovery_wait = 30.0;
 };
 
 class Cluster {
@@ -113,6 +117,12 @@ class Cluster {
   void mount_remote(const std::string& local_device, net::NodeId client_node,
                     std::function<void(Result<Client*>)> done);
 
+  /// Node restart notification (fault injector): every client that was
+  /// mounted on `node` lost its memory — expel the dead incarnation
+  /// (journal replay + token reclaim + MountRecord drop) and re-admit
+  /// the client under a fresh lease epoch with cleared caches.
+  void on_node_restart(net::NodeId node);
+
   // --- introspection ---------------------------------------------------------
   std::uint64_t handshakes_completed() const { return handshakes_; }
   std::size_t mounted_clients() const { return registry_.size(); }
@@ -148,10 +158,21 @@ class Cluster {
   };
 
   /// Exporting side: register a (possibly remote) client on `fs` with
-  /// its granted access; wires the revoker the first time.
-  void register_client(FileSystem& fs, Client* client, AccessMode access,
-                       const std::string& via_cluster);
+  /// its granted access; returns the lease epoch of the registration.
+  std::uint64_t register_client(FileSystem& fs, Client* client,
+                                AccessMode access,
+                                const std::string& via_cluster);
   void deregister_client(ClientId id);
+  /// Exporting side: readmit a client whose lease lapsed — recreate the
+  /// MountRecord if the expel dropped it, grant a fresh epoch.
+  std::uint64_t readmit(FileSystem& fs, Client* client, AccessMode access,
+                        const std::string& via_cluster);
+  /// Rejoin closure handed to the client: one RPC to the manager that
+  /// runs readmit() on the exporting cluster.
+  Client::RejoinFn make_rejoin(Cluster* exporter, FileSystem* fs, Client* c,
+                               AccessMode access, std::string via_cluster);
+  /// Expel + readmit one client after its node restarted.
+  void restart_incarnation(Client* c);
   Client::ServerLookup make_server_lookup();
   void wire_filesystem(FileSystem& fs);
   ClientId next_client_id();

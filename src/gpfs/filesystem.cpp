@@ -1,6 +1,7 @@
 #include "gpfs/filesystem.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/log.hpp"
 
@@ -27,7 +28,8 @@ FileSystem::FileSystem(sim::Simulator& sim, FsConfig cfg,
       nsds_(std::move(nsds)),
       manager_node_(manager_node),
       ns_(cfg_.block_size),
-      alloc_(blocks_per_nsd(nsds_, cfg_.block_size)) {
+      alloc_(blocks_per_nsd(nsds_, cfg_.block_size)),
+      lease_(LeaseConfig{cfg_.lease_duration, cfg_.lease_recovery_wait}) {
   MGFS_ASSERT(!nsds_.empty(), "file system needs at least one NSD");
 }
 
@@ -51,6 +53,7 @@ AccessMode FileSystem::access_of(ClientId c) const {
 Result<OpenResult> FileSystem::op_open(const std::string& path,
                                        const Principal& who, OpenFlags flags,
                                        ClientId client) {
+  lease_touch(client);
   const AccessMode mount_access = access_of(client);
   if (mount_access == AccessMode::none) {
     return err(Errc::not_authorized, "no access to " + cfg_.name);
@@ -64,6 +67,7 @@ Result<OpenResult> FileSystem::op_open(const std::string& path,
     if (ino.code() != Errc::not_found || !flags.create) return ino.error();
     ino = ns_.create(path, who, Mode{064}, sim_.now());
     if (!ino.ok()) return ino.error();
+    journal_.note_sync_op(client, JournalOp::create, *ino);
   }
   auto st = ns_.stat(*ino);
   if (!st.ok()) return st.error();
@@ -82,6 +86,10 @@ Result<OpenResult> FileSystem::op_open(const std::string& path,
     for (const BlockAddr& b : *freed) {
       MGFS_ASSERT(alloc_.free_block(b).ok(), "truncate freed unknown block");
     }
+    // The namespace-level free already reclaimed every block; pending
+    // alloc undos for this inode would double-free on replay.
+    journal_.forget_inode(*ino);
+    journal_.note_sync_op(client, JournalOp::truncate, *ino);
     st = ns_.stat(*ino);
   }
   return OpenResult{*ino, st->size, flags.write};
@@ -103,15 +111,19 @@ Result<std::vector<std::string>> FileSystem::op_readdir(
 
 Status FileSystem::op_unlink(const std::string& path, const Principal& who,
                              ClientId client) {
+  lease_touch(client);
   const AccessMode mount_access = access_of(client);
   if (mount_access != AccessMode::read_write) {
     return Status(Errc::read_only, cfg_.name);
   }
+  auto ino = ns_.resolve(path);
   auto freed = ns_.unlink(path, who);
   if (!freed.ok()) return freed.error();
   for (const BlockAddr& b : *freed) {
     MGFS_ASSERT(alloc_.free_block(b).ok(), "unlink freed unknown block");
   }
+  if (ino.ok()) journal_.forget_inode(*ino);
+  journal_.note_sync_op(client, JournalOp::unlink, ino.ok() ? *ino : 0);
   return Status{};
 }
 
@@ -144,6 +156,10 @@ Result<BlockMapChunk> FileSystem::op_allocate(InodeNum ino,
                                               std::size_t count,
                                               Bytes size_hint,
                                               ClientId client) {
+  lease_touch(client);
+  if (lease_.expelled(client)) {
+    return err(Errc::stale, "client expelled: rejoin required");
+  }
   if (access_of(client) != AccessMode::read_write) {
     return err(Errc::read_only, cfg_.name);
   }
@@ -157,6 +173,9 @@ Result<BlockMapChunk> FileSystem::op_allocate(InodeNum ino,
     const std::uint64_t bi = first_block + i;
     if (bi < n->blocks.size() && n->blocks[bi].has_value()) {
       chunk.addrs.push_back(n->blocks[bi]);  // concurrent writer beat us
+      // This caller now references the block: whoever logged its
+      // install must not undo it on expel anymore.
+      journal_.commit_block(ino, bi, client);
       continue;
     }
     const std::uint32_t preferred = nsd_for_block(ino, bi);
@@ -166,6 +185,8 @@ Result<BlockMapChunk> FileSystem::op_allocate(InodeNum ino,
           static_cast<std::uint32_t>((preferred + k) % nsds_.size()));
     }
     if (!addr.ok()) return err(Errc::no_space, cfg_.name + " is full");
+    // WAL rule: the undo record exists before the in-place mutation.
+    journal_.log_alloc(client, ino, bi, *addr);
     MGFS_ASSERT(ns_.set_block(ino, bi, *addr).ok(), "set_block failed");
     chunk.addrs.push_back(*addr);
   }
@@ -174,13 +195,26 @@ Result<BlockMapChunk> FileSystem::op_allocate(InodeNum ino,
   return chunk;
 }
 
-Status FileSystem::op_extend_size(InodeNum ino, Bytes size) {
+Status FileSystem::op_extend_size(InodeNum ino, Bytes size, ClientId client) {
+  lease_touch(client);
+  if (lease_.expelled(client)) {
+    return Status(Errc::stale, "client expelled: rejoin required");
+  }
+  // fsync commit point: allocations under the durable size are real.
+  journal_.commit_allocs(client, ino, ceil_div(size, cfg_.block_size));
   return ns_.extend_size(ino, size, sim_.now());
 }
 
 void FileSystem::op_token_acquire(
     ClientId client, InodeNum ino, TokenRange range, TokenRange desired,
     LockMode mode, std::function<void(Result<TokenRange>)> done) {
+  lease_touch(client);
+  if (lease_.expelled(client)) {
+    // Tokens granted to an expelled incarnation would leak on its next
+    // expel; make it rejoin first.
+    done(err(Errc::stale, "client expelled: rejoin required"));
+    return;
+  }
   token_retry(client, ino, range, desired, mode, 8, std::move(done));
 }
 
@@ -197,8 +231,6 @@ void FileSystem::token_retry(ClientId client, InodeNum ino, TokenRange range,
     done(err(Errc::timed_out, "token revocation livelock"));
     return;
   }
-  MGFS_ASSERT(static_cast<bool>(revoker_),
-              "token conflict with no revoker installed");
   // Revoke every conflicting holding, then retry.
   auto remaining = std::make_shared<std::size_t>(d.conflicts.size());
   auto retry = [this, client, ino, range, desired, mode, attempts,
@@ -222,22 +254,201 @@ void FileSystem::token_retry(ClientId client, InodeNum ino, TokenRange range,
     const TokenRange claim = mode == LockMode::rw ? desired : range;
     const TokenRange overlap{std::max(h.range.lo, claim.lo),
                              std::min(h.range.hi, claim.hi)};
-    revoker_(h.client, ino, overlap,
-             [this, holder = h.client, ino, overlap, remaining,
-              shared_retry] {
-               tokens_.release(holder, ino, overlap);
-               if (--*remaining == 0) (*shared_retry)();
-             });
+    revoke_until_released(h.client, ino, overlap,
+                          [remaining, shared_retry] {
+                            if (--*remaining == 0) (*shared_retry)();
+                          });
   }
+}
+
+void FileSystem::revoke_until_released(ClientId holder, InodeNum ino,
+                                       TokenRange overlap,
+                                       sim::Callback done) {
+  MGFS_ASSERT(static_cast<bool>(revoker_),
+              "token conflict with no revoker installed");
+  if (lease_.expelled(holder)) {
+    // Raced with an expel: release_all already reclaimed the holding.
+    sim_.defer(std::move(done));
+    return;
+  }
+  if (lease_.suspect(holder)) {
+    // A previous revoke already went unanswered; don't stack another
+    // long-deadline RPC on a mute node — join the expel wait directly.
+    sim::Callback cb = std::move(done);
+    sim_.defer([this, holder, ino, overlap, cb = std::move(cb)]() mutable {
+      await_expel(holder, ino, overlap, std::move(cb));
+    });
+    return;
+  }
+  revoker_(holder, ino, overlap,
+           [this, holder, ino, overlap,
+            done = std::move(done)](bool acked) mutable {
+             if (acked) {
+               tokens_.release(holder, ino, overlap);
+               done();
+               return;
+             }
+             // No acknowledgement: the holder may be dead. Suspect it
+             // and let the lease clock decide.
+             MGFS_DEBUG("lease", cfg_.name << ": revoke to client " << holder
+                                           << " unacknowledged; suspect");
+             lease_.note_suspect(holder, sim_.now());
+             await_expel(holder, ino, overlap, std::move(done));
+           });
+}
+
+void FileSystem::await_expel(ClientId holder, InodeNum ino,
+                             TokenRange overlap, sim::Callback done) {
+  const double now = sim_.now();
+  if (lease_.expelled(holder)) {
+    // Someone else expelled it; release_all already reclaimed the
+    // holding we were waiting on.
+    done();
+    return;
+  }
+  if (lease_.expel_due(holder, now)) {
+    expel_client(holder, "unacknowledged revoke past lease recovery wait");
+    done();
+    return;
+  }
+  // Not due yet: sleep until the expel decision point. The renewal
+  // check must come *after* the sleep — right after a failed revoke the
+  // holder's lease is usually still current, and re-revoking a dead
+  // node immediately would spin without advancing simulated time.
+  const double wait = std::max(lease_.time_until_expel(holder, now), 1e-3);
+  sim_.after(wait, [this, holder, ino, overlap, done = std::move(done)]() mutable {
+    if (!lease_.expelled(holder) &&
+        lease_.lease_current(holder, sim_.now())) {
+      // The holder renewed while we waited (transient partition
+      // healed): it is alive, so deliver the revoke again. If it
+      // released voluntarily meanwhile the re-revoke is a cheap no-op
+      // ack.
+      revoke_until_released(holder, ino, overlap, std::move(done));
+      return;
+    }
+    await_expel(holder, ino, overlap, std::move(done));
+  });
+}
+
+std::uint64_t FileSystem::op_client_register(ClientId client) {
+  const std::uint64_t epoch = lease_.register_client(client, sim_.now());
+  MGFS_DEBUG("lease", cfg_.name << ": client " << client
+                                << " registered, epoch " << epoch);
+  return epoch;
+}
+
+Result<std::uint64_t> FileSystem::op_lease_renew(ClientId client) {
+  sweep_leases();
+  if (!lease_.renew(client, sim_.now())) {
+    return err(Errc::stale, "lease lost: re-register required");
+  }
+  return lease_.epoch_of(client);
+}
+
+bool FileSystem::write_admitted(ClientId client, std::uint64_t epoch) {
+  if (lease_.epoch_valid(client, epoch)) return true;
+  ++fenced_writes_;
+  return false;
+}
+
+void FileSystem::expel_client(ClientId client, const char* why) {
+  if (!lease_.expel(client)) return;  // double expel: already handled
+  MGFS_DEBUG("lease", cfg_.name << ": expelling client " << client << " ("
+                                << why << ")");
+  replay_journal(client);
+  tokens_.release_all(client);
+  if (expel_listener_) expel_listener_(client);
+}
+
+void FileSystem::sweep_leases() {
+  if (sweeping_) return;  // expel listeners may re-enter via manager ops
+  sweeping_ = true;
+  for (ClientId c : lease_.sweep(sim_.now())) {
+    expel_client(c, "lease expired past recovery wait");
+  }
+  sweeping_ = false;
+}
+
+void FileSystem::replay_journal(ClientId client) {
+  // Undo newest-first: take_uncommitted returns reverse-lsn order.
+  for (const JournalRecord& r : journal_.take_uncommitted(client)) {
+    const Inode* n = ns_.inode(r.ino);
+    if (n == nullptr) continue;  // inode gone; blocks already freed
+    if (r.block >= n->blocks.size() || !n->blocks[r.block].has_value() ||
+        !(*n->blocks[r.block] == r.addr)) {
+      continue;  // slot re-placed since; not ours to undo
+    }
+    MGFS_ASSERT(ns_.clear_block(r.ino, r.block).ok(),
+                "journal replay: clear_block failed");
+    MGFS_ASSERT(alloc_.free_block(r.addr).ok(),
+                "journal replay: free_block failed");
+    ++journal_replays_;
+  }
+}
+
+FsckReport FileSystem::fsck() const {
+  FsckReport rep;
+  // Reference counts per (nsd, block) from the inode block maps.
+  std::vector<std::vector<std::uint8_t>> refs(alloc_.nsd_count());
+  for (std::size_t d = 0; d < refs.size(); ++d) {
+    refs[d].assign(alloc_.capacity_blocks(static_cast<std::uint32_t>(d)), 0);
+  }
+  for (InodeNum ino : ns_.inode_list()) {
+    const Inode* n = ns_.inode(ino);
+    for (const auto& slot : n->blocks) {
+      if (!slot.has_value()) continue;
+      ++rep.referenced_blocks;
+      const BlockAddr& a = *slot;
+      if (a.nsd >= refs.size() || a.block >= refs[a.nsd].size()) {
+        ++rep.dangling_refs;
+        continue;
+      }
+      if (refs[a.nsd][a.block]++) ++rep.duplicate_refs;
+      if (!alloc_.is_allocated(a)) ++rep.dangling_refs;
+    }
+  }
+  for (std::uint32_t d = 0; d < refs.size(); ++d) {
+    for (std::uint64_t b = 0; b < refs[d].size(); ++b) {
+      if (!alloc_.is_allocated(BlockAddr{d, b})) continue;
+      ++rep.allocated_blocks;
+      if (!refs[d][b]) ++rep.orphaned_blocks;
+    }
+  }
+  for (ClientId c : lease_.expelled_clients()) {
+    rep.uncommitted_records += journal_.uncommitted_count(c);
+  }
+  return rep;
+}
+
+std::string FileSystem::stats() const {
+  std::ostringstream os;
+  os << cfg_.name << ": _tok_ " << tokens_granted_ << " _rvk_ "
+     << revocations_ << " _lse_ " << lease_.renewals() << " _sus_ "
+     << lease_.suspects_noted() << " _xpl_ " << lease_.expels() << " _rpl_ "
+     << journal_replays_ << " _fnc_ " << fenced_writes_;
+  return os.str();
+}
+
+void FileSystem::lease_touch(ClientId client) {
+  // Any manager op from the client proves liveness — piggyback the
+  // renewal so steady-state I/O needs no extra renewal RPCs (the sim
+  // drains its queue between ops; periodic timers would never let it).
+  lease_.renew(client, sim_.now());
+  sweep_leases();
 }
 
 void FileSystem::op_token_release(ClientId client, InodeNum ino,
                                   TokenRange range) {
+  lease_touch(client);
   tokens_.release(client, ino, range);
 }
 
 void FileSystem::op_client_gone(ClientId client) {
   tokens_.release_all(client);
+  // Clean unmount: the client flushed, so its journal tail needs no
+  // replay — drop it with the lease.
+  journal_.drop_client(client);
+  lease_.deregister(client);
 }
 
 }  // namespace mgfs::gpfs

@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "gpfs/alloc.hpp"
+#include "gpfs/journal.hpp"
+#include "gpfs/lease.hpp"
 #include "gpfs/namespace.hpp"
 #include "gpfs/nsd.hpp"
 #include "gpfs/token.hpp"
@@ -32,12 +34,34 @@ struct BlockMapChunk {
   std::vector<std::optional<BlockAddr>> addrs;
 };
 
+/// Result of an fsck-style consistency scan (tests / chaos bench).
+struct FsckReport {
+  std::uint64_t referenced_blocks = 0;  // block addrs in inode maps
+  std::uint64_t allocated_blocks = 0;   // bits set in allocation maps
+  std::uint64_t orphaned_blocks = 0;    // allocated but referenced nowhere
+  std::uint64_t duplicate_refs = 0;     // same addr in two inode slots
+  std::uint64_t dangling_refs = 0;      // referenced but not allocated
+  std::uint64_t uncommitted_records = 0;  // journal tail of expelled clients
+
+  bool clean() const {
+    return orphaned_blocks == 0 && duplicate_refs == 0 &&
+           dangling_refs == 0 && uncommitted_records == 0;
+  }
+};
+
 class FileSystem {
  public:
-  /// `revoker(holder, ino, range, done)`: deliver a revoke to `holder`,
-  /// call `done` once the holder flushed and acknowledged.
-  using RevokerFn = std::function<void(ClientId, InodeNum, TokenRange,
-                                       sim::Callback)>;
+  /// Revoke outcome: `acked(true)` once the holder flushed and
+  /// acknowledged; `acked(false)` when the revoke RPC failed or timed
+  /// out — the holder is then a suspect and the caller decides between
+  /// waiting out its lease and expelling it.
+  using RevokeAck = std::function<void(bool acked)>;
+  /// `revoker(holder, ino, range, ack)`: deliver a revoke to `holder`.
+  using RevokerFn =
+      std::function<void(ClientId, InodeNum, TokenRange, RevokeAck)>;
+  /// Notified after a client was expelled and its state reclaimed
+  /// (cluster.cpp drops the MountRecord here).
+  using ExpelListener = std::function<void(ClientId)>;
   /// Resolve a client's effective access to this FS (mount-session
   /// scoped: local clients rw, remote clusters per mmauth grant).
   using AccessFn = std::function<AccessMode(ClientId)>;
@@ -61,7 +85,37 @@ class FileSystem {
 
   void set_revoker(RevokerFn fn) { revoker_ = std::move(fn); }
   void set_access_fn(AccessFn fn) { access_fn_ = std::move(fn); }
+  void set_expel_listener(ExpelListener fn) {
+    expel_listener_ = std::move(fn);
+  }
   AccessMode access_of(ClientId c) const;
+
+  LeaseManager& lease() { return lease_; }
+  const LeaseManager& lease() const { return lease_; }
+  MetaJournal& journal() { return journal_; }
+  const MetaJournal& journal() const { return journal_; }
+
+  // --- membership (disk leases, DESIGN.md §6) ---------------------------
+  /// (Re-)register a client under a fresh lease epoch. Called at mount
+  /// and when a lapsed client rejoins.
+  std::uint64_t op_client_register(ClientId client);
+  /// Renew the disk lease. Errc::stale if the client is unknown or was
+  /// expelled — it must re-register before further I/O.
+  Result<std::uint64_t> op_lease_renew(ClientId client);
+  /// Epoch fence consulted by NSD servers before admitting a write.
+  /// Counts rejected attempts in fenced_writes().
+  bool write_admitted(ClientId client, std::uint64_t epoch);
+  /// Expel `client`: mark its lease dead, replay (undo) its uncommitted
+  /// journal records, release all its tokens so blocked revokes
+  /// complete, and notify the expel listener. Idempotent.
+  void expel_client(ClientId client, const char* why);
+  /// Lazy membership check: expel every client whose lease lapsed more
+  /// than lease_recovery_wait ago. Runs at metadata-op entry.
+  void sweep_leases();
+
+  /// Consistency scan: cross-check inode block maps against the
+  /// allocation bitmaps and the journal's uncommitted tail.
+  FsckReport fsck() const;
 
   // --- metadata operations (manager-side logic) ------------------------
   Result<OpenResult> op_open(const std::string& path, const Principal& who,
@@ -87,7 +141,10 @@ class FileSystem {
                                     std::size_t count, Bytes size_hint,
                                     ClientId client);
 
-  Status op_extend_size(InodeNum ino, Bytes size);
+  /// fsync: record the durable size. This is also the journal commit
+  /// point — the client's allocate-ahead records under the committed
+  /// size are retired and no longer undone on expel.
+  Status op_extend_size(InodeNum ino, Bytes size, ClientId client);
 
   // --- token operations -------------------------------------------------
   /// Asynchronous: resolves after any needed revocations complete.
@@ -110,11 +167,30 @@ class FileSystem {
 
   std::uint64_t tokens_granted() const { return tokens_granted_; }
   std::uint64_t revocations() const { return revocations_; }
+  std::uint64_t lease_renewals() const { return lease_.renewals(); }
+  std::uint64_t suspects() const { return lease_.suspects_noted(); }
+  std::uint64_t expels() const { return lease_.expels(); }
+  std::uint64_t journal_records_replayed() const { return journal_replays_; }
+  std::uint64_t fenced_writes() const { return fenced_writes_; }
+  /// One-line manager stats in mmpmon style.
+  std::string stats() const;
 
  private:
   void token_retry(ClientId client, InodeNum ino, TokenRange range,
                    TokenRange desired, LockMode mode, int attempts,
                    std::function<void(Result<TokenRange>)> done);
+  /// Drive one conflicting holding out: revoke, and when the holder
+  /// does not acknowledge, wait out its lease and expel. `done` runs
+  /// once the holding is gone (released or reclaimed).
+  void revoke_until_released(ClientId holder, InodeNum ino,
+                             TokenRange overlap, sim::Callback done);
+  /// Unacked-revoke wait loop: sleeps until the holder's expel is due,
+  /// re-revokes if it renewed meanwhile, expels otherwise.
+  void await_expel(ClientId holder, InodeNum ino, TokenRange overlap,
+                   sim::Callback done);
+  /// Piggybacked renewal + lazy sweep at manager-op entry.
+  void lease_touch(ClientId client);
+  void replay_journal(ClientId client);
 
   sim::Simulator& sim_;
   FsConfig cfg_;
@@ -123,10 +199,16 @@ class FileSystem {
   Namespace ns_;
   AllocationMap alloc_;
   TokenManager tokens_;
+  LeaseManager lease_;
+  MetaJournal journal_;
   RevokerFn revoker_;
   AccessFn access_fn_;
+  ExpelListener expel_listener_;
+  bool sweeping_ = false;
   std::uint64_t tokens_granted_ = 0;
   std::uint64_t revocations_ = 0;
+  std::uint64_t journal_replays_ = 0;
+  std::uint64_t fenced_writes_ = 0;
 };
 
 }  // namespace mgfs::gpfs

@@ -1,0 +1,79 @@
+#include "gpfs/journal.hpp"
+
+#include <algorithm>
+
+namespace mgfs::gpfs {
+
+std::uint64_t MetaJournal::log_alloc(ClientId c, InodeNum ino,
+                                     std::uint64_t bi, BlockAddr addr) {
+  JournalRecord r;
+  r.lsn = next_lsn_++;
+  r.client = c;
+  r.op = JournalOp::alloc;
+  r.ino = ino;
+  r.block = bi;
+  r.addr = addr;
+  records_.push_back(r);
+  ++logged_;
+  return r.lsn;
+}
+
+void MetaJournal::note_sync_op(ClientId, JournalOp, InodeNum) {
+  ++next_lsn_;
+  ++logged_;
+}
+
+void MetaJournal::commit_allocs(ClientId c, InodeNum ino,
+                                std::uint64_t blocks) {
+  records_.erase(std::remove_if(records_.begin(), records_.end(),
+                                [&](const JournalRecord& r) {
+                                  return r.client == c && r.ino == ino &&
+                                         r.block < blocks;
+                                }),
+                 records_.end());
+}
+
+void MetaJournal::commit_block(InodeNum ino, std::uint64_t bi,
+                               ClientId except) {
+  records_.erase(std::remove_if(records_.begin(), records_.end(),
+                                [&](const JournalRecord& r) {
+                                  return r.ino == ino && r.block == bi &&
+                                         r.client != except;
+                                }),
+                 records_.end());
+}
+
+void MetaJournal::forget_inode(InodeNum ino) {
+  records_.erase(std::remove_if(
+                     records_.begin(), records_.end(),
+                     [&](const JournalRecord& r) { return r.ino == ino; }),
+                 records_.end());
+}
+
+std::vector<JournalRecord> MetaJournal::take_uncommitted(ClientId c) {
+  std::vector<JournalRecord> out;
+  for (const auto& r : records_)
+    if (r.client == c) out.push_back(r);
+  records_.erase(std::remove_if(
+                     records_.begin(), records_.end(),
+                     [&](const JournalRecord& r) { return r.client == c; }),
+                 records_.end());
+  // Undo newest-first, the reverse of the order the installs happened.
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+void MetaJournal::drop_client(ClientId c) {
+  records_.erase(std::remove_if(
+                     records_.begin(), records_.end(),
+                     [&](const JournalRecord& r) { return r.client == c; }),
+                 records_.end());
+}
+
+std::size_t MetaJournal::uncommitted_count(ClientId c) const {
+  return static_cast<std::size_t>(
+      std::count_if(records_.begin(), records_.end(),
+                    [&](const JournalRecord& r) { return r.client == c; }));
+}
+
+}  // namespace mgfs::gpfs

@@ -1,0 +1,81 @@
+// Per-client metadata write-ahead journal (GPFS recovery logs).
+//
+// GPFS gives every node a private recovery log; metadata updates are
+// logged there *before* the in-place mutation, so when a node dies the
+// file-system manager can replay (undo) its uncommitted updates and
+// bring metadata back to a consistent state without a full fsck.
+//
+// We journal the one multi-step metadata mutation a client drives
+// incrementally: block allocation. `op_allocate` installs block
+// addresses ahead of the data landing on disk (allocate-ahead), and a
+// client that dies before fsync leaves those installs dangling — the
+// block map references storage that holds no committed data. Each
+// allocate is logged before `Namespace::set_block`; fsync
+// (`op_extend_size`) is the commit point that retires records up to the
+// committed size. On expel, the surviving manager walks the dead
+// client's uncommitted tail newest-first and undoes each install.
+//
+// Create / unlink / truncate execute atomically inside one manager op,
+// so they need no undo — `note_sync_op` only counts them, matching how
+// GPFS logs but never needs to undo single-op transactions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpfs/token.hpp"
+#include "gpfs/types.hpp"
+
+namespace mgfs::gpfs {
+
+enum class JournalOp { alloc, create, unlink, truncate };
+
+struct JournalRecord {
+  std::uint64_t lsn = 0;  // log sequence number, monotonic per journal
+  ClientId client = 0;
+  JournalOp op = JournalOp::alloc;
+  InodeNum ino = 0;
+  std::uint64_t block = 0;  // block index within the inode
+  BlockAddr addr;           // where the allocate placed it
+};
+
+class MetaJournal {
+ public:
+  /// WAL rule: call before Namespace::set_block for the same install.
+  std::uint64_t log_alloc(ClientId c, InodeNum ino, std::uint64_t bi,
+                          BlockAddr addr);
+
+  /// Count a single-op (atomic) metadata mutation; nothing to undo.
+  void note_sync_op(ClientId c, JournalOp op, InodeNum ino);
+
+  /// fsync commit point: retire `c`'s alloc records for `ino` whose
+  /// block index is below `blocks` (the committed block count).
+  void commit_allocs(ClientId c, InodeNum ino, std::uint64_t blocks);
+
+  /// A block changed hands (another writer re-allocated or now
+  /// references it): retire every record for (ino, bi) not owned by
+  /// `except` so replay never frees a block a survivor references.
+  void commit_block(InodeNum ino, std::uint64_t bi, ClientId except);
+
+  /// The inode's block list was torn down at the namespace level
+  /// (unlink / truncate freed the blocks): pending undos are moot.
+  void forget_inode(InodeNum ino);
+
+  /// Remove and return `c`'s uncommitted records, newest first — the
+  /// undo order for replay.
+  std::vector<JournalRecord> take_uncommitted(ClientId c);
+
+  /// Drop a client's records without replay (clean unmount).
+  void drop_client(ClientId c);
+
+  std::size_t uncommitted_count(ClientId c) const;
+  std::size_t uncommitted_total() const { return records_.size(); }
+  std::uint64_t records_logged() const { return logged_; }
+
+ private:
+  std::uint64_t next_lsn_ = 1;
+  std::uint64_t logged_ = 0;
+  std::vector<JournalRecord> records_;  // uncommitted allocs, lsn order
+};
+
+}  // namespace mgfs::gpfs

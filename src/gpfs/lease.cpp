@@ -1,0 +1,125 @@
+#include "gpfs/lease.hpp"
+
+#include <algorithm>
+
+namespace mgfs::gpfs {
+
+std::uint64_t LeaseManager::register_client(ClientId c, double now) {
+  Entry& e = leases_[c];
+  e.epoch = next_epoch_++;
+  e.expires_at = now + cfg_.duration;
+  e.expelled = false;
+  e.suspect_noted = false;
+  return e.epoch;
+}
+
+void LeaseManager::deregister(ClientId c) { leases_.erase(c); }
+
+bool LeaseManager::renew(ClientId c, double now) {
+  auto it = leases_.find(c);
+  if (it == leases_.end() || it->second.expelled) return false;
+  it->second.expires_at = now + cfg_.duration;
+  it->second.suspect_noted = false;
+  ++renewals_;
+  return true;
+}
+
+bool LeaseManager::expelled(ClientId c) const {
+  auto it = leases_.find(c);
+  return it != leases_.end() && it->second.expelled;
+}
+
+std::uint64_t LeaseManager::epoch_of(ClientId c) const {
+  auto it = leases_.find(c);
+  return it == leases_.end() ? 0 : it->second.epoch;
+}
+
+bool LeaseManager::epoch_valid(ClientId c, std::uint64_t epoch) const {
+  auto it = leases_.find(c);
+  return it != leases_.end() && !it->second.expelled &&
+         it->second.epoch == epoch;
+}
+
+bool LeaseManager::lease_current(ClientId c, double now) const {
+  auto it = leases_.find(c);
+  return it != leases_.end() && !it->second.expelled &&
+         now <= it->second.expires_at;
+}
+
+bool LeaseManager::expel_due(ClientId c, double now) const {
+  auto it = leases_.find(c);
+  if (it == leases_.end()) return true;  // no lease, no standing
+  if (it->second.expelled) return false;
+  return now >= it->second.expires_at + cfg_.recovery_wait;
+}
+
+double LeaseManager::time_until_expel(ClientId c, double now) const {
+  auto it = leases_.find(c);
+  if (it == leases_.end() || it->second.expelled) return 0;
+  double due = it->second.expires_at + cfg_.recovery_wait;
+  return std::max(0.0, due - now);
+}
+
+void LeaseManager::note_suspect(ClientId c, double now) {
+  auto it = leases_.find(c);
+  if (it == leases_.end()) {
+    // Unknown holder (e.g. a raw-FileSystem caller that never
+    // registered): create an already-lapsed entry so the expel path
+    // has something to act on instead of wedging the revoke loop.
+    Entry e;
+    e.epoch = next_epoch_++;
+    e.expires_at = now - cfg_.duration;
+    e.suspect_noted = true;
+    leases_[c] = e;
+    ++suspects_;
+    return;
+  }
+  if (it->second.expelled || it->second.suspect_noted) return;
+  it->second.suspect_noted = true;
+  ++suspects_;
+}
+
+bool LeaseManager::suspect(ClientId c) const {
+  auto it = leases_.find(c);
+  return it != leases_.end() && it->second.suspect_noted;
+}
+
+bool LeaseManager::expel(ClientId c) {
+  auto it = leases_.find(c);
+  if (it == leases_.end()) {
+    Entry e;
+    e.epoch = next_epoch_++;
+    e.expelled = true;
+    leases_[c] = e;
+    ++expels_;
+    return true;
+  }
+  if (it->second.expelled) return false;
+  it->second.expelled = true;
+  ++expels_;
+  return true;
+}
+
+std::vector<ClientId> LeaseManager::sweep(double now) {
+  std::vector<ClientId> due;
+  for (auto& [c, e] : leases_) {
+    if (e.expelled) continue;
+    if (now > e.expires_at && !e.suspect_noted) {
+      e.suspect_noted = true;
+      ++suspects_;
+    }
+    if (now >= e.expires_at + cfg_.recovery_wait) due.push_back(c);
+  }
+  std::sort(due.begin(), due.end());
+  return due;
+}
+
+std::vector<ClientId> LeaseManager::expelled_clients() const {
+  std::vector<ClientId> out;
+  for (const auto& [c, e] : leases_)
+    if (e.expelled) out.push_back(c);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace mgfs::gpfs

@@ -1,0 +1,103 @@
+// Disk leases: the cluster-membership half of GPFS recovery.
+//
+// Every mounted client holds a disk lease granted by the file-system
+// manager; I/O is only legitimate while the lease is current. A client
+// that misses its renewal window becomes *suspect*; once the renewal
+// gap exceeds duration + recovery_wait the manager may *expel* it —
+// replay its metadata journal, reclaim its tokens, and re-grant its
+// byte ranges to the survivors. Each (re-)registration is a new
+// incarnation carrying a globally monotonic *lease epoch*; NSD servers
+// fence writes whose epoch is not the client's current one, so a
+// partitioned-but-alive node cannot scribble on ranges that were
+// re-granted after its expel (the "no write lands with epoch < current
+// grant epoch" invariant in DESIGN.md §6).
+//
+// This class is pure bookkeeping — no timers. The simulator drains its
+// event queue between operations, so lease checks are *lazy*: the
+// manager sweeps at metadata-op entry points and when a revoke goes
+// unanswered, mirroring how the breaker probes lazily in the client.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "gpfs/token.hpp"
+
+namespace mgfs::gpfs {
+
+struct LeaseConfig {
+  double duration = 60.0;       // seconds one renewal keeps the lease valid
+  double recovery_wait = 30.0;  // grace past expiry before expel may fire
+};
+
+class LeaseManager {
+ public:
+  explicit LeaseManager(LeaseConfig cfg = {}) : cfg_(cfg) {}
+
+  const LeaseConfig& config() const { return cfg_; }
+
+  /// Register (or re-register) a client: assigns the next globally
+  /// monotonic lease epoch and starts a fresh lease. Re-registering an
+  /// expelled client readmits it as a new incarnation.
+  std::uint64_t register_client(ClientId c, double now);
+
+  /// Forget a client entirely (clean unmount).
+  void deregister(ClientId c);
+
+  /// Renew the lease. Returns false if the client is unknown or
+  /// expelled — it must rejoin under a fresh epoch.
+  bool renew(ClientId c, double now);
+
+  bool known(ClientId c) const { return leases_.count(c) > 0; }
+  bool expelled(ClientId c) const;
+  /// Current epoch of `c`; 0 if unknown.
+  std::uint64_t epoch_of(ClientId c) const;
+  /// Epoch fencing: entry exists, not expelled, and `epoch` is current.
+  bool epoch_valid(ClientId c, std::uint64_t epoch) const;
+
+  /// Lease still within its renewal window?
+  bool lease_current(ClientId c, double now) const;
+  /// Has expiry + recovery_wait elapsed (expel decision may fire)?
+  /// Unknown clients are expellable at once: no lease, no standing.
+  bool expel_due(ClientId c, double now) const;
+  /// Seconds until expel_due; 0 if already due.
+  double time_until_expel(ClientId c, double now) const;
+
+  /// Record suspicion of `c` (unanswered revoke, or observed past
+  /// expiry). Counted once per suspicion episode; renewal clears it.
+  void note_suspect(ClientId c, double now);
+  /// Is `c` in an open suspicion episode (no renewal since)?
+  bool suspect(ClientId c) const;
+
+  /// Mark `c` expelled. Returns false if it already was (double-expel
+  /// idempotence) — the caller skips the recovery protocol then.
+  bool expel(ClientId c);
+
+  /// Lazy check at manager op entry: note suspects past expiry and
+  /// return the clients whose expel is now due, sorted for determinism.
+  std::vector<ClientId> sweep(double now);
+
+  std::vector<ClientId> expelled_clients() const;
+
+  std::uint64_t renewals() const { return renewals_; }
+  std::uint64_t suspects_noted() const { return suspects_; }
+  std::uint64_t expels() const { return expels_; }
+
+ private:
+  struct Entry {
+    std::uint64_t epoch = 0;
+    double expires_at = 0;
+    bool expelled = false;
+    bool suspect_noted = false;
+  };
+
+  LeaseConfig cfg_;
+  std::uint64_t next_epoch_ = 1;
+  std::unordered_map<ClientId, Entry> leases_;
+  std::uint64_t renewals_ = 0;
+  std::uint64_t suspects_ = 0;
+  std::uint64_t expels_ = 0;
+};
+
+}  // namespace mgfs::gpfs

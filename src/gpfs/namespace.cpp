@@ -351,6 +351,17 @@ Status Namespace::set_block(InodeNum ino, std::uint64_t bi, BlockAddr addr) {
   return Status{};
 }
 
+Status Namespace::clear_block(InodeNum ino, std::uint64_t bi) {
+  auto it = inodes_.find(ino);
+  if (it == inodes_.end()) return Status(Errc::not_found, "stale inode");
+  Inode& n = it->second;
+  if (n.blocks.size() <= bi || !n.blocks[bi].has_value()) {
+    return Status(Errc::not_found, "block not placed");
+  }
+  n.blocks[bi] = std::nullopt;
+  return Status{};
+}
+
 Status Namespace::extend_size(InodeNum ino, Bytes new_size, double now) {
   auto it = inodes_.find(ino);
   if (it == inodes_.end()) return Status(Errc::not_found, "stale inode");
@@ -363,6 +374,14 @@ Status Namespace::extend_size(InodeNum ino, Bytes new_size, double now) {
 const Inode* Namespace::inode(InodeNum ino) const {
   auto it = inodes_.find(ino);
   return it == inodes_.end() ? nullptr : &it->second;
+}
+
+std::vector<InodeNum> Namespace::inode_list() const {
+  std::vector<InodeNum> out;
+  out.reserve(inodes_.size());
+  for (const auto& [ino, n] : inodes_) out.push_back(ino);
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 }  // namespace mgfs::gpfs

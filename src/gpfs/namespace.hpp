@@ -88,11 +88,16 @@ class Namespace {
   Result<std::optional<BlockAddr>> block_at(InodeNum ino, Bytes offset) const;
   /// Install a freshly allocated block at block index `bi`.
   Status set_block(InodeNum ino, std::uint64_t bi, BlockAddr addr);
+  /// Undo of set_block (journal replay): drop the address at `bi`,
+  /// turning the slot back into a hole.
+  Status clear_block(InodeNum ino, std::uint64_t bi);
   /// Grow size after a write reaching `new_size` (never shrinks).
   Status extend_size(InodeNum ino, Bytes new_size, double now);
 
   const Inode* inode(InodeNum ino) const;  // nullptr if absent (for tests)
   std::size_t inode_count() const { return inodes_.size(); }
+  /// All live inode numbers, sorted (fsck-style scans).
+  std::vector<InodeNum> inode_list() const;
 
  private:
   struct Walk {

@@ -18,6 +18,12 @@ void NsdServer::set_slow_factor(double factor) {
   slow_factor_ = factor;
 }
 
+bool NsdServer::write_admitted(ClientId client, std::uint64_t epoch) {
+  if (!write_gate_ || write_gate_(client, epoch)) return true;
+  ++fenced_;
+  return false;
+}
+
 void NsdServer::handle(storage::BlockDevice& dev, Bytes offset, Bytes len,
                        bool write, double cipher_s_per_byte,
                        storage::IoCallback done) {

@@ -12,9 +12,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "gpfs/token.hpp"
 #include "net/network.hpp"
 #include "sim/serial_resource.hpp"
 #include "storage/block_device.hpp"
@@ -63,6 +65,17 @@ class NsdServer {
   /// The server's CPU — serial, so per-byte cipher work queues.
   sim::SerialResource& cpu() { return cpu_; }
 
+  /// Lease-epoch fencing (DESIGN.md §6). The gate answers "may this
+  /// client, presenting this lease epoch, write?"; the cluster wires it
+  /// to the file-system manager's membership view. No gate = admit all
+  /// (standalone NSD tests).
+  using WriteGate = std::function<bool(ClientId, std::uint64_t)>;
+  void set_write_gate(WriteGate gate) { write_gate_ = std::move(gate); }
+  /// Consult the gate; counts rejections. Data-path callers must check
+  /// this before charging device work for a write.
+  bool write_admitted(ClientId client, std::uint64_t epoch);
+  std::uint64_t fenced_writes() const { return fenced_; }
+
   /// Fail-slow injection (fault engine): multiply all request CPU by
   /// `factor`. 1.0 is healthy; the gray-failure literature's fail-slow
   /// NSD is 10-100x. Never zero — requests still complete, just late.
@@ -76,8 +89,10 @@ class NsdServer {
   sim::Time cpu_per_request_;
   double slow_factor_ = 1.0;
   sim::SerialResource cpu_;
+  WriteGate write_gate_;
   std::uint64_t requests_ = 0;
   Bytes bytes_ = 0;
+  std::uint64_t fenced_ = 0;
 };
 
 }  // namespace mgfs::gpfs

@@ -106,4 +106,12 @@ std::size_t PagePool::invalidate(InodeNum ino, std::uint64_t lo_blk,
   return dropped;
 }
 
+std::size_t PagePool::invalidate_all() {
+  std::size_t dropped = pages_.size();
+  pages_.clear();
+  lru_.clear();
+  dirty_count_ = 0;
+  return dropped;
+}
+
 }  // namespace mgfs::gpfs

@@ -80,6 +80,10 @@ class PagePool {
   std::size_t invalidate(InodeNum ino, std::uint64_t lo_blk,
                          std::uint64_t hi_blk);
 
+  /// Drop everything, clean and dirty — a lapsed lease means no cached
+  /// state can be trusted. Returns dropped page count.
+  std::size_t invalidate_all();
+
   std::uint64_t evictions() const { return evictions_; }
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }

@@ -53,6 +53,13 @@ struct Mode {
 struct FsConfig {
   std::string name = "gpfs0";   // device name, e.g. "gpfs-wan"
   Bytes block_size = 1 * MiB;   // striping unit across NSDs
+  /// Disk-lease membership (DESIGN.md §6). Renewal keeps a mounted
+  /// client's lease valid for `lease_duration` seconds; a node whose
+  /// lease lapsed may be expelled once another `lease_recovery_wait`
+  /// passes without a renewal. Defaults are deliberately generous so
+  /// short simulations never expel an idle-but-healthy client.
+  double lease_duration = 60.0;
+  double lease_recovery_wait = 30.0;
 };
 
 /// Flags for Client::open.

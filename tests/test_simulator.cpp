@@ -34,6 +34,28 @@ TEST(Simulator, TiesBreakFifo) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
 }
 
+TEST(Simulator, TiesBreakFifoAcrossNestedScheduling) {
+  // Regression: recovery code (await_expel, revoke retries) schedules
+  // wake-ups at identical timestamps from inside running events; the
+  // comparator must order same-time events by global insertion sequence
+  // no matter where they were enqueued from.
+  Simulator s;
+  std::vector<int> order;
+  s.at(1.0, [&] {
+    order.push_back(0);
+    // Enqueued while running, so later in insertion order than the
+    // pre-scheduled t=2 event below.
+    s.at(2.0, [&] { order.push_back(3); });
+  });
+  s.at(2.0, [&] { order.push_back(2); });
+  s.at(1.0, [&] {
+    order.push_back(1);
+    s.at(2.0, [&] { order.push_back(4); });
+  });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
 TEST(Simulator, AfterIsRelative) {
   Simulator s;
   double fired_at = -1;

@@ -105,6 +105,29 @@ TEST(TokenManager, ReleaseAllCleansClient) {
   EXPECT_EQ(d.granted_range, (TokenRange{0, kWholeFile}));
 }
 
+TEST(TokenManager, ReleaseAllSparesSurvivorsAndIsIdempotent) {
+  TokenManager tm;
+  // Node-expel reclaim: drop every holding of the dead client without
+  // disturbing survivors' holdings on the same or other inodes.
+  ASSERT_TRUE(tm.request(1, kIno, {0, 100}, LockMode::rw).granted);
+  tm.release(1, kIno, {100, kWholeFile});  // trim the whole-file widening
+  ASSERT_TRUE(tm.request(2, kIno, {100, 200}, LockMode::rw).granted);
+  ASSERT_TRUE(tm.request(2, kIno + 1, {0, 50}, LockMode::ro).granted);
+
+  tm.release_all(1);
+  EXPECT_FALSE(tm.holds(1, kIno, {0, 1}, LockMode::ro));
+  EXPECT_TRUE(tm.holds(2, kIno, {100, 200}, LockMode::rw));
+  EXPECT_TRUE(tm.holds(2, kIno + 1, {0, 50}, LockMode::ro));
+
+  const std::size_t after = tm.total_holdings();
+  tm.release_all(1);  // double reclaim (expel raced a release): no-op
+  tm.release_all(99);  // never held anything: no-op
+  EXPECT_EQ(tm.total_holdings(), after);
+
+  // The dead client's former range is immediately grantable.
+  EXPECT_TRUE(tm.request(2, kIno, {0, 100}, LockMode::rw).granted);
+}
+
 TEST(TokenManager, DifferentInodesIndependent) {
   TokenManager tm;
   ASSERT_TRUE(tm.request(1, 1, {0, 100}, LockMode::rw).granted);
