@@ -8,19 +8,27 @@
 //   * the second NSD server turns fail-slow (50x request CPU),
 //   * the third NSD server is blackholed — accepts traffic, answers
 //     nothing — for a stretch,
+//   * the file-system manager node crashes mid-soak (successor
+//     election, token-state rebuild, manager-epoch fencing),
+//   * a dirty writer goes mute behind a blackhole (expel, journal
+//     replay, and its healed late flush fenced),
 // all while clients run with a tight RPC deadline so recovery comes
 // from the retry/breaker machinery, not from waiting out the faults.
 //
 // Pass criteria (printed and enforced via exit code):
 //   * the job completes, and every byte written is read back (no loss),
 //   * chaos goodput >= 50% of the fault-free run,
-//   * the recovery counters (retries, timeouts, breaker opens) are
-//     nonzero — the run actually exercised the machinery.
+//   * the recovery counters (retries, timeouts, breaker opens, expels,
+//     journal replays, fenced writes, manager takeovers) are nonzero —
+//     the run actually exercised the machinery.
 //
-// `--scenario crash_dirty_writer` runs the disk-lease recovery drill
-// instead: a writer with dirty, unfsynced data goes mute, the manager
+// `--scenario crash_dirty_writer` runs the disk-lease recovery drill in
+// isolation: a writer with dirty, unfsynced data goes mute, the manager
 // expels it (journal replay + token reclaim), a survivor takes over the
 // range, and the healed victim's late flush is fenced by lease epoch.
+// `--scenario manager_crash` runs the manager-takeover drill: election,
+// token rebuild from client assertions, in-flight I/O completing across
+// the takeover, and the deposed incarnation's traffic fenced.
 // `--json PATH` dumps the soak metrics machine-readably.
 #include <cstdio>
 #include <cstring>
@@ -49,6 +57,9 @@ struct RunResult {
   std::uint64_t expels = 0;
   std::uint64_t journal_replays = 0;
   std::uint64_t fenced_writes = 0;
+  std::uint64_t manager_takeovers = 0;
+  std::uint64_t manager_reroutes = 0;
+  std::uint64_t stale_mgr_fenced = 0;
   std::string mmpmon;
 };
 
@@ -59,17 +70,23 @@ constexpr Bytes kPerTask = 64 * MiB;
 RunResult run_workload(bool inject_faults) {
   sim::Simulator sim;
   net::Network net(sim);
-  // Hosts: servers, manager, writer clients, then a second bank of
-  // reader clients (cold caches — the read-back must hit the devices,
-  // otherwise "zero data loss" only checks the writers' pagepools).
+  // Hosts: servers, manager, writer clients, a second bank of reader
+  // clients (cold caches — the read-back must hit the devices,
+  // otherwise "zero data loss" only checks the writers' pagepools),
+  // plus a dirty-writer pair for the expel/fencing episode the fault
+  // phase folds in.
   net::Site site =
-      net::add_site(net, "s", kServers + 1 + 2 * kClients, gbps(1.0));
+      net::add_site(net, "s", kServers + 1 + 2 * kClients + 2, gbps(1.0));
 
   gpfs::ClusterConfig ccfg;
   ccfg.name = "chaos";
   // Tight deadline: faults must be survived by retry/failover/breakers,
   // not by outlasting them.
   ccfg.client.rpc_deadline = 0.5;
+  // Leases short enough that the folded-in dirty-writer episode runs
+  // its full expel -> journal replay -> fence cycle inside the soak.
+  ccfg.lease_duration = 3.0;
+  ccfg.lease_recovery_wait = 1.5;
   gpfs::Cluster cluster(sim, net, ccfg, Rng(42));
 
   bench::ServerFarm farm = bench::make_rate_farm(
@@ -85,6 +102,24 @@ RunResult run_workload(bool inject_faults) {
     MGFS_ASSERT(c.ok(), "mount failed");
     (i < kClients ? clients : readers).push_back(*c);
   }
+
+  // The dirty-writer episode pair is mounted in both phases so the
+  // cluster shape (node ids, client ids, seeded RNG draws) is identical;
+  // only the fault phase actually drives it.
+  net::NodeId victim_node = site.hosts.at(kServers + 1 + 2 * kClients);
+  net::NodeId dsurv_node = site.hosts.at(kServers + 1 + 2 * kClients + 1);
+  cluster.add_node(victim_node);
+  cluster.add_node(dsurv_node);
+  auto vmount = cluster.mount("chaos", victim_node);
+  auto dmount = cluster.mount("chaos", dsurv_node);
+  MGFS_ASSERT(vmount.ok() && dmount.ok(), "episode mount failed");
+  gpfs::Client* victim = *vmount;
+  gpfs::Client* dsurv = *dmount;
+
+  // Episode state; must outlive the callbacks that fill it in.
+  std::optional<gpfs::Fh> vfh, dfh, pfh;
+  std::optional<Result<Bytes>> dw;
+  std::function<void(int)> dwrite, pflush;
 
   fault::FaultInjector inject(net, Rng(1337));
   inject.watch_pool(cluster.connection_pool());
@@ -103,6 +138,77 @@ RunResult run_workload(bool inject_faults) {
     // connections and (via watch_cluster) any lapsed incarnations.
     inject.churn_node(farm.server_nodes[3], /*mttf=*/2.0, /*mttr=*/0.25,
                       /*start=*/0.3, /*until=*/8.0);
+    // Manager node crashes mid-soak: successor election, token-state
+    // rebuild and manager-epoch fencing run under full fault load while
+    // the dirty-writer episode is still unresolved.  The crash lands
+    // after the measured write job drains so goodput reflects data-path
+    // chaos, not the metadata takeover stall; two probe stats from
+    // distinct clients supply the two-reporter suspicion quorum.
+    inject.schedule_crash_manager(4.5, *farm.fs, 1.0);
+    sim.after(4.55, [&] {
+      clients[0]->stat("/soak", [](Result<gpfs::StatInfo>) {});
+      clients[1]->stat("/soak", [](Result<gpfs::StatInfo>) {});
+    });
+    // An in-flight commit rides across the takeover: the write-behind
+    // flush spans the crash, bounces off the recovering write gate
+    // (opening the client's NSD circuit breaker), and completes once
+    // the rebuilt manager resumes.
+    pflush = [&](int attempts_left) {
+      clients[1]->fsync(*pfh, [&, attempts_left](Status s) {
+        if (!s.ok() && attempts_left > 0) {
+          sim.after(0.2, [&, attempts_left] { pflush(attempts_left - 1); });
+          return;
+        }
+        MGFS_ASSERT(s.ok(), "in-flight commit across takeover failed");
+      });
+    };
+    sim.after(4.3, [&] {
+      clients[1]->open("/tko", bench::kUser, gpfs::OpenFlags::create_rw(),
+                       [&](Result<gpfs::Fh> r) {
+                         MGFS_ASSERT(r.ok(), "takeover commit open failed");
+                         pfh = *r;
+                         clients[1]->write(*pfh, 0, 64 * MiB,
+                                           [&](Result<Bytes> w) {
+                                             MGFS_ASSERT(w.ok(),
+                                                         "takeover stage failed");
+                                             pflush(30);
+                                           });
+                       });
+    });
+    // Dirty-writer episode: the victim stages dirty, never-fsynced
+    // write-behind and goes mute; the takeover marks it a lapsed
+    // suspect, dsurv's overlapping write completes once the rebuilt
+    // tables drop the mute holder, the sweep expels it (journal
+    // replay), and its healed late flush — still stamped with the
+    // deposed manager epoch — is fenced at the NSD servers.
+    sim.after(0.05, [&] {
+      victim->open("/dirty", bench::kUser, gpfs::OpenFlags::create_rw(),
+                   [&](Result<gpfs::Fh> r) {
+                     MGFS_ASSERT(r.ok(), "episode open failed");
+                     vfh = *r;
+                     victim->write(*vfh, 0, 8 * MiB, [](Result<Bytes>) {});
+                   });
+    });
+    inject.schedule_blackhole(0.12, victim_node, 6.0);
+    dwrite = [&](int attempts_left) {
+      dsurv->write(*dfh, 0, 4 * MiB, [&, attempts_left](Result<Bytes> r) {
+        if (!r.ok() && attempts_left > 0) {
+          dwrite(attempts_left - 1);
+          return;
+        }
+        dw = std::move(r);
+        MGFS_ASSERT(dw->ok(), "episode takeover write failed");
+        dsurv->fsync(*dfh, [](Status) {});
+      });
+    };
+    sim.after(0.3, [&] {
+      dsurv->open("/dirty", bench::kUser, gpfs::OpenFlags::rw(),
+                  [&](Result<gpfs::Fh> r) {
+                    MGFS_ASSERT(r.ok(), "episode open failed");
+                    dfh = *r;
+                    dwrite(2);
+                  });
+    });
   }
 
   workload::MpiIoConfig wcfg;
@@ -117,12 +223,27 @@ RunResult run_workload(bool inject_faults) {
   MGFS_ASSERT(wres.has_value(), "write phase did not complete");
   MGFS_ASSERT(wres->ok(), "write phase failed");
 
+  // The fault drain can outlast an idle lease; a sacrificial open per
+  // reader surfaces the lapse (stale -> rejoin) before the measured
+  // read-back, so the timed phase starts from valid leases.
+  for (gpfs::Client* c : readers) {
+    c->open("/soak", bench::kUser, gpfs::OpenFlags::ro(),
+            [c](Result<gpfs::Fh> r) {
+              if (r.ok()) c->close(*r, [](Status) {});
+            });
+  }
+  sim.run();
+
   wcfg.write = false;
   std::optional<Result<workload::MpiIoResult>> rres;
   workload::MpiIoJob reader(readers, "/soak", bench::kUser, wcfg);
   reader.run([&](Result<workload::MpiIoResult> r) { rres = std::move(r); });
   sim.run();
   MGFS_ASSERT(rres.has_value(), "read phase did not complete");
+  if (!rres->ok()) {
+    std::fprintf(stderr, "read-back failed: %s\n",
+                 rres->error().to_string().c_str());
+  }
   MGFS_ASSERT(rres->ok(), "read-back phase failed");
 
   RunResult out;
@@ -136,10 +257,15 @@ RunResult run_workload(bool inject_faults) {
     out.breaker_opens += c->breaker_opens();
     out.failovers += c->nsd_failovers();
   }
+  for (gpfs::Client* c : readers) out.manager_reroutes += c->mgr_reroutes();
+  for (gpfs::Client* c : clients) out.manager_reroutes += c->mgr_reroutes();
+  out.manager_reroutes += victim->mgr_reroutes() + dsurv->mgr_reroutes();
   out.lease_renewals = farm.fs->lease_renewals();
   out.expels = farm.fs->expels();
   out.journal_replays = farm.fs->journal_records_replayed();
   out.fenced_writes = farm.fs->fenced_writes();
+  out.manager_takeovers = farm.fs->manager_takeovers();
+  out.stale_mgr_fenced = farm.fs->stale_manager_fenced();
   MGFS_ASSERT(farm.fs->fsck().clean(), "chaos soak left metadata dirty");
   out.mmpmon = clients[0]->mmpmon();
   if (inject_faults) {
@@ -278,6 +404,147 @@ bool run_crash_dirty_writer() {
   return ok;
 }
 
+/// Manager-takeover drill (DESIGN.md §6). The manager node crashes
+/// while a writer has I/O in flight, a second client is dead with dirty
+/// data, and a third is partitioned with dirty data. The lowest-id live
+/// node takes the role within the takeover budget and rebuilds token
+/// state from client assertions — expelling the dead holder (journal
+/// replay) on the spot. The in-flight write reroutes to the successor
+/// and completes; the healed partitioned client's late flush, still
+/// stamped with the deposed incarnation's manager epoch, is fenced at
+/// the NSD servers and the client rejoins under the new epoch.
+bool run_manager_crash() {
+  sim::Simulator sim;
+  net::Network net(sim);
+  net::Site site = net::add_site(net, "s", 6, gbps(1.0));
+
+  gpfs::ClusterConfig ccfg;
+  ccfg.name = "chaos";
+  ccfg.client.rpc_deadline = 0.3;
+  ccfg.lease_duration = 0.8;
+  ccfg.lease_recovery_wait = 0.4;
+  gpfs::Cluster cluster(sim, net, ccfg, Rng(42));
+
+  bench::ServerFarm farm = bench::make_rate_farm(
+      cluster, sim, site, /*first_host=*/0, /*servers=*/2, /*nsd_count=*/4,
+      BytesPerSec(200e6), /*device_capacity=*/4 * GiB, "chaos");
+
+  // hosts[2] is the manager (dedicated non-NSD member); clients on 3..5.
+  net::NodeId writer_node = site.hosts.at(3);
+  net::NodeId dead_node = site.hosts.at(4);
+  net::NodeId mute_node = site.hosts.at(5);
+  cluster.add_node(writer_node);
+  cluster.add_node(dead_node);
+  cluster.add_node(mute_node);
+  auto wr = cluster.mount("chaos", writer_node);
+  auto dr = cluster.mount("chaos", dead_node);
+  auto mr = cluster.mount("chaos", mute_node);
+  MGFS_ASSERT(wr.ok() && dr.ok() && mr.ok(), "mount failed");
+  gpfs::Client* writer = *wr;
+  gpfs::Client* dead = *dr;
+  gpfs::Client* mute = *mr;
+
+  fault::FaultInjector inject(net, Rng(7));
+  inject.watch_pool(cluster.connection_pool());
+  inject.watch_cluster(cluster);
+
+  auto sync_open = [&](gpfs::Client* c, const std::string& p,
+                       gpfs::OpenFlags f) {
+    std::optional<Result<gpfs::Fh>> out;
+    c->open(p, bench::kUser, f, [&](Result<gpfs::Fh> r) { out = r; });
+    sim.run();
+    MGFS_ASSERT(out.has_value() && out->ok(), "open failed");
+    return **out;
+  };
+  gpfs::Fh wfh = sync_open(writer, "/job", gpfs::OpenFlags::create_rw());
+  gpfs::Fh dfh = sync_open(dead, "/dead", gpfs::OpenFlags::create_rw());
+  gpfs::Fh mfh = sync_open(mute, "/mute", gpfs::OpenFlags::create_rw());
+
+  // Committed baseline for the writer; dirty, never-fsynced data on
+  // both casualties (uncommitted journal records, rw tokens).
+  std::optional<Result<Bytes>> wbase;
+  writer->write(wfh, 0, 4 * MiB, [&](Result<Bytes> r) { wbase = r; });
+  sim.run();
+  MGFS_ASSERT(wbase.has_value() && wbase->ok(), "baseline write failed");
+  std::optional<Status> wbsync;
+  writer->fsync(wfh, [&](Status s) { wbsync = s; });
+  sim.run();
+  MGFS_ASSERT(wbsync.has_value() && wbsync->ok(), "baseline fsync failed");
+  dead->write(dfh, 0, 4 * MiB, [](Result<Bytes>) {});
+  mute->write(mfh, 0, 4 * MiB, [](Result<Bytes>) {});
+  sim.run_until(sim.now() + 0.02);  // stage dirty pages + journal records
+
+  const double t0 = sim.now();
+  const net::NodeId old_mgr = farm.fs->manager_node();
+  inject.schedule_node_crash(t0, dead_node, 5.0);
+  inject.schedule_blackhole(t0, mute_node, 2.5);
+  inject.schedule_crash_manager(t0 + 0.05, *farm.fs, 0.8);
+
+  // In-flight I/O across the takeover: the write needs fresh
+  // allocations, so its metadata RPC finds the dead manager, drives the
+  // election, then reroutes to the successor and completes.
+  std::optional<Result<Bytes>> ww;
+  double w_done_at = 0;
+  sim.after(t0 + 0.1 - sim.now(), [&] {
+    writer->write(wfh, 4 * MiB, 8 * MiB, [&](Result<Bytes> r) {
+      ww = std::move(r);
+      w_done_at = sim.now();
+    });
+  });
+  // A later fsync commits the writer and, as a manager op, drives the
+  // lease sweep that expels the still-mute partitioned client.
+  std::optional<Status> wsync;
+  sim.after(t0 + 1.2 - sim.now(), [&] {
+    writer->fsync(wfh, [&](Status s) { wsync = s; });
+  });
+  sim.run();
+
+  const gpfs::FsckReport fsck = farm.fs->fsck();
+  const double budget_s =
+      3.0 * (ccfg.lease_duration + ccfg.lease_recovery_wait);
+  const double takeover_s = farm.fs->last_takeover_at() - t0;
+  std::uint64_t nsd_fenced = 0;
+  for (net::NodeId n : farm.server_nodes) {
+    if (gpfs::NsdServer* s = cluster.server_on(n)) {
+      nsd_fenced += s->fenced_writes();
+    }
+  }
+
+  std::printf("  takeover: node %u -> node %u, epoch %llu, %.2f s after "
+              "crash (budget %.2f s)\n",
+              old_mgr.v, farm.fs->manager_node().v,
+              static_cast<unsigned long long>(farm.fs->manager_epoch()),
+              takeover_s, budget_s);
+  std::printf("  manager: %s\n", farm.fs->stats().c_str());
+  std::printf("  NSD fenced writes:   %llu\n",
+              static_cast<unsigned long long>(nsd_fenced));
+
+  bool ok = true;
+  auto check = [&](bool cond, const char* what) {
+    std::printf("  [%s] %s\n", cond ? "PASS" : "FAIL", what);
+    ok = ok && cond;
+  };
+  std::cout << "\nAcceptance:\n";
+  check(farm.fs->manager_takeovers() == 1, "exactly one takeover");
+  check(!(farm.fs->manager_node() == old_mgr), "successor elected");
+  check(farm.fs->last_takeover_at() >= t0 && takeover_s <= budget_s,
+        "takeover within 3 lease periods");
+  check(ww.has_value() && ww->ok() && w_done_at - t0 <= budget_s,
+        "in-flight write rerouted and completed");
+  check(wsync.has_value() && wsync->ok(), "writer committed after takeover");
+  check(farm.fs->assertions_rebuilt() >= 1,
+        "token state rebuilt from client assertions");
+  check(farm.fs->expels() >= 2, "dead and mute dirty writers expelled");
+  check(farm.fs->journal_records_replayed() >= 1,
+        "metadata journal replayed");
+  check(farm.fs->stale_manager_fenced() >= 1 && nsd_fenced >= 1,
+        "deposed-epoch flush fenced at the NSD servers");
+  check(writer->mgr_takeovers() >= 1 && writer->mgr_reroutes() >= 1,
+        "client adopted the successor's view");
+  check(fsck.clean(), "fsck clean after takeover");
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -295,6 +562,11 @@ int main(int argc, char** argv) {
     bench::banner("chaos_soak --scenario crash_dirty_writer",
                   "disk-lease expel, journal replay and epoch fencing");
     return run_crash_dirty_writer() ? 0 : 1;
+  }
+  if (scenario == "manager_crash") {
+    bench::banner("chaos_soak --scenario manager_crash",
+                  "manager takeover: election, token rebuild, epoch fencing");
+    return run_manager_crash() ? 0 : 1;
   }
   if (!scenario.empty()) {
     std::cerr << "unknown scenario: " << scenario << "\n";
@@ -319,6 +591,15 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(chaos.timeouts),
               static_cast<unsigned long long>(chaos.breaker_opens),
               static_cast<unsigned long long>(chaos.failovers));
+  std::printf("  expels %llu, journal replays %llu, fenced writes %llu\n",
+              static_cast<unsigned long long>(chaos.expels),
+              static_cast<unsigned long long>(chaos.journal_replays),
+              static_cast<unsigned long long>(chaos.fenced_writes));
+  std::printf("  manager takeovers %llu, reroutes %llu, stale-mgr fenced "
+              "%llu\n",
+              static_cast<unsigned long long>(chaos.manager_takeovers),
+              static_cast<unsigned long long>(chaos.manager_reroutes),
+              static_cast<unsigned long long>(chaos.stale_mgr_fenced));
   std::cout << "\nclient 0 mmpmon (chaos run):\n" << chaos.mmpmon;
 
   const Bytes expected = kClients * kPerTask;
@@ -337,6 +618,11 @@ int main(int argc, char** argv) {
   check(chaos.timeouts > 0, "RPC deadlines actually expired");
   check(chaos.retries > 0, "retry policy actually engaged");
   check(chaos.breaker_opens > 0, "circuit breaker actually opened");
+  check(chaos.expels >= 1, "mute dirty writer expelled");
+  check(chaos.journal_replays >= 1, "metadata journal replayed");
+  check(chaos.fenced_writes >= 1, "late dirty flush fenced");
+  check(chaos.manager_takeovers >= 1, "manager takeover completed");
+  check(chaos.stale_mgr_fenced >= 1, "deposed-manager write fenced");
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);
@@ -355,6 +641,9 @@ int main(int argc, char** argv) {
         << "  \"expels\": " << chaos.expels << ",\n"
         << "  \"journal_replays\": " << chaos.journal_replays << ",\n"
         << "  \"fenced_writes\": " << chaos.fenced_writes << ",\n"
+        << "  \"manager_takeovers\": " << chaos.manager_takeovers << ",\n"
+        << "  \"manager_reroutes\": " << chaos.manager_reroutes << ",\n"
+        << "  \"stale_mgr_fenced\": " << chaos.stale_mgr_fenced << ",\n"
         << "  \"pass\": " << (ok ? "true" : "false") << "\n}\n";
     std::cout << "\n  JSON written to " << json_path << "\n";
   }

@@ -17,7 +17,12 @@ cmake --build "$build_dir" -j "$(nproc)" --target fig11_scaling chaos_soak
 "$build_dir/bench/fig11_scaling" --smoke --json "$repo_root/BENCH_fig11.json"
 
 # Chaos soak numbers ride along so CI can diff recovery behaviour
-# (goodput under faults, retries, expels, fenced writes) across commits.
+# (goodput under faults, retries, expels, fenced writes, manager
+# takeovers) across commits.
 "$build_dir/bench/chaos_soak" --json "$repo_root/BENCH_chaos.json"
+
+# Manager-failover gate: takeover within 3 lease periods, in-flight I/O
+# completes across the takeover, stale-manager grants fenced, fsck clean.
+"$build_dir/bench/chaos_soak" --scenario manager_crash
 
 echo "bench_smoke: wrote $repo_root/BENCH_fig11.json and $repo_root/BENCH_chaos.json"

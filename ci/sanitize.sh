@@ -32,4 +32,10 @@ ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
 # the paths where a stale callback or double-free would hide.
 "$build_dir/bench/chaos_soak" --scenario crash_dirty_writer
 
+# Manager-failover drill: election, token-state rebuild from client
+# assertions, and manager-epoch fencing of the deposed node — the
+# takeover tears down and reinstalls the whole volatile manager state
+# while RPCs are in flight, prime territory for use-after-free.
+"$build_dir/bench/chaos_soak" --scenario manager_crash
+
 echo "sanitize: all tests and chaos soak passed clean"

@@ -62,6 +62,22 @@ void FaultInjector::schedule_fail_slow(sim::Time at, gpfs::NsdServer& srv,
   });
 }
 
+void FaultInjector::schedule_crash_manager(sim::Time at, gpfs::FileSystem& fs,
+                                           sim::Time duration) {
+  sim::Simulator& sim = net_.simulator();
+  gpfs::FileSystem* fsp = &fs;
+  sim.after(delay_until(sim, at), [this, fsp, duration] {
+    // Resolve the manager node at fire time: an earlier takeover may
+    // already have moved the role.
+    const net::NodeId mgr = fsp->manager_node();
+    ++manager_crashes_;
+    MGFS_WARN("fault", "crashing manager node " << mgr.v << " of "
+                                                << fsp->name() << " for "
+                                                << duration << "s");
+    crash_node_now(mgr, duration);
+  });
+}
+
 // --- fault bodies ------------------------------------------------------
 
 void FaultInjector::cut_link_now(net::NodeId a, net::NodeId b,
@@ -146,7 +162,8 @@ std::string FaultInjector::report() const {
      << "  link_cuts    " << link_cuts_ << "\n"
      << "  node_crashes " << node_crashes_ << "\n"
      << "  blackholes   " << blackholes_ << "\n"
-     << "  fail_slows   " << fail_slows_ << "\n";
+     << "  fail_slows   " << fail_slows_ << "\n"
+     << "  mgr_crashes  " << manager_crashes_ << "\n";
   return os.str();
 }
 

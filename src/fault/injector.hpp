@@ -30,6 +30,7 @@
 
 namespace mgfs::gpfs {
 class Cluster;
+class FileSystem;
 }  // namespace mgfs::gpfs
 
 namespace mgfs::fault {
@@ -60,6 +61,13 @@ class FaultInjector {
   /// failure literature's 10-100x) from `at` until `at + duration`.
   void schedule_fail_slow(sim::Time at, gpfs::NsdServer& srv, double factor,
                           sim::Time duration);
+  /// Crash whichever node holds `fs`'s manager role at fire time (the
+  /// role may have moved since scheduling); restart it `duration` later.
+  /// With a watched cluster this provokes a manager takeover: successor
+  /// election, token-state rebuild from client assertions, and epoch
+  /// fencing of the deposed incarnation.
+  void schedule_crash_manager(sim::Time at, gpfs::FileSystem& fs,
+                              sim::Time duration);
 
   // --- stochastic processes ---------------------------------------------
   /// Flap the a<->b link: starting at `start`, draw time-to-failure from
@@ -76,6 +84,7 @@ class FaultInjector {
   std::uint64_t node_crashes() const { return node_crashes_; }
   std::uint64_t blackholes() const { return blackholes_; }
   std::uint64_t fail_slows() const { return fail_slows_; }
+  std::uint64_t manager_crashes() const { return manager_crashes_; }
   std::uint64_t faults_injected() const {
     return link_cuts_ + node_crashes_ + blackholes_ + fail_slows_;
   }
@@ -98,6 +107,8 @@ class FaultInjector {
   std::uint64_t node_crashes_ = 0;
   std::uint64_t blackholes_ = 0;
   std::uint64_t fail_slows_ = 0;
+  std::uint64_t manager_crashes_ = 0;  // crash_manager firings (also counted
+                                       // in node_crashes_ via the shared body)
 };
 
 }  // namespace mgfs::fault

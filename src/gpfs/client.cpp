@@ -38,9 +38,10 @@ template <typename R>
 void Client::meta_call(Bytes req_payload, Rpc::ServerFn<R> server,
                        std::function<void(Result<R>)> done, int attempt) {
   MGFS_ASSERT(mounted(), "metadata RPC without a mount");
+  const net::NodeId target = mgr_node_;
   rpc_.call<R>(
-      node_, fs_->manager_node(), req_payload, server,
-      [this, req_payload, server, attempt,
+      node_, target, req_payload, server,
+      [this, req_payload, server, attempt, target,
        done = std::move(done)](Result<R> res) mutable {
         if (res.ok()) {
           done(std::move(res));
@@ -51,17 +52,28 @@ void Client::meta_call(Bytes req_payload, Rpc::ServerFn<R> server,
           done(std::move(res));
           return;
         }
+        // The manager did not answer: report it so the cluster's
+        // suspicion machinery can elect a successor if the node is dead.
+        if (manager_watch_) manager_watch_();
         ++rpc_retries_;
         simulator().after(
             cfg_.retry.backoff(attempt, rng_),
-            [this, req_payload, server = std::move(server), attempt,
+            [this, req_payload, server = std::move(server), attempt, target,
              done = std::move(done)]() mutable {
               if (!mounted()) {
                 done(err(Errc::unavailable, "unmounted during retry"));
                 return;
               }
+              // Config-manager lookup before the retry: a takeover may
+              // have moved the role. A reroute (or a rebuild still in
+              // flight) resets the attempt budget — the new target has
+              // not failed us yet, and a redrive against a recovering
+              // manager must outlast the rebuild, not a 4-attempt burst.
+              const net::NodeId fresh = refresh_manager_view(target);
+              const int next_attempt =
+                  (fs_->recovering() || !(fresh == target)) ? 0 : attempt + 1;
               meta_call<R>(req_payload, std::move(server), std::move(done),
-                           attempt + 1);
+                           next_attempt);
             });
       },
       Rpc::CallOptions{cfg_.rpc_deadline});
@@ -75,6 +87,8 @@ void Client::bind(FileSystem* fs, AccessMode access, double cipher_s_per_byte,
   access_ = access;
   cipher_ = cipher_s_per_byte;
   servers_ = std::move(servers);
+  mgr_node_ = fs->manager_node();
+  mgr_epoch_ = fs->manager_epoch();
   // The pagepool caches whole file-system blocks.
   pool_ = PagePool(cfg_.pagepool, fs->block_size());
 }
@@ -444,22 +458,34 @@ void Client::nsd_run_attempt(NsdRun run, bool write,
   consume_probe(target);
   const ClientId me = id_;
   const std::uint64_t epoch = lease_epoch_;
+  const std::uint64_t mepoch = mgr_epoch_;
   rpc_.call<int>(
       node_, target, req,
       [servers, target, dev, extents = std::move(extents), write, total,
-       cipher, me, epoch](Rpc::ReplyFn<int> reply) {
+       cipher, me, epoch, mepoch](Rpc::ReplyFn<int> reply) {
         NsdServer* srv = servers ? servers(target) : nullptr;
         if (srv == nullptr) {
           reply(kDataHeader,
                 err(Errc::unavailable, "no NSD service on node"));
           return;
         }
-        // Epoch fence: every data RPC carries the client's lease epoch;
-        // writes from a stale epoch never reach the device.
-        if (write && !srv->write_admitted(me, epoch)) {
-          reply(kDataHeader,
-                err(Errc::stale, "write fenced: stale lease epoch"));
-          return;
+        // Two-epoch fence: every data RPC carries the client's lease
+        // epoch and its believed manager epoch; writes from a stale
+        // incarnation of either never reach the device.
+        if (write) {
+          switch (srv->write_admitted(me, epoch, mepoch)) {
+            case NsdServer::GateDecision::admit:
+              break;
+            case NsdServer::GateDecision::retry:
+              // Manager takeover rebuilding state: pause-and-redrive.
+              reply(kDataHeader,
+                    err(Errc::unavailable, "manager takeover in progress"));
+              return;
+            case NsdServer::GateDecision::fence:
+              reply(kDataHeader,
+                    err(Errc::stale, "write fenced: stale epoch"));
+              return;
+          }
         }
         srv->handle_vectored(*dev, extents, write, cipher,
                              [reply, write, total](const Status& st) {
@@ -626,6 +652,7 @@ void Client::open(const std::string& path, const Principal& who,
       },
       [this, who, flags, done = std::move(done)](Result<OpenResult> res) {
         if (!res.ok()) {
+          if (res.code() == Errc::stale) on_lease_lapsed();
           done(res.error());
           return;
         }
@@ -1271,7 +1298,10 @@ std::string Client::mmpmon() const {
      << "  _mrpc_ " << meta_rpcs_saved_ << "\n"      // metadata RPCs saved
      << "  _lse_ " << lease_renewals_ << "\n"        // lease renewals
      << "  _lps_ " << lease_lapses_ << "\n"          // lease lapses
-     << "  _fnc_ " << fenced_writes_ << "\n";        // fenced (stale) writes
+     << "  _fnc_ " << fenced_writes_ << "\n"         // fenced (stale) writes
+     << "  _mto_ " << mgr_takeovers_ << "\n"         // manager takeovers seen
+     << "  _mrr_ " << mgr_reroutes_ << "\n"          // manager-RPC reroutes
+     << "  _smg_ " << stale_mgr_rejects_ << "\n";    // stale-manager refusals
   return os.str();
 }
 
@@ -1349,6 +1379,8 @@ void Client::attempt_rejoin(int attempt) {
       lease_renew_inflight_ = false;
       lease_epoch_ = *r;
       lease_renewed_at_ = simulator().now();
+      // Readmission came from whoever holds the manager role now.
+      adopt_manager_view(fs_->manager_node(), fs_->manager_epoch());
       MGFS_INFO("client", "client " << id_ << ": rejoined under lease epoch "
                                     << lease_epoch_);
       pump_flush();
@@ -1386,6 +1418,12 @@ void Client::crash_reset() {
   lapse_handling_ = false;
   lease_renew_inflight_ = false;
   lease_epoch_ = 0;  // cluster glue re-registers and sets the new epoch
+  if (fs_ != nullptr) {
+    // Reboot re-reads the cluster configuration: whatever node holds
+    // the manager role now is the one this incarnation talks to.
+    mgr_node_ = fs_->manager_node();
+    mgr_epoch_ = fs_->manager_epoch();
+  }
   // open_ survives deliberately: callers hold Fh handles and in-flight
   // write() continuations hold OpenFile pointers; the handles stay
   // valid while every cached byte below them is discarded.
@@ -1403,6 +1441,72 @@ void Client::handle_revoke(InodeNum ino, TokenRange range,
     token_trim(ino, range);
     done();
   });
+}
+
+bool Client::handle_revoke(InodeNum ino, TokenRange range,
+                           std::uint64_t mgr_epoch, sim::Callback done) {
+  if (mgr_epoch < mgr_epoch_) {
+    // A deposed manager trying to strip a token the successor already
+    // re-granted. Refuse without flushing anything — `done` never runs.
+    ++stale_mgr_rejects_;
+    MGFS_WARN("client", "client " << id_ << ": revoke under stale manager "
+                                  << "epoch " << mgr_epoch << " (have "
+                                  << mgr_epoch_ << "); refused");
+    return false;
+  }
+  handle_revoke(ino, range, std::move(done));
+  return true;
+}
+
+// --------------------------------------------------------------------------
+// manager failover
+// --------------------------------------------------------------------------
+
+void Client::adopt_manager_view(net::NodeId mgr_node,
+                                std::uint64_t mgr_epoch) {
+  if (mgr_epoch > mgr_epoch_) {
+    mgr_epoch_ = mgr_epoch;
+    ++mgr_takeovers_;
+  }
+  mgr_node_ = mgr_node;
+}
+
+net::NodeId Client::refresh_manager_view(net::NodeId failed_target) {
+  const net::NodeId fresh = fs_->manager_node();
+  if (!(fresh == failed_target)) ++mgr_reroutes_;
+  adopt_manager_view(fresh, fs_->manager_epoch());
+  return fresh;
+}
+
+Result<ManagerAssertReply> Client::assert_tokens(net::NodeId mgr_node,
+                                                 std::uint64_t mgr_epoch) {
+  if (!mounted()) return err(Errc::unavailable, "not mounted");
+  adopt_manager_view(mgr_node, mgr_epoch);
+  ManagerAssertReply reply;
+  reply.lease_epoch = lease_epoch_;
+  for (const auto& [ino, held] : held_) {
+    for (const HeldToken& h : held) {
+      reply.tokens.push_back(TokenAssertion{ino, h.mode, h.range});
+    }
+  }
+  // held_ iterates in hash order; the successor's rebuilt tables must
+  // not depend on it.
+  std::sort(reply.tokens.begin(), reply.tokens.end(),
+            [](const TokenAssertion& a, const TokenAssertion& b) {
+              if (a.ino != b.ino) return a.ino < b.ino;
+              return a.range.lo < b.range.lo;
+            });
+  return reply;
+}
+
+bool Client::deliver_manager_grant(InodeNum ino, TokenRange range,
+                                   LockMode mode, std::uint64_t mgr_epoch) {
+  if (mgr_epoch < mgr_epoch_) {
+    ++stale_mgr_rejects_;
+    return false;
+  }
+  token_record(ino, range, mode, /*widened=*/true);
+  return true;
 }
 
 }  // namespace mgfs::gpfs

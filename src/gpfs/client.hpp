@@ -58,6 +58,14 @@ struct ClientConfig {
 
 using Fh = int;  // file handle
 
+/// A client's answer to the manager-takeover rebuild query: the lease
+/// epoch it believes is current plus every token it holds. The successor
+/// reconstructs its volatile token/lease tables from these.
+struct ManagerAssertReply {
+  std::uint64_t lease_epoch = 0;
+  std::vector<TokenAssertion> tokens;
+};
+
 class Client {
  public:
   /// How the client finds the NsdServer object logically running on a
@@ -119,6 +127,36 @@ class Client {
   // --- coherence (called by cluster glue on manager's behalf) -----------
   /// Flush dirty pages overlapping `range`, drop cached pages and token.
   void handle_revoke(InodeNum ino, TokenRange range, sim::Callback done);
+  /// Epoch-checked variant: a revoke stamped with a manager epoch older
+  /// than the one this client has adopted is refused (returns false,
+  /// `done` never runs) — a deposed manager cannot strip tokens the
+  /// successor re-granted. Current-or-newer epochs are adopted and the
+  /// revoke proceeds.
+  bool handle_revoke(InodeNum ino, TokenRange range, std::uint64_t mgr_epoch,
+                     sim::Callback done);
+
+  // --- manager failover (cluster glue + takeover rebuild) ----------------
+  /// Takeover rebuild query from a successor manager at `mgr_node` under
+  /// `mgr_epoch`: adopt the new manager view and report our lease epoch
+  /// plus every held token, sorted for determinism. Errc::unavailable if
+  /// not mounted.
+  Result<ManagerAssertReply> assert_tokens(net::NodeId mgr_node,
+                                           std::uint64_t mgr_epoch);
+  /// An unsolicited token grant from a node claiming to be the manager
+  /// under `mgr_epoch`. Refused (returns false) when the epoch is older
+  /// than the adopted one — the deposed-manager probe; otherwise the
+  /// grant is cached like any widened grant.
+  bool deliver_manager_grant(InodeNum ino, TokenRange range, LockMode mode,
+                             std::uint64_t mgr_epoch);
+  /// Invoked whenever a manager RPC fails retryably — the cluster wires
+  /// this to its manager-suspicion machinery so repeated unreachability
+  /// triggers a takeover.
+  void set_manager_watch(std::function<void()> fn) {
+    manager_watch_ = std::move(fn);
+  }
+  std::uint64_t mgr_takeovers() const { return mgr_takeovers_; }
+  std::uint64_t mgr_reroutes() const { return mgr_reroutes_; }
+  std::uint64_t stale_mgr_rejects() const { return stale_mgr_rejects_; }
 
   // --- disk lease (cluster glue wires these at mount) --------------------
   /// Rejoin the cluster after a lease lapse: one manager RPC that
@@ -245,6 +283,15 @@ class Client {
   void attempt_rejoin(int attempt);
   void discard_cached_state(bool reset_breakers);
 
+  // manager failover
+  /// Adopt (mgr_node, mgr_epoch) as the believed manager view; counts a
+  /// takeover when the epoch advances. Older epochs only move the node.
+  void adopt_manager_view(net::NodeId mgr_node, std::uint64_t mgr_epoch);
+  /// Before a metadata retry: re-look-up the manager node from the
+  /// cluster configuration (fs_). Returns the refreshed target and
+  /// counts a reroute when it differs from `failed_target`.
+  net::NodeId refresh_manager_view(net::NodeId failed_target);
+
   OpenFile* file(Fh fh);
   Bytes block_size() const { return fs_->block_size(); }
 
@@ -304,6 +351,12 @@ class Client {
   /// older incarnation check it and drop their results.
   std::uint64_t incarnation_ = 0;
 
+  // believed manager view: metadata RPCs target mgr_node_; NSD writes
+  // and revoke checks carry mgr_epoch_ (the two-epoch invariant)
+  net::NodeId mgr_node_{};
+  std::uint64_t mgr_epoch_ = 0;
+  std::function<void()> manager_watch_;
+
   Bytes bytes_read_remote_ = 0;
   Bytes bytes_written_remote_ = 0;
   std::uint64_t failovers_ = 0;
@@ -320,6 +373,9 @@ class Client {
   std::uint64_t lease_renewals_ = 0;   // renewal RPCs acknowledged
   std::uint64_t lease_lapses_ = 0;     // times the lease was lost
   std::uint64_t fenced_writes_ = 0;    // writes rejected by epoch fencing
+  std::uint64_t mgr_takeovers_ = 0;    // manager-epoch advances adopted
+  std::uint64_t mgr_reroutes_ = 0;     // metadata RPCs re-targeted
+  std::uint64_t stale_mgr_rejects_ = 0;  // deposed-manager RPCs refused
 };
 
 }  // namespace mgfs::gpfs

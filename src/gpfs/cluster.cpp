@@ -68,20 +68,22 @@ NsdServer& Cluster::add_nsd_server(net::NodeId node) {
                                       std::to_string(servers_.size()),
                                   cfg_.nsd_cpu_per_request))
              .first;
-    // Lease-epoch fence: a write is only admitted if the sending
-    // client's epoch is still the current grant on its file system.
-    // After an expel the MountRecord is gone, so fall back to whichever
-    // file system still remembers the client in its lease map.
-    it->second->set_write_gate([this](ClientId c, std::uint64_t e) {
-      auto rit = registry_.find(c);
-      if (rit != registry_.end() && rit->second.fs != nullptr) {
-        return rit->second.fs->write_admitted(c, e);
-      }
-      for (auto& [name, fs] : filesystems_) {
-        if (fs->lease().known(c)) return fs->write_admitted(c, e);
-      }
-      return false;
-    });
+    // Two-epoch fence: a write is only admitted if the sending client's
+    // lease epoch is still the current grant on its file system AND the
+    // manager epoch it believes in is the current incarnation. After an
+    // expel the MountRecord is gone, so fall back to whichever file
+    // system still remembers the client in its lease map.
+    it->second->set_write_gate(
+        [this](ClientId c, std::uint64_t e, std::uint64_t me) {
+          auto rit = registry_.find(c);
+          if (rit != registry_.end() && rit->second.fs != nullptr) {
+            return rit->second.fs->write_gate(c, e, me);
+          }
+          for (auto& [name, fs] : filesystems_) {
+            if (fs->lease().known(c)) return fs->write_gate(c, e, me);
+          }
+          return NsdServer::GateDecision::fence;
+        });
   }
   return *it->second;
 }
@@ -164,10 +166,18 @@ void Cluster::wire_filesystem(FileSystem& fs) {
     // deadline renews its lease and gets the revoke re-delivered.
     Rpc::CallOptions opts;
     opts.deadline = fs.config().lease_recovery_wait;
+    // The revoke is stamped with the manager epoch at *send* time: if a
+    // takeover happens while it is in flight (or a deposed manager's
+    // event loop resurrects and sends one late), the client refuses it
+    // as stale instead of surrendering a token the successor re-granted.
+    const std::uint64_t sent_epoch = fs.manager_epoch();
     rpc_.call<int>(
         fs.manager_node(), c->node(), 64,
-        [c, ino, range](Rpc::ReplyFn<int> reply) {
-          c->handle_revoke(ino, range, [reply] { reply(64, 0); });
+        [c, ino, range, sent_epoch](Rpc::ReplyFn<int> reply) {
+          if (!c->handle_revoke(ino, range, sent_epoch,
+                                [reply] { reply(64, 0); })) {
+            reply(64, err(Errc::stale, "revoke from deposed manager"));
+          }
         },
         [shared_ack](Result<int> r) { (*shared_ack)(r.ok()); }, opts);
   });
@@ -210,6 +220,12 @@ Client::RejoinFn Cluster::make_rejoin(Cluster* exporter, FileSystem* fs,
     rpc_.call<std::uint64_t>(
         c->node(), fs->manager_node(), 128,
         [exporter, fs, c, access, via](Rpc::ReplyFn<std::uint64_t> reply) {
+          if (fs->recovering()) {
+            // Readmission against a half-built lease table would hand
+            // out an epoch the rebuild is about to overwrite.
+            reply(64, err(Errc::unavailable, "manager takeover in progress"));
+            return;
+          }
           reply(64, exporter->readmit(*fs, c, access, via));
         },
         std::move(done), opts);
@@ -232,6 +248,8 @@ Result<Client*> Cluster::mount(const std::string& fsname,
   ptr->bind(fs, AccessMode::read_write, 0.0, make_server_lookup());
   ptr->set_lease(epoch, fs->config().lease_duration);
   ptr->set_rejoin(make_rejoin(this, fs, ptr, AccessMode::read_write, ""));
+  ptr->set_manager_watch(
+      [this, fs, id = ptr->id()] { note_manager_unreachable(fs, id); });
   return ptr;
 }
 
@@ -525,6 +543,12 @@ void Cluster::mount_remote(const std::string& local_device,
               cptr->set_lease(g->epoch, g->fs->config().lease_duration);
               cptr->set_rejoin(make_rejoin(exporter, g->fs, cptr, g->access,
                                            cfg_.name));
+              // Manager failover is the exporting cluster's business: it
+              // owns the file system and the membership list.
+              cptr->set_manager_watch([exporter, fs = g->fs,
+                                       id = cptr->id()] {
+                exporter->note_manager_unreachable(fs, id);
+              });
               clients_.push_back(std::move(*client));
               remote_owner_[cptr] = exporter;
               ++handshakes_;
@@ -539,6 +563,105 @@ void Cluster::mount_remote(const std::string& local_device,
               done(cptr);
             });
       });
+}
+
+// --------------------------------------------------------------------------
+// manager failover
+// --------------------------------------------------------------------------
+
+void Cluster::note_manager_unreachable(FileSystem* fs, ClientId reporter) {
+  if (fs == nullptr || fs->recovering()) return;
+  const net::NodeId mgr = fs->manager_node();
+  if (!net_.node_up(mgr)) {
+    // The network knows the node is dead — no need to accumulate
+    // suspicion against a corpse.
+    takeover_manager(*fs);
+    return;
+  }
+  // Manager node up but not answering (blackhole / gray failure): one
+  // strike per report, forgiven after a quiet lease period. Three
+  // strikes — below the clients' retry budget, so the takeover fires
+  // before their redrives exhaust — plus a two-accuser quorum: a single
+  // partitioned client sees an unreachable manager too, and must not be
+  // able to depose one that everyone else still reaches.
+  MgrSuspicion& s = mgr_suspicion_[fs];
+  const double now = sim_.now();
+  if (s.strikes > 0 && now - s.last > fs->config().lease_duration) {
+    s.strikes = 0;
+    s.reporters.clear();
+  }
+  ++s.strikes;
+  s.last = now;
+  s.reporters.insert(reporter);
+  std::size_t on_fs = 0;
+  for (const auto& [id, rec] : registry_) {
+    if (rec.fs == fs) ++on_fs;
+  }
+  const std::size_t quorum = on_fs >= 2 ? 2 : 1;
+  if (s.strikes >= 3 && s.reporters.size() >= quorum) takeover_manager(*fs);
+}
+
+bool Cluster::takeover_manager(FileSystem& fs) {
+  if (fs.recovering()) return true;  // already in flight
+  const net::NodeId deposed = fs.manager_node();
+  // Deterministic election: lowest-id live member node, never the
+  // deposed manager (it may be up-but-mute, which is why we are here).
+  std::optional<net::NodeId> successor;
+  for (net::NodeId n : nodes_) {
+    if (n == deposed || !net_.node_up(n)) continue;
+    if (!successor.has_value() || n.v < successor->v) successor = n;
+  }
+  if (!successor.has_value()) {
+    // No live member to take the role. Clients keep redriving their
+    // RPCs; the next report retries the election.
+    return false;
+  }
+  mgr_suspicion_.erase(&fs);
+  MGFS_WARN("lease", cfg_.name << ": manager node " << deposed.v << " of "
+                               << fs.name() << " unreachable; node "
+                               << successor->v << " taking over");
+  fs.begin_takeover(*successor);
+  const std::uint64_t epoch = fs.manager_epoch();
+
+  // Rebuild: query every registered client for its lease epoch and
+  // token holdings, in client-id order for determinism.
+  std::vector<Client*> members;
+  for (auto& [id, rec] : registry_) {
+    if (rec.fs == &fs && rec.client != nullptr) members.push_back(rec.client);
+  }
+  std::sort(members.begin(), members.end(),
+            [](Client* a, Client* b) { return a->id() < b->id(); });
+  if (members.empty()) {
+    fs.finish_takeover();
+    return true;
+  }
+  auto remaining = std::make_shared<std::size_t>(members.size());
+  FileSystem* fsp = &fs;
+  for (Client* c : members) {
+    Rpc::CallOptions opts;
+    // A client that stays mute for the whole recovery wait forfeits its
+    // state — same clock the expel path uses.
+    opts.deadline = fs.config().lease_recovery_wait;
+    rpc_.call<ManagerAssertReply>(
+        *successor, c->node(), 128,
+        [c, mgr = *successor, epoch](Rpc::ReplyFn<ManagerAssertReply> reply) {
+          auto r = c->assert_tokens(mgr, epoch);
+          const Bytes payload =
+              64 + (r.ok() ? 16 * static_cast<Bytes>(r->tokens.size()) : 0);
+          reply(payload, std::move(r));
+        },
+        [this, fsp, c, remaining](Result<ManagerAssertReply> r) {
+          if (r.ok()) {
+            fsp->install_assertion(c->id(), r->lease_epoch, r->tokens);
+          } else {
+            fsp->note_rebuild_nonresponder(c->id(),
+                                           !net_.node_up(c->node()));
+          }
+          if (--*remaining == 0) fsp->finish_takeover();
+        },
+        opts);
+  }
+  return true;
 }
 
 }  // namespace mgfs::gpfs

@@ -23,6 +23,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "auth/trust.hpp"
@@ -123,6 +124,25 @@ class Cluster {
   /// the client under a fresh lease epoch with cleared caches.
   void on_node_restart(net::NodeId node);
 
+  // --- manager failover --------------------------------------------------
+  /// Client `reporter`'s metadata RPC to `fs`'s manager failed
+  /// retryably. If the manager node is down in the network a takeover
+  /// starts at once; if it is up but mute (blackhole / gray failure)
+  /// repeated reports accumulate suspicion and the takeover fires at
+  /// three strikes — but only once at least two *distinct* clients have
+  /// accused (when two or more are registered), so a single partitioned
+  /// client cannot depose a manager that everyone else still reaches.
+  /// No-op while a takeover for `fs` is already in flight.
+  void note_manager_unreachable(FileSystem* fs, ClientId reporter);
+  /// GPFS-style manager takeover: elect the lowest-id live member node
+  /// (excluding the deposed manager), bump the manager epoch, and
+  /// rebuild the token/lease tables by querying every registered client
+  /// for its holdings. Non-responders with dead nodes are expelled
+  /// (journal replayed) during the rebuild; mute-but-alive ones get an
+  /// already-lapsed suspect lease. Returns false if no live successor
+  /// exists (clients keep retrying until one appears).
+  bool takeover_manager(FileSystem& fs);
+
   // --- introspection ---------------------------------------------------------
   std::uint64_t handshakes_completed() const { return handshakes_; }
   std::size_t mounted_clients() const { return registry_.size(); }
@@ -197,6 +217,17 @@ class Cluster {
   std::unordered_map<std::string, RemoteFsDef> remote_fs_;
   std::unordered_map<Client*, Cluster*> remote_owner_;
   std::uint64_t handshakes_ = 0;
+
+  /// Manager-unreachability suspicion, per file system. Strikes decay
+  /// when reports stop (one quiet lease period forgives the history) so
+  /// isolated retries during an unrelated burst never depose a healthy
+  /// manager; the reporter set enforces the two-accuser quorum.
+  struct MgrSuspicion {
+    int strikes = 0;
+    double last = 0;
+    std::unordered_set<ClientId> reporters;
+  };
+  std::unordered_map<FileSystem*, MgrSuspicion> mgr_suspicion_;
 };
 
 }  // namespace mgfs::gpfs

@@ -53,9 +53,18 @@ AccessMode FileSystem::access_of(ClientId c) const {
 Result<OpenResult> FileSystem::op_open(const std::string& path,
                                        const Principal& who, OpenFlags flags,
                                        ClientId client) {
+  if (recovering_) {
+    return err(Errc::unavailable, "manager takeover in progress");
+  }
   lease_touch(client);
   const AccessMode mount_access = access_of(client);
   if (mount_access == AccessMode::none) {
+    // An expelled client's mount record is gone, but that is a lease
+    // problem, not an authorization one: signal stale so the client
+    // rejoins under a fresh epoch instead of giving up.
+    if (lease_.expelled(client)) {
+      return err(Errc::stale, "expelled: rejoin required");
+    }
     return err(Errc::not_authorized, "no access to " + cfg_.name);
   }
   if (flags.write && mount_access != AccessMode::read_write) {
@@ -111,6 +120,9 @@ Result<std::vector<std::string>> FileSystem::op_readdir(
 
 Status FileSystem::op_unlink(const std::string& path, const Principal& who,
                              ClientId client) {
+  if (recovering_) {
+    return Status(Errc::unavailable, "manager takeover in progress");
+  }
   lease_touch(client);
   const AccessMode mount_access = access_of(client);
   if (mount_access != AccessMode::read_write) {
@@ -135,6 +147,9 @@ Status FileSystem::op_rename(const std::string& from, const std::string& to,
 Result<BlockMapChunk> FileSystem::op_block_map(InodeNum ino,
                                                std::uint64_t first_block,
                                                std::size_t count) const {
+  if (recovering_) {
+    return err(Errc::unavailable, "manager takeover in progress");
+  }
   const Inode* n = ns_.inode(ino);
   if (n == nullptr) return err(Errc::not_found, "stale inode");
   BlockMapChunk chunk;
@@ -156,6 +171,9 @@ Result<BlockMapChunk> FileSystem::op_allocate(InodeNum ino,
                                               std::size_t count,
                                               Bytes size_hint,
                                               ClientId client) {
+  if (recovering_) {
+    return err(Errc::unavailable, "manager takeover in progress");
+  }
   lease_touch(client);
   if (lease_.expelled(client)) {
     return err(Errc::stale, "client expelled: rejoin required");
@@ -196,6 +214,9 @@ Result<BlockMapChunk> FileSystem::op_allocate(InodeNum ino,
 }
 
 Status FileSystem::op_extend_size(InodeNum ino, Bytes size, ClientId client) {
+  if (recovering_) {
+    return Status(Errc::unavailable, "manager takeover in progress");
+  }
   lease_touch(client);
   if (lease_.expelled(client)) {
     return Status(Errc::stale, "client expelled: rejoin required");
@@ -208,6 +229,10 @@ Status FileSystem::op_extend_size(InodeNum ino, Bytes size, ClientId client) {
 void FileSystem::op_token_acquire(
     ClientId client, InodeNum ino, TokenRange range, TokenRange desired,
     LockMode mode, std::function<void(Result<TokenRange>)> done) {
+  if (recovering_) {
+    done(err(Errc::unavailable, "manager takeover in progress"));
+    return;
+  }
   lease_touch(client);
   if (lease_.expelled(client)) {
     // Tokens granted to an expelled incarnation would leak on its next
@@ -221,6 +246,19 @@ void FileSystem::op_token_acquire(
 void FileSystem::token_retry(ClientId client, InodeNum ino, TokenRange range,
                              TokenRange desired, LockMode mode, int attempts,
                              std::function<void(Result<TokenRange>)> done) {
+  if (recovering_) {
+    // A takeover is repopulating the token tables from assertions; a
+    // request resolved against the half-built state could grant bytes a
+    // client is about to reassert. Park the retry past the rebuild
+    // window (attempts not consumed — nothing was tried).
+    sim_.after(std::max(cfg_.lease_recovery_wait, 1e-3),
+               [this, client, ino, range, desired, mode, attempts,
+                done = std::move(done)]() mutable {
+                 token_retry(client, ino, range, desired, mode, attempts,
+                             std::move(done));
+               });
+    return;
+  }
   TokenDecision d = tokens_.request(client, ino, range, desired, mode);
   if (d.granted) {
     ++tokens_granted_;
@@ -300,6 +338,16 @@ void FileSystem::revoke_until_released(ClientId holder, InodeNum ino,
 void FileSystem::await_expel(ClientId holder, InodeNum ino,
                              TokenRange overlap, sim::Callback done) {
   const double now = sim_.now();
+  if (recovering_) {
+    // Hold the expel clock during a takeover rebuild: the lease table
+    // is being repopulated and this holder may be about to reassert.
+    sim_.after(std::max(cfg_.lease_recovery_wait, 1e-3),
+               [this, holder, ino, overlap,
+                done = std::move(done)]() mutable {
+                 await_expel(holder, ino, overlap, std::move(done));
+               });
+    return;
+  }
   if (lease_.expelled(holder)) {
     // Someone else expelled it; release_all already reclaimed the
     // holding we were waiting on.
@@ -338,6 +386,9 @@ std::uint64_t FileSystem::op_client_register(ClientId client) {
 }
 
 Result<std::uint64_t> FileSystem::op_lease_renew(ClientId client) {
+  if (recovering_) {
+    return err(Errc::unavailable, "manager takeover in progress");
+  }
   sweep_leases();
   if (!lease_.renew(client, sim_.now())) {
     return err(Errc::stale, "lease lost: re-register required");
@@ -345,10 +396,88 @@ Result<std::uint64_t> FileSystem::op_lease_renew(ClientId client) {
   return lease_.epoch_of(client);
 }
 
+NsdServer::GateDecision FileSystem::write_gate(ClientId client,
+                                               std::uint64_t lease_epoch,
+                                               std::uint64_t mgr_epoch) {
+  if (recovering_) {
+    // Takeover rebuild in flight: nobody's epoch can be judged against
+    // a half-built lease table. Retryable — the client redrives once
+    // the successor finished rebuilding (pause-and-redrive, not fail).
+    return NsdServer::GateDecision::retry;
+  }
+  if (mgr_epoch != manager_epoch_) {
+    // The write rides a grant from a deposed manager incarnation (or
+    // the client slept through a takeover without reasserting). Checked
+    // before the lease epoch so resurrected-manager traffic is counted
+    // distinctly.
+    ++stale_mgr_fenced_;
+    ++fenced_writes_;
+    return NsdServer::GateDecision::fence;
+  }
+  if (!lease_.epoch_valid(client, lease_epoch)) {
+    ++fenced_writes_;
+    return NsdServer::GateDecision::fence;
+  }
+  return NsdServer::GateDecision::admit;
+}
+
 bool FileSystem::write_admitted(ClientId client, std::uint64_t epoch) {
-  if (lease_.epoch_valid(client, epoch)) return true;
-  ++fenced_writes_;
-  return false;
+  return write_gate(client, epoch, manager_epoch_) ==
+         NsdServer::GateDecision::admit;
+}
+
+void FileSystem::begin_takeover(net::NodeId successor) {
+  MGFS_ASSERT(!recovering_, "takeover while another takeover is in flight");
+  recovering_ = true;
+  manager_node_ = successor;
+  ++manager_epoch_;
+  // The token and lease tables were the dead manager's volatile memory;
+  // the successor starts empty and repopulates from client assertions.
+  tokens_.clear();
+  lease_.reset_for_takeover();
+  MGFS_DEBUG("lease", cfg_.name << ": manager takeover, node "
+                                << successor.v << " epoch "
+                                << manager_epoch_);
+}
+
+void FileSystem::install_assertion(ClientId client, std::uint64_t lease_epoch,
+                                   const std::vector<TokenAssertion>& tokens) {
+  if (lease_.expelled(client)) return;  // expelled mid-rebuild: must rejoin
+  lease_.install(client, lease_epoch, sim_.now());
+  for (const TokenAssertion& t : tokens) {
+    tokens_.install(client, t.ino, t.mode, t.range);
+    ++assertions_rebuilt_;
+  }
+}
+
+void FileSystem::note_rebuild_nonresponder(ClientId client, bool node_down) {
+  if (lease_.expelled(client)) return;
+  if (node_down) {
+    // Dead node: its journal tail is replayed right here, during the
+    // takeover, so survivors never see its half-installed blocks.
+    expel_client(client, "takeover rebuild: node down");
+    return;
+  }
+  // Node up but mute (gray failure / partition): an already-lapsed
+  // lease under an epoch it does not know. The sweep expels it after
+  // recovery_wait, and any write it sends meanwhile is fenced.
+  lease_.install_lapsed_suspect(client, sim_.now());
+}
+
+void FileSystem::finish_takeover() {
+  MGFS_ASSERT(recovering_, "finish_takeover without begin_takeover");
+  recovering_ = false;
+  ++takeovers_;
+  last_takeover_at_ = sim_.now();
+  // Clients with uncommitted journal records but no lease entry neither
+  // reasserted nor were expelled during the rebuild (e.g. they unmounted
+  // uncleanly before the crash): undo their tails now so the namespace
+  // is consistent before ops resume.
+  for (ClientId c : journal_.clients_with_uncommitted()) {
+    if (lease_.known(c)) continue;
+    replay_journal(c);
+  }
+  sweep_leases();  // the expel clock was held during the rebuild
 }
 
 void FileSystem::expel_client(ClientId client, const char* why) {
@@ -362,6 +491,7 @@ void FileSystem::expel_client(ClientId client, const char* why) {
 
 void FileSystem::sweep_leases() {
   if (sweeping_) return;  // expel listeners may re-enter via manager ops
+  if (recovering_) return;  // expel clock held until the rebuild is done
   sweeping_ = true;
   for (ClientId c : lease_.sweep(sim_.now())) {
     expel_client(c, "lease expired past recovery wait");
@@ -426,6 +556,9 @@ std::string FileSystem::stats() const {
      << revocations_ << " _lse_ " << lease_.renewals() << " _sus_ "
      << lease_.suspects_noted() << " _xpl_ " << lease_.expels() << " _rpl_ "
      << journal_replays_ << " _fnc_ " << fenced_writes_;
+  os << "\n  mgr: node " << manager_node_.v << " epoch " << manager_epoch_
+     << " _mto_ " << takeovers_ << " _rba_ " << assertions_rebuilt_
+     << " _smf_ " << stale_mgr_fenced_;
   return os.str();
 }
 

@@ -102,8 +102,17 @@ class FileSystem {
   /// Renew the disk lease. Errc::stale if the client is unknown or was
   /// expelled — it must re-register before further I/O.
   Result<std::uint64_t> op_lease_renew(ClientId client);
-  /// Epoch fence consulted by NSD servers before admitting a write.
-  /// Counts rejected attempts in fenced_writes().
+  /// Two-epoch write gate consulted by NSD servers before admitting a
+  /// write (DESIGN.md §6): admit when both the lease epoch and the
+  /// manager epoch are current, retry while a takeover is rebuilding
+  /// state, fence (non-retryable stale) otherwise. Counts fenced
+  /// attempts in fenced_writes(); a stale *manager* epoch additionally
+  /// counts in stale_manager_fenced().
+  NsdServer::GateDecision write_gate(ClientId client,
+                                     std::uint64_t lease_epoch,
+                                     std::uint64_t mgr_epoch);
+  /// Lease-epoch-only fence (raw tests; implies the current manager
+  /// epoch).
   bool write_admitted(ClientId client, std::uint64_t epoch);
   /// Expel `client`: mark its lease dead, replay (undo) its uncommitted
   /// journal records, release all its tokens so blocked revokes
@@ -112,6 +121,42 @@ class FileSystem {
   /// Lazy membership check: expel every client whose lease lapsed more
   /// than lease_recovery_wait ago. Runs at metadata-op entry.
   void sweep_leases();
+
+  // --- manager failover (DESIGN.md §6: elect -> rebuild -> fence -> resume)
+  /// Manager incarnation number. Starts at 1; bumped by every takeover.
+  /// Carried on manager-bound RPCs and NSD write gates so a deposed
+  /// manager's grants and a partitioned client's writes under them are
+  /// rejected as stale.
+  std::uint64_t manager_epoch() const { return manager_epoch_; }
+  /// Is a takeover rebuild in progress? Metadata ops answer retryable
+  /// `unavailable` and NSD write gates answer `retry` while true, so
+  /// clients pause-and-redrive instead of failing.
+  bool recovering() const { return recovering_; }
+  /// The successor assumes the manager role: bump the manager epoch,
+  /// move the role to `successor`, and wipe the volatile token/lease
+  /// tables (they died with the old manager node). The caller then
+  /// queries every registered client and feeds install_assertion /
+  /// note_rebuild_nonresponder before finish_takeover.
+  void begin_takeover(net::NodeId successor);
+  /// A client answered the rebuild query: re-register its lease under
+  /// its *existing* epoch (still the current grant — its in-flight
+  /// writes must keep landing) and install its asserted tokens.
+  void install_assertion(ClientId client, std::uint64_t lease_epoch,
+                         const std::vector<TokenAssertion>& tokens);
+  /// A client did not answer the rebuild query. If its node is down it
+  /// is expelled at once (journal replay + token reclaim); if the node
+  /// is up (gray failure) it gets an already-lapsed suspect lease so
+  /// the normal sweep expels it after recovery_wait.
+  void note_rebuild_nonresponder(ClientId client, bool node_down);
+  /// Rebuild complete: leave the recovering state, replay journal tails
+  /// of clients that neither reasserted nor kept a lease entry, and run
+  /// the lease sweep that was held off during the rebuild.
+  void finish_takeover();
+  std::uint64_t manager_takeovers() const { return takeovers_; }
+  /// Simulated time the last takeover's rebuild finished; < 0 if never.
+  double last_takeover_at() const { return last_takeover_at_; }
+  std::uint64_t assertions_rebuilt() const { return assertions_rebuilt_; }
+  std::uint64_t stale_manager_fenced() const { return stale_mgr_fenced_; }
 
   /// Consistency scan: cross-check inode block maps against the
   /// allocation bitmaps and the journal's uncommitted tail.
@@ -209,6 +254,14 @@ class FileSystem {
   std::uint64_t revocations_ = 0;
   std::uint64_t journal_replays_ = 0;
   std::uint64_t fenced_writes_ = 0;
+
+  // manager failover state
+  std::uint64_t manager_epoch_ = 1;
+  bool recovering_ = false;
+  std::uint64_t takeovers_ = 0;
+  double last_takeover_at_ = -1.0;
+  std::uint64_t assertions_rebuilt_ = 0;
+  std::uint64_t stale_mgr_fenced_ = 0;
 };
 
 }  // namespace mgfs::gpfs

@@ -70,6 +70,14 @@ void MetaJournal::drop_client(ClientId c) {
                  records_.end());
 }
 
+std::vector<ClientId> MetaJournal::clients_with_uncommitted() const {
+  std::vector<ClientId> out;
+  for (const auto& r : records_) out.push_back(r.client);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
 std::size_t MetaJournal::uncommitted_count(ClientId c) const {
   return static_cast<std::size_t>(
       std::count_if(records_.begin(), records_.end(),

@@ -68,6 +68,11 @@ class MetaJournal {
   /// Drop a client's records without replay (clean unmount).
   void drop_client(ClientId c);
 
+  /// Clients with at least one uncommitted record, sorted — the manager
+  /// takeover uses this to find journal tails whose owners never
+  /// reasserted membership.
+  std::vector<ClientId> clients_with_uncommitted() const;
+
   std::size_t uncommitted_count(ClientId c) const;
   std::size_t uncommitted_total() const { return records_.size(); }
   std::uint64_t records_logged() const { return logged_; }

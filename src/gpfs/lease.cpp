@@ -84,6 +84,27 @@ bool LeaseManager::suspect(ClientId c) const {
   return it != leases_.end() && it->second.suspect_noted;
 }
 
+void LeaseManager::reset_for_takeover() { leases_.clear(); }
+
+void LeaseManager::install(ClientId c, std::uint64_t epoch, double now) {
+  Entry e;
+  e.epoch = epoch;
+  e.expires_at = now + cfg_.duration;
+  leases_[c] = e;
+  // Keep the global epoch counter ahead of every asserted epoch so the
+  // next fresh registration cannot collide with a surviving grant.
+  next_epoch_ = std::max(next_epoch_, epoch + 1);
+}
+
+void LeaseManager::install_lapsed_suspect(ClientId c, double now) {
+  Entry e;
+  e.epoch = next_epoch_++;
+  e.expires_at = now;  // just lapsed: expel due after recovery_wait
+  e.suspect_noted = true;
+  leases_[c] = e;
+  ++suspects_;
+}
+
 bool LeaseManager::expel(ClientId c) {
   auto it = leases_.find(c);
   if (it == leases_.end()) {

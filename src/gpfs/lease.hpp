@@ -74,6 +74,26 @@ class LeaseManager {
   /// idempotence) — the caller skips the recovery protocol then.
   bool expel(ClientId c);
 
+  // --- manager takeover (rebuild from client assertions) ----------------
+  /// Wipe all lease entries. The table is volatile manager memory and
+  /// died with the old manager node; the successor rebuilds it from
+  /// client assertions. next_epoch_ survives — it lives in the cluster
+  /// configuration, keeping lease epochs globally monotonic across
+  /// manager incarnations (the fencing invariant depends on it).
+  void reset_for_takeover();
+
+  /// Install a client that reasserted its membership during takeover,
+  /// *preserving* its lease epoch: the epoch is still the current grant,
+  /// so the client's in-flight NSD writes keep landing. A fresh lease
+  /// window starts now.
+  void install(ClientId c, std::uint64_t epoch, double now);
+
+  /// Install a client that did not answer the takeover rebuild query
+  /// but whose node is up (gray failure): an entry that just lapsed,
+  /// under an epoch it does not know, so the normal sweep expels it
+  /// after recovery_wait and any write it sends meanwhile is fenced.
+  void install_lapsed_suspect(ClientId c, double now);
+
   /// Lazy check at manager op entry: note suspects past expiry and
   /// return the clients whose expel is now due, sorted for determinism.
   std::vector<ClientId> sweep(double now);

@@ -18,10 +18,13 @@ void NsdServer::set_slow_factor(double factor) {
   slow_factor_ = factor;
 }
 
-bool NsdServer::write_admitted(ClientId client, std::uint64_t epoch) {
-  if (!write_gate_ || write_gate_(client, epoch)) return true;
-  ++fenced_;
-  return false;
+NsdServer::GateDecision NsdServer::write_admitted(ClientId client,
+                                                  std::uint64_t lease_epoch,
+                                                  std::uint64_t mgr_epoch) {
+  if (!write_gate_) return GateDecision::admit;
+  const GateDecision d = write_gate_(client, lease_epoch, mgr_epoch);
+  if (d == GateDecision::fence) ++fenced_;
+  return d;
 }
 
 void NsdServer::handle(storage::BlockDevice& dev, Bytes offset, Bytes len,

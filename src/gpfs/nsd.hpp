@@ -65,15 +65,24 @@ class NsdServer {
   /// The server's CPU — serial, so per-byte cipher work queues.
   sim::SerialResource& cpu() { return cpu_; }
 
-  /// Lease-epoch fencing (DESIGN.md §6). The gate answers "may this
-  /// client, presenting this lease epoch, write?"; the cluster wires it
-  /// to the file-system manager's membership view. No gate = admit all
-  /// (standalone NSD tests).
-  using WriteGate = std::function<bool(ClientId, std::uint64_t)>;
+  /// Two-epoch write fencing (DESIGN.md §6). The gate answers "may this
+  /// client, presenting this lease epoch under this manager epoch,
+  /// write?"; the cluster wires it to the file-system manager's
+  /// membership view. Three outcomes:
+  ///   admit — both epochs current, write proceeds;
+  ///   retry — a manager takeover is rebuilding state; the write is
+  ///           refused retryably (pause-and-redrive, not fail);
+  ///   fence — the lease or manager epoch is dead: non-retryable stale.
+  /// No gate = admit all (standalone NSD tests).
+  enum class GateDecision { admit, retry, fence };
+  using WriteGate =
+      std::function<GateDecision(ClientId, std::uint64_t lease_epoch,
+                                 std::uint64_t mgr_epoch)>;
   void set_write_gate(WriteGate gate) { write_gate_ = std::move(gate); }
-  /// Consult the gate; counts rejections. Data-path callers must check
-  /// this before charging device work for a write.
-  bool write_admitted(ClientId client, std::uint64_t epoch);
+  /// Consult the gate; counts fenced rejections. Data-path callers must
+  /// check this before charging device work for a write.
+  GateDecision write_admitted(ClientId client, std::uint64_t lease_epoch,
+                              std::uint64_t mgr_epoch);
   std::uint64_t fenced_writes() const { return fenced_; }
 
   /// Fail-slow injection (fault engine): multiply all request CPU by

@@ -14,6 +14,14 @@
 // caller gets Errc::timed_out and both directions of the pair are
 // reset, unwedging any bytes stalled behind the silent peer.
 //
+// Manager-bound RPCs add one more rule (DESIGN.md §6): callers target
+// the node they *believe* holds the file-system-manager role and stamp
+// state-changing traffic (grants, revokes, NSD writes) with the manager
+// epoch they adopted. After a takeover bumps the epoch, a client's
+// retry path re-looks-up the role and reroutes to the successor
+// (pause-and-redrive), while anything still carrying the deposed
+// incarnation's epoch is rejected as non-retryable Errc::stale.
+//
 // The pool is also where WAN behaviour comes from: each (src, dst) pair
 // is one TCP connection with a 2005-sized window, so a client talking
 // to 64 NSD servers has 64 independent windows in flight — the paper's

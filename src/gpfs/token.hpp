@@ -43,6 +43,16 @@ struct Holding {
   TokenRange range;
 };
 
+/// One token a client asserts it holds, reported to a new file-system
+/// manager during takeover so the TokenManager tables can be rebuilt
+/// from the surviving clients' caches (the manager's own tables are
+/// volatile and died with the old manager node).
+struct TokenAssertion {
+  InodeNum ino = 0;
+  LockMode mode = LockMode::ro;
+  TokenRange range{};
+};
+
 /// What a token request resolves to.
 struct TokenDecision {
   bool granted = false;          // true: token handed out immediately
@@ -76,6 +86,18 @@ class TokenManager {
 
   /// Drop every holding of a client (unmount / node expel).
   void release_all(ClientId client);
+
+  /// Manager takeover: wipe all tables. The successor rebuilds them
+  /// from client assertions via install().
+  void clear() { by_inode_.clear(); }
+
+  /// Install a holding asserted by a client during takeover rebuild.
+  /// Trusted blind insert — the asserting clients held these grants
+  /// compatibly under the old manager, so no conflict check is run.
+  void install(ClientId client, InodeNum ino, LockMode mode,
+               TokenRange range) {
+    by_inode_[ino].push_back(Holding{client, mode, range});
+  }
 
   /// Does `client` hold `range` of `ino` in a mode at least `mode`?
   bool holds(ClientId client, InodeNum ino, TokenRange range,

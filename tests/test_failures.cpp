@@ -15,31 +15,45 @@ namespace {
 using testutil::kAlice;
 using testutil::MiniCluster;
 
-TEST(Failures, ManagerDownFailsMetadataNotCache) {
+TEST(Failures, ManagerDownTriggersTakeoverMetadataContinues) {
   MiniCluster mc;
   Client* c = mc.mount_on(2);
   auto fh = mc.open(c, "/f", kAlice, OpenFlags::create_rw());
   ASSERT_TRUE(mc.write(c, *fh, 0, 4 * MiB).ok());
   ASSERT_TRUE(mc.fsync(c, *fh).ok());
-  // Kill the manager (hosts[1]).
+  // Kill the manager (hosts[1]). The metadata op's retry path reports
+  // the dead manager, a successor (lowest live node id: hosts[0]) takes
+  // over, and the op reroutes and completes — no longer a SPOF.
   mc.net.set_node_up(mc.site.hosts[1], false);
-  // Metadata op fails fast with unavailable.
   auto st = mc.stat(c, "/f");
-  ASSERT_FALSE(st.ok());
-  EXPECT_EQ(st.code(), Errc::unavailable);
-  // Cached reads still work: token + pages + block map are client-side.
+  ASSERT_TRUE(st.ok()) << st.error().to_string();
+  EXPECT_EQ(mc.fs->manager_takeovers(), 1u);
+  EXPECT_EQ(mc.fs->manager_node(), mc.site.hosts[0]);
+  EXPECT_GE(mc.fs->assertions_rebuilt(), 1u);  // c reasserted its tokens
+  EXPECT_GE(c->mgr_takeovers(), 1u);
+  // Cached reads work throughout: token + pages + block map are
+  // client-side and survive the takeover (lease epoch preserved).
   auto r = mc.read(c, *fh, 0, 4 * MiB);
   ASSERT_TRUE(r.ok()) << r.error().to_string();
   EXPECT_EQ(*r, 4 * MiB);
 }
 
-TEST(Failures, ManagerRecoveryRestoresService) {
+TEST(Failures, DeposedManagerStaysDeposedAfterRestart) {
   MiniCluster mc;
   Client* c = mc.mount_on(2);
   mc.net.set_node_up(mc.site.hosts[1], false);
-  ASSERT_FALSE(mc.stat(c, "/").ok());
+  // Service continues through the takeover...
+  ASSERT_TRUE(mc.stat(c, "/").ok());
+  EXPECT_EQ(mc.fs->manager_node(), mc.site.hosts[0]);
+  const std::uint64_t epoch = mc.fs->manager_epoch();
+  EXPECT_EQ(epoch, 2u);
+  // ...and the old manager coming back does NOT reclaim the role: the
+  // successor keeps it and the epoch does not move again.
   mc.net.set_node_up(mc.site.hosts[1], true);
   EXPECT_TRUE(mc.stat(c, "/").ok());
+  EXPECT_EQ(mc.fs->manager_node(), mc.site.hosts[0]);
+  EXPECT_EQ(mc.fs->manager_epoch(), epoch);
+  EXPECT_EQ(mc.fs->manager_takeovers(), 1u);
 }
 
 TEST(Failures, WritePathFailsOverToBackupServer) {

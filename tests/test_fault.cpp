@@ -78,13 +78,16 @@ TEST(Fault, NodeCrashRestartResetsWatchedPool) {
 
   FaultInjector inject(mc.net, Rng(3));
   inject.watch_pool(mc.cluster->connection_pool());
-  // Crash the manager; a metadata op during the outage fails (breaking
-  // the pooled pair), and after the scripted restart — which resets the
-  // watched pool's broken pairs — service resumes.
+  // Crash the manager; the metadata op during the outage reroutes to
+  // the elected successor (breaking the pooled pair to the dead node),
+  // and after the scripted restart — which resets the watched pool's
+  // broken pairs — the restarted node is reachable again as a plain
+  // member.
   inject.schedule_node_crash(mc.sim.now(), mc.site.hosts[1], 0.3);
-  EXPECT_FALSE(mc.stat(c, "/f").ok());  // drives sim past the crash
-  mc.sim.run();                         // ... and past the restart
+  EXPECT_TRUE(mc.stat(c, "/f").ok());  // drives sim past the crash
+  mc.sim.run();                        // ... and past the restart
   EXPECT_EQ(inject.node_crashes(), 1u);
+  EXPECT_GE(mc.fs->manager_takeovers(), 1u);
   EXPECT_TRUE(mc.stat(c, "/f").ok());
 }
 

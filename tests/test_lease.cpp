@@ -95,6 +95,53 @@ TEST(Lease, ExpelDueAndSweep) {
   EXPECT_GE(lm.suspects_noted(), 1u);  // sweep noted the lapse
 }
 
+TEST(Lease, TakeoverResetPreservesEpochsOnReassert) {
+  LeaseManager lm(LeaseConfig{1.0, 0.5});
+  const std::uint64_t e1 = lm.register_client(1, 0.0);
+  const std::uint64_t e2 = lm.register_client(2, 0.0);
+  lm.reset_for_takeover();
+  EXPECT_FALSE(lm.known(1));
+  EXPECT_FALSE(lm.known(2));
+  // Reasserting client 1 keeps its epoch (in-flight writes stamped with
+  // it must keep landing) but gets a fresh lease window.
+  lm.install(1, e1, 5.0);
+  EXPECT_TRUE(lm.epoch_valid(1, e1));
+  EXPECT_TRUE(lm.lease_current(1, 5.9));
+  EXPECT_FALSE(lm.lease_current(1, 6.1));
+  // next_epoch_ survives the wipe: monotonicity across incarnations.
+  const std::uint64_t e3 = lm.register_client(3, 5.0);
+  EXPECT_GT(e3, e2);
+}
+
+TEST(Lease, LapsedSuspectInstallExpiresIntoExpel) {
+  LeaseManager lm(LeaseConfig{1.0, 0.5});
+  const std::uint64_t e1 = lm.register_client(1, 0.0);
+  lm.reset_for_takeover();
+  // The mute non-responder: entry under an epoch it does not know, a
+  // lease that lapsed on arrival.
+  lm.install_lapsed_suspect(1, 5.0);
+  EXPECT_TRUE(lm.known(1));
+  EXPECT_FALSE(lm.epoch_valid(1, e1));
+  EXPECT_FALSE(lm.lease_current(1, 5.01));
+  EXPECT_FALSE(lm.expel_due(1, 5.2));  // still inside recovery wait
+  EXPECT_TRUE(lm.expel_due(1, 5.6));
+  EXPECT_GE(lm.suspects_noted(), 1u);
+}
+
+TEST(Token, TakeoverClearAndInstallRebuildTables) {
+  TokenManager tm;
+  tm.install(1, 10, LockMode::rw, TokenRange{0, 100});
+  tm.install(2, 11, LockMode::ro, TokenRange{0, 50});
+  EXPECT_EQ(tm.total_holdings(), 2u);
+  EXPECT_TRUE(tm.holds(1, 10, TokenRange{0, 100}, LockMode::rw));
+  tm.clear();
+  EXPECT_EQ(tm.total_holdings(), 0u);
+  EXPECT_FALSE(tm.holds(1, 10, TokenRange{0, 100}, LockMode::rw));
+  // Rebuild from assertions: blind insert, no conflict check.
+  tm.install(2, 10, LockMode::rw, TokenRange{0, 100});
+  EXPECT_TRUE(tm.holds(2, 10, TokenRange{0, 100}, LockMode::rw));
+}
+
 // ---------------------------------------------------------------------
 // MetaJournal unit tests
 // ---------------------------------------------------------------------
@@ -145,6 +192,20 @@ TEST(Journal, TakeUncommittedReturnsNewestFirst) {
   EXPECT_GT(undo[1].lsn, undo[2].lsn);
   EXPECT_EQ(undo[0].block, 2u);
   EXPECT_EQ(undo[2].block, 0u);
+}
+
+TEST(Journal, ClientsWithUncommittedListsEachClientOnce) {
+  MetaJournal j;
+  j.log_alloc(3, 10, 0, BlockAddr{0, 1});
+  j.log_alloc(1, 10, 1, BlockAddr{1, 1});
+  j.log_alloc(3, 11, 0, BlockAddr{2, 1});
+  const std::vector<ClientId> clients = j.clients_with_uncommitted();
+  ASSERT_EQ(clients.size(), 2u);
+  EXPECT_EQ(clients[0], 1u);
+  EXPECT_EQ(clients[1], 3u);
+  j.take_uncommitted(3);
+  ASSERT_EQ(j.clients_with_uncommitted().size(), 1u);
+  EXPECT_EQ(j.clients_with_uncommitted()[0], 1u);
 }
 
 // ---------------------------------------------------------------------
@@ -393,6 +454,229 @@ TEST(LeaseIntegration, ExpelReleasesAllHoldings) {
   EXPECT_TRUE(mc.write(survivor, *sfh2, 0, 1 * MiB).ok());
   EXPECT_EQ(mc.fs->revocations(), revokes_before);
   EXPECT_TRUE(mc.fs->fsck().clean());
+}
+
+// ---------------------------------------------------------------------
+// Integration: manager takeover (DESIGN.md §6 state machine)
+// ---------------------------------------------------------------------
+
+/// The headline takeover scenario: the manager node crashes while two
+/// clients hold tokens; the lowest-id live node takes the role, rebuilds
+/// the token tables from client assertions, and in-flight I/O reroutes
+/// and completes — the manager is no longer a single point of failure.
+TEST(LeaseIntegration, ManagerCrashElectsSuccessorAndRebuildsTokens) {
+  MiniCluster mc(6, 4, 1 * MiB, short_lease_cfg());
+  Client* a = mc.mount_on(2);
+  Client* b = mc.mount_on(3);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  auto afh = mc.open(a, "/a", kAlice, OpenFlags::create_rw());
+  ASSERT_TRUE(afh.ok());
+  auto bfh = mc.open(b, "/b", kAlice, OpenFlags::create_rw());
+  ASSERT_TRUE(bfh.ok());
+  ASSERT_TRUE(mc.write(a, *afh, 0, 2 * MiB).ok());
+  ASSERT_TRUE(mc.fsync(a, *afh).ok());
+  ASSERT_TRUE(mc.write(b, *bfh, 0, 2 * MiB).ok());
+  ASSERT_TRUE(mc.fsync(b, *bfh).ok());
+
+  fault::FaultInjector inject(mc.net, Rng(17));
+  inject.watch_pool(mc.cluster->connection_pool());
+  inject.watch_cluster(*mc.cluster);
+  const double crash_at = mc.sim.now();
+  inject.schedule_crash_manager(crash_at, *mc.fs, 0.4);
+
+  // A write needing fresh allocation right after the crash: its
+  // metadata RPC reports the dead manager, triggers the election, then
+  // reroutes to the successor and completes.
+  std::optional<Result<Bytes>> aw;
+  double a_done_at = 0;
+  mc.sim.after(0.01, [&] {
+    a->write(*afh, 2 * MiB, 2 * MiB, [&](Result<Bytes> r) {
+      aw = std::move(r);
+      a_done_at = mc.sim.now();
+    });
+  });
+  mc.sim.run();
+
+  ASSERT_TRUE(aw.has_value());
+  EXPECT_TRUE(aw->ok()) << (aw->ok() ? "" : aw->error().to_string());
+  EXPECT_EQ(inject.manager_crashes(), 1u);
+  EXPECT_EQ(mc.fs->manager_takeovers(), 1u);
+  EXPECT_EQ(mc.fs->manager_node(), mc.site.hosts[0]);  // lowest live id
+  EXPECT_EQ(mc.fs->manager_epoch(), 2u);
+  EXPECT_GE(mc.fs->assertions_rebuilt(), 2u);  // both clients reasserted
+  EXPECT_EQ(mc.fs->expels(), 0u);  // every member answered the rebuild
+  const ClusterConfig cfg = short_lease_cfg();
+  ASSERT_GE(mc.fs->last_takeover_at(), crash_at);
+  EXPECT_LE(mc.fs->last_takeover_at() - crash_at,
+            3.0 * (cfg.lease_duration + cfg.lease_recovery_wait));
+  EXPECT_LE(a_done_at - crash_at,
+            3.0 * (cfg.lease_duration + cfg.lease_recovery_wait));
+  EXPECT_GE(a->mgr_takeovers(), 1u);
+  EXPECT_GE(b->mgr_takeovers(), 1u);  // adopted the view when reasserting
+  EXPECT_GE(a->mgr_reroutes(), 1u);
+  EXPECT_TRUE(mc.fsync(a, *afh).ok());
+  EXPECT_TRUE(mc.fs->fsck().clean());
+
+  // Satellite: takeover counters surface in mmpmon / manager stats.
+  const std::string am = a->mmpmon();
+  EXPECT_NE(am.find("_mto_"), std::string::npos);
+  EXPECT_NE(am.find("_mrr_"), std::string::npos);
+  const std::string ms = mc.fs->stats();
+  EXPECT_NE(ms.find("_mto_"), std::string::npos);
+  EXPECT_NE(ms.find("_rba_"), std::string::npos);
+  EXPECT_NE(ms.find("_smf_"), std::string::npos);
+}
+
+/// Takeover races an expel already in flight: a blackholed writer with
+/// dirty data is mid-revoke (survivor waiting) when the manager node
+/// crashes. The successor marks the mute writer a lapsed suspect, the
+/// survivor's blocked acquire reroutes and completes, the writer is
+/// expelled by the normal sweep and its journal replayed — and its late
+/// flush, still stamped with the deposed manager's epoch, is fenced at
+/// the NSD servers.
+TEST(LeaseIntegration, ManagerCrashDuringExpelStillExpelsAndFences) {
+  MiniCluster mc(6, 4, 1 * MiB, short_lease_cfg());
+  Client* victim = mc.mount_on(2);
+  Client* survivor = mc.mount_on(3);
+  ASSERT_NE(victim, nullptr);
+  ASSERT_NE(survivor, nullptr);
+  auto vfh = mc.open(victim, "/f", kAlice, OpenFlags::create_rw());
+  ASSERT_TRUE(vfh.ok());
+  auto sfh = mc.open(survivor, "/f", kAlice, OpenFlags::rw());
+  ASSERT_TRUE(sfh.ok());
+
+  // Victim stages dirty, never-fsynced data (uncommitted journal
+  // records, rw tokens), then goes mute before write-behind drains.
+  std::optional<Result<Bytes>> vw;
+  victim->write(*vfh, 0, 4 * MiB, [&](Result<Bytes> r) { vw = std::move(r); });
+  mc.sim.run_until(mc.sim.now() + 0.015);
+  EXPECT_GT(mc.fs->journal().uncommitted_count(victim->id()), 0u);
+  fault::FaultInjector inject(mc.net, Rng(23));
+  inject.watch_pool(mc.cluster->connection_pool());
+  inject.watch_cluster(*mc.cluster);
+  inject.schedule_blackhole(mc.sim.now(), mc.site.hosts[2], 2.0);
+
+  // Survivor forces a revoke the mute victim cannot ack; while the
+  // manager waits out the lease, its own node crashes.
+  std::optional<Result<Bytes>> sw;
+  mc.sim.after(0.02, [&] {
+    survivor->write(*sfh, 0, 2 * MiB,
+                    [&](Result<Bytes> r) { sw = std::move(r); });
+  });
+  inject.schedule_crash_manager(0.3, *mc.fs, 0.5);
+  // A late survivor fsync: commits its records and, as a manager op,
+  // drives the lease sweep that expels the still-mute victim.
+  std::optional<Status> sfs;
+  mc.sim.after(1.2, [&] {
+    survivor->fsync(*sfh, [&](Status s) { sfs = s; });
+  });
+  mc.sim.run();
+
+  ASSERT_TRUE(sw.has_value());
+  EXPECT_TRUE(sw->ok()) << (sw->ok() ? "" : sw->error().to_string());
+  ASSERT_TRUE(sfs.has_value());
+  EXPECT_TRUE(sfs->ok()) << sfs->to_string();
+  EXPECT_EQ(mc.fs->manager_takeovers(), 1u);
+  EXPECT_GE(mc.fs->expels(), 1u);  // the mute victim, via the sweep
+  EXPECT_GE(mc.fs->journal_records_replayed(), 1u);
+  EXPECT_EQ(mc.fs->journal().uncommitted_count(victim->id()), 0u);
+  // The healed victim's flush carried manager epoch 1 against a
+  // filesystem now at epoch 2: fenced as stale-manager traffic.
+  EXPECT_GE(mc.fs->stale_manager_fenced(), 1u);
+  EXPECT_GE(victim->fenced_writes(), 1u);
+  EXPECT_GE(victim->mgr_takeovers(), 1u);  // adopted epoch 2 on rejoin
+  EXPECT_TRUE(mc.fs->fsck().clean());
+
+  // The rejoined victim is a full citizen under the new incarnation.
+  auto r = mc.write(victim, *vfh, 4 * MiB, 1 * MiB);
+  if (!r.ok()) {
+    EXPECT_EQ(r.code(), Errc::stale);
+    r = mc.write(victim, *vfh, 4 * MiB, 1 * MiB);
+  }
+  EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error().to_string());
+  EXPECT_TRUE(mc.fsync(victim, *vfh).ok());
+  EXPECT_TRUE(mc.fs->fsck().clean());
+}
+
+/// Takeover with a dead token holder: the rebuild's assertion query to
+/// the crashed writer fast-fails node-down, so the successor expels it
+/// *during* the takeover itself — journal replayed, tokens reclaimed —
+/// and the survivor's blocked write completes without waiting out the
+/// full lease.
+TEST(LeaseIntegration, TakeoverExpelsDeadHolderDuringRebuild) {
+  MiniCluster mc(6, 4, 1 * MiB, short_lease_cfg());
+  Client* victim = mc.mount_on(2);
+  Client* survivor = mc.mount_on(3);
+  ASSERT_NE(victim, nullptr);
+  ASSERT_NE(survivor, nullptr);
+  auto vfh = mc.open(victim, "/f", kAlice, OpenFlags::create_rw());
+  ASSERT_TRUE(vfh.ok());
+  auto sfh = mc.open(survivor, "/f", kAlice, OpenFlags::rw());
+  ASSERT_TRUE(sfh.ok());
+  ASSERT_TRUE(mc.write(victim, *vfh, 0, 4 * MiB).ok());
+  EXPECT_GT(mc.fs->journal().uncommitted_count(victim->id()), 0u);
+
+  fault::FaultInjector inject(mc.net, Rng(29));
+  inject.watch_pool(mc.cluster->connection_pool());
+  inject.watch_cluster(*mc.cluster);
+  // Victim node and manager node die together (a rack loss).
+  inject.schedule_node_crash(mc.sim.now(), mc.site.hosts[2], 3.0);
+  inject.schedule_crash_manager(mc.sim.now() + 0.05, *mc.fs, 0.5);
+
+  std::optional<Result<Bytes>> sw;
+  mc.sim.after(0.1, [&] {
+    survivor->write(*sfh, 0, 2 * MiB,
+                    [&](Result<Bytes> r) { sw = std::move(r); });
+  });
+  mc.sim.run();
+
+  ASSERT_TRUE(sw.has_value());
+  EXPECT_TRUE(sw->ok()) << (sw->ok() ? "" : sw->error().to_string());
+  EXPECT_EQ(mc.fs->manager_takeovers(), 1u);
+  EXPECT_GE(mc.fs->expels(), 1u);
+  EXPECT_GE(mc.fs->journal_records_replayed(), 1u);
+  EXPECT_EQ(mc.fs->journal().uncommitted_count(victim->id()), 0u);
+  EXPECT_TRUE(mc.fs->fsck().clean());
+}
+
+/// Fencing the deposed incarnation directly: after a takeover, grants
+/// and revokes still stamped with the old manager epoch are rejected by
+/// clients as stale (the revoke's completion must not fire), while
+/// current-epoch traffic is honoured.
+TEST(LeaseIntegration, DeposedManagerGrantsAndRevokesAreFenced) {
+  MiniCluster mc(6, 4, 1 * MiB, short_lease_cfg());
+  Client* a = mc.mount_on(2);
+  ASSERT_NE(a, nullptr);
+  auto afh = mc.open(a, "/f", kAlice, OpenFlags::create_rw());
+  ASSERT_TRUE(afh.ok());
+  ASSERT_TRUE(mc.write(a, *afh, 0, 1 * MiB).ok());
+  ASSERT_TRUE(mc.fsync(a, *afh).ok());
+  const InodeNum ino = mc.fs->ns().stat("/f")->ino;
+  const std::uint64_t old_epoch = mc.fs->manager_epoch();
+  ASSERT_EQ(old_epoch, 1u);
+
+  // Depose the manager, then resurrect the node after the takeover.
+  mc.net.set_node_up(mc.site.hosts[1], false);
+  ASSERT_TRUE(mc.stat(a, "/f").ok());  // drives election + rebuild
+  ASSERT_EQ(mc.fs->manager_epoch(), old_epoch + 1);
+  mc.net.set_node_up(mc.site.hosts[1], true);
+
+  // The resurrected incarnation's grant is rejected...
+  EXPECT_FALSE(a->deliver_manager_grant(ino, TokenRange{0, 1 * MiB},
+                                        LockMode::rw, old_epoch));
+  // ...and so is its revoke: rejected without running the completion
+  // (a deposed manager must not be able to shrink current holdings).
+  bool done_fired = false;
+  EXPECT_FALSE(a->handle_revoke(ino, TokenRange{0, 1 * MiB}, old_epoch,
+                                [&] { done_fired = true; }));
+  EXPECT_FALSE(done_fired);
+  EXPECT_GE(a->stale_mgr_rejects(), 2u);
+  // Current-epoch traffic is honoured.
+  EXPECT_TRUE(a->deliver_manager_grant(ino, TokenRange{0, 1 * MiB},
+                                       LockMode::rw, mc.fs->manager_epoch()));
+  const std::string am = a->mmpmon();
+  EXPECT_NE(am.find("_smg_"), std::string::npos);
 }
 
 }  // namespace
