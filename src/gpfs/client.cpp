@@ -1454,6 +1454,10 @@ bool Client::handle_revoke(InodeNum ino, TokenRange range,
                                   << mgr_epoch_ << "); refused");
     return false;
   }
+  // A newer-epoch revoke doubles as first contact with the successor:
+  // adopt its view before flushing, or the dirty pages this revoke
+  // forces out would carry the old manager epoch and be fenced.
+  adopt_manager_view(fs_->manager_node(), mgr_epoch);
   handle_revoke(ino, range, std::move(done));
   return true;
 }

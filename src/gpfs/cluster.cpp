@@ -638,25 +638,38 @@ bool Cluster::takeover_manager(FileSystem& fs) {
   auto remaining = std::make_shared<std::size_t>(members.size());
   FileSystem* fsp = &fs;
   for (Client* c : members) {
+    // The rebuild RPC outlives any one client: an unmount (or remote
+    // teardown) while it is in flight destroys the Client object, so
+    // both callbacks work from the id/node captured at send time and
+    // re-resolve the pointer through the registry at delivery.
+    const ClientId id = c->id();
+    const net::NodeId cnode = c->node();
     Rpc::CallOptions opts;
     // A client that stays mute for the whole recovery wait forfeits its
     // state — same clock the expel path uses.
     opts.deadline = fs.config().lease_recovery_wait;
     rpc_.call<ManagerAssertReply>(
-        *successor, c->node(), 128,
-        [c, mgr = *successor, epoch](Rpc::ReplyFn<ManagerAssertReply> reply) {
-          auto r = c->assert_tokens(mgr, epoch);
+        *successor, cnode, 128,
+        [this, id, mgr = *successor,
+         epoch](Rpc::ReplyFn<ManagerAssertReply> reply) {
+          auto it = registry_.find(id);
+          if (it == registry_.end() || it->second.client == nullptr) {
+            reply(64, err(Errc::unavailable, "client gone"));
+            return;
+          }
+          auto r = it->second.client->assert_tokens(mgr, epoch);
           const Bytes payload =
               64 + (r.ok() ? 16 * static_cast<Bytes>(r->tokens.size()) : 0);
           reply(payload, std::move(r));
         },
-        [this, fsp, c, remaining](Result<ManagerAssertReply> r) {
+        [this, fsp, id, cnode, remaining](Result<ManagerAssertReply> r) {
           if (r.ok()) {
-            fsp->install_assertion(c->id(), r->lease_epoch, r->tokens);
-          } else {
-            fsp->note_rebuild_nonresponder(c->id(),
-                                           !net_.node_up(c->node()));
+            fsp->install_assertion(id, r->lease_epoch, r->tokens);
+          } else if (registry_.count(id) > 0) {
+            fsp->note_rebuild_nonresponder(id, !net_.node_up(cnode));
           }
+          // A client that unmounted mid-rebuild needs no lease entry at
+          // all; finish_takeover replays its journal tail if it left one.
           if (--*remaining == 0) fsp->finish_takeover();
         },
         opts);

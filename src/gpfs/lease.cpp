@@ -10,6 +10,7 @@ std::uint64_t LeaseManager::register_client(ClientId c, double now) {
   e.expires_at = now + cfg_.duration;
   e.expelled = false;
   e.suspect_noted = false;
+  e.must_rejoin = false;  // a fresh registration IS the rejoin
   return e.epoch;
 }
 
@@ -17,7 +18,10 @@ void LeaseManager::deregister(ClientId c) { leases_.erase(c); }
 
 bool LeaseManager::renew(ClientId c, double now) {
   auto it = leases_.find(c);
-  if (it == leases_.end() || it->second.expelled) return false;
+  if (it == leases_.end() || it->second.expelled ||
+      it->second.must_rejoin) {
+    return false;
+  }
   it->second.expires_at = now + cfg_.duration;
   it->second.suspect_noted = false;
   ++renewals_;
@@ -84,7 +88,20 @@ bool LeaseManager::suspect(ClientId c) const {
   return it != leases_.end() && it->second.suspect_noted;
 }
 
-void LeaseManager::reset_for_takeover() { leases_.clear(); }
+void LeaseManager::reset_for_takeover() {
+  // Keep expelled tombstones: the expel already ran (journal replayed,
+  // tokens reclaimed) and forgetting it here would downgrade the
+  // expellee's first post-takeover op from "expelled → stale, rejoin"
+  // to a final not_authorized. Everything else is volatile manager
+  // memory and is rebuilt from client assertions.
+  for (auto it = leases_.begin(); it != leases_.end();) {
+    if (it->second.expelled) {
+      ++it;
+    } else {
+      it = leases_.erase(it);
+    }
+  }
+}
 
 void LeaseManager::install(ClientId c, std::uint64_t epoch, double now) {
   Entry e;
@@ -101,6 +118,12 @@ void LeaseManager::install_lapsed_suspect(ClientId c, double now) {
   e.epoch = next_epoch_++;
   e.expires_at = now;  // just lapsed: expel due after recovery_wait
   e.suspect_noted = true;
+  // Its tokens were wiped in the takeover and never reasserted: a
+  // renewal after the partition heals must not revive the entry, or a
+  // read-mostly client would serve stale cache forever while renewing
+  // happily. Only a fresh registration (which discards client caches
+  // on the way) readmits it.
+  e.must_rejoin = true;
   leases_[c] = e;
   ++suspects_;
 }

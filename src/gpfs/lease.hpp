@@ -45,8 +45,9 @@ class LeaseManager {
   /// Forget a client entirely (clean unmount).
   void deregister(ClientId c);
 
-  /// Renew the lease. Returns false if the client is unknown or
-  /// expelled — it must rejoin under a fresh epoch.
+  /// Renew the lease. Returns false if the client is unknown, expelled,
+  /// or marked must-rejoin (it slept through a takeover rebuild, so its
+  /// token state is gone) — it must rejoin under a fresh epoch.
   bool renew(ClientId c, double now);
 
   bool known(ClientId c) const { return leases_.count(c) > 0; }
@@ -75,11 +76,16 @@ class LeaseManager {
   bool expel(ClientId c);
 
   // --- manager takeover (rebuild from client assertions) ----------------
-  /// Wipe all lease entries. The table is volatile manager memory and
-  /// died with the old manager node; the successor rebuilds it from
-  /// client assertions. next_epoch_ survives — it lives in the cluster
-  /// configuration, keeping lease epochs globally monotonic across
-  /// manager incarnations (the fencing invariant depends on it).
+  /// Wipe the lease entries of live clients. The table is volatile
+  /// manager memory and died with the old manager node; the successor
+  /// rebuilds it from client assertions. Two things survive the wipe:
+  /// next_epoch_ (it lives in the cluster configuration, keeping lease
+  /// epochs globally monotonic across manager incarnations — the
+  /// fencing invariant depends on it) and *expelled tombstones* (an
+  /// expel is a completed cluster-level decision — journal replayed,
+  /// tokens reclaimed — and dropping the tombstone would let the
+  /// expellee's first post-takeover op read as merely "unknown" instead
+  /// of "expelled, rejoin required").
   void reset_for_takeover();
 
   /// Install a client that reasserted its membership during takeover,
@@ -92,6 +98,11 @@ class LeaseManager {
   /// but whose node is up (gray failure): an entry that just lapsed,
   /// under an epoch it does not know, so the normal sweep expels it
   /// after recovery_wait and any write it sends meanwhile is fenced.
+  /// The entry is marked must-rejoin: its tokens were wiped in the
+  /// rebuild and never reasserted, so a renewal arriving after the
+  /// partition heals must NOT revive it (a read-mostly client would
+  /// serve stale cache forever) — renew() answers false until the
+  /// client re-registers, discarding its caches on the way.
   void install_lapsed_suspect(ClientId c, double now);
 
   /// Lazy check at manager op entry: note suspects past expiry and
@@ -110,6 +121,7 @@ class LeaseManager {
     double expires_at = 0;
     bool expelled = false;
     bool suspect_noted = false;
+    bool must_rejoin = false;  // slept through a takeover: renew refused
   };
 
   LeaseConfig cfg_;

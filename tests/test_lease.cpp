@@ -128,6 +128,46 @@ TEST(Lease, LapsedSuspectInstallExpiresIntoExpel) {
   EXPECT_GE(lm.suspects_noted(), 1u);
 }
 
+TEST(Lease, LapsedSuspectCannotRenewMustRejoin) {
+  LeaseManager lm(LeaseConfig{1.0, 0.5});
+  lm.register_client(1, 0.0);
+  lm.reset_for_takeover();
+  lm.install_lapsed_suspect(1, 5.0);
+  // Partition heals inside recovery_wait: the renewal must NOT revive
+  // the entry — its tokens were wiped in the rebuild and never
+  // reasserted, so a renewing read-mostly client would serve stale
+  // cache forever. Renew answers false (-> stale at the RPC layer)
+  // until the client re-registers, discarding its caches on the way.
+  EXPECT_FALSE(lm.renew(1, 5.1));
+  EXPECT_FALSE(lm.renew(1, 5.2));  // refused every time, not just once
+  EXPECT_FALSE(lm.expelled(1));    // refused != expelled: no replay due
+  const std::uint64_t e = lm.register_client(1, 5.2);
+  EXPECT_TRUE(lm.renew(1, 5.3));
+  EXPECT_TRUE(lm.epoch_valid(1, e));
+}
+
+TEST(Lease, TakeoverResetPreservesExpelledTombstones) {
+  LeaseManager lm(LeaseConfig{1.0, 0.5});
+  lm.register_client(1, 0.0);
+  lm.register_client(2, 0.0);
+  EXPECT_TRUE(lm.expel(1));
+  lm.reset_for_takeover();
+  // Live entries are volatile manager memory and die with the node...
+  EXPECT_FALSE(lm.known(2));
+  // ...but an expel is a completed cluster decision (journal replayed,
+  // tokens reclaimed): the tombstone survives, so the expellee still
+  // reads as expelled (-> stale, rejoin) instead of merely unknown
+  // (-> final not_authorized on the op_open path).
+  EXPECT_TRUE(lm.known(1));
+  EXPECT_TRUE(lm.expelled(1));
+  EXPECT_FALSE(lm.renew(1, 1.0));
+  ASSERT_EQ(lm.expelled_clients().size(), 1u);
+  // Re-registration readmits as a fresh incarnation, as before.
+  const std::uint64_t e = lm.register_client(1, 1.0);
+  EXPECT_TRUE(lm.epoch_valid(1, e));
+  EXPECT_FALSE(lm.expelled(1));
+}
+
 TEST(Token, TakeoverClearAndInstallRebuildTables) {
   TokenManager tm;
   tm.install(1, 10, LockMode::rw, TokenRange{0, 100});
@@ -637,6 +677,73 @@ TEST(LeaseIntegration, TakeoverExpelsDeadHolderDuringRebuild) {
   EXPECT_GE(mc.fs->expels(), 1u);
   EXPECT_GE(mc.fs->journal_records_replayed(), 1u);
   EXPECT_EQ(mc.fs->journal().uncommitted_count(victim->id()), 0u);
+  EXPECT_TRUE(mc.fs->fsck().clean());
+}
+
+/// A mute-but-alive client whose partition heals *inside* the recovery
+/// wait must not renew its way back in after a takeover: its tokens were
+/// wiped in the rebuild and never reasserted, so the successor answers
+/// its renewal with stale, and the client rejoins — caches discarded,
+/// fresh lease epoch — instead of serving stale cache under a happily
+/// renewing lease (the read-mostly client would otherwise never
+/// recover, unlike writers which hit the write fence).
+TEST(LeaseIntegration, HealedRebuildNonResponderMustRejoinNotRenew) {
+  MiniCluster mc(6, 4, 1 * MiB, short_lease_cfg());
+  Client* victim = mc.mount_on(2);
+  Client* survivor = mc.mount_on(3);
+  ASSERT_NE(victim, nullptr);
+  ASSERT_NE(survivor, nullptr);
+  auto vfh = mc.open(victim, "/f", kAlice, OpenFlags::create_rw());
+  ASSERT_TRUE(vfh.ok());
+  auto sfh = mc.open(survivor, "/f", kAlice, OpenFlags::rw());
+  ASSERT_TRUE(sfh.ok());
+  // The victim is a clean, read-mostly token holder: everything fsynced,
+  // nothing dirty, so no write fence will ever push it into recovery.
+  ASSERT_TRUE(mc.write(victim, *vfh, 0, 1 * MiB).ok());
+  ASSERT_TRUE(mc.fsync(victim, *vfh).ok());
+  const std::uint64_t old_epoch = victim->lease_epoch();
+
+  fault::FaultInjector inject(mc.net, Rng(31));
+  inject.watch_pool(mc.cluster->connection_pool());
+  inject.watch_cluster(*mc.cluster);
+  const double t0 = mc.sim.now();
+  // Victim goes mute just before the manager dies, and heals shortly
+  // after the rebuild gave up on it (assert deadline = recovery_wait)
+  // but well before its lapsed-suspect entry becomes expel-due.
+  inject.schedule_blackhole(t0, mc.site.hosts[2], 0.35);
+  inject.schedule_crash_manager(t0 + 0.01, *mc.fs, 0.5);
+
+  // Survivor op drives election + rebuild; the mute victim's assertion
+  // query times out and it is installed as a must-rejoin lapsed suspect.
+  std::optional<Result<StatInfo>> ss;
+  mc.sim.after(0.05, [&] {
+    survivor->stat("/f", [&](Result<StatInfo> r) { ss = std::move(r); });
+  });
+  // After the heal the victim reads from cache; the piggybacked renewal
+  // is answered stale, driving discard-caches + rejoin.
+  std::optional<Result<Bytes>> vr;
+  mc.sim.after(0.45, [&] {
+    victim->read(*vfh, 0, 1 * MiB,
+                 [&](Result<Bytes> r) { vr = std::move(r); });
+  });
+  mc.sim.run();
+
+  ASSERT_TRUE(ss.has_value());
+  EXPECT_TRUE(ss->ok()) << (ss->ok() ? "" : ss->error().to_string());
+  ASSERT_TRUE(vr.has_value());
+  EXPECT_TRUE(vr->ok()) << (vr->ok() ? "" : vr->error().to_string());
+  EXPECT_EQ(mc.fs->manager_takeovers(), 1u);
+  // The renewal was refused and the victim rejoined as a fresh
+  // incarnation — no expel was ever needed, and no lease is left
+  // renewing over wiped token state.
+  EXPECT_GE(victim->lease_lapses(), 1u);
+  EXPECT_GT(victim->lease_epoch(), old_epoch);
+  EXPECT_GE(victim->mgr_takeovers(), 1u);
+  EXPECT_TRUE(mc.fs->fsck().clean());
+
+  // Full citizen again: tokens re-acquired under the new incarnation.
+  ASSERT_TRUE(mc.write(victim, *vfh, 1 * MiB, 1 * MiB).ok());
+  EXPECT_TRUE(mc.fsync(victim, *vfh).ok());
   EXPECT_TRUE(mc.fs->fsck().clean());
 }
 
