@@ -37,6 +37,7 @@
 #include <optional>
 
 #include "bench_util.hpp"
+#include "common/histogram.hpp"
 #include "fault/injector.hpp"
 #include "workload/mpiio.hpp"
 
@@ -60,6 +61,15 @@ struct RunResult {
   std::uint64_t manager_takeovers = 0;
   std::uint64_t manager_reroutes = 0;
   std::uint64_t stale_mgr_fenced = 0;
+  // recovery-latency SLO metrics (DESIGN.md §6, latency budget)
+  double takeover_to_first_grant_s = -1.0;
+  std::uint64_t rebuild_rpcs = 0;
+  std::uint64_t early_expels = 0;
+  std::uint64_t overlap_admits = 0;
+  std::uint64_t recovery_probes = 0;
+  std::uint64_t recovery_ops = 0;   // metadata ops that saw the rebuild gate
+  double recovery_p50_s = 0;
+  double recovery_p99_s = 0;
   std::string mmpmon;
 };
 
@@ -266,6 +276,24 @@ RunResult run_workload(bool inject_faults) {
   out.fenced_writes = farm.fs->fenced_writes();
   out.manager_takeovers = farm.fs->manager_takeovers();
   out.stale_mgr_fenced = farm.fs->stale_manager_fenced();
+  out.takeover_to_first_grant_s = farm.fs->takeover_to_first_grant_s();
+  out.rebuild_rpcs = farm.fs->rebuild_rpcs();
+  out.early_expels = farm.fs->early_expels();
+  out.overlap_admits = farm.fs->overlap_writes_admitted();
+  // Cluster-wide op latency during recovery: fold every mounted
+  // client's histogram (same bin geometry) into one distribution.
+  Histogram rec(0.01, 2000, "recovery_ops");
+  auto fold = [&](gpfs::Client* c) {
+    rec.merge(c->recovery_op_latency());
+    out.recovery_probes += c->recovery_probes();
+  };
+  for (gpfs::Client* c : clients) fold(c);
+  for (gpfs::Client* c : readers) fold(c);
+  fold(victim);
+  fold(dsurv);
+  out.recovery_ops = rec.count();
+  out.recovery_p50_s = rec.quantile(0.5);
+  out.recovery_p99_s = rec.quantile(0.99);
   MGFS_ASSERT(farm.fs->fsck().clean(), "chaos soak left metadata dirty");
   out.mmpmon = clients[0]->mmpmon();
   if (inject_faults) {
@@ -470,6 +498,18 @@ bool run_manager_crash() {
   writer->fsync(wfh, [&](Status s) { wbsync = s; });
   sim.run();
   MGFS_ASSERT(wbsync.has_value() && wbsync->ok(), "baseline fsync failed");
+  // A second committed region whose blocks stay allocated and whose rw
+  // token stays held: re-dirtying it later needs no metadata RPC, so
+  // its write-behind flush drives straight at the NSD write gate across
+  // the takeover — the overlap-window probe.
+  std::optional<Result<Bytes>> wover;
+  writer->write(wfh, 16 * MiB, 48 * MiB, [&](Result<Bytes> r) { wover = r; });
+  sim.run();
+  MGFS_ASSERT(wover.has_value() && wover->ok(), "overlap stage write failed");
+  std::optional<Status> wosync;
+  writer->fsync(wfh, [&](Status s) { wosync = s; });
+  sim.run();
+  MGFS_ASSERT(wosync.has_value() && wosync->ok(), "overlap stage fsync failed");
   dead->write(dfh, 0, 4 * MiB, [](Result<Bytes>) {});
   mute->write(mfh, 0, 4 * MiB, [](Result<Bytes>) {});
   sim.run_until(sim.now() + 0.02);  // stage dirty pages + journal records
@@ -491,6 +531,26 @@ bool run_manager_crash() {
       w_done_at = sim.now();
     });
   });
+  // Re-dirty the committed region the instant the successor starts the
+  // rebuild (the poll cadence is finer than a network hop, so the
+  // writer's assert query is still on the wire): the write completes
+  // from the page pool (token held, blocks already allocated — no
+  // metadata RPC), the assertion the writer sends back keeps its rw
+  // token clipped to exactly these unflushed pages, and the redriven
+  // blocks bounce off the recovering write gate until that assertion
+  // installs — then land while the mute straggler is still being
+  // queried: a reasserted client's write completing before the global
+  // rebuild finishes.
+  std::optional<Result<Bytes>> wredirty;
+  std::function<void()> redirty_poll = [&] {
+    if (farm.fs->recovering()) {
+      writer->write(wfh, 16 * MiB, 8 * MiB,
+                    [&](Result<Bytes> r) { wredirty = r; });
+      return;
+    }
+    if (sim.now() < t0 + 3.0) sim.after(0.00005, redirty_poll);
+  };
+  sim.after(t0 - sim.now(), redirty_poll);
   // A later fsync commits the writer and, as a manager op, drives the
   // lease sweep that expels the still-mute partitioned client.
   std::optional<Status> wsync;
@@ -516,6 +576,11 @@ bool run_manager_crash() {
               static_cast<unsigned long long>(farm.fs->manager_epoch()),
               takeover_s, budget_s);
   std::printf("  manager: %s\n", farm.fs->stats().c_str());
+  std::printf("  first grant: +%.3f s after takeover; rebuild rpcs %llu, "
+              "overlap writes %llu\n",
+              farm.fs->takeover_to_first_grant_s(),
+              static_cast<unsigned long long>(farm.fs->rebuild_rpcs()),
+              static_cast<unsigned long long>(farm.fs->overlap_writes_admitted()));
   std::printf("  NSD fenced writes:   %llu\n",
               static_cast<unsigned long long>(nsd_fenced));
 
@@ -541,6 +606,14 @@ bool run_manager_crash() {
         "deposed-epoch flush fenced at the NSD servers");
   check(writer->mgr_takeovers() >= 1 && writer->mgr_reroutes() >= 1,
         "client adopted the successor's view");
+  check(farm.fs->rebuild_rpcs() == 3,
+        "rebuild queried each client exactly once (O(clients) RPCs)");
+  check(farm.fs->overlap_writes_admitted() >= 1 && wredirty.has_value() &&
+            wredirty->ok(),
+        "reasserted writer's flush landed mid-rebuild (overlap window)");
+  check(farm.fs->takeover_to_first_grant_s() >= 0.0 &&
+            farm.fs->takeover_to_first_grant_s() <= 2.0 * ccfg.lease_duration,
+        "first grant within 2 lease periods of takeover");
   check(fsck.clean(), "fsck clean after takeover");
   return ok;
 }
@@ -600,6 +673,16 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(chaos.manager_takeovers),
               static_cast<unsigned long long>(chaos.manager_reroutes),
               static_cast<unsigned long long>(chaos.stale_mgr_fenced));
+  std::printf("  recovery: first grant +%.3f s after takeover, rebuild rpcs "
+              "%llu, early expels %llu, overlap writes %llu\n",
+              chaos.takeover_to_first_grant_s,
+              static_cast<unsigned long long>(chaos.rebuild_rpcs),
+              static_cast<unsigned long long>(chaos.early_expels),
+              static_cast<unsigned long long>(chaos.overlap_admits));
+  std::printf("  recovery ops %llu (p50 %.3f s, p99 %.3f s), probes %llu\n",
+              static_cast<unsigned long long>(chaos.recovery_ops),
+              chaos.recovery_p50_s, chaos.recovery_p99_s,
+              static_cast<unsigned long long>(chaos.recovery_probes));
   std::cout << "\nclient 0 mmpmon (chaos run):\n" << chaos.mmpmon;
 
   const Bytes expected = kClients * kPerTask;
@@ -623,6 +706,17 @@ int main(int argc, char** argv) {
   check(chaos.fenced_writes >= 1, "late dirty flush fenced");
   check(chaos.manager_takeovers >= 1, "manager takeover completed");
   check(chaos.stale_mgr_fenced >= 1, "deposed-manager write fenced");
+  // 2 lease periods (lease_duration = 3.0 in run_workload).
+  check(chaos.takeover_to_first_grant_s >= 0.0 &&
+            chaos.takeover_to_first_grant_s <= 6.0,
+        "first post-takeover grant within 2 lease periods");
+  check(chaos.rebuild_rpcs >= 1 &&
+            chaos.rebuild_rpcs <= 10 * chaos.manager_takeovers,
+        "rebuild queried each client at most once (O(clients) RPCs)");
+  check(chaos.early_expels >= 1,
+        "suspect confirmed dead by probe quorum (early expel)");
+  check(chaos.recovery_ops >= 1,
+        "op latency during recovery window recorded");
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);
@@ -644,6 +738,16 @@ int main(int argc, char** argv) {
         << "  \"manager_takeovers\": " << chaos.manager_takeovers << ",\n"
         << "  \"manager_reroutes\": " << chaos.manager_reroutes << ",\n"
         << "  \"stale_mgr_fenced\": " << chaos.stale_mgr_fenced << ",\n"
+        << "  \"rebuild_rpcs\": " << chaos.rebuild_rpcs << ",\n"
+        << "  \"early_expels\": " << chaos.early_expels << ",\n"
+        << "  \"overlap_writes_admitted\": " << chaos.overlap_admits << ",\n"
+        << "  \"recovery_probes\": " << chaos.recovery_probes << ",\n"
+        << "  \"recovery_ops\": " << chaos.recovery_ops << ",\n";
+    out.precision(4);  // sub-second latencies need more than one decimal
+    out << "  \"takeover_to_first_grant_s\": "
+        << chaos.takeover_to_first_grant_s << ",\n"
+        << "  \"recovery_op_p50_s\": " << chaos.recovery_p50_s << ",\n"
+        << "  \"recovery_op_p99_s\": " << chaos.recovery_p99_s << ",\n"
         << "  \"pass\": " << (ok ? "true" : "false") << "\n}\n";
     std::cout << "\n  JSON written to " << json_path << "\n";
   }

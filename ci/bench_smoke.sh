@@ -25,4 +25,21 @@ cmake --build "$build_dir" -j "$(nproc)" --target fig11_scaling chaos_soak
 # completes across the takeover, stale-manager grants fenced, fsck clean.
 "$build_dir/bench/chaos_soak" --scenario manager_crash
 
+# Recovery-latency SLO gate: the soak JSON must carry the recovery keys
+# and the first post-takeover grant must land within 2 lease periods
+# (lease_duration = 3.0 s in the soak => 6.0 s).
+chaos_json="$repo_root/BENCH_chaos.json"
+for key in takeover_to_first_grant_s rebuild_rpcs recovery_op_p50_s \
+           recovery_op_p99_s overlap_writes_admitted early_expels; do
+  grep -q "\"$key\"" "$chaos_json" || {
+    echo "bench_smoke: FAIL — $chaos_json missing key \"$key\"" >&2
+    exit 1
+  }
+done
+awk -F': ' '/"takeover_to_first_grant_s"/ {
+  v = $2 + 0
+  if (v < 0 || v > 6.0) { printf "bench_smoke: FAIL — takeover_to_first_grant_s %.4f outside [0, 6.0]\n", v; exit 1 }
+  printf "bench_smoke: takeover_to_first_grant_s %.4f s (SLO: 2 lease periods = 6.0 s)\n", v
+}' "$chaos_json"
+
 echo "bench_smoke: wrote $repo_root/BENCH_fig11.json and $repo_root/BENCH_chaos.json"

@@ -30,6 +30,19 @@ void Histogram::add(double v) {
   }
 }
 
+void Histogram::merge(const Histogram& other) {
+  MGFS_ASSERT(bin_width_ == other.bin_width_ &&
+                  bins_.size() == other.bins_.size(),
+              "histogram merge shape mismatch");
+  if (other.count_ == 0) return;
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  overflow_ += other.overflow_;
+  for (std::size_t i = 0; i < bins_.size(); ++i) bins_[i] += other.bins_[i];
+}
+
 double Histogram::mean() const {
   return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
 }

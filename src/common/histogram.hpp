@@ -18,6 +18,11 @@ class Histogram {
 
   void add(double v);
 
+  /// Fold another histogram into this one (e.g. per-client latency
+  /// distributions into a cluster-wide one). Requires identical bin
+  /// geometry; the other's overflow stays overflow here.
+  void merge(const Histogram& other);
+
   std::uint64_t count() const { return count_; }
   double mean() const;
   double min() const { return count_ ? min_ : 0.0; }

@@ -43,6 +43,8 @@ enum class Errc {
   not_empty,
   stale,               // configuration generation mismatch
   timed_out,
+  gated,               // NSD write gate paused the I/O (manager takeover
+                       // rebuild in flight) — requeue, server is healthy
 };
 
 /// Human-readable code name (stable; used in logs and test assertions).
@@ -64,6 +66,7 @@ constexpr const char* errc_name(Errc e) {
     case Errc::not_empty: return "not_empty";
     case Errc::stale: return "stale";
     case Errc::timed_out: return "timed_out";
+    case Errc::gated: return "gated";
   }
   return "unknown";
 }

@@ -38,7 +38,7 @@ struct RetryPolicy {
 /// Errors worth re-issuing: the peer (or path) may heal. Everything
 /// else — permission, namespace, media loss — is final.
 inline bool retryable(Errc e) {
-  return e == Errc::unavailable || e == Errc::timed_out;
+  return e == Errc::unavailable || e == Errc::timed_out || e == Errc::gated;
 }
 
 }  // namespace mgfs

@@ -36,30 +36,62 @@ Client::Client(Rpc& rpc, net::NodeId node, ClientId id, ClientConfig cfg,
 
 template <typename R>
 void Client::meta_call(Bytes req_payload, Rpc::ServerFn<R> server,
-                       std::function<void(Result<R>)> done, int attempt) {
+                       std::function<void(Result<R>)> done, int attempt,
+                       double started_at, bool saw_recovery) {
   MGFS_ASSERT(mounted(), "metadata RPC without a mount");
+  if (started_at < 0) started_at = simulator().now();
+  saw_recovery = saw_recovery || fs_->recovering();
   const net::NodeId target = mgr_node_;
   rpc_.call<R>(
       node_, target, req_payload, server,
-      [this, req_payload, server, attempt, target,
+      [this, req_payload, server, attempt, target, started_at, saw_recovery,
        done = std::move(done)](Result<R> res) mutable {
         if (res.ok()) {
+          if (saw_recovery) {
+            recovery_op_hist_.add(simulator().now() - started_at);
+          }
           done(std::move(res));
           return;
         }
         if (res.code() == Errc::timed_out) ++rpc_timeouts_;
         if (!retryable(res.code()) || cfg_.retry.exhausted(attempt)) {
+          if (saw_recovery) {
+            recovery_op_hist_.add(simulator().now() - started_at);
+          }
           done(std::move(res));
           return;
         }
         // The manager did not answer: report it so the cluster's
         // suspicion machinery can elect a successor if the node is dead.
-        if (manager_watch_) manager_watch_();
+        // Two freshness guards, or recovery eats its own tail: no report
+        // while a rebuild is in flight (the successor is alive and
+        // refusing on purpose — at probe cadence a handful of clients
+        // would reach the strike quorum within milliseconds and depose
+        // every new manager mid-rebuild), and no report when the role
+        // has already moved off the node this RPC was aimed at (a
+        // timeout against the deposed manager is stale evidence, not an
+        // accusation against its successor).
+        const bool was_recovering = mounted() && fs_->recovering();
+        if (manager_watch_ && !was_recovering &&
+            fs_->manager_node() == target) {
+          manager_watch_();
+        }
         ++rpc_retries_;
+        // While a takeover rebuild is in flight the failure is the gate,
+        // not the network: probe at a short fixed cadence instead of
+        // walking the seeded-backoff schedule, or the client sleeps
+        // through most of a short rebuild. Normal backoff resumes the
+        // moment the gate clears. Re-checked after the watch — the watch
+        // itself may have just started the takeover this retry must probe.
+        const bool probing = mounted() && fs_->recovering();
+        if (probing) ++recovery_probes_;
+        const sim::Time delay = probing
+                                    ? cfg_.recovery_probe_interval
+                                    : cfg_.retry.backoff(attempt, rng_);
         simulator().after(
-            cfg_.retry.backoff(attempt, rng_),
+            delay,
             [this, req_payload, server = std::move(server), attempt, target,
-             done = std::move(done)]() mutable {
+             started_at, saw_recovery, done = std::move(done)]() mutable {
               if (!mounted()) {
                 done(err(Errc::unavailable, "unmounted during retry"));
                 return;
@@ -73,7 +105,7 @@ void Client::meta_call(Bytes req_payload, Rpc::ServerFn<R> server,
               const int next_attempt =
                   (fs_->recovering() || !(fresh == target)) ? 0 : attempt + 1;
               meta_call<R>(req_payload, std::move(server), std::move(done),
-                           next_attempt);
+                           next_attempt, started_at, saw_recovery);
             });
       },
       Rpc::CallOptions{cfg_.rpc_deadline});
@@ -428,6 +460,21 @@ void Client::nsd_run_attempt(NsdRun run, bool write,
       done(run, r.error());
       return;
     }
+    if (r.code() == Errc::gated) {
+      // The write gate paused this I/O for a takeover rebuild. The
+      // server is healthy — charging it the failure would open its
+      // breaker and fail I/O over to the backup for nothing. Requeue on
+      // the short recovery cadence; the attempt is not consumed (the
+      // rebuild always finishes, so this cannot loop forever).
+      ++recovery_probes_;
+      simulator().after(cfg_.recovery_probe_interval,
+                        [this, run = std::move(run), write, attempt,
+                         done = std::move(done)]() mutable {
+                          nsd_io_run(std::move(run), write, attempt,
+                                     std::move(done));
+                        });
+      return;
+    }
     note_server_fail(target);
     if (ti + 1 < targets.size()) {
       ++failovers_;
@@ -479,7 +526,7 @@ void Client::nsd_run_attempt(NsdRun run, bool write,
             case NsdServer::GateDecision::retry:
               // Manager takeover rebuilding state: pause-and-redrive.
               reply(kDataHeader,
-                    err(Errc::unavailable, "manager takeover in progress"));
+                    err(Errc::gated, "manager takeover in progress"));
               return;
             case NsdServer::GateDecision::fence:
               reply(kDataHeader,
@@ -1301,7 +1348,10 @@ std::string Client::mmpmon() const {
      << "  _fnc_ " << fenced_writes_ << "\n"         // fenced (stale) writes
      << "  _mto_ " << mgr_takeovers_ << "\n"         // manager takeovers seen
      << "  _mrr_ " << mgr_reroutes_ << "\n"          // manager-RPC reroutes
-     << "  _smg_ " << stale_mgr_rejects_ << "\n";    // stale-manager refusals
+     << "  _smg_ " << stale_mgr_rejects_ << "\n"     // stale-manager refusals
+     << "  _rpb_ " << recovery_probes_ << "\n"       // fast recovery probes
+     << "  _rp50_ " << recovery_op_hist_.quantile(0.5) << "\n"  // p50 (s)
+     << "  _rp99_ " << recovery_op_hist_.quantile(0.99) << "\n";  // p99 (s)
   return os.str();
 }
 
@@ -1488,11 +1538,80 @@ Result<ManagerAssertReply> Client::assert_tokens(net::NodeId mgr_node,
   adopt_manager_view(mgr_node, mgr_epoch);
   ManagerAssertReply reply;
   reply.lease_epoch = lease_epoch_;
-  for (const auto& [ino, held] : held_) {
-    for (const HeldToken& h : held) {
-      reply.tokens.push_back(TokenAssertion{ino, h.mode, h.range});
+  // Dirty-journal summary: what this client still owes the data path
+  // (the redrive the overlap window must absorb once its tokens are
+  // back). dirty_addr_ keys every unflushed page to its pre-allocated
+  // address, so the inode set falls out of the keys — and the per-inode
+  // covering span of those pages bounds what we must keep locked.
+  const Bytes bs = block_size();
+  std::unordered_map<InodeNum, TokenRange> dirty_span;
+  reply.dirty_bytes = pool_.dirty_bytes();
+  for (const auto& [key, addr] : dirty_addr_) {
+    reply.dirty_inodes.push_back(key.ino);
+    const TokenRange pg{key.block * bs, (key.block + 1) * bs};
+    auto [it, fresh] = dirty_span.try_emplace(key.ino, pg);
+    if (!fresh) {
+      it->second.lo = std::min(it->second.lo, pg.lo);
+      it->second.hi = std::max(it->second.hi, pg.hi);
     }
   }
+  std::sort(reply.dirty_inodes.begin(), reply.dirty_inodes.end());
+  reply.dirty_inodes.erase(
+      std::unique(reply.dirty_inodes.begin(), reply.dirty_inodes.end()),
+      reply.dirty_inodes.end());
+  // Assert only what this client still owes: rw tokens clamped to the
+  // covering span of their unflushed pages. The speculative width a
+  // token gained from desired-window batching died with the old
+  // manager — reinstalling it would make the successor's rebuilt table
+  // block every other client's first post-takeover acquire behind a
+  // revoke round against a grant nobody is using. Clean holdings are
+  // simply re-acquired on demand, same as after a plain wipe.
+  std::unordered_map<InodeNum, std::vector<HeldToken>> kept;
+  for (const auto& [ino, held] : held_) {
+    const auto ds = dirty_span.find(ino);
+    if (ds == dirty_span.end()) continue;
+    for (const HeldToken& h : held) {
+      if (h.mode != LockMode::rw || !h.range.overlaps(ds->second)) continue;
+      const TokenRange clip{std::max(h.range.lo, ds->second.lo),
+                            std::min(h.range.hi, ds->second.hi)};
+      kept[ino].push_back({h.mode, clip, /*widened=*/false});
+      reply.tokens.push_back(TokenAssertion{ino, h.mode, clip});
+    }
+  }
+  // Cached pages whose token was dropped lose their revoke channel —
+  // nobody will tell us when another client rewrites them. Evict the
+  // clean ones; dirty pages all live inside kept spans by construction
+  // (every dirty page sits under some rw token and inside its inode's
+  // dirty span, so its clip retains it).
+  for (const auto& [ino, held] : held_) {
+    const auto kit = kept.find(ino);
+    for (const HeldToken& h : held) {
+      std::vector<TokenRange> remain{h.range};
+      if (kit != kept.end()) {
+        for (const HeldToken& k : kit->second) {
+          std::vector<TokenRange> next;
+          for (const TokenRange& r : remain) {
+            if (!r.overlaps(k.range)) {
+              next.push_back(r);
+              continue;
+            }
+            if (r.lo < k.range.lo) next.push_back({r.lo, k.range.lo});
+            if (k.range.hi < r.hi) next.push_back({k.range.hi, r.hi});
+          }
+          remain = std::move(next);
+        }
+      }
+      for (const TokenRange& r : remain) {
+        // Interior blocks only: a block straddling a kept-range edge is
+        // still partly under token, and a partially-dirtied page must
+        // not be dropped with unflushed bytes aboard.
+        const std::uint64_t lo_blk = ceil_div(r.lo, bs);
+        const std::uint64_t hi_blk = r.hi == kWholeFile ? ~0ULL : r.hi / bs;
+        if (lo_blk < hi_blk) pool_.invalidate(ino, lo_blk, hi_blk);
+      }
+    }
+  }
+  held_ = std::move(kept);
   // held_ iterates in hash order; the successor's rebuilt tables must
   // not depend on it.
   std::sort(reply.tokens.begin(), reply.tokens.end(),

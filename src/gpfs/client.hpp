@@ -27,6 +27,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/histogram.hpp"
 #include "common/retry.hpp"
 #include "gpfs/filesystem.hpp"
 #include "gpfs/pagepool.hpp"
@@ -54,16 +55,27 @@ struct ClientConfig {
   int breaker_threshold = 3;         // consecutive failures to open
   sim::Time breaker_probe = 1.0;     // half-open probe spacing while open
   sim::Time flush_retry_delay = 0.05;  // write-behind requeue after failure
+  /// Fixed metadata-retry spacing while the manager gate reports
+  /// `recovering`: the full seeded-backoff schedule can sleep through a
+  /// short takeover, so redrives probe at this cadence until the gate
+  /// clears, then normal backoff resumes.
+  sim::Time recovery_probe_interval = 0.05;
 };
 
 using Fh = int;  // file handle
 
-/// A client's answer to the manager-takeover rebuild query: the lease
-/// epoch it believes is current plus every token it holds. The successor
-/// reconstructs its volatile token/lease tables from these.
+/// A client's answer to the manager-takeover rebuild query — one
+/// batched reassert_all reply carrying its full membership state: the
+/// lease epoch it believes is current, every token it holds, and a
+/// dirty-journal summary (write-behind bytes still unflushed and the
+/// inodes they belong to). The successor reconstructs its volatile
+/// token/lease tables from these with O(clients) RPCs, not O(grants);
+/// the dirty summary sizes the redrive the overlap window must absorb.
 struct ManagerAssertReply {
   std::uint64_t lease_epoch = 0;
   std::vector<TokenAssertion> tokens;
+  Bytes dirty_bytes = 0;                // unflushed write-behind payload
+  std::vector<InodeNum> dirty_inodes;   // distinct inodes owning it, sorted
 };
 
 class Client {
@@ -189,6 +201,10 @@ class Client {
   std::uint64_t lease_renewals() const { return lease_renewals_; }
   std::uint64_t lease_lapses() const { return lease_lapses_; }
   std::uint64_t fenced_writes() const { return fenced_writes_; }
+  /// Metadata retries issued at the fast recovery-probe cadence.
+  std::uint64_t recovery_probes() const { return recovery_probes_; }
+  /// Latency of metadata ops that overlapped a takeover rebuild.
+  const Histogram& recovery_op_latency() const { return recovery_op_hist_; }
   /// Is the breaker for NSD-server `node` currently open?
   bool breaker_open(net::NodeId node) const;
   /// mmpmon-style per-client I/O counter report (the GPFS monitoring
@@ -226,10 +242,14 @@ class Client {
                   std::function<void(Status)> done);
   void install_chunk(InodeNum ino, const BlockMapChunk& chunk);
 
-  // metadata path: manager RPC with deadline + bounded backoff retry
+  // metadata path: manager RPC with deadline + bounded backoff retry.
+  // `started_at`/`saw_recovery` thread first-issue time and whether the
+  // op ever saw the recovering gate through the retry chain, feeding the
+  // recovery-op latency histogram.
   template <typename R>
   void meta_call(Bytes req_payload, Rpc::ServerFn<R> server,
-                 std::function<void(Result<R>)> done, int attempt = 0);
+                 std::function<void(Result<R>)> done, int attempt = 0,
+                 double started_at = -1.0, bool saw_recovery = false);
 
   // data path. Fills and flushes travel as NsdRuns — coalesced wire
   // requests. RunDone is a *shared* completion: it fires once per
@@ -376,6 +396,9 @@ class Client {
   std::uint64_t mgr_takeovers_ = 0;    // manager-epoch advances adopted
   std::uint64_t mgr_reroutes_ = 0;     // metadata RPCs re-targeted
   std::uint64_t stale_mgr_rejects_ = 0;  // deposed-manager RPCs refused
+  std::uint64_t recovery_probes_ = 0;  // fast-cadence recovery retries
+  // Ops that saw the recovering gate: 10ms bins out to 20s.
+  Histogram recovery_op_hist_{0.01, 2000, "recovery_ops"};
 };
 
 }  // namespace mgfs::gpfs

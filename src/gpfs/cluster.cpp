@@ -1,5 +1,6 @@
 #include "gpfs/cluster.hpp"
 
+#include <algorithm>
 #include <iomanip>
 #include <sstream>
 #include <utility>
@@ -164,8 +165,18 @@ void Cluster::wire_filesystem(FileSystem& fs) {
     // stays mute for the whole recovery wait becomes a suspect and the
     // lease clock decides. A slow-but-alive holder that misses this
     // deadline renews its lease and gets the revoke re-delivered.
+    // The deadline is capped by the holder's remaining expel clock: a
+    // re-revoke to a suspect whose lease is nearly forfeit must not
+    // wait the full window again (that would pay lease_recovery_wait
+    // twice — once in the RPC, once in await_expel). A floor of a
+    // quarter window keeps a real flush round trip possible.
     Rpc::CallOptions opts;
-    opts.deadline = fs.config().lease_recovery_wait;
+    const double rw = fs.config().lease_recovery_wait;
+    const double remaining =
+        fs.lease().known(holder)
+            ? fs.lease().time_until_expel(holder, sim_.now())
+            : rw;
+    opts.deadline = std::max(0.25 * rw, std::min(remaining, rw));
     // The revoke is stamped with the manager epoch at *send* time: if a
     // takeover happens while it is in flight (or a deposed manager's
     // event loop resurrects and sends one late), the client refuses it
@@ -180,6 +191,45 @@ void Cluster::wire_filesystem(FileSystem& fs) {
           }
         },
         [shared_ack](Result<int> r) { (*shared_ack)(r.ok()); }, opts);
+  });
+  // Early expel quorum: probe a suspect over two independent paths —
+  // the manager's own link plus a second live client acting as witness
+  // — and answer dead only when BOTH fail, so a fault local to the
+  // manager's link cannot fake a cluster-wide death. Short deadline:
+  // the point is to confirm in a fraction of lease_recovery_wait.
+  fs.set_prober([this, &fs](ClientId suspect,
+                            std::function<void(bool)> done) {
+    auto it = registry_.find(suspect);
+    if (it == registry_.end() || it->second.client == nullptr) {
+      // Unmounted/expelled meanwhile: nothing left to probe.
+      sim_.defer([done = std::move(done)] { done(false); });
+      return;
+    }
+    const net::NodeId target = it->second.client->node();
+    // Witness: lowest-id other live client on this fs (determinism).
+    Client* witness = nullptr;
+    for (auto& [id, rec] : registry_) {
+      if (rec.fs != &fs || id == suspect || rec.client == nullptr) continue;
+      if (!net_.node_up(rec.client->node())) continue;
+      if (witness == nullptr || id < witness->id()) witness = rec.client;
+    }
+    Rpc::CallOptions opts;
+    opts.deadline = std::max(0.5 * fs.config().lease_recovery_wait, 1e-3);
+    const int probes = witness != nullptr ? 2 : 1;
+    auto state = std::make_shared<std::pair<int, bool>>(probes, false);
+    auto shared_done =
+        std::make_shared<std::function<void(bool)>>(std::move(done));
+    auto probe_cb = [state, shared_done](Result<int> r) {
+      if (r.ok()) state->second = true;
+      if (--state->first == 0) (*shared_done)(state->second);
+    };
+    // The probe carries no state: reaching the suspect's daemon at all
+    // is the proof of life (its lease renewal then clears suspicion).
+    auto serve = [](Rpc::ReplyFn<int> reply) { reply(64, 0); };
+    rpc_.call<int>(fs.manager_node(), target, 64, serve, probe_cb, opts);
+    if (witness != nullptr) {
+      rpc_.call<int>(witness->node(), target, 64, serve, probe_cb, opts);
+    }
   });
 }
 
@@ -578,27 +628,36 @@ void Cluster::note_manager_unreachable(FileSystem* fs, ClientId reporter) {
     takeover_manager(*fs);
     return;
   }
-  // Manager node up but not answering (blackhole / gray failure): one
-  // strike per report, forgiven after a quiet lease period. Three
-  // strikes — below the clients' retry budget, so the takeover fires
-  // before their redrives exhaust — plus a two-accuser quorum: a single
-  // partitioned client sees an unreachable manager too, and must not be
-  // able to depose one that everyone else still reaches.
+  // Manager node up but not answering (blackhole / gray failure):
+  // reports accumulate, forgiven after a quiet lease period, and the
+  // whole episode resets when the manager epoch changes (a strike
+  // accuses an incarnation, not the office — stale grudges must not
+  // carry over to the successor). The takeover fires on a floor of
+  // three raw reports — below the clients' retry budget, so it lands
+  // before their redrives exhaust — AND a quorum of *distinct*
+  // accusers scaled to the population: min(3, clients on the fs).
+  // Deduping accusers per (reporter, epoch) means one partitioned
+  // client can flap and re-report forever yet only ever counts once,
+  // so it cannot creep toward deposing a manager the others still
+  // reach.
   MgrSuspicion& s = mgr_suspicion_[fs];
   const double now = sim_.now();
-  if (s.strikes > 0 && now - s.last > fs->config().lease_duration) {
-    s.strikes = 0;
+  if (s.epoch != fs->manager_epoch() ||
+      (s.reports > 0 && now - s.last > fs->config().lease_duration)) {
+    s.reports = 0;
     s.reporters.clear();
+    s.epoch = fs->manager_epoch();
   }
-  ++s.strikes;
+  ++s.reports;
   s.last = now;
   s.reporters.insert(reporter);
   std::size_t on_fs = 0;
   for (const auto& [id, rec] : registry_) {
     if (rec.fs == fs) ++on_fs;
   }
-  const std::size_t quorum = on_fs >= 2 ? 2 : 1;
-  if (s.strikes >= 3 && s.reporters.size() >= quorum) takeover_manager(*fs);
+  const std::size_t quorum =
+      std::min<std::size_t>(3, std::max<std::size_t>(on_fs, 1));
+  if (s.reports >= 3 && s.reporters.size() >= quorum) takeover_manager(*fs);
 }
 
 bool Cluster::takeover_manager(FileSystem& fs) {
@@ -648,6 +707,10 @@ bool Cluster::takeover_manager(FileSystem& fs) {
     // A client that stays mute for the whole recovery wait forfeits its
     // state — same clock the expel path uses.
     opts.deadline = fs.config().lease_recovery_wait;
+    // One reassert_all RPC per client — the whole token + lease +
+    // dirty-journal summary rides a single reply, so the rebuild is
+    // O(clients), not O(grants). The counter is the gtest witness.
+    fs.note_rebuild_rpc();
     rpc_.call<ManagerAssertReply>(
         *successor, cnode, 128,
         [this, id, mgr = *successor,
@@ -659,7 +722,9 @@ bool Cluster::takeover_manager(FileSystem& fs) {
           }
           auto r = it->second.client->assert_tokens(mgr, epoch);
           const Bytes payload =
-              64 + (r.ok() ? 16 * static_cast<Bytes>(r->tokens.size()) : 0);
+              64 + (r.ok() ? 16 * static_cast<Bytes>(r->tokens.size()) +
+                                 8 * static_cast<Bytes>(r->dirty_inodes.size())
+                           : 0);
           reply(payload, std::move(r));
         },
         [this, fsp, id, cnode, remaining](Result<ManagerAssertReply> r) {

@@ -129,9 +129,10 @@ class Cluster {
   /// retryably. If the manager node is down in the network a takeover
   /// starts at once; if it is up but mute (blackhole / gray failure)
   /// repeated reports accumulate suspicion and the takeover fires at
-  /// three strikes — but only once at least two *distinct* clients have
-  /// accused (when two or more are registered), so a single partitioned
-  /// client cannot depose a manager that everyone else still reaches.
+  /// three reports — but only once enough *distinct* clients (deduped
+  /// per reporter and manager epoch; min(3, registered)) have accused,
+  /// so a single partitioned client flapping cannot creep toward
+  /// deposing a manager that everyone else still reaches.
   /// No-op while a takeover for `fs` is already in flight.
   void note_manager_unreachable(FileSystem* fs, ClientId reporter);
   /// GPFS-style manager takeover: elect the lowest-id live member node
@@ -218,14 +219,18 @@ class Cluster {
   std::unordered_map<Client*, Cluster*> remote_owner_;
   std::uint64_t handshakes_ = 0;
 
-  /// Manager-unreachability suspicion, per file system. Strikes decay
-  /// when reports stop (one quiet lease period forgives the history) so
-  /// isolated retries during an unrelated burst never depose a healthy
-  /// manager; the reporter set enforces the two-accuser quorum.
+  /// Manager-unreachability suspicion, per file system. Reports decay
+  /// when they stop (one quiet lease period forgives the history) and
+  /// the whole episode resets when the manager epoch changes — a strike
+  /// accuses one incarnation, not the office. The reporter set is
+  /// deduped per (reporter, epoch): a single flapping client can file
+  /// unlimited reports but only ever counts as ONE accuser, so it can
+  /// never creep toward deposing a manager the others still reach.
   struct MgrSuspicion {
-    int strikes = 0;
+    int reports = 0;  // raw reports this episode (floor of 3 to fire)
     double last = 0;
-    std::unordered_set<ClientId> reporters;
+    std::uint64_t epoch = 0;  // manager incarnation being accused
+    std::unordered_set<ClientId> reporters;  // distinct accusers
   };
   std::unordered_map<FileSystem*, MgrSuspicion> mgr_suspicion_;
 };

@@ -215,7 +215,19 @@ Result<BlockMapChunk> FileSystem::op_allocate(InodeNum ino,
 
 Status FileSystem::op_extend_size(InodeNum ino, Bytes size, ClientId client) {
   if (recovering_) {
-    return Status(Errc::unavailable, "manager takeover in progress");
+    // Overlap window: a client that already reasserted has a live lease
+    // entry again, and its fsync commits only *its own* pre-crash
+    // allocations — no shared table the half-built rebuild could
+    // corrupt. Serving it here lets an overlapped write's fsync finish
+    // while stragglers are still being queried. Everyone else (unknown,
+    // must-rejoin, expelled) stays parked behind the gate: unavailable,
+    // never stale, because their fate is not decided until the rebuild
+    // ends.
+    if (!lease_.renew(client, sim_.now())) {
+      return Status(Errc::unavailable, "manager takeover in progress");
+    }
+    journal_.commit_allocs(client, ino, ceil_div(size, cfg_.block_size));
+    return ns_.extend_size(ino, size, sim_.now());
   }
   lease_touch(client);
   if (lease_.expelled(client)) {
@@ -249,19 +261,21 @@ void FileSystem::token_retry(ClientId client, InodeNum ino, TokenRange range,
   if (recovering_) {
     // A takeover is repopulating the token tables from assertions; a
     // request resolved against the half-built state could grant bytes a
-    // client is about to reassert. Park the retry past the rebuild
-    // window (attempts not consumed — nothing was tried).
-    sim_.after(std::max(cfg_.lease_recovery_wait, 1e-3),
-               [this, client, ino, range, desired, mode, attempts,
-                done = std::move(done)]() mutable {
-                 token_retry(client, ino, range, desired, mode, attempts,
-                             std::move(done));
-               });
+    // client is about to reassert. Park the retry until finish_takeover
+    // drains the waiter list (attempts not consumed — nothing was
+    // tried). Resuming at rebuild completion, not after a fixed full
+    // recovery window, is most of the takeover_to_first_grant_s win.
+    park_for_recovery([this, client, ino, range, desired, mode, attempts,
+                       done = std::move(done)]() mutable {
+      token_retry(client, ino, range, desired, mode, attempts,
+                  std::move(done));
+    });
     return;
   }
   TokenDecision d = tokens_.request(client, ino, range, desired, mode);
   if (d.granted) {
     ++tokens_granted_;
+    note_first_grant();
     done(d.granted_range);
     return;
   }
@@ -326,13 +340,36 @@ void FileSystem::revoke_until_released(ClientId holder, InodeNum ino,
                done();
                return;
              }
-             // No acknowledgement: the holder may be dead. Suspect it
-             // and let the lease clock decide.
+             // No acknowledgement: the holder may be dead. Suspect it,
+             // probe for early confirmation, and let the lease clock
+             // decide.
              MGFS_DEBUG("lease", cfg_.name << ": revoke to client " << holder
                                            << " unacknowledged; suspect");
              lease_.note_suspect(holder, sim_.now());
-             await_expel(holder, ino, overlap, std::move(done));
+             probe_then_await(holder, ino, overlap, std::move(done));
            });
+}
+
+void FileSystem::probe_then_await(ClientId holder, InodeNum ino,
+                                  TokenRange overlap, sim::Callback done) {
+  if (!prober_ || lease_.expelled(holder) ||
+      lease_.suspect_confirmed(holder) || !lease_.claim_probe(holder)) {
+    await_expel(holder, ino, overlap, std::move(done));
+    return;
+  }
+  prober_(holder, [this, holder, ino, overlap,
+                   done = std::move(done)](bool alive) mutable {
+    if (!alive && lease_.suspect(holder)) {
+      // Probe quorum (manager path + second reporter) both failed:
+      // confirm the suspicion so expel_due fires now instead of after
+      // the remainder of duration + recovery_wait. A renewal racing in
+      // after this clears the confirmation — await_expel re-checks.
+      MGFS_DEBUG("lease", cfg_.name << ": suspect " << holder
+                                    << " probe-confirmed dead; early expel");
+      lease_.confirm_suspect(holder);
+    }
+    await_expel(holder, ino, overlap, std::move(done));
+  });
 }
 
 void FileSystem::await_expel(ClientId holder, InodeNum ino,
@@ -341,11 +378,11 @@ void FileSystem::await_expel(ClientId holder, InodeNum ino,
   if (recovering_) {
     // Hold the expel clock during a takeover rebuild: the lease table
     // is being repopulated and this holder may be about to reassert.
-    sim_.after(std::max(cfg_.lease_recovery_wait, 1e-3),
-               [this, holder, ino, overlap,
-                done = std::move(done)]() mutable {
-                 await_expel(holder, ino, overlap, std::move(done));
-               });
+    // Resume the moment the rebuild finishes, not a full window later.
+    park_for_recovery([this, holder, ino, overlap,
+                       done = std::move(done)]() mutable {
+      await_expel(holder, ino, overlap, std::move(done));
+    });
     return;
   }
   if (lease_.expelled(holder)) {
@@ -387,6 +424,11 @@ std::uint64_t FileSystem::op_client_register(ClientId client) {
 
 Result<std::uint64_t> FileSystem::op_lease_renew(ClientId client) {
   if (recovering_) {
+    // Overlap window: a reasserted client's entry is live again, and
+    // serving its renewal keeps the lease from lapsing while stragglers
+    // are still queried. Anyone the rebuild has not readmitted gets
+    // unavailable (retry), never stale — its fate is not decided yet.
+    if (lease_.renew(client, sim_.now())) return lease_.epoch_of(client);
     return err(Errc::unavailable, "manager takeover in progress");
   }
   sweep_leases();
@@ -400,9 +442,19 @@ NsdServer::GateDecision FileSystem::write_gate(ClientId client,
                                                std::uint64_t lease_epoch,
                                                std::uint64_t mgr_epoch) {
   if (recovering_) {
-    // Takeover rebuild in flight: nobody's epoch can be judged against
-    // a half-built lease table. Retryable — the client redrives once
-    // the successor finished rebuilding (pause-and-redrive, not fail).
+    // Overlap window: a client that already reasserted has a live entry
+    // under its preserved epoch and has adopted the new manager epoch —
+    // both current means its pre-crash grants are intact, and admitting
+    // its writes mid-rebuild opens no hole (reasserted tokens were
+    // compatible before the crash; no NEW grants are handed out until
+    // finish_takeover). Everyone else retries: a half-built lease table
+    // cannot fence, so "unknown" stays retryable, not stale.
+    if (mgr_epoch == manager_epoch_ &&
+        lease_.epoch_valid(client, lease_epoch)) {
+      ++overlap_admits_;
+      note_first_grant();
+      return NsdServer::GateDecision::admit;
+    }
     return NsdServer::GateDecision::retry;
   }
   if (mgr_epoch != manager_epoch_) {
@@ -418,6 +470,7 @@ NsdServer::GateDecision FileSystem::write_gate(ClientId client,
     ++fenced_writes_;
     return NsdServer::GateDecision::fence;
   }
+  note_first_grant();
   return NsdServer::GateDecision::admit;
 }
 
@@ -431,6 +484,8 @@ void FileSystem::begin_takeover(net::NodeId successor) {
   recovering_ = true;
   manager_node_ = successor;
   ++manager_epoch_;
+  takeover_started_at_ = sim_.now();
+  first_grant_at_ = -1.0;
   // The token and lease tables were the dead manager's volatile memory;
   // the successor starts empty and repopulates from client assertions.
   tokens_.clear();
@@ -444,10 +499,12 @@ void FileSystem::install_assertion(ClientId client, std::uint64_t lease_epoch,
                                    const std::vector<TokenAssertion>& tokens) {
   if (lease_.expelled(client)) return;  // expelled mid-rebuild: must rejoin
   lease_.install(client, lease_epoch, sim_.now());
-  for (const TokenAssertion& t : tokens) {
-    tokens_.install(client, t.ino, t.mode, t.range);
-    ++assertions_rebuilt_;
-  }
+  // One batched install per client: the whole asserted holding set
+  // arrived in a single reassert_all reply. Count replies, not tokens —
+  // a client whose dirty journal drained before the crash legitimately
+  // asserts an empty set, yet its lease is reasserted all the same.
+  tokens_.install_batch(client, tokens);
+  ++assertions_rebuilt_;
 }
 
 void FileSystem::note_rebuild_nonresponder(ClientId client, bool node_down) {
@@ -478,6 +535,52 @@ void FileSystem::finish_takeover() {
     replay_journal(c);
   }
   sweep_leases();  // the expel clock was held during the rebuild
+  // Wake everything that parked behind the recovering gate — token
+  // retries and expel waits resume now, not a recovery window later.
+  std::vector<sim::Callback> waiters = std::move(recovery_waiters_);
+  recovery_waiters_.clear();
+  // Staggered drain: waking every parked token retry and expel wait in
+  // the same instant turns rebuild completion into a redrive stampede —
+  // dozens of conflicting acquires collide, every one pays a revoke
+  // round, and the post-takeover goodput dip outlasts the rebuild it
+  // just avoided. A couple of milliseconds between waiters keeps the
+  // redrive pipelined instead.
+  double spread = 0.0;
+  for (sim::Callback& w : waiters) {
+    sim_.after(spread, std::move(w));
+    spread += 0.002;
+  }
+}
+
+void FileSystem::park_for_recovery(sim::Callback resume) {
+  auto once = std::make_shared<sim::Callback>(std::move(resume));
+  auto fire = [once]() {
+    if (*once) {
+      sim::Callback cb = std::move(*once);
+      *once = nullptr;
+      cb();
+    }
+  };
+  recovery_waiters_.push_back(fire);
+  // Safety net: if the rebuild never completes (e.g. the successor dies
+  // mid-takeover and the waiter list is never drained), resume after
+  // the old full-recovery-window park anyway so nothing wedges forever.
+  sim_.after(std::max(cfg_.lease_recovery_wait, 1e-3), fire);
+}
+
+void FileSystem::note_first_grant() {
+  if (takeover_started_at_ >= 0 && first_grant_at_ < 0) {
+    first_grant_at_ = sim_.now();
+    const double s = first_grant_at_ - takeover_started_at_;
+    // Only a grant inside the old full-recovery window measures this
+    // takeover: a first grant arriving later means the cluster simply
+    // had no demand — it would time when traffic returned, not how fast
+    // the rebuild got out of its way — so the previous measurement is
+    // kept instead.
+    if (s <= cfg_.lease_duration + cfg_.lease_recovery_wait) {
+      last_first_grant_s_ = s;
+    }
+  }
 }
 
 void FileSystem::expel_client(ClientId client, const char* why) {
@@ -558,7 +661,11 @@ std::string FileSystem::stats() const {
      << journal_replays_ << " _fnc_ " << fenced_writes_;
   os << "\n  mgr: node " << manager_node_.v << " epoch " << manager_epoch_
      << " _mto_ " << takeovers_ << " _rba_ " << assertions_rebuilt_
-     << " _smf_ " << stale_mgr_fenced_;
+     << " _smf_ " << stale_mgr_fenced_ << " _rrpc_ " << rebuild_rpcs_
+     << " _ovl_ " << overlap_admits_ << " _exq_ " << lease_.confirms();
+  if (takeover_to_first_grant_s() >= 0) {
+    os << " _t1g_ " << takeover_to_first_grant_s();
+  }
   return os.str();
 }
 

@@ -65,6 +65,11 @@ class FileSystem {
   /// Resolve a client's effective access to this FS (mount-session
   /// scoped: local clients rw, remote clusters per mmauth grant).
   using AccessFn = std::function<AccessMode(ClientId)>;
+  /// `prober(suspect, done)`: actively probe a suspect over independent
+  /// paths (manager ping + second-reporter confirmation) and answer
+  /// `done(alive)`. Installed by the cluster; used to confirm a suspect
+  /// dead early instead of waiting out the full renewal-miss window.
+  using ProberFn = std::function<void(ClientId, std::function<void(bool)>)>;
 
   FileSystem(sim::Simulator& sim, FsConfig cfg, std::vector<Nsd> nsds,
              net::NodeId manager_node);
@@ -84,6 +89,7 @@ class FileSystem {
   AllocationMap& alloc() { return alloc_; }
 
   void set_revoker(RevokerFn fn) { revoker_ = std::move(fn); }
+  void set_prober(ProberFn fn) { prober_ = std::move(fn); }
   void set_access_fn(AccessFn fn) { access_fn_ = std::move(fn); }
   void set_expel_listener(ExpelListener fn) {
     expel_listener_ = std::move(fn);
@@ -157,6 +163,26 @@ class FileSystem {
   double last_takeover_at() const { return last_takeover_at_; }
   std::uint64_t assertions_rebuilt() const { return assertions_rebuilt_; }
   std::uint64_t stale_manager_fenced() const { return stale_mgr_fenced_; }
+
+  // --- recovery-latency accounting (DESIGN.md §6, latency budget) -------
+  /// Count one per-client reassertion RPC issued by the takeover rebuild
+  /// (cluster.cpp calls this; the invariant under batched reassertion is
+  /// rebuild_rpcs == O(clients), not O(grants)).
+  void note_rebuild_rpc() { ++rebuild_rpcs_; }
+  std::uint64_t rebuild_rpcs() const { return rebuild_rpcs_; }
+  /// Writes admitted through the NSD gate *during* a takeover rebuild
+  /// because their sender had already reasserted (the overlap window).
+  std::uint64_t overlap_writes_admitted() const { return overlap_admits_; }
+  /// Suspects expelled early on probe-quorum confirmation instead of
+  /// waiting out duration + recovery_wait.
+  std::uint64_t early_expels() const { return lease_.confirms(); }
+  /// Seconds from begin_takeover to the first write admitted or token
+  /// granted under the new manager epoch, for the most recent takeover
+  /// that saw any post-takeover demand; < 0 if none ever has. A
+  /// takeover at the tail of a run with nothing left to grant keeps the
+  /// previous measurement instead of erasing it. The headline
+  /// recovery-latency SLO.
+  double takeover_to_first_grant_s() const { return last_first_grant_s_; }
 
   /// Consistency scan: cross-check inode block maps against the
   /// allocation bitmaps and the journal's uncommitted tail.
@@ -233,6 +259,17 @@ class FileSystem {
   /// re-revokes if it renewed meanwhile, expels otherwise.
   void await_expel(ClientId holder, InodeNum ino, TokenRange overlap,
                    sim::Callback done);
+  /// Probe a fresh suspect before joining the expel wait: a confirmed
+  /// corpse gets expel_due at once (early quorum), a live one waits the
+  /// normal window.
+  void probe_then_await(ClientId holder, InodeNum ino, TokenRange overlap,
+                        sim::Callback done);
+  /// Park `resume` until finish_takeover drains the waiter list (with a
+  /// full-recovery-window timer as a safety net if the rebuild dies).
+  void park_for_recovery(sim::Callback resume);
+  /// Stamp the first post-takeover service point (write admit or token
+  /// grant) for takeover_to_first_grant_s.
+  void note_first_grant();
   /// Piggybacked renewal + lazy sweep at manager-op entry.
   void lease_touch(ClientId client);
   void replay_journal(ClientId client);
@@ -249,6 +286,7 @@ class FileSystem {
   RevokerFn revoker_;
   AccessFn access_fn_;
   ExpelListener expel_listener_;
+  ProberFn prober_;
   bool sweeping_ = false;
   std::uint64_t tokens_granted_ = 0;
   std::uint64_t revocations_ = 0;
@@ -262,6 +300,14 @@ class FileSystem {
   double last_takeover_at_ = -1.0;
   std::uint64_t assertions_rebuilt_ = 0;
   std::uint64_t stale_mgr_fenced_ = 0;
+
+  // recovery-latency accounting
+  std::vector<sim::Callback> recovery_waiters_;
+  std::uint64_t rebuild_rpcs_ = 0;
+  std::uint64_t overlap_admits_ = 0;
+  double takeover_started_at_ = -1.0;
+  double first_grant_at_ = -1.0;
+  double last_first_grant_s_ = -1.0;
 };
 
 }  // namespace mgfs::gpfs

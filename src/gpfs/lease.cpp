@@ -24,6 +24,8 @@ bool LeaseManager::renew(ClientId c, double now) {
   }
   it->second.expires_at = now + cfg_.duration;
   it->second.suspect_noted = false;
+  it->second.confirmed_dead = false;  // it spoke: the probe quorum was wrong
+  it->second.probed = false;          // next episode gets a fresh probe slot
   ++renewals_;
   return true;
 }
@@ -54,12 +56,14 @@ bool LeaseManager::expel_due(ClientId c, double now) const {
   auto it = leases_.find(c);
   if (it == leases_.end()) return true;  // no lease, no standing
   if (it->second.expelled) return false;
+  if (it->second.confirmed_dead) return true;  // probe quorum: skip the wait
   return now >= it->second.expires_at + cfg_.recovery_wait;
 }
 
 double LeaseManager::time_until_expel(ClientId c, double now) const {
   auto it = leases_.find(c);
   if (it == leases_.end() || it->second.expelled) return 0;
+  if (it->second.confirmed_dead) return 0;
   double due = it->second.expires_at + cfg_.recovery_wait;
   return std::max(0.0, due - now);
 }
@@ -86,6 +90,33 @@ void LeaseManager::note_suspect(ClientId c, double now) {
 bool LeaseManager::suspect(ClientId c) const {
   auto it = leases_.find(c);
   return it != leases_.end() && it->second.suspect_noted;
+}
+
+void LeaseManager::confirm_suspect(ClientId c) {
+  auto it = leases_.find(c);
+  // Only an open suspicion episode can be confirmed: confirmation is
+  // corroboration of an existing suspicion, never a first accusation.
+  if (it == leases_.end() || it->second.expelled ||
+      !it->second.suspect_noted || it->second.confirmed_dead) {
+    return;
+  }
+  it->second.confirmed_dead = true;
+  ++confirms_;
+}
+
+bool LeaseManager::claim_probe(ClientId c) {
+  auto it = leases_.find(c);
+  if (it == leases_.end() || it->second.expelled ||
+      !it->second.suspect_noted || it->second.probed) {
+    return false;
+  }
+  it->second.probed = true;
+  return true;
+}
+
+bool LeaseManager::suspect_confirmed(ClientId c) const {
+  auto it = leases_.find(c);
+  return it != leases_.end() && it->second.confirmed_dead;
 }
 
 void LeaseManager::reset_for_takeover() {
@@ -152,7 +183,8 @@ std::vector<ClientId> LeaseManager::sweep(double now) {
       e.suspect_noted = true;
       ++suspects_;
     }
-    if (now >= e.expires_at + cfg_.recovery_wait) due.push_back(c);
+    if (e.confirmed_dead || now >= e.expires_at + cfg_.recovery_wait)
+      due.push_back(c);
   }
   std::sort(due.begin(), due.end());
   return due;

@@ -71,6 +71,21 @@ class LeaseManager {
   /// Is `c` in an open suspicion episode (no renewal since)?
   bool suspect(ClientId c) const;
 
+  /// Early expel quorum (DESIGN.md §6, recovery latency budget): the
+  /// suspect was actively probed and confirmed unreachable by at least
+  /// two independent paths. expel_due() answers true immediately for a
+  /// confirmed suspect — the expel no longer waits out the remainder of
+  /// duration + recovery_wait on a corpse. A renewal arriving anyway
+  /// (probe raced a heal) clears the confirmation with the suspicion.
+  void confirm_suspect(ClientId c);
+  bool suspect_confirmed(ClientId c) const;
+  /// Claim the single probe slot of the current suspicion episode.
+  /// Returns true exactly once per episode (renewal resets it): an
+  /// alive-but-slow holder that keeps missing revoke deadlines gets ONE
+  /// probe per episode, not one per unanswered revoke — repeat probes
+  /// of a live client are pure chatter and cannot change the verdict.
+  bool claim_probe(ClientId c);
+
   /// Mark `c` expelled. Returns false if it already was (double-expel
   /// idempotence) — the caller skips the recovery protocol then.
   bool expel(ClientId c);
@@ -114,6 +129,7 @@ class LeaseManager {
   std::uint64_t renewals() const { return renewals_; }
   std::uint64_t suspects_noted() const { return suspects_; }
   std::uint64_t expels() const { return expels_; }
+  std::uint64_t confirms() const { return confirms_; }
 
  private:
   struct Entry {
@@ -121,6 +137,8 @@ class LeaseManager {
     double expires_at = 0;
     bool expelled = false;
     bool suspect_noted = false;
+    bool confirmed_dead = false;  // probe quorum confirmed: expel at once
+    bool probed = false;          // this episode's probe slot claimed
     bool must_rejoin = false;  // slept through a takeover: renew refused
   };
 
@@ -130,6 +148,7 @@ class LeaseManager {
   std::uint64_t renewals_ = 0;
   std::uint64_t suspects_ = 0;
   std::uint64_t expels_ = 0;
+  std::uint64_t confirms_ = 0;
 };
 
 }  // namespace mgfs::gpfs

@@ -99,6 +99,16 @@ class TokenManager {
     by_inode_[ino].push_back(Holding{client, mode, range});
   }
 
+  /// Install a client's entire asserted holding set (one batched
+  /// reassert_all reply). Returns the number of holdings installed, so
+  /// the caller can account rebuilt state per client.
+  std::size_t install_batch(ClientId client,
+                            const std::vector<TokenAssertion>& assertions) {
+    for (const TokenAssertion& a : assertions)
+      install(client, a.ino, a.mode, a.range);
+    return assertions.size();
+  }
+
   /// Does `client` hold `range` of `ino` in a mode at least `mode`?
   bool holds(ClientId client, InodeNum ino, TokenRange range,
              LockMode mode) const;

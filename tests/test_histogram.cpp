@@ -47,6 +47,26 @@ TEST(Histogram, QuantileClamped) {
   EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
 }
 
+TEST(Histogram, MergeAccumulatesBinsAndExtremes) {
+  Histogram a(1.0, 100, "a");
+  Histogram b(1.0, 100, "b");
+  a.add(5.5);
+  b.add(20.5);
+  b.add(20.5);
+  b.add(200.0);  // overflow travels with the merge
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.overflow(), 1u);
+  EXPECT_NEAR(a.quantile(0.0), 5.5, 1.0);
+  EXPECT_NEAR(a.quantile(0.5), 20.5, 1.0);
+  EXPECT_DOUBLE_EQ(a.min(), 5.5);
+  EXPECT_DOUBLE_EQ(a.max(), 200.0);
+  // Merging an empty histogram is a no-op.
+  Histogram empty(1.0, 100);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 4u);
+}
+
 TEST(Histogram, PrintSummaryLine) {
   Histogram h(0.001, 100, "recall");
   h.add(0.010);
