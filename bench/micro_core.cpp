@@ -32,6 +32,29 @@ void BM_EventQueue(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueue)->Arg(1000)->Arg(100000);
 
+// The RPC-deadline pattern: every op arms a watchdog far in the future
+// and disarms it almost immediately when the reply lands. 90% of timers
+// are cancelled long before expiry, so the structure's cancel cost (and
+// whether dead timers keep clogging the queue) dominates.
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int fired = 0;
+    for (int i = 0; i < batch; ++i) {
+      const double deadline = 30.0 + static_cast<double>((i * 7919) % 1000) *
+                                         1e-3;  // 30s-ish, jittered
+      const sim::TimerId id =
+          sim.after_cancellable(deadline, [&fired] { ++fired; });
+      if (i % 10 != 9) sim.cancel(id);  // reply arrived: disarm
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueueCancelHeavy)->Arg(1000)->Arg(100000);
+
 void BM_Sha256(benchmark::State& state) {
   std::vector<std::uint8_t> data(state.range(0), 0xab);
   for (auto _ : state) {
@@ -71,6 +94,50 @@ void BM_TokenRequestRelease(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TokenRequestRelease)->Arg(2)->Arg(64);
+
+// Many holders on ONE inode, wide desired windows: the steady state of
+// N streaming writers partitioned across a shared file (the fig11 MPI-IO
+// shape). Every request clips its desired window against the neighbors'
+// holdings, so the per-inode table's probe cost dominates.
+void BM_TokenManyHolders(benchmark::State& state) {
+  const std::uint64_t holders = static_cast<std::uint64_t>(state.range(0));
+  constexpr Bytes kStripe = 1 * MiB;
+  gpfs::TokenManager tm;
+  // Pre-populate: each holder owns the first half of its stripe rw.
+  for (std::uint64_t c = 0; c < holders; ++c) {
+    auto d = tm.request(static_cast<gpfs::ClientId>(c), /*ino=*/7,
+                        {c * kStripe, c * kStripe + kStripe / 2},
+                        gpfs::LockMode::rw);
+    if (!d.granted) std::abort();
+    // Trim the whole-file widening the first holder received.
+    if (d.granted_range.hi == gpfs::kWholeFile) {
+      tm.release(static_cast<gpfs::ClientId>(c), 7,
+                 {c * kStripe + kStripe / 2, gpfs::kWholeFile});
+      if (c == 0 && kStripe > 0) {
+        // nothing below stripe 0
+      } else {
+        tm.release(static_cast<gpfs::ClientId>(c), 7, {0, c * kStripe});
+      }
+    }
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const std::uint64_t c = i % holders;
+    const Bytes base = c * kStripe;
+    // Narrow required bytes at the edge of the active half, desired =
+    // the whole stripe (clipped back by the neighbors).
+    auto d = tm.request(static_cast<gpfs::ClientId>(c), 7,
+                        {base + kStripe / 2 - 4096, base + kStripe / 2},
+                        {base, base + kStripe}, gpfs::LockMode::rw);
+    benchmark::DoNotOptimize(d);
+    // Release the speculative tail so the table returns to steady state.
+    tm.release(static_cast<gpfs::ClientId>(c), 7,
+               {base + kStripe / 2, base + kStripe});
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TokenManyHolders)->Arg(64)->Arg(512);
 
 void BM_AllocFree(benchmark::State& state) {
   gpfs::AllocationMap map(std::vector<std::uint64_t>(8, 1 << 20));

@@ -12,7 +12,7 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build-bench}"
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
-cmake --build "$build_dir" -j "$(nproc)" --target fig11_scaling chaos_soak
+cmake --build "$build_dir" -j "$(nproc)" --target fig11_scaling chaos_soak scale_sweep
 
 "$build_dir/bench/fig11_scaling" --smoke --json "$repo_root/BENCH_fig11.json"
 
@@ -41,5 +41,22 @@ awk -F': ' '/"takeover_to_first_grant_s"/ {
   if (v < 0 || v > 6.0) { printf "bench_smoke: FAIL — takeover_to_first_grant_s %.4f outside [0, 6.0]\n", v; exit 1 }
   printf "bench_smoke: takeover_to_first_grant_s %.4f s (SLO: 2 lease periods = 6.0 s)\n", v
 }' "$chaos_json"
+
+# Event-core throughput gate: a reduced scale sweep (64/256 clients,
+# fig11-shaped MPI-IO) must sustain a sim-events/sec floor. The floor is
+# ~1/5 of what a developer laptop measures (≈1 M ev/s at the slowest
+# smoke point), so it only trips on order-of-magnitude regressions —
+# e.g. an O(n) scan creeping back into the timer wheel, token tables,
+# allocator or journal — not on CI machine jitter. Wall-clock-derived,
+# so the smoke JSON is not committed; the committed BENCH_scale.json
+# comes from the full 1024-client sweep.
+scale_json="$build_dir/bench_scale_smoke.json"
+"$build_dir/bench/scale_sweep" --smoke --json "$scale_json"
+awk -F': ' '/"min_events_per_s"/ {
+  v = $2 + 0
+  floor = 200000
+  if (v < floor) { printf "bench_smoke: FAIL — min_events_per_s %.0f below floor %d\n", v, floor; exit 1 }
+  printf "bench_smoke: min_events_per_s %.0f (floor %d)\n", v, floor
+}' "$scale_json"
 
 echo "bench_smoke: wrote $repo_root/BENCH_fig11.json and $repo_root/BENCH_chaos.json"

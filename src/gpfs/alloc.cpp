@@ -8,7 +8,20 @@ AllocationMap::AllocationMap(std::vector<std::uint64_t> blocks_per_nsd) {
   for (std::uint64_t cap : blocks_per_nsd) {
     PerNsd p;
     p.capacity = cap;
-    p.bitmap.assign((cap + 63) / 64, 0);
+    const std::uint64_t words = (cap + 63) / 64;
+    p.bitmap.assign(words, 0);
+    // Bits of the final word past capacity can never be allocated: mark
+    // them used up front so every clear bit in the map is a real block
+    // and the scan never has to special-case the tail.
+    if (cap % 64 != 0) {
+      p.bitmap[words - 1] = ~0ULL << (cap % 64);
+    }
+    // Every word starts with at least one free bit (words only exist to
+    // cover capacity), so all summary bits covering real words are set.
+    p.summary.assign((words + 63) / 64, ~0ULL);
+    if (!p.summary.empty() && words % 64 != 0) {
+      p.summary.back() = (1ULL << (words % 64)) - 1;
+    }
     nsds_.push_back(std::move(p));
   }
 }
@@ -37,29 +50,39 @@ std::uint64_t AllocationMap::total_capacity() const {
 
 Result<std::uint64_t> AllocationMap::take_free_bit(PerNsd& p) {
   if (p.used == p.capacity) return err(Errc::no_space, "nsd full");
+  // Two probes instead of a scan: the summary narrows to the first
+  // bitmap word at/after the rotor with a free bit (cyclically), then
+  // ctz picks the lowest free bit of that word. The resulting block
+  // sequence is exactly what the old per-word next-fit scan produced —
+  // same word granularity, same lowest-bit-first order — so seeded
+  // runs allocate identically.
   const std::uint64_t words = p.bitmap.size();
-  std::uint64_t w = p.rotor / 64;
-  for (std::uint64_t scanned = 0; scanned <= words; ++scanned) {
-    const std::uint64_t idx = (w + scanned) % words;
-    if (p.bitmap[idx] != ~0ULL) {
-      const std::uint64_t free_mask = ~p.bitmap[idx];
-      const int bit = __builtin_ctzll(free_mask);
-      const std::uint64_t block = idx * 64 + static_cast<std::uint64_t>(bit);
-      if (block >= p.capacity) {
-        // Tail word: bits past capacity are permanently "free" but
-        // unusable; mark and continue scanning.
-        p.bitmap[idx] |= (1ULL << bit);
-        // Undo accounting distortion by treating them as never-used:
-        // simplest is to mark all tail bits used up front; do it lazily.
-        continue;
-      }
-      p.bitmap[idx] |= (1ULL << bit);
-      ++p.used;
-      p.rotor = block + 1 < p.capacity ? block + 1 : 0;
-      return block;
+  const std::uint64_t groups = p.summary.size();
+  const std::uint64_t start_word = p.rotor / 64;
+  const std::uint64_t start_group = start_word / 64;
+  std::uint64_t word = words;
+  for (std::uint64_t scanned = 0; scanned <= groups; ++scanned) {
+    const std::uint64_t g = (start_group + scanned) % groups;
+    std::uint64_t avail = p.summary[g];
+    if (scanned == 0) avail &= ~0ULL << (start_word % 64);
+    if (avail != 0) {
+      word = g * 64 + static_cast<std::uint64_t>(__builtin_ctzll(avail));
+      break;
     }
   }
-  return err(Errc::no_space, "nsd full (scan)");
+  MGFS_ASSERT(word < words, "summary lost a free word");
+  const std::uint64_t free_mask = ~p.bitmap[word];
+  MGFS_ASSERT(free_mask != 0, "summary bit set on a full word");
+  const int bit = __builtin_ctzll(free_mask);
+  const std::uint64_t block = word * 64 + static_cast<std::uint64_t>(bit);
+  MGFS_ASSERT(block < p.capacity, "tail bit escaped pre-marking");
+  p.bitmap[word] |= (1ULL << bit);
+  if (p.bitmap[word] == ~0ULL) {
+    p.summary[word / 64] &= ~(1ULL << (word % 64));
+  }
+  ++p.used;
+  p.rotor = block + 1 < p.capacity ? block + 1 : 0;
+  return block;
 }
 
 Result<BlockAddr> AllocationMap::allocate_on(std::uint32_t nsd) {
@@ -114,6 +137,7 @@ Status AllocationMap::free_block(BlockAddr addr) {
     return Status(Errc::invalid_argument, "double free");
   }
   p.bitmap[word] &= ~mask;
+  p.summary[word / 64] |= 1ULL << (word % 64);
   --p.used;
   return Status{};
 }

@@ -1,10 +1,16 @@
-// Block allocation maps: one bitmap per NSD plus a striping helper.
+// Block allocation maps: one two-level bitmap per NSD plus a striping
+// helper.
 //
 // GPFS stripes successive file blocks round-robin across all NSDs of the
 // file system; the allocator keeps a rotor per NSD so sequential
 // allocations stay mostly sequential on each disk (which the Disk model
-// rewards). Invariants (tested): a block is never handed out twice, free
-// returns it exactly once, and counters always match the bitmaps.
+// rewards). Each bitmap carries a summary level — one bit per 64-bit
+// bitmap word, set iff that word still has a free block — so finding the
+// next free block from the rotor is a couple of word probes instead of a
+// scan across an arbitrarily long run of full words (on a nearly-full
+// NSD the old linear next-fit walked the whole map per block).
+// Invariants (tested): a block is never handed out twice, free returns
+// it exactly once, and counters always match the bitmaps.
 #pragma once
 
 #include <cstdint>
@@ -41,6 +47,11 @@ class AllocationMap {
  private:
   struct PerNsd {
     std::vector<std::uint64_t> bitmap;  // 1 bit per block, 1 = in use
+    // Summary level: bit w of summary[w / 64] is set iff bitmap[w] has
+    // at least one free (and usable) bit. Bits past the capacity of the
+    // final bitmap word are pre-marked used, so "free bit" always means
+    // an allocatable block.
+    std::vector<std::uint64_t> summary;
     std::uint64_t capacity = 0;
     std::uint64_t used = 0;
     std::uint64_t rotor = 0;  // next-fit scan start

@@ -4,6 +4,16 @@
 
 namespace mgfs::gpfs {
 
+namespace {
+
+// Collisions only cost a wasted field check in the walk below — every
+// consumer re-verifies (ino, block) against the record itself.
+std::uint64_t block_key(InodeNum ino, std::uint64_t bi) {
+  return ino * 0x9E3779B97F4A7C15ULL ^ bi;
+}
+
+}  // namespace
+
 std::uint64_t MetaJournal::log_alloc(ClientId c, InodeNum ino,
                                      std::uint64_t bi, BlockAddr addr) {
   JournalRecord r;
@@ -13,8 +23,13 @@ std::uint64_t MetaJournal::log_alloc(ClientId c, InodeNum ino,
   r.ino = ino;
   r.block = bi;
   r.addr = addr;
-  records_.push_back(r);
+  const auto idx = static_cast<std::uint32_t>(slab_.size());
+  slab_.push_back(Slot{r, true});
+  ++live_;
   ++logged_;
+  by_block_[block_key(ino, bi)].push_back(idx);
+  by_client_[c].push_back(idx);
+  by_inode_[ino].push_back(idx);
   return r.lsn;
 }
 
@@ -23,65 +38,131 @@ void MetaJournal::note_sync_op(ClientId, JournalOp, InodeNum) {
   ++logged_;
 }
 
+void MetaJournal::kill(std::uint32_t idx) {
+  slab_[idx].live = false;
+  --live_;
+}
+
+void MetaJournal::maybe_compact() {
+  if (slab_.size() >= 1024 && live_ * 2 < slab_.size()) compact();
+}
+
+void MetaJournal::compact() {
+  std::vector<Slot> keep;
+  keep.reserve(live_);
+  for (Slot& s : slab_) {
+    if (s.live) keep.push_back(std::move(s));
+  }
+  slab_ = std::move(keep);
+  by_block_.clear();
+  by_client_.clear();
+  by_inode_.clear();
+  for (std::uint32_t i = 0; i < slab_.size(); ++i) {
+    const JournalRecord& r = slab_[i].rec;
+    by_block_[block_key(r.ino, r.block)].push_back(i);
+    by_client_[r.client].push_back(i);
+    by_inode_[r.ino].push_back(i);
+  }
+}
+
 void MetaJournal::commit_allocs(ClientId c, InodeNum ino,
                                 std::uint64_t blocks) {
-  records_.erase(std::remove_if(records_.begin(), records_.end(),
-                                [&](const JournalRecord& r) {
-                                  return r.client == c && r.ino == ino &&
-                                         r.block < blocks;
-                                }),
-                 records_.end());
+  auto it = by_client_.find(c);
+  if (it == by_client_.end()) return;
+  std::vector<std::uint32_t>& list = it->second;
+  std::size_t w = 0;
+  for (const std::uint32_t idx : list) {
+    const Slot& s = slab_[idx];
+    if (!s.live) continue;  // retired via another index
+    if (s.rec.ino == ino && s.rec.block < blocks) {
+      kill(idx);
+    } else {
+      list[w++] = idx;
+    }
+  }
+  list.resize(w);
+  if (list.empty()) by_client_.erase(it);
+  maybe_compact();
 }
 
 void MetaJournal::commit_block(InodeNum ino, std::uint64_t bi,
                                ClientId except) {
-  records_.erase(std::remove_if(records_.begin(), records_.end(),
-                                [&](const JournalRecord& r) {
-                                  return r.ino == ino && r.block == bi &&
-                                         r.client != except;
-                                }),
-                 records_.end());
+  auto it = by_block_.find(block_key(ino, bi));
+  if (it == by_block_.end()) return;
+  std::vector<std::uint32_t>& list = it->second;
+  std::size_t w = 0;
+  for (const std::uint32_t idx : list) {
+    const Slot& s = slab_[idx];
+    if (!s.live) continue;
+    if (s.rec.ino == ino && s.rec.block == bi && s.rec.client != except) {
+      kill(idx);
+    } else {
+      list[w++] = idx;
+    }
+  }
+  list.resize(w);
+  if (list.empty()) by_block_.erase(it);
+  maybe_compact();
 }
 
 void MetaJournal::forget_inode(InodeNum ino) {
-  records_.erase(std::remove_if(
-                     records_.begin(), records_.end(),
-                     [&](const JournalRecord& r) { return r.ino == ino; }),
-                 records_.end());
+  auto it = by_inode_.find(ino);
+  if (it == by_inode_.end()) return;
+  for (const std::uint32_t idx : it->second) {
+    if (slab_[idx].live) kill(idx);
+  }
+  by_inode_.erase(it);
+  maybe_compact();
 }
 
 std::vector<JournalRecord> MetaJournal::take_uncommitted(ClientId c) {
   std::vector<JournalRecord> out;
-  for (const auto& r : records_)
-    if (r.client == c) out.push_back(r);
-  records_.erase(std::remove_if(
-                     records_.begin(), records_.end(),
-                     [&](const JournalRecord& r) { return r.client == c; }),
-                 records_.end());
+  auto it = by_client_.find(c);
+  if (it == by_client_.end()) return out;
+  for (const std::uint32_t idx : it->second) {
+    if (!slab_[idx].live) continue;
+    out.push_back(slab_[idx].rec);
+    kill(idx);
+  }
+  by_client_.erase(it);
+  maybe_compact();
   // Undo newest-first, the reverse of the order the installs happened.
   std::reverse(out.begin(), out.end());
   return out;
 }
 
 void MetaJournal::drop_client(ClientId c) {
-  records_.erase(std::remove_if(
-                     records_.begin(), records_.end(),
-                     [&](const JournalRecord& r) { return r.client == c; }),
-                 records_.end());
+  auto it = by_client_.find(c);
+  if (it == by_client_.end()) return;
+  for (const std::uint32_t idx : it->second) {
+    if (slab_[idx].live) kill(idx);
+  }
+  by_client_.erase(it);
+  maybe_compact();
 }
 
 std::vector<ClientId> MetaJournal::clients_with_uncommitted() const {
   std::vector<ClientId> out;
-  for (const auto& r : records_) out.push_back(r.client);
+  for (const auto& [c, list] : by_client_) {
+    for (const std::uint32_t idx : list) {
+      if (slab_[idx].live) {
+        out.push_back(c);
+        break;
+      }
+    }
+  }
   std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
 
 std::size_t MetaJournal::uncommitted_count(ClientId c) const {
-  return static_cast<std::size_t>(
-      std::count_if(records_.begin(), records_.end(),
-                    [&](const JournalRecord& r) { return r.client == c; }));
+  auto it = by_client_.find(c);
+  if (it == by_client_.end()) return 0;
+  std::size_t n = 0;
+  for (const std::uint32_t idx : it->second) {
+    if (slab_[idx].live) ++n;
+  }
+  return n;
 }
 
 }  // namespace mgfs::gpfs

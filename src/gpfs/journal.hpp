@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "gpfs/token.hpp"
@@ -74,13 +75,36 @@ class MetaJournal {
   std::vector<ClientId> clients_with_uncommitted() const;
 
   std::size_t uncommitted_count(ClientId c) const;
-  std::size_t uncommitted_total() const { return records_.size(); }
+  std::size_t uncommitted_total() const { return live_; }
   std::uint64_t records_logged() const { return logged_; }
 
  private:
+  // Uncommitted records live in an append-only slab (lsn order) with
+  // tombstones; three posting lists index it so the hot retire paths —
+  // commit_block on every shared-block reference, commit_allocs on
+  // every fsync — touch only the records they retire instead of
+  // scanning the whole journal (O(total uncommitted) per call grows
+  // quadratic at 1000-client scale). Dead slots are reclaimed by
+  // rebuilding slab + indexes once live records fall below half the
+  // slab, so the amortized cost per logged record stays O(1).
+  struct Slot {
+    JournalRecord rec;
+    bool live = false;
+  };
+
+  void kill(std::uint32_t idx);
+  void maybe_compact();
+  void compact();
+
   std::uint64_t next_lsn_ = 1;
   std::uint64_t logged_ = 0;
-  std::vector<JournalRecord> records_;  // uncommitted allocs, lsn order
+  std::size_t live_ = 0;
+  std::vector<Slot> slab_;  // uncommitted allocs, lsn order, tombstoned
+  // Values are slab indexes in lsn order; entries whose slot died via
+  // another index are pruned lazily when the list is next walked.
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> by_block_;
+  std::unordered_map<ClientId, std::vector<std::uint32_t>> by_client_;
+  std::unordered_map<InodeNum, std::vector<std::uint32_t>> by_inode_;
 };
 
 }  // namespace mgfs::gpfs

@@ -1,0 +1,169 @@
+// Small-buffer-optimized callable for event callbacks.
+//
+// The simulator schedules tens of millions of continuations per run;
+// with std::function every capture larger than the implementation's
+// tiny inline buffer (16 bytes on libstdc++) costs a heap allocation
+// on schedule and a free on fire. Almost all MGFS captures are a
+// `this` pointer plus a few words, so InlineCallback carries 48 bytes
+// of inline storage — enough for every hot-path capture in the tree —
+// and only falls back to the heap beyond that. Semantics mirror
+// std::function<void()>: copyable (callables must be copy-
+// constructible), nullptr-comparable, empty() testable via bool.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace mgfs::sim {
+
+class InlineCallback {
+ public:
+  static constexpr std::size_t kInlineBytes = 48;
+
+  InlineCallback() noexcept = default;
+  InlineCallback(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineCallback(F&& f) {  // NOLINT(runtime/explicit)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      vt_ = inline_vt<Fn>();
+    } else {
+      heap_ = new Fn(std::forward<F>(f));
+      vt_ = heap_vt<Fn>();
+    }
+  }
+
+  InlineCallback(InlineCallback&& o) noexcept { move_from(o); }
+  InlineCallback(const InlineCallback& o) { copy_from(o); }
+
+  InlineCallback& operator=(InlineCallback&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(o);
+    }
+    return *this;
+  }
+  InlineCallback& operator=(const InlineCallback& o) {
+    if (this != &o) {
+      InlineCallback tmp(o);
+      reset();
+      move_from(tmp);
+    }
+    return *this;
+  }
+  InlineCallback& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  ~InlineCallback() { reset(); }
+
+  void operator()() const { vt_->invoke(const_cast<InlineCallback*>(this)); }
+
+  explicit operator bool() const noexcept { return vt_ != nullptr; }
+  friend bool operator==(const InlineCallback& c, std::nullptr_t) noexcept {
+    return !static_cast<bool>(c);
+  }
+  friend bool operator!=(const InlineCallback& c, std::nullptr_t) noexcept {
+    return static_cast<bool>(c);
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(InlineCallback*);
+    void (*move)(InlineCallback* dst, InlineCallback* src) noexcept;
+    void (*copy)(InlineCallback* dst, const InlineCallback* src);
+    void (*destroy)(InlineCallback*) noexcept;
+  };
+
+  template <typename Fn>
+  static Fn* inline_obj(InlineCallback* c) noexcept {
+    return std::launder(reinterpret_cast<Fn*>(c->buf_));
+  }
+
+  template <typename Fn>
+  static void invoke_inline(InlineCallback* c) {
+    (*inline_obj<Fn>(c))();
+  }
+  template <typename Fn>
+  static void move_inline(InlineCallback* dst, InlineCallback* src) noexcept {
+    ::new (static_cast<void*>(dst->buf_)) Fn(std::move(*inline_obj<Fn>(src)));
+    inline_obj<Fn>(src)->~Fn();
+  }
+  template <typename Fn>
+  static void copy_inline(InlineCallback* dst, const InlineCallback* src) {
+    ::new (static_cast<void*>(dst->buf_))
+        Fn(*inline_obj<Fn>(const_cast<InlineCallback*>(src)));
+  }
+  template <typename Fn>
+  static void destroy_inline(InlineCallback* c) noexcept {
+    inline_obj<Fn>(c)->~Fn();
+  }
+  template <typename Fn>
+  static const VTable* inline_vt() {
+    static constexpr VTable vt = {&invoke_inline<Fn>, &move_inline<Fn>,
+                                  &copy_inline<Fn>, &destroy_inline<Fn>};
+    return &vt;
+  }
+
+  template <typename Fn>
+  static void invoke_heap(InlineCallback* c) {
+    (*static_cast<Fn*>(c->heap_))();
+  }
+  template <typename Fn>
+  static void move_heap(InlineCallback* dst, InlineCallback* src) noexcept {
+    dst->heap_ = src->heap_;
+    src->heap_ = nullptr;
+  }
+  template <typename Fn>
+  static void copy_heap(InlineCallback* dst, const InlineCallback* src) {
+    dst->heap_ = new Fn(*static_cast<const Fn*>(src->heap_));
+  }
+  template <typename Fn>
+  static void destroy_heap(InlineCallback* c) noexcept {
+    delete static_cast<Fn*>(c->heap_);
+  }
+  template <typename Fn>
+  static const VTable* heap_vt() {
+    static constexpr VTable vt = {&invoke_heap<Fn>, &move_heap<Fn>,
+                                  &copy_heap<Fn>, &destroy_heap<Fn>};
+    return &vt;
+  }
+
+  void move_from(InlineCallback& o) noexcept {
+    vt_ = o.vt_;
+    if (vt_ != nullptr) {
+      vt_->move(this, &o);
+      o.vt_ = nullptr;
+    }
+  }
+  void copy_from(const InlineCallback& o) {
+    if (o.vt_ != nullptr) {
+      o.vt_->copy(this, &o);
+      vt_ = o.vt_;
+    }
+  }
+  void reset() noexcept {
+    if (vt_ != nullptr) {
+      vt_->destroy(this);
+      vt_ = nullptr;
+    }
+  }
+
+  const VTable* vt_ = nullptr;
+  union {
+    alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+    void* heap_;
+  };
+};
+
+}  // namespace mgfs::sim

@@ -1,15 +1,224 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/result.hpp"
 
 namespace mgfs::sim {
 
-void Simulator::at(Time t, Callback cb) {
+namespace {
+
+// Min-heap comparator over (t, seq): std::push_heap/pop_heap build a
+// max-heap, so "greater" sorts the earliest event to the top. seq is
+// unique, making this a total order — heap instability can't reorder.
+struct ReadyLater {
+  bool operator()(const auto* a, const auto* b) const {
+    if (a->t != b->t) return a->t > b->t;
+    return a->seq > b->seq;
+  }
+};
+
+}  // namespace
+
+Simulator::Simulator() = default;
+
+Simulator::~Simulator() = default;
+
+std::uint64_t Simulator::tick_of(Time t) {
+  const double ticks = t * kTicksPerSecond;
+  // Clamp absurd horizons (t ~ 10^12 s and beyond) instead of letting
+  // the double->u64 conversion go undefined; colliding clamped ticks
+  // are still ordered exactly by (t, seq) in the ready heap.
+  if (ticks >= 9.2e18) return ~0ULL >> 1;
+  return static_cast<std::uint64_t>(ticks);
+}
+
+Simulator::EventNode* Simulator::alloc_node() {
+  if (free_list_ == nullptr) {
+    auto chunk = std::make_unique<EventNode[]>(kChunk);
+    const auto base = static_cast<std::uint32_t>(slab_.size() * kChunk);
+    for (std::size_t i = kChunk; i-- > 0;) {
+      chunk[i].idx = base + static_cast<std::uint32_t>(i);
+      chunk[i].next = free_list_;
+      free_list_ = &chunk[i];
+    }
+    slab_.push_back(std::move(chunk));
+  }
+  EventNode* n = free_list_;
+  free_list_ = n->next;
+  ++n->gen;  // TimerIds from earlier incarnations of this slot go stale
+  n->next = nullptr;
+  n->pprev = nullptr;
+  return n;
+}
+
+void Simulator::free_node(EventNode* n) {
+  n->cb = nullptr;
+  n->state = kFree;
+  n->cancellable = false;
+  n->next = free_list_;
+  free_list_ = n;
+}
+
+void Simulator::place(EventNode* n) {
+  const std::uint64_t diff = n->tick ^ cur_tick_;
+  if (n->tick <= cur_tick_ || diff == 0) {
+    // Due now (or pulled behind the wheel clock by a horizon peek):
+    // straight onto the ready heap, where exact (t, seq) order rules.
+    push_ready(n);
+    return;
+  }
+  const int msb = 63 - __builtin_clzll(diff);
+  if (msb >= kWheelBits) {
+    // Beyond the wheel horizon: overflow list. Every overflow tick is
+    // provably later than every wheel tick (it differs from the wheel
+    // clock in a higher digit), so these are never due before the
+    // wheel drains.
+    n->state = kInOverflow;
+    n->next = overflow_;
+    n->pprev = &overflow_;
+    if (overflow_ != nullptr) overflow_->pprev = &n->next;
+    overflow_ = n;
+    ++overflow_size_;
+    return;
+  }
+  const int level = msb / kLevelBits;
+  const auto slot = static_cast<std::uint8_t>(
+      (n->tick >> (level * kLevelBits)) & (kSlots - 1));
+  n->state = kInWheel;
+  n->level = static_cast<std::uint8_t>(level);
+  n->slot = slot;
+  EventNode*& head = buckets_[level][slot];
+  n->next = head;
+  n->pprev = &head;
+  if (head != nullptr) head->pprev = &n->next;
+  head = n;
+  occupied_[level] |= 1ULL << slot;
+}
+
+void Simulator::push_ready(EventNode* n) {
+  n->state = kInReady;
+  n->pprev = nullptr;
+  n->next = nullptr;
+  ready_.push_back(n);
+  std::push_heap(ready_.begin(), ready_.end(), ReadyLater{});
+}
+
+Simulator::EventNode* Simulator::pop_ready() {
+  if (ready_.empty()) return nullptr;
+  std::pop_heap(ready_.begin(), ready_.end(), ReadyLater{});
+  EventNode* n = ready_.back();
+  ready_.pop_back();
+  return n;
+}
+
+bool Simulator::advance() {
+  if (live_ == 0) return false;
+  for (;;) {
+    // Lowest non-empty level always holds the earliest pending tick:
+    // wheel ticks agree with the clock above their level, so a level-l
+    // bucket's span ends before any level-(l+1) candidate begins.
+    bool touched = false;
+    for (int level = 0; level < kLevels; ++level) {
+      const auto idx = static_cast<int>(
+          (cur_tick_ >> (level * kLevelBits)) & (kSlots - 1));
+      const std::uint64_t w = occupied_[level] >> idx;
+      if (w == 0) continue;
+      const int slot = idx + __builtin_ctzll(w);
+      // Jump the wheel clock to the bucket's span start (digits below
+      // `level` zeroed). No event can live in the skipped gap: lower
+      // levels were empty and lower slots of this level were empty.
+      const std::uint64_t span_mask =
+          (level + 1) * kLevelBits >= 64
+              ? ~0ULL
+              : (1ULL << ((level + 1) * kLevelBits)) - 1;
+      const std::uint64_t target =
+          (cur_tick_ & ~span_mask) |
+          (static_cast<std::uint64_t>(slot) << (level * kLevelBits));
+      if (target > cur_tick_) cur_tick_ = target;
+      // Detach the bucket and re-place every node: at level 0 they are
+      // due (tick == cur_tick_) and land on the ready heap; at higher
+      // levels they cascade strictly downward.
+      EventNode* n = buckets_[level][slot];
+      buckets_[level][slot] = nullptr;
+      occupied_[level] &= ~(1ULL << slot);
+      while (n != nullptr) {
+        EventNode* next = n->next;
+        place(n);
+        n = next;
+      }
+      touched = true;
+      break;
+    }
+    if (!ready_.empty()) return true;
+    if (touched) continue;  // cascaded a bucket; rescan from level 0
+    if (overflow_ != nullptr) {
+      // Wheel drained with far-future events parked: jump the clock to
+      // the earliest one and re-home everything now within the horizon.
+      std::uint64_t min_tick = ~0ULL;
+      for (EventNode* n = overflow_; n != nullptr; n = n->next) {
+        min_tick = std::min(min_tick, n->tick);
+      }
+      cur_tick_ = min_tick;
+      EventNode* n = overflow_;
+      overflow_ = nullptr;
+      overflow_size_ = 0;
+      while (n != nullptr) {
+        EventNode* next = n->next;
+        place(n);  // re-split: same high digits -> wheel, else overflow
+        n = next;
+      }
+      continue;
+    }
+    return !ready_.empty();
+  }
+}
+
+Simulator::EventNode* Simulator::next_live() {
+  for (;;) {
+    if (ready_.empty() && !advance()) return nullptr;
+    EventNode* n = pop_ready();
+    if (n == nullptr) return nullptr;
+    if (n->state == kReadyCancelled) {
+      free_node(n);  // live_ was charged at cancel() time
+      continue;
+    }
+    return n;
+  }
+}
+
+const Simulator::EventNode* Simulator::peek_live() {
+  for (;;) {
+    if (ready_.empty() && !advance()) return nullptr;
+    const EventNode* n = ready_.front();
+    if (n->state == kReadyCancelled) {
+      free_node(pop_ready());
+      continue;
+    }
+    return n;
+  }
+}
+
+void Simulator::schedule(Time t, Callback cb, bool cancellable,
+                         TimerId* id_out) {
   MGFS_ASSERT(t >= now_, "cannot schedule event in the past");
   MGFS_ASSERT(static_cast<bool>(cb), "null event callback");
-  queue_.push(Event{t, next_seq_++, std::move(cb)});
+  EventNode* n = alloc_node();
+  n->t = t;
+  n->tick = tick_of(t);
+  n->seq = next_seq_++;
+  n->cb = std::move(cb);
+  n->cancellable = cancellable;
+  if (id_out != nullptr) {
+    *id_out = (static_cast<std::uint64_t>(n->gen) << 32) | n->idx;
+  }
+  ++live_;
+  place(n);
+}
+
+void Simulator::at(Time t, Callback cb) {
+  schedule(t, std::move(cb), /*cancellable=*/false, nullptr);
 }
 
 void Simulator::after(Time delay, Callback cb) {
@@ -19,34 +228,57 @@ void Simulator::after(Time delay, Callback cb) {
 
 TimerId Simulator::after_cancellable(Time delay, Callback cb) {
   MGFS_ASSERT(delay >= 0.0, "negative delay");
-  MGFS_ASSERT(static_cast<bool>(cb), "null event callback");
-  const std::uint64_t id = next_seq_++;
-  queue_.push(Event{now_ + delay, id, std::move(cb), /*cancellable=*/true});
-  cancellable_.insert(id);
+  TimerId id = 0;
+  schedule(now_ + delay, std::move(cb), /*cancellable=*/true, &id);
   return id;
 }
 
 void Simulator::cancel(TimerId id) {
-  // Only ids still queued are worth remembering; cancelling a timer
-  // that already fired (or was never cancellable) is a no-op.
-  if (cancellable_.count(id) > 0) cancelled_.insert(id);
+  const auto idx = static_cast<std::uint32_t>(id & 0xffffffffu);
+  if (idx >= slab_.size() * kChunk) return;
+  EventNode* n = &slab_[idx / kChunk][idx % kChunk];
+  if (n->gen != static_cast<std::uint32_t>(id >> 32)) return;  // fired
+  if (!n->cancellable) return;
+  switch (n->state) {
+    case kInWheel: {
+      *n->pprev = n->next;
+      if (n->next != nullptr) n->next->pprev = n->pprev;
+      if (buckets_[n->level][n->slot] == nullptr) {
+        occupied_[n->level] &= ~(1ULL << n->slot);
+      }
+      --live_;
+      free_node(n);
+      return;
+    }
+    case kInOverflow: {
+      *n->pprev = n->next;
+      if (n->next != nullptr) n->next->pprev = n->pprev;
+      --overflow_size_;
+      --live_;
+      free_node(n);
+      return;
+    }
+    case kInReady:
+      // Mid-heap: tombstone, reclaimed when it surfaces (the ready
+      // heap only ever holds the current tick's few events).
+      n->state = kReadyCancelled;
+      n->cb = nullptr;
+      --live_;
+      return;
+    default:
+      return;  // already fired or cancelled
+  }
 }
 
 bool Simulator::step() {
-  if (queue_.empty()) return false;
-  // priority_queue::top is const; the callback is moved out via const_cast,
-  // which is safe because pop() immediately discards the node.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
-  if (ev.cancellable) {
-    cancellable_.erase(ev.seq);
-    // Discard without advancing now(): a disarmed watchdog must not
-    // stretch the run out to its expiry time.
-    if (cancelled_.erase(ev.seq) > 0) return true;
-  }
-  now_ = ev.t;
+  EventNode* n = next_live();
+  if (n == nullptr) return false;
+  now_ = n->t;
   ++processed_;
-  ev.cb();
+  --live_;
+  Callback cb = std::move(n->cb);
+  free_node(n);
+  cb();
   return true;
 }
 
@@ -57,7 +289,11 @@ void Simulator::run() {
 
 void Simulator::run_until(Time t) {
   MGFS_ASSERT(t >= now_, "run_until into the past");
-  while (!queue_.empty() && queue_.top().t <= t) step();
+  for (;;) {
+    const EventNode* n = peek_live();
+    if (n == nullptr || n->t > t) break;
+    step();
+  }
   now_ = t;
 }
 

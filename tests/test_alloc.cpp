@@ -135,5 +135,60 @@ TEST_P(AllocStress, AllocFreeChurnPreservesInvariants) {
 INSTANTIATE_TEST_SUITE_P(Capacities, AllocStress,
                          ::testing::Values(17, 64, 65, 130, 1024));
 
+// --- two-level bitmap (summary word per 64 bitmap words) --------------
+
+TEST(AllocationMap, SummarySkipsLongFullRuns) {
+  // > 64 bitmap words so the summary level spans multiple groups.
+  constexpr std::uint64_t kCap = 70 * 64;  // 4480 blocks, 70 words
+  AllocationMap m(std::vector<std::uint64_t>{kCap});
+  for (std::uint64_t i = 0; i < kCap; ++i) {
+    ASSERT_TRUE(m.allocate_on(0).ok());
+  }
+  EXPECT_EQ(m.allocate_on(0).code(), Errc::no_space);
+  // Free one block in the middle of the full map: the next allocation
+  // must find it from a wrapped rotor, across the full-word run.
+  ASSERT_TRUE(m.free_block({0, 2048}).ok());
+  auto a = m.allocate_on(0);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->block, 2048u);
+  EXPECT_EQ(m.allocate_on(0).code(), Errc::no_space);
+}
+
+TEST(AllocationMap, TailBitsNeverAllocatedEvenAfterFreeChurn) {
+  // Capacity straddling a word boundary by one bit: the 63 tail bits of
+  // the final word must stay unusable through full drain/refill cycles.
+  constexpr std::uint64_t kCap = 65;
+  AllocationMap m(std::vector<std::uint64_t>{kCap});
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t i = 0; i < kCap; ++i) {
+      auto a = m.allocate_on(0);
+      ASSERT_TRUE(a.ok()) << "cycle " << cycle << " i " << i;
+      EXPECT_LT(a->block, kCap);
+      EXPECT_TRUE(seen.insert(a->block).second);
+    }
+    EXPECT_EQ(m.allocate_on(0).code(), Errc::no_space);
+    for (std::uint64_t b : seen) ASSERT_TRUE(m.free_block({0, b}).ok());
+    EXPECT_EQ(m.free_blocks(0), kCap);
+  }
+}
+
+TEST(AllocationMap, SummaryReopensFreedWordAtRotor) {
+  AllocationMap m(std::vector<std::uint64_t>{256});
+  // Fill everything, then free a scattered set; allocations must hand
+  // back exactly the freed set (in rotor order) and then run dry.
+  for (int i = 0; i < 256; ++i) ASSERT_TRUE(m.allocate_on(0).ok());
+  const std::uint64_t freed[] = {0, 63, 64, 127, 128, 200, 255};
+  for (std::uint64_t b : freed) ASSERT_TRUE(m.free_block({0, b}).ok());
+  std::set<std::uint64_t> got;
+  for (std::size_t i = 0; i < std::size(freed); ++i) {
+    auto a = m.allocate_on(0);
+    ASSERT_TRUE(a.ok());
+    got.insert(a->block);
+  }
+  EXPECT_EQ(got, std::set<std::uint64_t>(std::begin(freed), std::end(freed)));
+  EXPECT_EQ(m.allocate_on(0).code(), Errc::no_space);
+}
+
 }  // namespace
 }  // namespace mgfs::gpfs

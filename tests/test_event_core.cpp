@@ -1,0 +1,231 @@
+// Production-scale event core: timer-wheel behavior the old binary heap
+// never had to prove, plus a chaos-shaped determinism regression.
+//
+// The simulator's hierarchical wheel (DESIGN.md §7) must preserve the
+// library's one inviolable contract — events run in (time, insertion-
+// seq) order — across every placement path: ready heap, all six wheel
+// levels, the overflow list, and cascades between them. cancel() now
+// unlinks immediately, so these tests also pin the new observable:
+// pending() drops at cancel time and a cancelled far-future timer
+// cannot stretch a run.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "gpfs_test_util.hpp"
+#include "sim/simulator.hpp"
+
+namespace mgfs::sim {
+namespace {
+
+TEST(TimerWheel, CancelUnlinksImmediately) {
+  Simulator sim;
+  // Timers across every horizon: same-tick, low wheel levels, high
+  // levels, and past the 2^36-µs overflow boundary (~19 h).
+  const double horizons[] = {1e-6, 1e-3, 0.5, 60.0, 3600.0, 90000.0};
+  std::vector<TimerId> ids;
+  for (double h : horizons) {
+    ids.push_back(sim.after_cancellable(h, [] { FAIL() << "fired"; }));
+  }
+  EXPECT_EQ(sim.pending(), 6u);
+  for (TimerId id : ids) sim.cancel(id);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_TRUE(sim.empty());
+  // Nothing left: the run must not advance time to any expiry.
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.events_processed(), 0u);
+}
+
+TEST(TimerWheel, MultiLevelCascadeOrder) {
+  Simulator sim;
+  // Deliberately interleave horizons so adjacent insertions land on
+  // different wheel levels; firing order must still be by time with
+  // FIFO ties.
+  const double times[] = {3600.0, 1e-6, 60.0,   0.25,  90000.0, 2e-6,
+                          7200.0, 0.25, 1800.0, 1e-3,  120.0,   0.5,
+                          0.25,   8.0,  86400.0, 3e-6, 600.0,   0.125};
+  std::vector<int> fired;
+  for (int i = 0; i < static_cast<int>(std::size(times)); ++i) {
+    sim.at(times[i], [&fired, i] { fired.push_back(i); });
+  }
+  sim.run();
+  ASSERT_EQ(fired.size(), std::size(times));
+  for (std::size_t k = 1; k < fired.size(); ++k) {
+    const double a = times[fired[k - 1]];
+    const double b = times[fired[k]];
+    EXPECT_LE(a, b) << "out of time order at position " << k;
+    if (a == b) {
+      EXPECT_LT(fired[k - 1], fired[k]) << "tie broke out of FIFO order";
+    }
+  }
+  EXPECT_DOUBLE_EQ(sim.now(), 90000.0);
+}
+
+TEST(TimerWheel, SubMicrosecondTimesShareATickButKeepOrder) {
+  Simulator sim;
+  // All three land in the same 1-µs tick; (t, seq) order must rule.
+  std::vector<int> fired;
+  sim.at(1e-7, [&] { fired.push_back(0); });
+  sim.at(3e-7, [&] { fired.push_back(1); });
+  sim.at(2e-7, [&] { fired.push_back(2); });
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<int>{0, 2, 1}));
+}
+
+TEST(TimerWheel, OverflowBeyondWheelHorizonFiresInOrder) {
+  Simulator sim;
+  std::vector<int> fired;
+  // 2^36 µs ≈ 68719 s; both far events overflow, the near one doesn't.
+  sim.at(200000.0, [&] { fired.push_back(2); });
+  sim.at(1.0, [&] { fired.push_back(0); });
+  sim.at(100000.0, [&] { fired.push_back(1); });
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(sim.now(), 200000.0);
+}
+
+TEST(TimerWheel, CancelStormLeavesSurvivorsInOrder) {
+  Simulator sim;
+  std::vector<int> fired;
+  std::vector<TimerId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    // Spread across ~4 wheel levels via a multiplicative scramble.
+    const double t = 1e-6 * static_cast<double>((i * 7919) % 100000 + 1);
+    ids.push_back(sim.after_cancellable(t, [&fired, i] {
+      fired.push_back(i);
+    }));
+  }
+  for (int i = 0; i < 1000; ++i) {
+    if (i % 10 != 9) sim.cancel(ids[i]);
+  }
+  EXPECT_EQ(sim.pending(), 100u);
+  sim.run();
+  EXPECT_EQ(fired.size(), 100u);
+  for (int i : fired) EXPECT_EQ(i % 10, 9);
+  EXPECT_EQ(sim.events_processed(), 100u);  // cancelled ones never count
+}
+
+TEST(TimerWheel, StaleTimerIdsAreInert) {
+  Simulator sim;
+  bool fired = false;
+  const TimerId a = sim.after_cancellable(1.0, [&] { fired = true; });
+  sim.run();
+  EXPECT_TRUE(fired);
+  // `a` fired; its slab slot will be recycled by the next allocation.
+  bool second = false;
+  const TimerId b = sim.after_cancellable(1.0, [&] { second = true; });
+  EXPECT_NE(a, b);
+  sim.cancel(a);  // stale generation: must not touch the new timer
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.cancel(b);
+  sim.cancel(b);  // double-cancel is a no-op
+  EXPECT_EQ(sim.pending(), 0u);
+  sim.run();
+  EXPECT_FALSE(second);
+}
+
+TEST(TimerWheel, RunUntilStopsAtHorizonAcrossLevels) {
+  Simulator sim;
+  std::vector<double> fired_at;
+  for (double t : {0.5, 100.0, 3600.0, 90000.0}) {
+    sim.at(t, [&fired_at, &sim] { fired_at.push_back(sim.now()); });
+  }
+  sim.run_until(100.0);  // event at the horizon runs
+  EXPECT_EQ(fired_at.size(), 2u);
+  EXPECT_DOUBLE_EQ(sim.now(), 100.0);
+  sim.run_until(89999.0);  // crosses a cascade but not the overflow event
+  EXPECT_EQ(fired_at.size(), 3u);
+  EXPECT_DOUBLE_EQ(sim.now(), 89999.0);
+  sim.run();
+  EXPECT_EQ(fired_at.size(), 4u);
+  EXPECT_DOUBLE_EQ(fired_at.back(), 90000.0);
+}
+
+TEST(TimerWheel, ScheduleWhileDrainingCurrentTick) {
+  Simulator sim;
+  std::vector<int> fired;
+  sim.at(1.0, [&] {
+    fired.push_back(0);
+    sim.defer([&] { fired.push_back(2); });  // same time, after peers
+  });
+  sim.at(1.0, [&] { fired.push_back(1); });
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2}));
+}
+
+// The ISSUE-7 regression: two identically-seeded chaos-shaped runs —
+// fault injection, retries, failovers, revocations — must agree on
+// every observable, not just end state. The timer wheel, interval
+// token tables and summary bitmaps all sit on this path.
+struct ChaosTrace {
+  double end_time = 0;
+  std::uint64_t events = 0;
+  Bytes read_remote = 0;
+  Bytes written_remote = 0;
+  std::uint64_t tokens = 0;
+  std::uint64_t revocations = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t free_blocks = 0;
+
+  friend bool operator==(const ChaosTrace&, const ChaosTrace&) = default;
+};
+
+ChaosTrace chaos_shaped_run() {
+  using gpfs::testutil::kAlice;
+  using gpfs::testutil::MiniCluster;
+  gpfs::ClusterConfig cfg;
+  cfg.client.rpc_deadline = 0.5;  // faults survived by retry, not patience
+  MiniCluster mc(/*hosts=*/6, /*nsds=*/4, 1 * MiB, cfg);
+  gpfs::Client* w = mc.mount_on(2);
+  gpfs::Client* r = mc.mount_on(3);
+
+  fault::FaultInjector inject(mc.net, Rng(1337));
+  inject.watch_pool(mc.cluster->connection_pool());
+  inject.watch_cluster(*mc.cluster);
+  // hosts[0] is a pure NSD server (manager lives on hosts[1]): flap its
+  // LAN link and blackhole it for a stretch mid-run.
+  inject.flap_link(mc.site.hosts[0], mc.site.sw, /*mttf=*/0.8,
+                   /*mttr=*/0.1, /*start=*/0.05, /*until=*/4.0);
+  inject.schedule_blackhole(0.7, mc.site.hosts[0], 0.6);
+
+  auto fh = mc.open(w, "/chaos", kAlice, gpfs::OpenFlags::create_rw());
+  EXPECT_TRUE(fh.ok());
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(mc.write(w, *fh, i * 4 * MiB, 4 * MiB).ok());
+  }
+  EXPECT_TRUE(mc.fsync(w, *fh).ok());
+  auto rfh = mc.open(r, "/chaos", kAlice, gpfs::OpenFlags::ro());
+  EXPECT_TRUE(rfh.ok());
+  EXPECT_TRUE(mc.read(r, *rfh, 0, 32 * MiB).ok());
+  // Cross-client token churn: the reader turns writer over the same
+  // ranges, forcing revocations while the link is still flapping.
+  auto wfh2 = mc.open(r, "/chaos", kAlice, gpfs::OpenFlags::rw());
+  EXPECT_TRUE(wfh2.ok());
+  EXPECT_TRUE(mc.write(r, *wfh2, 8 * MiB, 8 * MiB).ok());
+  EXPECT_TRUE(mc.fsync(r, *wfh2).ok());
+  mc.sim.run();
+
+  ChaosTrace t;
+  t.end_time = mc.sim.now();
+  t.events = mc.sim.events_processed();
+  t.read_remote = r->bytes_read_remote();
+  t.written_remote = w->bytes_written_remote() + r->bytes_written_remote();
+  t.tokens = mc.fs->tokens_granted();
+  t.revocations = mc.fs->revocations();
+  t.retries = w->rpc_retries() + r->rpc_retries();
+  t.free_blocks = mc.fs->alloc().total_free();
+  return t;
+}
+
+TEST(Determinism, ChaosShapedRunsAreIdentical) {
+  const ChaosTrace a = chaos_shaped_run();
+  const ChaosTrace b = chaos_shaped_run();
+  EXPECT_EQ(a, b);
+  EXPECT_DOUBLE_EQ(a.end_time, b.end_time);
+  EXPECT_GT(a.events, 1000u);  // the run was non-trivial
+}
+
+}  // namespace
+}  // namespace mgfs::sim
