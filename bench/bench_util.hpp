@@ -80,10 +80,13 @@ inline ServerFarm make_rate_farm(gpfs::Cluster& cluster, sim::Simulator& sim,
     farm.devices.push_back(std::make_unique<storage::RateDevice>(
         sim, device_capacity, device_rate, 0.5e-3,
         "dev" + std::to_string(i)));
+    // Failure-domain tag = serving node: NSDs behind the same primary
+    // share fate, so replica copies spread across serving nodes.
     farm.nsd_ids.push_back(cluster.create_nsd(
         "nsd" + std::to_string(i), farm.devices.back().get(),
         farm.server_nodes[i % servers],
-        farm.server_nodes[(i + 1) % servers]));
+        farm.server_nodes[(i + 1) % servers],
+        static_cast<std::uint32_t>(i % servers)));
   }
   farm.fs = &cluster.create_filesystem(fsname, farm.nsd_ids, block_size,
                                        farm.manager);

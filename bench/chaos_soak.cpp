@@ -30,6 +30,7 @@
 // token rebuild from client assertions, in-flight I/O completing across
 // the takeover, and the deposed incarnation's traffic fenced.
 // `--json PATH` dumps the soak metrics machine-readably.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -70,6 +71,11 @@ struct RunResult {
   std::uint64_t recovery_ops = 0;   // metadata ops that saw the rebuild gate
   double recovery_p50_s = 0;
   double recovery_p99_s = 0;
+  // replication episode (2-copy file under a dual-server blackhole)
+  std::uint64_t replica_reads = 0;       // reads served by a non-primary copy
+  std::uint64_t replica_failovers = 0;   // fills/flushes re-aimed at a replica
+  std::uint64_t replica_divergences = 0; // copies marked stale by writers
+  std::uint64_t replicas_reconciled = 0; // copies re-cleaned after the heal
   std::string mmpmon;
 };
 
@@ -85,8 +91,11 @@ RunResult run_workload(bool inject_faults) {
   // otherwise "zero data loss" only checks the writers' pagepools),
   // plus a dirty-writer pair for the expel/fencing episode the fault
   // phase folds in.
-  net::Site site =
-      net::add_site(net, "s", kServers + 1 + 2 * kClients + 2, gbps(1.0));
+  // ... plus a replication-episode pair (writer + cold reader of a
+  // 2-copy file) and three serving nodes for the episode's own
+  // replicated file system at the end.
+  net::Site site = net::add_site(
+      net, "s", kServers + 1 + 2 * kClients + 2 + 2 + 3, gbps(1.0));
 
   gpfs::ClusterConfig ccfg;
   ccfg.name = "chaos";
@@ -126,10 +135,107 @@ RunResult run_workload(bool inject_faults) {
   gpfs::Client* victim = *vmount;
   gpfs::Client* dsurv = *dmount;
 
+  // Replication episode: its own small file system over three serving
+  // nodes so its fault window (BOTH serving nodes of one NSD dark, far
+  // longer than the 4-attempt retry horizon) never clogs the measured
+  // workload's flush slots or stalls its token revocations. NSD layout
+  // (fs-local): nsd0 r0/r1, nsd1 r1/r2, nsd2 r2/r0; site = serving
+  // node, so a 2-copy file lands each block's copies behind different
+  // primaries. Blackholing r0+r1 kills nsd0 outright (both serving
+  // nodes dark) while nsd1 fails over to its live backup r2 and nsd2
+  // stays up — exactly one copy of some blocks survives.
+  std::vector<net::NodeId> rep_srv;
+  std::vector<std::unique_ptr<storage::BlockDevice>> rep_devices;
+  std::vector<std::uint32_t> rep_nsd_ids;
+  for (std::size_t i = 0; i < 3; ++i) {
+    net::NodeId n = site.hosts.at(kServers + 1 + 2 * kClients + 4 + i);
+    cluster.add_node(n);
+    cluster.add_nsd_server(n);
+    rep_srv.push_back(n);
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    rep_devices.push_back(std::make_unique<storage::RateDevice>(
+        sim, 2 * GiB, BytesPerSec(200e6), 0.5e-3,
+        "repdev" + std::to_string(i)));
+    rep_nsd_ids.push_back(cluster.create_nsd(
+        "repnsd" + std::to_string(i), rep_devices.back().get(), rep_srv[i],
+        rep_srv[(i + 1) % 3], static_cast<std::uint32_t>(i)));
+  }
+  gpfs::FileSystem& repfs =
+      cluster.create_filesystem("rep", rep_nsd_ids, 1 * MiB, farm.manager);
+
+  // Episode pair: mounted in both phases (identical cluster shape); the
+  // script below also runs in both so the baseline and the chaos run
+  // measure the same workload.
+  net::NodeId repw_node = site.hosts.at(kServers + 1 + 2 * kClients + 2);
+  net::NodeId repr_node = site.hosts.at(kServers + 1 + 2 * kClients + 3);
+  cluster.add_node(repw_node);
+  cluster.add_node(repr_node);
+  auto rwm = cluster.mount("rep", repw_node);
+  auto rrm = cluster.mount("rep", repr_node);
+  MGFS_ASSERT(rwm.ok() && rrm.ok(), "replication episode mount failed");
+  gpfs::Client* repw = *rwm;
+  gpfs::Client* repr = *rrm;
+
   // Episode state; must outlive the callbacks that fill it in.
-  std::optional<gpfs::Fh> vfh, dfh, pfh;
-  std::optional<Result<Bytes>> dw;
-  std::function<void(int)> dwrite, pflush;
+  std::optional<gpfs::Fh> vfh, dfh, pfh, rwfh, rrfh;
+  std::optional<Result<Bytes>> dw, rread;
+  std::optional<Status> rsync2;
+  std::function<void(int)> dwrite, pflush, rep_read, rep_resync;
+  constexpr Bytes kRepBytes = 8 * MiB;
+
+  // Replication episode, both phases: a 2-copy file is written and
+  // committed while everything is healthy, then read back cold and
+  // overwritten during the window where (chaos phase only) BOTH serving
+  // nodes of one copy are dark — reads must fail over to the surviving
+  // replica and the write path must re-anchor + mark the dark copy
+  // divergent instead of stalling. The run-end fsck (after
+  // reconcile_replicas) checks nothing stayed stale.
+  sim.after(0.15, [&] {
+    repw->open("/rep", bench::kUser, gpfs::OpenFlags::create_replicated(2),
+               [&](Result<gpfs::Fh> r) {
+                 MGFS_ASSERT(r.ok(), "replicated create failed");
+                 rwfh = *r;
+                 repw->write(*rwfh, 0, kRepBytes, [&](Result<Bytes> w) {
+                   MGFS_ASSERT(w.ok(), "replicated write failed");
+                   repw->fsync(*rwfh, [](Status s) {
+                     MGFS_ASSERT(s.ok(), "replicated fsync failed");
+                   });
+                 });
+               });
+  });
+  rep_read = [&](int attempts_left) {
+    repr->read(*rrfh, 0, kRepBytes, [&, attempts_left](Result<Bytes> r) {
+      if (!r.ok() && attempts_left > 0) {
+        sim.after(0.3, [&, attempts_left] { rep_read(attempts_left - 1); });
+        return;
+      }
+      rread = std::move(r);
+    });
+  };
+  sim.after(0.7, [&] {
+    repr->open("/rep", bench::kUser, gpfs::OpenFlags::ro(),
+               [&](Result<gpfs::Fh> r) {
+                 MGFS_ASSERT(r.ok(), "replicated ro open failed");
+                 rrfh = *r;
+                 rep_read(10);
+               });
+  });
+  rep_resync = [&](int attempts_left) {
+    repw->fsync(*rwfh, [&, attempts_left](Status s) {
+      if (!s.ok() && attempts_left > 0) {
+        sim.after(0.3, [&, attempts_left] { rep_resync(attempts_left - 1); });
+        return;
+      }
+      rsync2 = s;
+    });
+  };
+  sim.after(0.9, [&] {
+    repw->write(*rwfh, 0, kRepBytes, [&](Result<Bytes> w) {
+      MGFS_ASSERT(w.ok(), "replicated overwrite failed");
+      rep_resync(30);
+    });
+  });
 
   fault::FaultInjector inject(net, Rng(1337));
   inject.watch_pool(cluster.connection_pool());
@@ -143,6 +249,14 @@ RunResult run_workload(bool inject_faults) {
                               50.0, 1.5);
     // Server 2: blackholed for 1.5 s.
     inject.schedule_blackhole(0.5, farm.server_nodes[2], 1.5);
+    // Replication episode: both serving nodes of repfs nsd0 go dark for
+    // a window that outlasts the full 4-attempt retry horizon (~2.1 s
+    // at the 0.5 s deadline) of the episode's 0.7 s read and 0.9 s
+    // overwrite — primary->backup failover is not enough, so reads must
+    // redirect to the surviving replica and write propagation to the
+    // dark copies terminally fails (marking them divergent).
+    inject.schedule_blackhole(0.55, rep_srv[0], 2.65);
+    inject.schedule_blackhole(0.55, rep_srv[1], 2.65);
     // Server 3: crash/restart churn — each outage fails I/O over to the
     // backup server and the restart notification resets its pooled
     // connections and (via watch_cluster) any lapsed incarnations.
@@ -231,7 +345,35 @@ RunResult run_workload(bool inject_faults) {
   writer.run([&](Result<workload::MpiIoResult> r) { wres = std::move(r); });
   sim.run();
   MGFS_ASSERT(wres.has_value(), "write phase did not complete");
+  if (!wres->ok()) {
+    std::fprintf(stderr, "write phase failed: %s\n",
+                 wres->error().to_string().c_str());
+  }
   MGFS_ASSERT(wres->ok(), "write phase failed");
+
+  // Orderly writer unmount before the measured read-back, in BOTH
+  // phases. Without this the two phases measure different things: the
+  // baseline's readers paid a token-revocation round against every
+  // writer's surviving rw token, while the chaos run's manager takeover
+  // had already wiped the token tables — handing its readers
+  // revocation-free grants and making the chaos read rate *beat* the
+  // fault-free one. Unmounting the writers releases their tokens the
+  // same way in both phases, so the read windows are comparable.
+  std::size_t writers_down = 0;
+  for (gpfs::Client* c : clients) {
+    cluster.unmount_flush(c, [&] { ++writers_down; });
+  }
+  sim.run();
+  MGFS_ASSERT(writers_down == kClients, "writer unmount did not complete");
+
+  // Start the measured read-back at the same absolute sim time in both
+  // phases: lease-renewal timers are clocked off mount time, so a
+  // window that opens at t=2 s in the baseline but t=10 s after the
+  // chaos drain would catch a different number of renewal rounds —
+  // a percent-level skew between two otherwise identical phases.
+  constexpr sim::Time kMeasureAt = 15.0;
+  MGFS_ASSERT(sim.now() < kMeasureAt, "fault drain ran past the read phase");
+  sim.run_until(kMeasureAt);
 
   // The fault drain can outlast an idle lease; a sacrificial open per
   // reader surfaces the lapse (stale -> rejoin) before the measured
@@ -270,6 +412,14 @@ RunResult run_workload(bool inject_faults) {
   for (gpfs::Client* c : readers) out.manager_reroutes += c->mgr_reroutes();
   for (gpfs::Client* c : clients) out.manager_reroutes += c->mgr_reroutes();
   out.manager_reroutes += victim->mgr_reroutes() + dsurv->mgr_reroutes();
+  auto rep_fold = [&](gpfs::Client* c) {
+    out.replica_reads += c->replica_reads();
+    out.replica_failovers += c->replica_failovers();
+  };
+  for (gpfs::Client* c : clients) rep_fold(c);
+  for (gpfs::Client* c : readers) rep_fold(c);
+  rep_fold(repw);
+  rep_fold(repr);
   out.lease_renewals = farm.fs->lease_renewals();
   out.expels = farm.fs->expels();
   out.journal_replays = farm.fs->journal_records_replayed();
@@ -294,7 +444,18 @@ RunResult run_workload(bool inject_faults) {
   out.recovery_ops = rec.count();
   out.recovery_p50_s = rec.quantile(0.5);
   out.recovery_p99_s = rec.quantile(0.99);
+  // Replication episode wrap-up: every byte of the 2-copy file was read
+  // back despite the dual blackhole, the overwrite committed, and after
+  // reconciliation (the heal re-copies divergent replicas) nothing in
+  // the replica tables is stale.
+  MGFS_ASSERT(rread.has_value() && rread->ok() && **rread == kRepBytes,
+              "replicated read-back incomplete");
+  MGFS_ASSERT(rsync2.has_value() && rsync2->ok(),
+              "replicated overwrite never committed");
+  out.replica_divergences = repfs.replica_divergences();
+  out.replicas_reconciled = repfs.reconcile_replicas();
   MGFS_ASSERT(farm.fs->fsck().clean(), "chaos soak left metadata dirty");
+  MGFS_ASSERT(repfs.fsck().clean(), "replication episode left metadata dirty");
   out.mmpmon = clients[0]->mmpmon();
   if (inject_faults) {
     std::cout << "\n" << inject.report();
@@ -618,6 +779,377 @@ bool run_manager_crash() {
   return ok;
 }
 
+/// Whole-site outage drill (ISSUE 9 tentpole). One GPFS cluster spans
+/// two network sites joined by a narrow high-latency WAN circuit: the
+/// "home" machine room holds 4 NSDs of an unreplicated file system
+/// (what a cold remote site reads at WAN-window rates), and a second
+/// replicated file system stripes 4 home NSDs + 4 edge NSDs with
+/// 2-copy files spread across the two sites. The file-system manager
+/// runs at the edge. The drill measures the cold-site read rate with
+/// and without replicas, then blacks out every home serving node:
+/// reads of the replicated file must continue from the edge copies
+/// with zero data loss, the writer's overwrite must re-anchor and mark
+/// the dark copies divergent rather than stall, and after the heal
+/// reconciliation must leave fsck clean.
+bool run_site_outage(const std::string& json_path) {
+  sim::Simulator sim;
+  net::Network net(sim);
+  // Narrow transcontinental circuit: 0.3 Gb/s shared, 25 ms one way —
+  // a 1 MiB TCP window caps each stream at ~20 MB/s, so WAN-window
+  // rates sit far below what the edge LAN can carry.
+  net::Site home = net::add_site(net, "home", 4, gbps(1.0));
+  net::Site edge = net::add_site(net, "edge", 9, gbps(1.0));
+  net.connect(home.sw, edge.sw, gbps(0.3), 25e-3, net::kEtherEfficiency,
+              "wan");
+
+  gpfs::ClusterConfig ccfg;
+  ccfg.name = "deisa";
+  // Deadline sized for the WAN: a multi-block read run over the narrow
+  // circuit legitimately takes ~1 s, and a deadline below that would
+  // open breakers against healthy home servers during the baseline.
+  ccfg.client.rpc_deadline = 2.0;
+  gpfs::Cluster cluster(sim, net, ccfg, Rng(42));
+
+  std::vector<net::NodeId> home_srv, edge_srv;
+  for (std::size_t i = 0; i < 4; ++i) {
+    cluster.add_node(home.hosts[i]);
+    cluster.add_nsd_server(home.hosts[i]);
+    home_srv.push_back(home.hosts[i]);
+    cluster.add_node(edge.hosts[i]);
+    cluster.add_nsd_server(edge.hosts[i]);
+    edge_srv.push_back(edge.hosts[i]);
+  }
+  net::NodeId manager = edge.hosts[4];  // survives the home blackout
+  cluster.add_node(manager);
+
+  std::vector<std::unique_ptr<storage::BlockDevice>> devices;
+  std::vector<std::uint32_t> home_nsds, rep_nsds;
+  auto mkdev = [&](const std::string& name) {
+    devices.push_back(std::make_unique<storage::RateDevice>(
+        sim, 4 * GiB, BytesPerSec(200e6), 0.5e-3, name));
+    return devices.back().get();
+  };
+  // homefs: 4 home NSDs, single-copy files — the WAN baseline.
+  std::vector<std::uint32_t> homefs_nsds;
+  for (std::size_t i = 0; i < 4; ++i) {
+    homefs_nsds.push_back(cluster.create_nsd(
+        "hnsd" + std::to_string(i), mkdev("hdev" + std::to_string(i)),
+        home_srv[i], home_srv[(i + 1) % 4], /*site=*/0));
+  }
+  // repfs: 4 more home NSDs (site 0) + 4 edge NSDs (site 1); 2-copy
+  // files get one copy per site.
+  for (std::size_t i = 0; i < 4; ++i) {
+    rep_nsds.push_back(cluster.create_nsd(
+        "rhnsd" + std::to_string(i), mkdev("rhdev" + std::to_string(i)),
+        home_srv[i], home_srv[(i + 1) % 4], /*site=*/0));
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    rep_nsds.push_back(cluster.create_nsd(
+        "rensd" + std::to_string(i), mkdev("redev" + std::to_string(i)),
+        edge_srv[i], edge_srv[(i + 1) % 4], /*site=*/1));
+  }
+  gpfs::FileSystem& homefs =
+      cluster.create_filesystem("homefs", homefs_nsds, 1 * MiB, manager);
+  gpfs::FileSystem& repfs =
+      cluster.create_filesystem("repfs", rep_nsds, 1 * MiB, manager);
+
+  // Edge clients: a WAN-baseline reader, the replicated writer, a cold
+  // reader for the healthy-phase rate, and a second cold reader that
+  // only reads during the blackout.
+  auto edge_mount = [&](const std::string& fsname, std::size_t host) {
+    cluster.add_node(edge.hosts[host]);
+    auto c = cluster.mount(fsname, edge.hosts[host]);
+    MGFS_ASSERT(c.ok(), "edge mount failed");
+    return *c;
+  };
+  gpfs::Client* wanreader = edge_mount("homefs", 5);
+  gpfs::Client* repwriter = edge_mount("repfs", 6);
+  gpfs::Client* cold1 = edge_mount("repfs", 7);
+  gpfs::Client* cold2 = edge_mount("repfs", 8);
+
+  fault::FaultInjector inject(net, Rng(7));
+  inject.watch_pool(cluster.connection_pool());
+  inject.watch_cluster(cluster);
+
+  constexpr Bytes kFile = 32 * MiB;
+  bench::seed_file(homefs, "/far", kFile);
+
+  auto sync_open = [&](gpfs::Client* c, const std::string& p,
+                       gpfs::OpenFlags f) {
+    std::optional<Result<gpfs::Fh>> out;
+    c->open(p, bench::kUser, f, [&](Result<gpfs::Fh> r) { out = r; });
+    sim.run();
+    MGFS_ASSERT(out.has_value() && out->ok(), "open failed");
+    return **out;
+  };
+  // Timed sequential read of the whole file; returns MB/s.
+  auto timed_read = [&](gpfs::Client* c, gpfs::Fh fh) {
+    std::optional<Result<Bytes>> r;
+    const double t0 = sim.now();
+    double t1 = t0;
+    c->read(fh, 0, kFile, [&](Result<Bytes> res) {
+      r = std::move(res);
+      t1 = sim.now();
+    });
+    sim.run();
+    if (r.has_value() && !r->ok()) {
+      std::fprintf(stderr, "timed read error: %s\n",
+                   r->error().to_string().c_str());
+    } else if (r.has_value() && **r != kFile) {
+      std::fprintf(stderr, "timed read short: %llu of %llu\n",
+                   static_cast<unsigned long long>(**r),
+                   static_cast<unsigned long long>(kFile));
+    }
+    MGFS_ASSERT(r.has_value() && r->ok() && **r == kFile,
+                "timed read incomplete");
+    return (kFile / 1e6) / std::max(1e-9, t1 - t0);
+  };
+
+  // WAN baseline: cold edge read of the unreplicated home file.
+  gpfs::Fh farfh = sync_open(wanreader, "/far", gpfs::OpenFlags::ro());
+  const double wan_MBps = timed_read(wanreader, farfh);
+
+  // Replicated file: written once, committed; copies land on both sites.
+  gpfs::Fh wfh =
+      sync_open(repwriter, "/data", gpfs::OpenFlags::create_replicated(2));
+  std::optional<Result<Bytes>> ww;
+  repwriter->write(wfh, 0, kFile, [&](Result<Bytes> r) { ww = r; });
+  sim.run();
+  MGFS_ASSERT(ww.has_value() && ww->ok(), "replicated write failed");
+  std::optional<Status> wsync;
+  repwriter->fsync(wfh, [&](Status s) { wsync = s; });
+  sim.run();
+  MGFS_ASSERT(wsync.has_value() && wsync->ok(), "replicated fsync failed");
+
+  // Healthy-phase cold-site rate: nearest-replica reads serve from the
+  // edge copies at local rates — the with-replicas column.
+  gpfs::Fh c1fh = sync_open(cold1, "/data", gpfs::OpenFlags::ro());
+  const double local_MBps = timed_read(cold1, c1fh);
+
+  // Open the blackout-phase reader while the cluster is still healthy
+  // (a sync_open would sim.run() straight through the outage events).
+  gpfs::Fh c2fh = sync_open(cold2, "/data", gpfs::OpenFlags::ro());
+
+  // Blackout: every home serving node goes dark; the allocator also
+  // marks the home NSDs down so writes placed during the outage route
+  // to the surviving site.
+  const double outage_at = sim.now();
+  // Long enough that the writer's replica-propagation attempts to the
+  // dark home copies exhaust their retries (4 attempts at the WAN
+  // deadline) and mark divergence while the site is still down.
+  const sim::Time kOutage = 12.0;
+  std::vector<net::NodeId> dark(home_srv.begin(), home_srv.end());
+  inject.schedule_site_outage(outage_at, dark, kOutage);
+  // NSD ids inside a file system are fs-local (0..n-1), not the
+  // cluster-global registration ids.
+  sim.after(0.0, [&] {
+    for (std::uint32_t id = 0; id < rep_nsds.size(); ++id) {
+      if (repfs.nsd(id).site == 0) repfs.set_nsd_down(id, true);
+    }
+  });
+
+  // During the blackout: a fresh cold reader gets every byte from the
+  // local replicas, and the writer's overwrite keeps committing
+  // against the surviving copies, marking the unreachable home copies
+  // divergent instead of stalling. Issued via sim.after so they start
+  // inside the blackout window rather than before it.
+  std::optional<Result<Bytes>> outage_read;
+  double outage_read_done = 0;
+  std::optional<Result<Bytes>> ow;
+  std::optional<Status> osync;
+  std::function<void(int)> oresync = [&](int attempts_left) {
+    repwriter->fsync(wfh, [&, attempts_left](Status s) {
+      if (!s.ok() && attempts_left > 0) {
+        sim.after(0.3, [&, attempts_left] { oresync(attempts_left - 1); });
+        return;
+      }
+      osync = s;
+    });
+  };
+  sim.after(0.1, [&] {
+    cold2->read(c2fh, 0, kFile, [&](Result<Bytes> r) {
+      outage_read = std::move(r);
+      outage_read_done = sim.now();
+    });
+    repwriter->write(wfh, 0, kFile, [&](Result<Bytes> r) {
+      ow = std::move(r);
+      MGFS_ASSERT(ow->ok(), "overwrite during outage failed");
+      oresync(40);
+    });
+  });
+  sim.run();
+
+  // Heal + re-protect: home NSDs come back (blackhole self-heals at
+  // outage_at + kOutage inside the run above), the allocator readmits
+  // them, and reconciliation re-copies every divergent replica.
+  for (std::uint32_t id = 0; id < rep_nsds.size(); ++id) {
+    repfs.set_nsd_down(id, false);
+  }
+  const std::uint64_t reconciled = repfs.reconcile_replicas();
+  const gpfs::FsckReport rep_fsck = repfs.fsck();
+  const gpfs::FsckReport home_fsck = homefs.fsck();
+  const std::uint64_t rep_reads = cold1->replica_reads() +
+                                  cold2->replica_reads() +
+                                  repwriter->replica_reads();
+
+  std::printf("  WAN cold read:        %.1f MB/s (unreplicated, over the "
+              "circuit)\n", wan_MBps);
+  std::printf("  local replica read:   %.1f MB/s (%.1fx)\n", local_MBps,
+              local_MBps / std::max(1e-9, wan_MBps));
+  std::printf("  outage read:          %s, finished %+.2f s into the "
+              "blackout\n",
+              outage_read.has_value() && outage_read->ok() ? "complete"
+                                                           : "FAILED",
+              outage_read_done - outage_at);
+  std::printf("  divergences %llu, reconciled %llu, replica reads %llu\n",
+              static_cast<unsigned long long>(repfs.replica_divergences()),
+              static_cast<unsigned long long>(reconciled),
+              static_cast<unsigned long long>(rep_reads));
+  std::printf("  manager: %s\n", repfs.stats().c_str());
+
+  bool ok = true;
+  auto check = [&](bool cond, const char* what) {
+    std::printf("  [%s] %s\n", cond ? "PASS" : "FAIL", what);
+    ok = ok && cond;
+  };
+  std::cout << "\nAcceptance:\n";
+  check(wan_MBps > 0 && local_MBps >= 3.0 * wan_MBps,
+        "replica-local cold read >= 3x the WAN-window rate");
+  check(outage_read.has_value() && outage_read->ok() &&
+            **outage_read == kFile,
+        "every byte read from the surviving replica during the blackout "
+        "(zero data loss)");
+  check(rep_reads >= 1, "reads actually served by replica copies");
+  check(ow.has_value() && ow->ok() && osync.has_value() && osync->ok(),
+        "writes kept committing through the blackout (re-anchored)");
+  check(repfs.replica_divergences() >= 1,
+        "unreachable copies marked divergent, not silently served");
+  check(reconciled >= 1, "divergent copies reconciled after the heal");
+  check(rep_fsck.clean() && home_fsck.clean(), "fsck clean after reconcile");
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << std::fixed;
+    out.precision(1);
+    out << "{\n  \"bench\": \"chaos_soak_site_outage\",\n"
+        << "  \"read_MBps_wan\": " << wan_MBps << ",\n"
+        << "  \"read_MBps_replica_local\": " << local_MBps << ",\n"
+        << "  \"replica_reads\": " << rep_reads << ",\n"
+        << "  \"replica_divergences\": " << repfs.replica_divergences()
+        << ",\n"
+        << "  \"replicas_reconciled\": " << reconciled << ",\n"
+        << "  \"pass\": " << (ok ? "true" : "false") << "\n}\n";
+    std::cout << "\n  JSON written to " << json_path << "\n";
+  }
+  return ok;
+}
+
+/// Permanent-NSD-loss drill. A 2-copy file is committed, then one NSD's
+/// backing device fails for good (every I/O returns media errors) and
+/// the allocator marks it down. Cold reads succeed through the
+/// surviving copies (io_error is non-retryable, so the client redirects
+/// instead of retrying into the dead disk), new files allocate around
+/// the loss, and evacuate_nsd() restores 2-copy protection by re-homing
+/// every surviving copy's lost twin — after which fsck is clean.
+bool run_nsd_loss() {
+  sim::Simulator sim;
+  net::Network net(sim);
+  net::Site site = net::add_site(net, "s", 7, gbps(1.0));
+
+  gpfs::ClusterConfig ccfg;
+  ccfg.name = "chaos";
+  ccfg.client.rpc_deadline = 0.5;
+  gpfs::Cluster cluster(sim, net, ccfg, Rng(42));
+
+  bench::ServerFarm farm = bench::make_rate_farm(
+      cluster, sim, site, /*first_host=*/0, /*servers=*/4, /*nsd_count=*/8,
+      BytesPerSec(200e6), /*device_capacity=*/4 * GiB, "chaos");
+
+  net::NodeId writer_node = site.hosts.at(5);
+  net::NodeId reader_node = site.hosts.at(6);
+  cluster.add_node(writer_node);
+  cluster.add_node(reader_node);
+  auto wm = cluster.mount("chaos", writer_node);
+  auto rm = cluster.mount("chaos", reader_node);
+  MGFS_ASSERT(wm.ok() && rm.ok(), "mount failed");
+  gpfs::Client* writer = *wm;
+  gpfs::Client* reader = *rm;
+
+  fault::FaultInjector inject(net, Rng(7));
+  inject.watch_pool(cluster.connection_pool());
+  inject.watch_cluster(cluster);
+
+  auto sync_open = [&](gpfs::Client* c, const std::string& p,
+                       gpfs::OpenFlags f) {
+    std::optional<Result<gpfs::Fh>> out;
+    c->open(p, bench::kUser, f, [&](Result<gpfs::Fh> r) { out = r; });
+    sim.run();
+    MGFS_ASSERT(out.has_value() && out->ok(), "open failed");
+    return **out;
+  };
+  constexpr Bytes kFile = 16 * MiB;
+  gpfs::Fh wfh =
+      sync_open(writer, "/data", gpfs::OpenFlags::create_replicated(2));
+  std::optional<Result<Bytes>> ww;
+  writer->write(wfh, 0, kFile, [&](Result<Bytes> r) { ww = r; });
+  sim.run();
+  MGFS_ASSERT(ww.has_value() && ww->ok(), "replicated write failed");
+  std::optional<Status> wsync;
+  writer->fsync(wfh, [&](Status s) { wsync = s; });
+  sim.run();
+  MGFS_ASSERT(wsync.has_value() && wsync->ok(), "replicated fsync failed");
+
+  // The loss: NSD 2's media dies permanently (fs-local index — the
+  // farm's only file system maps its NSDs 1:1).
+  const std::uint32_t lost = 2;
+  inject.schedule_nsd_loss(sim.now(), *farm.fs, lost);
+
+  // Cold read through the loss: blocks with a copy on the dead NSD get
+  // io_error (final, not retried) and redirect to the surviving copy.
+  gpfs::Fh rfh = sync_open(reader, "/data", gpfs::OpenFlags::ro());
+  std::optional<Result<Bytes>> rr;
+  reader->read(rfh, 0, kFile, [&](Result<Bytes> r) { rr = std::move(r); });
+  sim.run();
+
+  // New files still allocate (around the dead NSD).
+  gpfs::Fh w2fh =
+      sync_open(writer, "/after", gpfs::OpenFlags::create_replicated(2));
+  std::optional<Result<Bytes>> w2;
+  writer->write(w2fh, 0, 8 * MiB, [&](Result<Bytes> r) { w2 = r; });
+  sim.run();
+  std::optional<Status> w2sync;
+  writer->fsync(w2fh, [&](Status s) { w2sync = s; });
+  sim.run();
+
+  // Re-protection: re-home every copy that lived on the dead NSD.
+  const std::uint64_t moved = farm.fs->evacuate_nsd(lost);
+  farm.fs->reconcile_replicas();
+  const gpfs::FsckReport fsck = farm.fs->fsck();
+
+  std::printf("  lost NSD %u; evacuated %llu copies\n", lost,
+              static_cast<unsigned long long>(moved));
+  std::printf("  replica reads %llu, failovers %llu\n",
+              static_cast<unsigned long long>(reader->replica_reads()),
+              static_cast<unsigned long long>(reader->replica_failovers()));
+  std::printf("  manager: %s\n", farm.fs->stats().c_str());
+
+  bool ok = true;
+  auto check = [&](bool cond, const char* what) {
+    std::printf("  [%s] %s\n", cond ? "PASS" : "FAIL", what);
+    ok = ok && cond;
+  };
+  std::cout << "\nAcceptance:\n";
+  check(rr.has_value() && rr->ok() && **rr == kFile,
+        "every byte read back through the loss (zero data loss)");
+  check(reader->replica_reads() >= 1,
+        "reads of lost-copy blocks served by the surviving replica");
+  check(w2.has_value() && w2->ok() && w2sync.has_value() && w2sync->ok(),
+        "new file committed with allocation routed around the dead NSD");
+  check(moved >= 1, "evacuation re-homed the lost copies");
+  check(fsck.clean(), "fsck clean after evacuation");
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -640,6 +1172,18 @@ int main(int argc, char** argv) {
     bench::banner("chaos_soak --scenario manager_crash",
                   "manager takeover: election, token rebuild, epoch fencing");
     return run_manager_crash() ? 0 : 1;
+  }
+  if (scenario == "site_outage") {
+    bench::banner("chaos_soak --scenario site_outage",
+                  "cross-site replicas: nearest-replica reads, whole-site "
+                  "blackout, reconciliation");
+    return run_site_outage(json_path) ? 0 : 1;
+  }
+  if (scenario == "nsd_loss") {
+    bench::banner("chaos_soak --scenario nsd_loss",
+                  "permanent NSD loss: replica reads, allocation rerouting, "
+                  "evacuation");
+    return run_nsd_loss() ? 0 : 1;
   }
   if (!scenario.empty()) {
     std::cerr << "unknown scenario: " << scenario << "\n";
@@ -683,6 +1227,12 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(chaos.recovery_ops),
               chaos.recovery_p50_s, chaos.recovery_p99_s,
               static_cast<unsigned long long>(chaos.recovery_probes));
+  std::printf("  replicas: reads %llu, failovers %llu, divergences %llu, "
+              "reconciled %llu\n",
+              static_cast<unsigned long long>(chaos.replica_reads),
+              static_cast<unsigned long long>(chaos.replica_failovers),
+              static_cast<unsigned long long>(chaos.replica_divergences),
+              static_cast<unsigned long long>(chaos.replicas_reconciled));
   std::cout << "\nclient 0 mmpmon (chaos run):\n" << chaos.mmpmon;
 
   const Bytes expected = kClients * kPerTask;
@@ -698,6 +1248,12 @@ int main(int argc, char** argv) {
         "chaos write goodput >= 50% of fault-free");
   check(chaos.read_MBps >= 0.5 * base.read_MBps,
         "chaos read goodput >= 50% of fault-free");
+  // Guards the measurement itself: both phases unmount the writers
+  // before the timed read-back, so the chaos read can no longer beat
+  // the fault-free one by skipping the token-revocation rounds the
+  // baseline's readers used to pay (the old inverted report).
+  check(chaos.read_MBps <= 1.05 * base.read_MBps,
+        "read windows comparable: chaos read within 5% of baseline");
   check(chaos.timeouts > 0, "RPC deadlines actually expired");
   check(chaos.retries > 0, "retry policy actually engaged");
   check(chaos.breaker_opens > 0, "circuit breaker actually opened");
@@ -717,6 +1273,14 @@ int main(int argc, char** argv) {
         "suspect confirmed dead by probe quorum (early expel)");
   check(chaos.recovery_ops >= 1,
         "op latency during recovery window recorded");
+  check(chaos.replica_reads >= 1,
+        "reads served from a replica while both serving nodes were dark");
+  check(chaos.replica_failovers >= 1, "replica failover actually engaged");
+  check(chaos.replica_divergences >= 1,
+        "writer marked the unreachable copy divergent");
+  check(chaos.replicas_reconciled >= 1 &&
+            chaos.replicas_reconciled >= chaos.replica_divergences,
+        "every divergent copy reconciled after the heal");
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);
@@ -742,7 +1306,11 @@ int main(int argc, char** argv) {
         << "  \"early_expels\": " << chaos.early_expels << ",\n"
         << "  \"overlap_writes_admitted\": " << chaos.overlap_admits << ",\n"
         << "  \"recovery_probes\": " << chaos.recovery_probes << ",\n"
-        << "  \"recovery_ops\": " << chaos.recovery_ops << ",\n";
+        << "  \"recovery_ops\": " << chaos.recovery_ops << ",\n"
+        << "  \"replica_reads\": " << chaos.replica_reads << ",\n"
+        << "  \"replica_failovers\": " << chaos.replica_failovers << ",\n"
+        << "  \"replica_divergences\": " << chaos.replica_divergences << ",\n"
+        << "  \"replicas_reconciled\": " << chaos.replicas_reconciled << ",\n";
     out.precision(4);  // sub-second latencies need more than one decimal
     out << "  \"takeover_to_first_grant_s\": "
         << chaos.takeover_to_first_grant_s << ",\n"

@@ -30,7 +30,9 @@ cmake --build "$build_dir" -j "$(nproc)" --target fig11_scaling chaos_soak scale
 # (lease_duration = 3.0 s in the soak => 6.0 s).
 chaos_json="$repo_root/BENCH_chaos.json"
 for key in takeover_to_first_grant_s rebuild_rpcs recovery_op_p50_s \
-           recovery_op_p99_s overlap_writes_admitted early_expels; do
+           recovery_op_p99_s overlap_writes_admitted early_expels \
+           replica_reads replica_failovers replica_divergences \
+           replicas_reconciled; do
   grep -q "\"$key\"" "$chaos_json" || {
     echo "bench_smoke: FAIL — $chaos_json missing key \"$key\"" >&2
     exit 1
@@ -58,5 +60,22 @@ awk -F': ' '/"min_events_per_s"/ {
   if (v < floor) { printf "bench_smoke: FAIL — min_events_per_s %.0f below floor %d\n", v, floor; exit 1 }
   printf "bench_smoke: min_events_per_s %.0f (floor %d)\n", v, floor
 }' "$scale_json"
+
+# Replica-locality gate: the DEISA-style site-outage drill darkens the
+# home site for 12 s; the cold edge site must keep reading from its
+# local replicas at >= 3x the WAN-window rate it gets when reaching
+# across the (0.3 Gb/s, 25 ms) circuit. Catches regressions in
+# nearest-replica selection (e.g. RTT ordering breaking and every read
+# paying the WAN) without pinning absolute rates.
+site_json="$build_dir/bench_site_outage.json"
+"$build_dir/bench/chaos_soak" --scenario site_outage --json "$site_json"
+awk -F': ' '
+  /"read_MBps_wan"/           { wan = $2 + 0 }
+  /"read_MBps_replica_local"/ { loc = $2 + 0 }
+  END {
+    if (wan <= 0 || loc <= 0) { printf "bench_smoke: FAIL — site_outage rates missing (wan %.1f, local %.1f)\n", wan, loc; exit 1 }
+    if (loc < 3.0 * wan) { printf "bench_smoke: FAIL — replica-local read %.1f MB/s below 3x WAN-window %.1f MB/s\n", loc, wan; exit 1 }
+    printf "bench_smoke: replica-local %.1f MB/s vs WAN-window %.1f MB/s (gate: >= 3x)\n", loc, wan
+  }' "$site_json"
 
 echo "bench_smoke: wrote $repo_root/BENCH_fig11.json and $repo_root/BENCH_chaos.json"

@@ -38,4 +38,12 @@ ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
 # while RPCs are in flight, prime territory for use-after-free.
 "$build_dir/bench/chaos_soak" --scenario manager_crash
 
+# Replication drills: permanent NSD loss (reads ride the surviving
+# copy, evacuate re-protects) and a whole-site blackout (nearest-replica
+# reads, divergence + reconcile after heal). Replica failover re-issues
+# fills from completed run state and reconciliation walks the placement
+# tables — both are lifetime-bug habitat under ASan.
+"$build_dir/bench/chaos_soak" --scenario nsd_loss
+"$build_dir/bench/chaos_soak" --scenario site_outage
+
 echo "sanitize: all tests and chaos soak passed clean"

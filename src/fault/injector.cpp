@@ -78,6 +78,40 @@ void FaultInjector::schedule_crash_manager(sim::Time at, gpfs::FileSystem& fs,
   });
 }
 
+void FaultInjector::schedule_site_outage(sim::Time at,
+                                         std::vector<net::NodeId> site,
+                                         sim::Time duration) {
+  sim::Simulator& sim = net_.simulator();
+  sim.after(delay_until(sim, at),
+            [this, site = std::move(site), duration] {
+    ++site_outages_;
+    MGFS_WARN("fault", "site outage: " << site.size() << " nodes dark for "
+                                       << duration << "s");
+    for (const net::NodeId n : site) net_.set_node_blackholed(n, true);
+    net_.simulator().after(duration, [this, site] {
+      for (const net::NodeId n : site) net_.set_node_blackholed(n, false);
+      MGFS_INFO("fault", "site outage healed (" << site.size() << " nodes)");
+    });
+  });
+}
+
+void FaultInjector::schedule_nsd_loss(sim::Time at, gpfs::FileSystem& fs,
+                                      std::uint32_t nsd_id) {
+  sim::Simulator& sim = net_.simulator();
+  gpfs::FileSystem* fsp = &fs;
+  sim.after(delay_until(sim, at), [this, fsp, nsd_id] {
+    ++nsd_losses_;
+    MGFS_WARN("fault", "NSD " << nsd_id << " of " << fsp->name()
+                              << " lost permanently (media failure)");
+    // Media gone: every read/write against the device fails immediately
+    // with io_error (non-retryable — clients redirect to replicas).
+    fsp->nsd(nsd_id).device->set_failed(true);
+    // And the allocator stops placing new blocks (or replica copies)
+    // there. No repair event follows: the operator runs evacuate_nsd.
+    fsp->set_nsd_down(nsd_id, true);
+  });
+}
+
 // --- fault bodies ------------------------------------------------------
 
 void FaultInjector::cut_link_now(net::NodeId a, net::NodeId b,
@@ -163,7 +197,9 @@ std::string FaultInjector::report() const {
      << "  node_crashes " << node_crashes_ << "\n"
      << "  blackholes   " << blackholes_ << "\n"
      << "  fail_slows   " << fail_slows_ << "\n"
-     << "  mgr_crashes  " << manager_crashes_ << "\n";
+     << "  mgr_crashes  " << manager_crashes_ << "\n"
+     << "  site_outages " << site_outages_ << "\n"
+     << "  nsd_losses   " << nsd_losses_ << "\n";
   return os.str();
 }
 

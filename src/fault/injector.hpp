@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "gpfs/nsd.hpp"
@@ -68,6 +69,18 @@ class FaultInjector {
   /// fencing of the deposed incarnation.
   void schedule_crash_manager(sim::Time at, gpfs::FileSystem& fs,
                               sim::Time duration);
+  /// Whole-site outage: blackhole every node in `site` at `at` and heal
+  /// them all `duration` later. Models a WAN partition / power event
+  /// taking out one end of a multi-site file system; replicated reads
+  /// must fail over to copies at the surviving site.
+  void schedule_site_outage(sim::Time at, std::vector<net::NodeId> site,
+                            sim::Time duration);
+  /// Permanent NSD loss: at `at`, fail NSD `nsd_id`'s backing device
+  /// (every I/O returns media errors from then on) and mark it down in
+  /// `fs`'s allocator so new blocks route around it. Never heals —
+  /// recovery is re-protection (FileSystem::evacuate_nsd), not repair.
+  void schedule_nsd_loss(sim::Time at, gpfs::FileSystem& fs,
+                         std::uint32_t nsd_id);
 
   // --- stochastic processes ---------------------------------------------
   /// Flap the a<->b link: starting at `start`, draw time-to-failure from
@@ -85,6 +98,8 @@ class FaultInjector {
   std::uint64_t blackholes() const { return blackholes_; }
   std::uint64_t fail_slows() const { return fail_slows_; }
   std::uint64_t manager_crashes() const { return manager_crashes_; }
+  std::uint64_t site_outages() const { return site_outages_; }
+  std::uint64_t nsd_losses() const { return nsd_losses_; }
   std::uint64_t faults_injected() const {
     return link_cuts_ + node_crashes_ + blackholes_ + fail_slows_;
   }
@@ -109,6 +124,8 @@ class FaultInjector {
   std::uint64_t fail_slows_ = 0;
   std::uint64_t manager_crashes_ = 0;  // crash_manager firings (also counted
                                        // in node_crashes_ via the shared body)
+  std::uint64_t site_outages_ = 0;
+  std::uint64_t nsd_losses_ = 0;
 };
 
 }  // namespace mgfs::fault

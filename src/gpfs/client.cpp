@@ -133,6 +133,7 @@ void Client::unbind() {
   block_map_.clear();
   dirty_fifo_.clear();
   dirty_addr_.clear();
+  anchor_fails_.clear();
   alloc_ahead_hi_.clear();
 }
 
@@ -257,7 +258,8 @@ void Client::ensure_token(InodeNum ino, TokenRange required,
 // block map cache
 // --------------------------------------------------------------------------
 
-std::optional<BlockAddr>* Client::map_entry(InodeNum ino, std::uint64_t bi) {
+std::optional<BlockPlacement>* Client::map_entry(InodeNum ino,
+                                                std::uint64_t bi) {
   auto fit = block_map_.find(ino);
   if (fit == block_map_.end()) return nullptr;
   auto bit = fit->second.find(bi);
@@ -266,9 +268,44 @@ std::optional<BlockAddr>* Client::map_entry(InodeNum ino, std::uint64_t bi) {
 
 void Client::install_chunk(InodeNum ino, const BlockMapChunk& chunk) {
   auto& m = block_map_[ino];
+  // placements parallels addrs for replicated files; otherwise wrap the
+  // single address so the data path has one shape to deal with.
+  const bool rep = chunk.placements.size() == chunk.addrs.size();
   for (std::size_t i = 0; i < chunk.addrs.size(); ++i) {
-    m[chunk.first_block + i] = chunk.addrs[i];
+    if (!chunk.addrs[i].has_value()) {
+      m[chunk.first_block + i] = std::nullopt;
+    } else if (rep) {
+      m[chunk.first_block + i] = chunk.placements[i];
+    } else {
+      m[chunk.first_block + i] = BlockPlacement::single(*chunk.addrs[i]);
+    }
   }
+}
+
+std::uint8_t Client::pick_copy(const BlockPlacement& p,
+                               std::uint8_t tried) const {
+  std::uint8_t best = static_cast<std::uint8_t>(kMaxReplicas);
+  int best_penalty = 2;
+  double best_rtt = 0.0;
+  for (std::uint8_t c = 0; c < p.copies; ++c) {
+    if ((tried & (1u << c)) != 0 || p.is_divergent(c)) continue;
+    const Nsd& nsd = fs_->nsd(p.addr[c].nsd);
+    // A copy whose serving nodes are all circuit-broken is a last
+    // resort; among equally-live copies the lowest propagation RTT to
+    // the primary server wins — the nearest-replica read.
+    const bool live = admit_server(nsd.primary) ||
+                      (nsd.has_backup && admit_server(nsd.backup));
+    const int penalty = live ? 0 : 1;
+    const auto rtt = rpc_.pool().network().rtt(node_, nsd.primary);
+    const double d = rtt.has_value() ? *rtt : 1e9;
+    if (penalty < best_penalty ||
+        (penalty == best_penalty && d < best_rtt)) {
+      best = c;
+      best_penalty = penalty;
+      best_rtt = d;
+    }
+  }
+  return best;
 }
 
 void Client::ensure_map(InodeNum ino, std::uint64_t first,
@@ -586,11 +623,50 @@ void Client::issue_fills(std::vector<BlockFetch> fetch) {
     }
     nsd_io_run(std::move(run), false, 0,
                [this](const NsdRun& r, const Status& st) {
+                 if (!st.ok() && redirect_failed_fills(r, st)) return;
                  for (const BlockFetch& f : r.items) {
+                   if (st.ok() && f.copy != 0) ++replica_reads_;
                    finish_fill(f.key, st, f.speculative);
                  }
                });
   }
+}
+
+bool Client::redirect_failed_fills(const NsdRun& r, const Status& st) {
+  if (!mounted()) return false;
+  const Bytes bs = pool_.page_size();
+  std::vector<BlockFetch> redirect;
+  std::vector<BlockFetch> dead;
+  for (const BlockFetch& f : r.items) {
+    std::optional<BlockPlacement>* entry = map_entry(f.key.ino, f.key.block);
+    if (entry != nullptr && entry->has_value()) {
+      const BlockPlacement& pl = **entry;
+      const std::uint8_t c = pick_copy(pl, f.tried);
+      if (c < pl.copies) {
+        redirect.push_back(
+            BlockFetch{f.key, pl.addr[c], f.speculative, c,
+                       static_cast<std::uint8_t>(f.tried | (1u << c))});
+        continue;
+      }
+    }
+    dead.push_back(f);
+  }
+  if (redirect.empty()) return false;
+  ++replica_failovers_;
+  MGFS_WARN("client", "client " << id_ << ": nsd " << r.nsd << " read "
+                                << errc_name(st.code()) << "; redirecting "
+                                << redirect.size()
+                                << " block(s) to another replica");
+  // issue_fills re-counts speculative bytes; give back this run's share
+  // for the redirected items so the budget does not double-charge them.
+  for (const BlockFetch& f : redirect) {
+    if (f.speculative) {
+      fill_inflight_ = fill_inflight_ >= bs ? fill_inflight_ - bs : 0;
+    }
+  }
+  for (const BlockFetch& f : dead) finish_fill(f.key, st, f.speculative);
+  issue_fills(std::move(redirect));
+  return true;
 }
 
 void Client::finish_fill(const PageKey& key, const Status& st,
@@ -634,15 +710,19 @@ void Client::prefetch_strided(InodeNum ino, std::uint64_t b0,
             }
             const PageKey key{ino, bi};
             if (pool_.contains(key) || fill_waiters_.count(key) > 0) continue;
-            std::optional<BlockAddr>* entry = map_entry(ino, bi);
+            std::optional<BlockPlacement>* entry = map_entry(ino, bi);
             if (entry == nullptr || !entry->has_value()) continue;
             const TokenRange r{bi * bs, (bi + 1) * bs};
             if (!token_covers(ino, r, LockMode::ro) &&
                 !token_covers(ino, r, LockMode::rw)) {
               continue;
             }
+            const BlockPlacement& pl = **entry;
+            std::uint8_t c = pick_copy(pl, 0);
+            if (c >= pl.copies) c = 0;
             fill_waiters_[key];
-            fetch.push_back(BlockFetch{key, **entry, /*speculative=*/true});
+            fetch.push_back(BlockFetch{key, pl.addr[c], /*speculative=*/true,
+                                       c, static_cast<std::uint8_t>(1u << c)});
             ++ra_issued_;
           }
           issue_fills(std::move(fetch));
@@ -665,15 +745,18 @@ void Client::ensure_block_present(InodeNum ino, std::uint64_t bi,
     wit->second.push_back(std::move(done));
     return;
   }
-  std::optional<BlockAddr>* entry = map_entry(ino, bi);
+  std::optional<BlockPlacement>* entry = map_entry(ino, bi);
   MGFS_ASSERT(entry != nullptr, "block map not populated before fill");
   if (!entry->has_value()) {
     done(Status{});  // hole: zeros, nothing to fetch
     return;
   }
-  const BlockAddr addr = **entry;
+  const BlockPlacement pl = **entry;
+  std::uint8_t c = pick_copy(pl, 0);
+  if (c >= pl.copies) c = 0;
   fill_waiters_[key].push_back(std::move(done));
-  issue_fills({BlockFetch{key, addr}});
+  issue_fills({BlockFetch{key, pl.addr[c], /*speculative=*/false, c,
+                          static_cast<std::uint8_t>(1u << c)}});
 }
 
 // --------------------------------------------------------------------------
@@ -797,12 +880,17 @@ void Client::read(Fh fh, Bytes offset, Bytes len,
                   wait.push_back(bi);
                   continue;
                 }
-                std::optional<BlockAddr>* entry = map_entry(ino, bi);
+                std::optional<BlockPlacement>* entry = map_entry(ino, bi);
                 MGFS_ASSERT(entry != nullptr,
                             "block map not populated before fill");
                 if (!entry->has_value()) continue;  // hole: zeros
+                const BlockPlacement& pl = **entry;
+                std::uint8_t c = pick_copy(pl, 0);
+                if (c >= pl.copies) c = 0;
                 wait.push_back(bi);
-                fetch.push_back(BlockFetch{key, **entry});
+                fetch.push_back(
+                    BlockFetch{key, pl.addr[c], /*speculative=*/false, c,
+                               static_cast<std::uint8_t>(1u << c)});
                 fill_waiters_[key];  // reserve: dedup point for later reads
               }
               // Readahead rides in the same runs as the demand blocks, so
@@ -817,16 +905,20 @@ void Client::read(Fh fh, Bytes offset, Bytes len,
                 if (pool_.contains(key) || fill_waiters_.count(key) > 0) {
                   continue;
                 }
-                std::optional<BlockAddr>* entry = map_entry(ino, bi);
+                std::optional<BlockPlacement>* entry = map_entry(ino, bi);
                 if (entry == nullptr || !entry->has_value()) continue;
                 const TokenRange r{bi * bs, (bi + 1) * bs};
                 if (!token_covers(ino, r, LockMode::ro) &&
                     !token_covers(ino, r, LockMode::rw)) {
                   continue;
                 }
+                const BlockPlacement& pl = **entry;
+                std::uint8_t c = pick_copy(pl, 0);
+                if (c >= pl.copies) c = 0;
                 fill_waiters_[key];
                 fetch.push_back(
-                    BlockFetch{key, **entry, /*speculative=*/true});
+                    BlockFetch{key, pl.addr[c], /*speculative=*/true, c,
+                               static_cast<std::uint8_t>(1u << c)});
                 ++ra_issued_;
               }
               if (wait.empty()) {
@@ -1035,11 +1127,15 @@ void Client::pump_flush() {
     if (!pool_.is_dirty(key)) continue;  // cleaned or invalidated already
     auto ait = dirty_addr_.find(key);
     MGFS_ASSERT(ait != dirty_addr_.end(), "dirty page without address");
-    const BlockAddr addr = ait->second;
+    const BlockPlacement pl = ait->second;
+    const std::uint8_t ac = flush_anchor(pl);
+    const BlockAddr addr = pl.addr[ac];
 
     // Coalesce: pull other dirty blocks bound for the same NSD out of
     // the FIFO head so the whole run goes out as one wire request.
-    std::vector<BlockFetch> items{BlockFetch{key, addr}};
+    // Replicated blocks coalesce on their *anchor* copy; propagation to
+    // the other copies fans out per block after the anchor run lands.
+    std::vector<BlockFetch> items{BlockFetch{key, addr, false, ac, 0}};
     if (cfg_.coalesce_blocks > 1) {
       std::size_t scanned = 0;
       for (auto it = dirty_fifo_.begin();
@@ -1053,8 +1149,9 @@ void Client::pump_flush() {
         }
         auto a2 = dirty_addr_.find(k);
         MGFS_ASSERT(a2 != dirty_addr_.end(), "dirty page without address");
-        if (a2->second.nsd == addr.nsd) {
-          items.push_back(BlockFetch{k, a2->second});
+        const std::uint8_t ac2 = flush_anchor(a2->second);
+        if (a2->second.addr[ac2].nsd == addr.nsd) {
+          items.push_back(BlockFetch{k, a2->second.addr[ac2], false, ac2, 0});
           it = dirty_fifo_.erase(it);
         } else {
           ++it;
@@ -1078,26 +1175,39 @@ void Client::pump_flush() {
       bool lapsed = false;
       for (const BlockFetch& f : r.items) {
         const PageKey k = f.key;
-        auto it = inflight_per_ino_.find(k.ino);
-        if (it != inflight_per_ino_.end() && --it->second == 0) {
-          inflight_per_ino_.erase(it);
-        }
         if (st.ok()) {
           bytes_written_remote_ += pool_.page_size();
-          pool_.mark_clean(k);
-          dirty_addr_.erase(k);
+          // Write-through: the page only goes clean (and the per-inode
+          // inflight count only drops) once every clean replica copy has
+          // the data too — fsync must cover propagation.
+          finish_block_flush(k, f.copy);
         } else if (st.code() == Errc::stale) {
           // Fenced: our lease epoch is dead, this page can never land.
           // Uncommitted write-behind data of a lapsed incarnation is
           // lost by design — drop it and enter lease recovery.
+          release_inflight(k.ino);
           pool_.invalidate(k.ino, k.block, k.block + 1);
           dirty_addr_.erase(k);
+          anchor_fails_.erase(k);
           lapsed = true;
         } else {
           // Transient failure (e.g. both servers down): requeue after a
           // delay. An immediate requeue would spin at zero simulated
           // cost when the breaker fast-fails without touching the
-          // network.
+          // network. If the anchor copy keeps failing and another clean
+          // copy exists, divorce the anchor (mark it divergent) so the
+          // requeued flush re-anchors on a reachable replica — this is
+          // what lets writes keep landing through a site outage.
+          release_inflight(k.ino);
+          const int fails = ++anchor_fails_[k];
+          auto ait2 = dirty_addr_.find(k);
+          if (fails >= 3 && ait2 != dirty_addr_.end() &&
+              ait2->second.clean_copies() > 1 &&
+              !ait2->second.is_divergent(f.copy)) {
+            anchor_fails_.erase(k);
+            ++replica_failovers_;
+            mark_divergent(k, f.copy, [] {});
+          }
           simulator().after(cfg_.flush_retry_delay, [this, k] {
             if (!mounted() || !pool_.is_dirty(k)) {
               dirty_addr_.erase(k);
@@ -1117,6 +1227,116 @@ void Client::pump_flush() {
         pump_flush();
       }
     });
+  }
+}
+
+std::uint8_t Client::flush_anchor(const BlockPlacement& p) {
+  // Prefer the primary copy; if it has been marked divergent (its NSD
+  // was unreachable), anchor on the first clean replica instead.
+  if (!p.is_divergent(0)) return 0;
+  for (std::uint8_t c = 1; c < p.copies; ++c) {
+    if (!p.is_divergent(c)) return c;
+  }
+  return 0;  // no clean copy recorded locally: fall back to primary
+}
+
+void Client::finish_block_flush(const PageKey& k, std::uint8_t anchor) {
+  auto ait = dirty_addr_.find(k);
+  if (ait == dirty_addr_.end()) {
+    // Invalidated while the anchor write was in flight.
+    release_inflight(k.ino);
+    unstall_writers();
+    check_flush_waiters();
+    return;
+  }
+  const BlockPlacement pl = ait->second;
+  std::vector<std::uint8_t> targets;
+  for (std::uint8_t c = 0; c < pl.copies; ++c) {
+    if (c != anchor && !pl.is_divergent(c)) targets.push_back(c);
+  }
+  if (targets.empty()) {
+    complete_block_flush(k);
+    return;
+  }
+  // Propagate to every other clean copy; the page goes clean only when
+  // all copies have landed (or been marked divergent on failure).
+  auto remaining = std::make_shared<std::size_t>(targets.size());
+  for (const std::uint8_t c : targets) {
+    write_replica_copy(k, pl.addr[c], c, [this, k, remaining] {
+      if (--*remaining == 0) complete_block_flush(k);
+    });
+  }
+}
+
+void Client::complete_block_flush(const PageKey& k) {
+  pool_.mark_clean(k);
+  dirty_addr_.erase(k);
+  anchor_fails_.erase(k);
+  release_inflight(k.ino);
+  unstall_writers();
+  check_flush_waiters();
+}
+
+void Client::write_replica_copy(const PageKey& k, BlockAddr addr,
+                                std::uint8_t copy, sim::Callback done) {
+  auto runs = build_nsd_runs({BlockFetch{k, addr, false, copy, 0}}, 1);
+  MGFS_ASSERT(runs.size() == 1, "single replica write is one run");
+  nsd_io_run(std::move(runs.front()), true, 0,
+             [this, k, copy, done = std::move(done)](const NsdRun&,
+                                                     const Status& st) {
+    if (st.ok()) {
+      bytes_written_remote_ += pool_.page_size();
+      done();
+      return;
+    }
+    // Replica copy unreachable or fenced: record the divergence with
+    // the manager so readers stop trusting that copy, then let the
+    // flush complete on the copies that did land. The reconciler
+    // re-copies the data once the replica heals.
+    MGFS_WARN("client", "node " << node_.v << " replica copy "
+                                << static_cast<int>(copy) << " of ino "
+                                << k.ino << " blk " << k.block
+                                << " diverged: " << errc_name(st.code()));
+    mark_divergent(k, copy, std::move(done));
+  });
+}
+
+void Client::mark_divergent(const PageKey& k, std::uint8_t copy,
+                            sim::Callback done) {
+  if (!mounted()) {
+    done();
+    return;
+  }
+  FileSystem* fs = fs_;
+  const ClientId me = id_;
+  meta_call<int>(
+      64,
+      [fs, me, k, copy](Rpc::ReplyFn<int> reply) {
+        const Status st = fs->op_replica_divergence(me, k.ino, k.block, copy);
+        if (st.ok()) {
+          reply(16, Result<int>{0});
+        } else {
+          reply(16, Result<int>{st.error()});
+        }
+      },
+      [this, k, copy, done = std::move(done)](Result<int> r) {
+        if (r.ok()) {
+          if (auto* e = map_entry(k.ino, k.block);
+              e != nullptr && e->has_value()) {
+            (*e)->divergent |= static_cast<std::uint8_t>(1u << copy);
+          }
+          if (auto it = dirty_addr_.find(k); it != dirty_addr_.end()) {
+            it->second.divergent |= static_cast<std::uint8_t>(1u << copy);
+          }
+        }
+        done();
+      });
+}
+
+void Client::release_inflight(InodeNum ino) {
+  auto it = inflight_per_ino_.find(ino);
+  if (it != inflight_per_ino_.end() && --it->second == 0) {
+    inflight_per_ino_.erase(it);
   }
 }
 
@@ -1334,6 +1554,8 @@ std::string Client::mmpmon() const {
      << "  _cm_ " << pool_.misses() << "\n"          // cache misses
      << "  _cd_ " << pool_.dirty_bytes() << "\n"     // dirty bytes pending
      << "  _fo_ " << failovers_ << "\n"              // NSD failovers
+     << "  _rep_ " << replica_reads_ << "\n"         // non-primary replica reads
+     << "  _rfo_ " << replica_failovers_ << "\n"     // replica failovers
      << "  _rtr_ " << rpc_retries_ << "\n"           // RPC retries
      << "  _to_ " << rpc_timeouts_ << "\n"           // RPC deadline expiries
      << "  _bop_ " << breaker_opens_ << "\n"         // breaker opens
@@ -1452,6 +1674,7 @@ void Client::discard_cached_state(bool reset_breakers) {
   pool_.invalidate_all();
   dirty_fifo_.clear();
   dirty_addr_.clear();
+  anchor_fails_.clear();
   held_.clear();
   block_map_.clear();
   alloc_ahead_hi_.clear();
@@ -1488,6 +1711,18 @@ void Client::handle_revoke(InodeNum ino, TokenRange range,
     const std::uint64_t hi_blk =
         range.hi == kWholeFile ? ~0ULL : ceil_div(range.hi, bs);
     pool_.invalidate(ino, lo_blk, hi_blk);
+    // Drop the cached block map for the revoked range too: the writer
+    // this revoke hands the bytes to may mark replicas divergent, and a
+    // later read here must re-fetch the placement to see that.
+    if (auto fit = block_map_.find(ino); fit != block_map_.end()) {
+      for (auto it = fit->second.begin(); it != fit->second.end();) {
+        if (it->first >= lo_blk && it->first < hi_blk) {
+          it = fit->second.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
     token_trim(ino, range);
     done();
   });

@@ -188,6 +188,10 @@ class Client {
   Bytes bytes_read_remote() const { return bytes_read_remote_; }
   Bytes bytes_written_remote() const { return bytes_written_remote_; }
   std::uint64_t nsd_failovers() const { return failovers_; }
+  /// Reads served by a non-primary replica copy.
+  std::uint64_t replica_reads() const { return replica_reads_; }
+  /// Read runs (or flush anchors) redirected to another replica copy.
+  std::uint64_t replica_failovers() const { return replica_failovers_; }
   std::uint64_t rpc_retries() const { return rpc_retries_; }
   std::uint64_t rpc_timeouts() const { return rpc_timeouts_; }
   std::uint64_t breaker_opens() const { return breaker_opens_; }
@@ -236,11 +240,17 @@ class Client {
   void ensure_token(InodeNum ino, TokenRange required, TokenRange desired,
                     LockMode mode, std::function<void(Status)> done);
 
-  // block map cache helpers
-  std::optional<BlockAddr>* map_entry(InodeNum ino, std::uint64_t bi);
+  // block map cache helpers. Entries carry the full replica placement
+  // (single-copy files are a one-copy placement), so the read path can
+  // pick the nearest live copy and fail over across copies.
+  std::optional<BlockPlacement>* map_entry(InodeNum ino, std::uint64_t bi);
   void ensure_map(InodeNum ino, std::uint64_t first, std::uint64_t count,
                   std::function<void(Status)> done);
   void install_chunk(InodeNum ino, const BlockMapChunk& chunk);
+  /// Best copy to read: lowest-RTT copy whose serving nodes are not all
+  /// circuit-broken, excluding divergent copies and those in `tried`.
+  /// Returns kMaxReplicas when every copy is tried or divergent.
+  std::uint8_t pick_copy(const BlockPlacement& p, std::uint8_t tried) const;
 
   // metadata path: manager RPC with deadline + bounded backoff retry.
   // `started_at`/`saw_recovery` thread first-issue time and whether the
@@ -259,6 +269,11 @@ class Client {
                             std::function<void(Status)> done);
   void issue_fills(std::vector<BlockFetch> fetch);
   void finish_fill(const PageKey& key, const Status& st, bool speculative);
+  /// A read run failed terminally: re-issue every item that still has an
+  /// untried, non-divergent replica copy against that copy (counting one
+  /// replica failover), and fail the rest. Returns false when nothing
+  /// could be redirected (single-copy file or all copies tried).
+  bool redirect_failed_fills(const NsdRun& r, const Status& st);
   /// Speculative fill of `count` blocks starting at `b0` — the strided
   /// detector's prediction of the next sequential run. Acquires its own
   /// token/map coverage and rides the normal fill path.
@@ -289,6 +304,25 @@ class Client {
                    sim::Callback done);
   void unstall_writers();
   void check_flush_waiters();
+  // Write-through replication: the flush anchors on the primary (or the
+  // first clean copy when the primary is divergent); once the anchor
+  // write lands, the data is propagated to every other clean copy
+  // before the page goes clean — fsync therefore covers all copies. A
+  // copy that cannot be reached is marked divergent at the manager so
+  // readers skip it until reconciliation.
+  /// Anchor copy for flushing `p`: primary if clean, else first clean.
+  static std::uint8_t flush_anchor(const BlockPlacement& p);
+  /// Anchor landed: propagate to the remaining clean copies, then mark
+  /// the page clean and release its inflight accounting.
+  void finish_block_flush(const PageKey& k, std::uint8_t anchor);
+  void complete_block_flush(const PageKey& k);
+  void write_replica_copy(const PageKey& k, BlockAddr addr, std::uint8_t copy,
+                          sim::Callback done);
+  /// Record at the manager (and in local caches) that copy `copy` of the
+  /// block missed a committed write.
+  void mark_divergent(const PageKey& k, std::uint8_t copy,
+                      sim::Callback done);
+  void release_inflight(InodeNum ino);
 
   // disk lease
   /// Piggybacked renewal at read()/write() entry: past half the lease
@@ -333,7 +367,7 @@ class Client {
   std::unordered_map<InodeNum, std::vector<HeldToken>> held_;
   std::unordered_map<InodeNum,
                      std::unordered_map<std::uint64_t,
-                                        std::optional<BlockAddr>>>
+                                        std::optional<BlockPlacement>>>
       block_map_;
 
   // in-flight read fills: waiters per page (an entry with no waiters
@@ -350,7 +384,11 @@ class Client {
 
   // write-behind state
   std::deque<PageKey> dirty_fifo_;
-  std::unordered_map<PageKey, BlockAddr, PageKeyHash> dirty_addr_;
+  std::unordered_map<PageKey, BlockPlacement, PageKeyHash> dirty_addr_;
+  // Consecutive transient anchor-flush failures per page; past a small
+  // bound with another clean copy available, the anchor is marked
+  // divergent and the flush re-anchors (writes survive a dark primary).
+  std::unordered_map<PageKey, int, PageKeyHash> anchor_fails_;
   std::size_t flights_ = 0;
   std::vector<sim::Callback> stalled_writers_;
   // fsync/revoke waiters: (ino, callback fired when no dirty+inflight)
@@ -380,6 +418,8 @@ class Client {
   Bytes bytes_read_remote_ = 0;
   Bytes bytes_written_remote_ = 0;
   std::uint64_t failovers_ = 0;
+  std::uint64_t replica_reads_ = 0;      // fills served by a non-primary copy
+  std::uint64_t replica_failovers_ = 0;  // runs redirected to another copy
   std::uint64_t rpc_retries_ = 0;
   std::uint64_t rpc_timeouts_ = 0;
   std::uint64_t breaker_opens_ = 0;

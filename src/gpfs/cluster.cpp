@@ -98,7 +98,8 @@ NsdServer* Cluster::server_on(net::NodeId node) {
 std::uint32_t Cluster::create_nsd(const std::string& name,
                                   storage::BlockDevice* device,
                                   net::NodeId primary,
-                                  std::optional<net::NodeId> backup) {
+                                  std::optional<net::NodeId> backup,
+                                  std::uint32_t site) {
   MGFS_ASSERT(device != nullptr, "mmcrnsd on null device");
   MGFS_ASSERT(servers_.count(primary.v) > 0,
               "primary NSD server not started on that node");
@@ -107,6 +108,7 @@ std::uint32_t Cluster::create_nsd(const std::string& name,
   n.name = name;
   n.device = device;
   n.primary = primary;
+  n.site = site;
   if (backup.has_value()) {
     MGFS_ASSERT(servers_.count(backup->v) > 0,
                 "backup NSD server not started on that node");

@@ -71,7 +71,8 @@ class Cluster {
   std::uint32_t create_nsd(const std::string& name,
                            storage::BlockDevice* device,
                            net::NodeId primary,
-                           std::optional<net::NodeId> backup = std::nullopt);
+                           std::optional<net::NodeId> backup = std::nullopt,
+                           std::uint32_t site = 0);
 
   /// mmcrfs: build a file system over the given NSDs.
   FileSystem& create_filesystem(const std::string& fsname,

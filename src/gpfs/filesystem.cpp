@@ -31,6 +31,7 @@ FileSystem::FileSystem(sim::Simulator& sim, FsConfig cfg,
       alloc_(blocks_per_nsd(nsds_, cfg_.block_size)),
       lease_(LeaseConfig{cfg_.lease_duration, cfg_.lease_recovery_wait}) {
   MGFS_ASSERT(!nsds_.empty(), "file system needs at least one NSD");
+  nsd_down_.assign(nsds_.size(), 0);
 }
 
 const Nsd& FileSystem::nsd(std::uint32_t id) const {
@@ -77,6 +78,16 @@ Result<OpenResult> FileSystem::op_open(const std::string& path,
     ino = ns_.create(path, who, Mode{064}, sim_.now());
     if (!ino.ok()) return ino.error();
     journal_.note_sync_op(client, JournalOp::create, *ino);
+    const std::uint8_t copies =
+        flags.replicas != 0 ? flags.replicas : cfg_.default_replicas;
+    if (copies > 1) {
+      MGFS_ASSERT(
+          ns_.set_replication(
+                 *ino, static_cast<std::uint8_t>(std::min<std::uint32_t>(
+                           copies, kMaxReplicas)))
+              .ok(),
+          "set_replication at create failed");
+    }
   }
   auto st = ns_.stat(*ino);
   if (!st.ok()) return st.error();
@@ -95,6 +106,7 @@ Result<OpenResult> FileSystem::op_open(const std::string& path,
     for (const BlockAddr& b : *freed) {
       MGFS_ASSERT(alloc_.free_block(b).ok(), "truncate freed unknown block");
     }
+    free_replicas_of(*ino);
     // The namespace-level free already reclaimed every block; pending
     // alloc undos for this inode would double-free on replay.
     journal_.forget_inode(*ino);
@@ -134,7 +146,10 @@ Status FileSystem::op_unlink(const std::string& path, const Principal& who,
   for (const BlockAddr& b : *freed) {
     MGFS_ASSERT(alloc_.free_block(b).ok(), "unlink freed unknown block");
   }
-  if (ino.ok()) journal_.forget_inode(*ino);
+  if (ino.ok()) {
+    free_replicas_of(*ino);
+    journal_.forget_inode(*ino);
+  }
   journal_.note_sync_op(client, JournalOp::unlink, ino.ok() ? *ino : 0);
   return Status{};
 }
@@ -155,12 +170,19 @@ Result<BlockMapChunk> FileSystem::op_block_map(InodeNum ino,
   BlockMapChunk chunk;
   chunk.first_block = first_block;
   chunk.addrs.reserve(count);
+  const bool replicated = n->replication > 1;
   for (std::size_t i = 0; i < count; ++i) {
     const std::uint64_t bi = first_block + i;
-    if (bi < n->blocks.size()) {
+    if (bi < n->blocks.size() && n->blocks[bi].has_value()) {
       chunk.addrs.push_back(n->blocks[bi]);
+      if (replicated) {
+        const BlockPlacement* p = replica_placement(ino, bi);
+        chunk.placements.push_back(
+            p != nullptr ? *p : BlockPlacement::single(*n->blocks[bi]));
+      }
     } else {
       chunk.addrs.push_back(std::nullopt);
+      if (replicated) chunk.placements.push_back(BlockPlacement{});
     }
   }
   return chunk;
@@ -183,6 +205,9 @@ Result<BlockMapChunk> FileSystem::op_allocate(InodeNum ino,
   }
   const Inode* n = ns_.inode(ino);
   if (n == nullptr) return err(Errc::not_found, "stale inode");
+  const auto want_copies = static_cast<std::uint8_t>(
+      std::min<std::uint32_t>(n->replication, kMaxReplicas));
+  const bool replicated = want_copies > 1;
 
   BlockMapChunk chunk;
   chunk.first_block = first_block;
@@ -194,19 +219,47 @@ Result<BlockMapChunk> FileSystem::op_allocate(InodeNum ino,
       // This caller now references the block: whoever logged its
       // install must not undo it on expel anymore.
       journal_.commit_block(ino, bi, client);
+      if (replicated) {
+        const BlockPlacement* p = replica_placement(ino, bi);
+        chunk.placements.push_back(
+            p != nullptr ? *p : BlockPlacement::single(*n->blocks[bi]));
+      }
       continue;
     }
     const std::uint32_t preferred = nsd_for_block(ino, bi);
-    auto addr = alloc_.allocate_on(preferred);
+    Result<BlockAddr> addr = err(Errc::unavailable, "preferred NSD down");
+    if (!nsd_down_[preferred]) addr = alloc_.allocate_on(preferred);
     for (std::size_t k = 1; !addr.ok() && k < nsds_.size(); ++k) {
-      addr = alloc_.allocate_on(
-          static_cast<std::uint32_t>((preferred + k) % nsds_.size()));
+      const auto cand =
+          static_cast<std::uint32_t>((preferred + k) % nsds_.size());
+      if (nsd_down_[cand]) continue;
+      addr = alloc_.allocate_on(cand);
     }
     if (!addr.ok()) return err(Errc::no_space, cfg_.name + " is full");
     // WAL rule: the undo record exists before the in-place mutation.
     journal_.log_alloc(client, ino, bi, *addr);
     MGFS_ASSERT(ns_.set_block(ino, bi, *addr).ok(), "set_block failed");
     chunk.addrs.push_back(*addr);
+    if (replicated) {
+      // Replica copies ride the same WAL discipline: log_replica before
+      // the placement-table insert, so a writer that dies mid-propagation
+      // has its half-written copies removed (and blocks freed) at replay
+      // instead of surviving as silent stale replicas. Placement prefers
+      // a site-distinct NSD; a full/down cluster degrades to fewer
+      // copies rather than failing the write.
+      BlockPlacement p = BlockPlacement::single(*addr);
+      for (std::uint8_t c = 1; c < want_copies; ++c) {
+        const std::uint32_t target = pick_replica_nsd(preferred, p);
+        if (target >= nsds_.size()) break;
+        auto ra = alloc_.allocate_on(target);
+        if (!ra.ok()) break;
+        journal_.log_replica(client, ino, bi, *ra);
+        p.add(*ra);
+        ++replicas_allocated_;
+      }
+      if (p.copies > 1) replicas_[ino][bi] = p;
+      chunk.placements.push_back(p);
+    }
   }
   MGFS_ASSERT(ns_.extend_size(ino, size_hint, sim_.now()).ok(),
               "extend_size failed");
@@ -603,10 +656,16 @@ void FileSystem::sweep_leases() {
 }
 
 void FileSystem::replay_journal(ClientId client) {
-  // Undo newest-first: take_uncommitted returns reverse-lsn order.
+  // Undo newest-first: take_uncommitted returns reverse-lsn order, so a
+  // block's replica records (logged after its alloc) are undone before
+  // the alloc itself.
   for (const JournalRecord& r : journal_.take_uncommitted(client)) {
     const Inode* n = ns_.inode(r.ino);
     if (n == nullptr) continue;  // inode gone; blocks already freed
+    if (r.op == JournalOp::replica) {
+      undo_replica(r);
+      continue;
+    }
     if (r.block >= n->blocks.size() || !n->blocks[r.block].has_value() ||
         !(*n->blocks[r.block] == r.addr)) {
       continue;  // slot re-placed since; not ours to undo
@@ -616,6 +675,49 @@ void FileSystem::replay_journal(ClientId client) {
     MGFS_ASSERT(alloc_.free_block(r.addr).ok(),
                 "journal replay: free_block failed");
     ++journal_replays_;
+    // Belt and braces: the block's replica records came first in the
+    // undo order, so by now the placement entry is normally gone. If a
+    // copy somehow survives (e.g. a future committed-replica path),
+    // dropping the entry here keeps fsck's mirror check clean.
+    if (auto it = replicas_.find(r.ino); it != replicas_.end()) {
+      if (auto bit = it->second.find(r.block); bit != it->second.end()) {
+        for (std::uint8_t c = 1; c < bit->second.copies; ++c) {
+          MGFS_ASSERT(alloc_.free_block(bit->second.addr[c]).ok(),
+                      "journal replay: replica free failed");
+        }
+        it->second.erase(bit);
+        if (it->second.empty()) replicas_.erase(it);
+      }
+    }
+  }
+}
+
+void FileSystem::undo_replica(const JournalRecord& r) {
+  auto it = replicas_.find(r.ino);
+  if (it == replicas_.end()) return;
+  auto bit = it->second.find(r.block);
+  if (bit == it->second.end()) return;
+  BlockPlacement& p = bit->second;
+  for (std::uint8_t c = 1; c < p.copies; ++c) {
+    if (!(p.addr[c] == r.addr)) continue;
+    // Remove copy c, compacting the address array and divergence mask.
+    std::uint8_t mask = 0, w = 0;
+    for (std::uint8_t j = 0; j < p.copies; ++j) {
+      if (j == c) continue;
+      if (p.is_divergent(j)) mask |= static_cast<std::uint8_t>(1u << w);
+      ++w;
+    }
+    for (std::uint8_t j = c; j + 1 < p.copies; ++j) p.addr[j] = p.addr[j + 1];
+    --p.copies;
+    p.divergent = mask;
+    MGFS_ASSERT(alloc_.free_block(r.addr).ok(),
+                "journal replay: replica free failed");
+    ++journal_replays_;
+    break;
+  }
+  if (bit->second.copies <= 1) {
+    it->second.erase(bit);
+    if (it->second.empty()) replicas_.erase(it);
   }
 }
 
@@ -640,6 +742,31 @@ FsckReport FileSystem::fsck() const {
       if (!alloc_.is_allocated(a)) ++rep.dangling_refs;
     }
   }
+  // Replica table: copy 0 must mirror the inode block map; copies 1..
+  // are real block references (counted so the orphan scan below sees
+  // them) and must each be live in the allocation map.
+  for (const auto& [ino, blocks] : replicas_) {
+    const Inode* n = ns_.inode(ino);
+    for (const auto& [bi, p] : blocks) {
+      if (n == nullptr || bi >= n->blocks.size() ||
+          !n->blocks[bi].has_value() || !(*n->blocks[bi] == p.addr[0])) {
+        ++rep.placement_mismatches;
+      }
+      for (std::uint8_t c = 1; c < p.copies; ++c) {
+        ++rep.replica_refs;
+        const BlockAddr& a = p.addr[c];
+        if (a.nsd >= refs.size() || a.block >= refs[a.nsd].size()) {
+          ++rep.dangling_refs;
+          continue;
+        }
+        if (refs[a.nsd][a.block]++) ++rep.duplicate_refs;
+        if (!alloc_.is_allocated(a)) ++rep.dangling_refs;
+      }
+      for (std::uint8_t c = 0; c < p.copies; ++c) {
+        if (p.is_divergent(c)) ++rep.divergent_replicas;
+      }
+    }
+  }
   for (std::uint32_t d = 0; d < refs.size(); ++d) {
     for (std::uint64_t b = 0; b < refs[d].size(); ++b) {
       if (!alloc_.is_allocated(BlockAddr{d, b})) continue;
@@ -658,7 +785,8 @@ std::string FileSystem::stats() const {
   os << cfg_.name << ": _tok_ " << tokens_granted_ << " _rvk_ "
      << revocations_ << " _lse_ " << lease_.renewals() << " _sus_ "
      << lease_.suspects_noted() << " _xpl_ " << lease_.expels() << " _rpl_ "
-     << journal_replays_ << " _fnc_ " << fenced_writes_;
+     << journal_replays_ << " _fnc_ " << fenced_writes_ << " _rdv_ "
+     << replica_divergences_ << " _rrc_ " << replicas_reconciled_;
   os << "\n  mgr: node " << manager_node_.v << " epoch " << manager_epoch_
      << " _mto_ " << takeovers_ << " _rba_ " << assertions_rebuilt_
      << " _smf_ " << stale_mgr_fenced_ << " _rrpc_ " << rebuild_rpcs_
@@ -689,6 +817,175 @@ void FileSystem::op_client_gone(ClientId client) {
   // replay — drop it with the lease.
   journal_.drop_client(client);
   lease_.deregister(client);
+}
+
+// --- replication -------------------------------------------------------
+
+Status FileSystem::set_replication(const std::string& path,
+                                   std::uint8_t copies) {
+  auto ino = ns_.resolve(path);
+  if (!ino.ok()) return ino.error();
+  return ns_.set_replication(*ino, copies);
+}
+
+const BlockPlacement* FileSystem::replica_placement(InodeNum ino,
+                                                    std::uint64_t bi) const {
+  auto it = replicas_.find(ino);
+  if (it == replicas_.end()) return nullptr;
+  auto bit = it->second.find(bi);
+  if (bit == it->second.end()) return nullptr;
+  return &bit->second;
+}
+
+Status FileSystem::op_replica_divergence(ClientId client, InodeNum ino,
+                                         std::uint64_t bi, std::uint8_t copy) {
+  if (recovering_) {
+    // Same overlap rule as op_extend_size: a reasserted writer whose
+    // flush just diverted to a replica must be able to record the
+    // divergence mid-rebuild; unknown clients retry.
+    if (!lease_.renew(client, sim_.now())) {
+      return Status(Errc::unavailable, "manager takeover in progress");
+    }
+  } else {
+    lease_touch(client);
+    if (lease_.expelled(client)) {
+      return Status(Errc::stale, "client expelled: rejoin required");
+    }
+  }
+  auto it = replicas_.find(ino);
+  if (it == replicas_.end()) {
+    return Status(Errc::not_found, "no replica set for block");
+  }
+  auto bit = it->second.find(bi);
+  if (bit == it->second.end()) {
+    return Status(Errc::not_found, "no replica set for block");
+  }
+  BlockPlacement& p = bit->second;
+  if (copy >= p.copies) {
+    return Status(Errc::invalid_argument, "no such replica copy");
+  }
+  if (p.is_divergent(copy)) return Status{};  // already recorded
+  if (p.clean_copies() <= 1) {
+    // The last clean copy is the only committed data left; marking it
+    // divergent would lose the block. The writer must keep retrying it.
+    return Status(Errc::unavailable, "last clean copy cannot diverge");
+  }
+  p.divergent |= static_cast<std::uint8_t>(1u << copy);
+  ++replica_divergences_;
+  return Status{};
+}
+
+std::size_t FileSystem::reconcile_replicas() {
+  std::size_t fixed = 0;
+  for (auto& [ino, blocks] : replicas_) {
+    for (auto& [bi, p] : blocks) {
+      if (p.divergent == 0) continue;
+      if (p.clean_copies() == 0) continue;  // nothing to copy from
+      for (std::uint8_t c = 0; c < p.copies; ++c) {
+        if (!p.is_divergent(c)) continue;
+        const BlockAddr& a = p.addr[c];
+        if (nsd_down_[a.nsd] || nsds_[a.nsd].device->failed()) {
+          continue;  // still unreachable; stays divergent until healed
+        }
+        // Modeled data copy from a clean replica: the metadata flips
+        // back to clean, which is the part correctness rides on.
+        p.divergent &= static_cast<std::uint8_t>(~(1u << c));
+        ++fixed;
+      }
+    }
+  }
+  replicas_reconciled_ += fixed;
+  return fixed;
+}
+
+void FileSystem::set_nsd_down(std::uint32_t id, bool down) {
+  MGFS_ASSERT(id < nsd_down_.size(), "bad nsd id");
+  nsd_down_[id] = down ? 1 : 0;
+}
+
+bool FileSystem::nsd_is_down(std::uint32_t id) const {
+  MGFS_ASSERT(id < nsd_down_.size(), "bad nsd id");
+  return nsd_down_[id] != 0;
+}
+
+std::size_t FileSystem::evacuate_nsd(std::uint32_t id) {
+  set_nsd_down(id, true);
+  std::size_t moved = 0;
+  for (auto& [ino, blocks] : replicas_) {
+    for (auto& [bi, p] : blocks) {
+      for (std::uint8_t c = 0; c < p.copies; ++c) {
+        if (p.addr[c].nsd != id) continue;
+        // Re-protection needs a clean surviving copy to read from.
+        bool have_source = false;
+        for (std::uint8_t s = 0; s < p.copies; ++s) {
+          if (s != c && !p.is_divergent(s) && p.addr[s].nsd != id) {
+            have_source = true;
+            break;
+          }
+        }
+        if (!have_source) continue;  // single surviving copy is lost data
+        const std::uint32_t target = pick_replica_nsd(p.addr[c].nsd, p);
+        if (target >= nsds_.size()) continue;  // nowhere to rebuild
+        auto ra = alloc_.allocate_on(target);
+        if (!ra.ok()) continue;
+        MGFS_ASSERT(alloc_.free_block(p.addr[c]).ok(),
+                    "evacuate: free of lost block failed");
+        if (c == 0) {
+          // Primary moved: the inode block map must follow (clear the
+          // dead address first — set_block refuses occupied slots).
+          MGFS_ASSERT(ns_.clear_block(ino, bi).ok(),
+                      "evacuate: clear_block failed");
+          MGFS_ASSERT(ns_.set_block(ino, bi, *ra).ok(),
+                      "evacuate: set_block failed");
+        }
+        p.addr[c] = *ra;
+        // The fresh copy is populated from a clean survivor.
+        p.divergent &= static_cast<std::uint8_t>(~(1u << c));
+        ++moved;
+      }
+    }
+  }
+  replicas_reconciled_ += moved;
+  return moved;
+}
+
+std::uint32_t FileSystem::pick_replica_nsd(std::uint32_t preferred,
+                                           const BlockPlacement& have) const {
+  const auto n = static_cast<std::uint32_t>(nsds_.size());
+  // Pass 0 insists on a failure domain (site) none of the existing
+  // copies live in — that is what makes a whole-site outage survivable.
+  // Pass 1 degrades to any distinct live NSD with space.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint32_t k = 1; k <= n; ++k) {
+      const std::uint32_t cand = (preferred + k) % n;
+      if (nsd_down_[cand]) continue;
+      if (alloc_.free_blocks(cand) == 0) continue;
+      bool used = false;
+      bool same_site = false;
+      for (std::uint8_t c = 0; c < have.copies; ++c) {
+        if (have.addr[c].nsd == cand) used = true;
+        if (nsds_[have.addr[c].nsd].site == nsds_[cand].site) {
+          same_site = true;
+        }
+      }
+      if (used) continue;
+      if (pass == 0 && same_site) continue;
+      return cand;
+    }
+  }
+  return n;  // no eligible NSD: caller degrades to fewer copies
+}
+
+void FileSystem::free_replicas_of(InodeNum ino) {
+  auto it = replicas_.find(ino);
+  if (it == replicas_.end()) return;
+  for (const auto& [bi, p] : it->second) {
+    for (std::uint8_t c = 1; c < p.copies; ++c) {
+      MGFS_ASSERT(alloc_.free_block(p.addr[c]).ok(),
+                  "replica free on unlink/truncate failed");
+    }
+  }
+  replicas_.erase(it);
 }
 
 }  // namespace mgfs::gpfs

@@ -11,6 +11,7 @@
 
 #include <functional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "gpfs/alloc.hpp"
@@ -32,6 +33,10 @@ struct OpenResult {
 struct BlockMapChunk {
   std::uint64_t first_block = 0;
   std::vector<std::optional<BlockAddr>> addrs;
+  /// Replica-aware block map: parallel to `addrs` for replicated files
+  /// (placements[i].addr[0] == *addrs[i]); empty for unreplicated files
+  /// so the single-copy wire format and payload stay unchanged.
+  std::vector<BlockPlacement> placements;
 };
 
 /// Result of an fsck-style consistency scan (tests / chaos bench).
@@ -42,10 +47,16 @@ struct FsckReport {
   std::uint64_t duplicate_refs = 0;     // same addr in two inode slots
   std::uint64_t dangling_refs = 0;      // referenced but not allocated
   std::uint64_t uncommitted_records = 0;  // journal tail of expelled clients
+  std::uint64_t replica_refs = 0;        // replica copies in placement table
+  std::uint64_t divergent_replicas = 0;  // copies awaiting reconciliation
+  /// Placement-table primaries that disagree with the inode block map —
+  /// always an invariant violation.
+  std::uint64_t placement_mismatches = 0;
 
   bool clean() const {
     return orphaned_blocks == 0 && duplicate_refs == 0 &&
-           dangling_refs == 0 && uncommitted_records == 0;
+           dangling_refs == 0 && uncommitted_records == 0 &&
+           divergent_replicas == 0 && placement_mismatches == 0;
   }
 };
 
@@ -217,6 +228,42 @@ class FileSystem {
   /// size are retired and no longer undone on expel.
   Status op_extend_size(InodeNum ino, Bytes size, ClientId client);
 
+  // --- replication (DESIGN.md §6, replication model) --------------------
+  /// mmchattr -r: set the file's data-copy count for future allocations.
+  Status set_replication(const std::string& path, std::uint8_t copies);
+  /// Full placement of (ino, bi), or nullptr when the block has a single
+  /// copy / no replica-table entry (clients then use the inode map).
+  const BlockPlacement* replica_placement(InodeNum ino,
+                                          std::uint64_t bi) const;
+  /// A writer could not propagate a committed write to copy `copy` of
+  /// (ino, bi): mark it divergent so no reader serves stale data from it
+  /// until reconciliation. Counted in replica_divergences().
+  Status op_replica_divergence(ClientId client, InodeNum ino,
+                               std::uint64_t bi, std::uint8_t copy);
+  /// mmrestripefs -r analogue: copy every divergent replica back up to
+  /// date from a clean copy of the same block (data copy is modeled; the
+  /// metadata flip is real) and clear its divergent bit. Returns the
+  /// number of copies reconciled.
+  std::size_t reconcile_replicas();
+  /// mmchdisk down/up: a down NSD takes no new allocations (primary or
+  /// replica). Reads/writes to existing copies are governed by the data
+  /// path (breakers / device failure), not this flag.
+  void set_nsd_down(std::uint32_t id, bool down);
+  bool nsd_is_down(std::uint32_t id) const;
+  /// Permanent NSD loss (mmdeldisk after a dead RAID set): every copy on
+  /// `id` with a surviving clean copy elsewhere is re-protected — a
+  /// replacement block is allocated on another NSD (site-spread), data
+  /// is copied from the survivor (modeled), and the lost block is freed.
+  /// Lost primaries are repointed at a surviving replica first. Returns
+  /// the number of copies re-protected; copies with no clean survivor
+  /// are counted as data loss in the return's complement (callers check
+  /// fsck + read paths). Marks the NSD down.
+  std::size_t evacuate_nsd(std::uint32_t id);
+
+  std::uint64_t replicas_allocated() const { return replicas_allocated_; }
+  std::uint64_t replica_divergences() const { return replica_divergences_; }
+  std::uint64_t replicas_reconciled() const { return replicas_reconciled_; }
+
   // --- token operations -------------------------------------------------
   /// Asynchronous: resolves after any needed revocations complete.
   /// `desired` (⊇ `range`) is the batch window the client would like if
@@ -273,6 +320,18 @@ class FileSystem {
   /// Piggybacked renewal + lazy sweep at manager-op entry.
   void lease_touch(ClientId client);
   void replay_journal(ClientId client);
+  /// Undo one replica journal record: remove the matching copy from the
+  /// placement (compacting addrs + divergence mask) and free its block.
+  void undo_replica(const JournalRecord& r);
+  /// Pick an NSD for the next copy of (ino, bi): prefer a site not yet
+  /// holding a copy, then any distinct NSD; skip down NSDs. Returns
+  /// nsd_count() when no candidate exists (degrade: skip the copy).
+  std::uint32_t pick_replica_nsd(std::uint32_t preferred,
+                                 const BlockPlacement& have) const;
+  /// Drop every replica-table entry of `ino`, freeing the replica
+  /// copies (addr[1..]) in the allocation map. The primary (addr[0]) is
+  /// owned by the inode block map and freed by the caller's path.
+  void free_replicas_of(InodeNum ino);
 
   sim::Simulator& sim_;
   FsConfig cfg_;
@@ -292,6 +351,18 @@ class FileSystem {
   std::uint64_t revocations_ = 0;
   std::uint64_t journal_replays_ = 0;
   std::uint64_t fenced_writes_ = 0;
+
+  // replication state
+  /// Replica-aware block map side-table: placements for blocks of
+  /// replicated files (absent = single copy, inode map is authoritative).
+  /// addr[0] mirrors the inode block map; addr[1..] are the copies.
+  std::unordered_map<InodeNum,
+                     std::unordered_map<std::uint64_t, BlockPlacement>>
+      replicas_;
+  std::vector<std::uint8_t> nsd_down_;
+  std::uint64_t replicas_allocated_ = 0;
+  std::uint64_t replica_divergences_ = 0;
+  std::uint64_t replicas_reconciled_ = 0;
 
   // manager failover state
   std::uint64_t manager_epoch_ = 1;

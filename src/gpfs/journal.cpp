@@ -16,10 +16,20 @@ std::uint64_t block_key(InodeNum ino, std::uint64_t bi) {
 
 std::uint64_t MetaJournal::log_alloc(ClientId c, InodeNum ino,
                                      std::uint64_t bi, BlockAddr addr) {
+  return log_record(c, JournalOp::alloc, ino, bi, addr);
+}
+
+std::uint64_t MetaJournal::log_replica(ClientId c, InodeNum ino,
+                                       std::uint64_t bi, BlockAddr addr) {
+  return log_record(c, JournalOp::replica, ino, bi, addr);
+}
+
+std::uint64_t MetaJournal::log_record(ClientId c, JournalOp op, InodeNum ino,
+                                      std::uint64_t bi, BlockAddr addr) {
   JournalRecord r;
   r.lsn = next_lsn_++;
   r.client = c;
-  r.op = JournalOp::alloc;
+  r.op = op;
   r.ino = ino;
   r.block = bi;
   r.addr = addr;

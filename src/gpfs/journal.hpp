@@ -29,7 +29,7 @@
 
 namespace mgfs::gpfs {
 
-enum class JournalOp { alloc, create, unlink, truncate };
+enum class JournalOp { alloc, create, unlink, truncate, replica };
 
 struct JournalRecord {
   std::uint64_t lsn = 0;  // log sequence number, monotonic per journal
@@ -45,6 +45,15 @@ class MetaJournal {
   /// WAL rule: call before Namespace::set_block for the same install.
   std::uint64_t log_alloc(ClientId c, InodeNum ino, std::uint64_t bi,
                           BlockAddr addr);
+
+  /// A replica copy was placed for (ino, bi) at `addr`, ahead of the
+  /// writer propagating data to it. Same commit points as allocs
+  /// (fsync / shared-block reference); on expel-replay the copy is
+  /// removed from the replica set and its block freed — a crashed
+  /// writer's partially-propagated copies are undone, never left as
+  /// silent stale replicas.
+  std::uint64_t log_replica(ClientId c, InodeNum ino, std::uint64_t bi,
+                            BlockAddr addr);
 
   /// Count a single-op (atomic) metadata mutation; nothing to undo.
   void note_sync_op(ClientId c, JournalOp op, InodeNum ino);
@@ -92,6 +101,8 @@ class MetaJournal {
     bool live = false;
   };
 
+  std::uint64_t log_record(ClientId c, JournalOp op, InodeNum ino,
+                           std::uint64_t bi, BlockAddr addr);
   void kill(std::uint32_t idx);
   void maybe_compact();
   void compact();

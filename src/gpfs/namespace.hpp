@@ -28,6 +28,10 @@ struct Inode {
   Bytes size = 0;
   double mtime = 0;
   std::uint32_t nlink = 1;
+  /// Data copies kept for this file (mmchattr -r). 1 = unreplicated.
+  /// Replica placements live in the FileSystem's replica table; the
+  /// inode only records how many copies allocation should produce.
+  std::uint8_t replication = 1;
   /// Per-block placement; nullopt = hole (never written).
   std::vector<std::optional<BlockAddr>> blocks;
   /// Directory entries (only for type == directory).
@@ -93,6 +97,18 @@ class Namespace {
   Status clear_block(InodeNum ino, std::uint64_t bi);
   /// Grow size after a write reaching `new_size` (never shrinks).
   Status extend_size(InodeNum ino, Bytes new_size, double now);
+  /// Set the file's data-copy count (mmchattr -r). Applies to blocks
+  /// allocated from now on; existing copies are re-protected by
+  /// restripe/reconcile, not here.
+  Status set_replication(InodeNum ino, std::uint8_t copies) {
+    auto it = inodes_.find(ino);
+    if (it == inodes_.end()) return Status(Errc::not_found, "no such inode");
+    if (copies < 1 || copies > kMaxReplicas) {
+      return Status(Errc::invalid_argument, "replication out of range");
+    }
+    it->second.replication = copies;
+    return Status{};
+  }
 
   const Inode* inode(InodeNum ino) const;  // nullptr if absent (for tests)
   std::size_t inode_count() const { return inodes_.size(); }

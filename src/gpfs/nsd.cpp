@@ -40,6 +40,15 @@ void NsdServer::handle_vectored(storage::BlockDevice& dev,
                                 double cipher_s_per_byte,
                                 storage::IoCallback done) {
   MGFS_ASSERT(!extents.empty(), "vectored serve with no extents");
+  if (dev.failed()) {
+    // Dead media answers immediately: the controller knows the LUN is
+    // gone without touching a spindle. io_error is non-retryable — the
+    // client's recourse is another replica, not another attempt here.
+    sim_.defer([done = std::move(done)] {
+      done(Status(Errc::io_error, "NSD backing device failed"));
+    });
+    return;
+  }
   Bytes total = 0;
   for (const IoExtent& e : extents) total += e.len;
   const sim::Time cpu =

@@ -36,6 +36,12 @@ struct Nsd {
   net::NodeId primary{};
   net::NodeId backup{};
   bool has_backup = false;
+  /// Failure domain for replica placement: NSDs sharing a site share
+  /// fate (one machine room / one cluster of the multi-site DEISA
+  /// configuration). Copies of a replicated block are spread across
+  /// distinct sites; 0 everywhere = single-domain, no spreading
+  /// constraint.
+  std::uint32_t site = 0;
 };
 
 class NsdServer {

@@ -120,6 +120,12 @@ struct BlockFetch {
   // ClientConfig::max_inflight_fill — a deep demand queue must not
   // starve the prefetch pipeline that keeps it fed.
   bool speculative = false;
+  // Replica copy this fetch targets (index into the block's
+  // BlockPlacement; 0 = primary) and the bitmask of copies already
+  // tried, so a failed run redirects to the next untried copy instead
+  // of erroring.
+  std::uint8_t copy = 0;
+  std::uint8_t tried = 0;
 };
 
 /// Device-contiguous piece of a run, in device-block units.

@@ -1,6 +1,7 @@
 // Shared vocabulary types of the MGFS parallel file system.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 
@@ -27,6 +28,46 @@ struct BlockAddr {
   std::uint64_t block = 0;
 
   friend bool operator==(const BlockAddr&, const BlockAddr&) = default;
+};
+
+/// Replication ceiling. GPFS caps metadata/data replicas at 2 in the
+/// 2.3 era and 3 later; 3 copies already covers "home SAN + two grid
+/// sites", so the placement array is fixed-size rather than heap-backed.
+inline constexpr std::uint32_t kMaxReplicas = 3;
+
+/// All copies of one logical file block. `addr[0]` is the primary (the
+/// striping-rule placement); further copies live on NSDs in *different*
+/// failure domains (Nsd::site — a cluster/site in the DEISA multi-site
+/// configuration). Bit i of `divergent` set means copy i missed a
+/// committed write (its NSD was unreachable when the writer propagated)
+/// and must not serve reads until reconciled.
+struct BlockPlacement {
+  std::uint8_t copies = 0;
+  std::uint8_t divergent = 0;  // bitmask over addr[0..copies)
+  std::array<BlockAddr, kMaxReplicas> addr{};
+
+  void add(BlockAddr a) {
+    addr[copies] = a;
+    ++copies;
+  }
+  bool is_divergent(std::uint8_t i) const {
+    return (divergent & (std::uint8_t{1} << i)) != 0;
+  }
+  std::uint8_t clean_copies() const {
+    std::uint8_t n = 0;
+    for (std::uint8_t i = 0; i < copies; ++i) {
+      if (!is_divergent(i)) ++n;
+    }
+    return n;
+  }
+  static BlockPlacement single(BlockAddr a) {
+    BlockPlacement p;
+    p.add(a);
+    return p;
+  }
+
+  friend bool operator==(const BlockPlacement&, const BlockPlacement&) =
+      default;
 };
 
 enum class FileType { regular, directory };
@@ -60,6 +101,10 @@ struct FsConfig {
   /// short simulations never expel an idle-but-healthy client.
   double lease_duration = 60.0;
   double lease_recovery_wait = 30.0;
+  /// Data copies for newly created files (mmcrfs -r). 1 = unreplicated,
+  /// the historic behaviour; per-file overrides via OpenFlags::replicas
+  /// or FileSystem::set_replication (mmchattr -r).
+  std::uint8_t default_replicas = 1;
 };
 
 /// Flags for Client::open.
@@ -68,10 +113,17 @@ struct OpenFlags {
   bool write = false;
   bool create = false;
   bool truncate = false;
+  /// Data copies for the file if this open creates it (mmchattr -r at
+  /// birth). 0 = inherit FsConfig::default_replicas; ignored when the
+  /// file already exists.
+  std::uint8_t replicas = 0;
 
   static OpenFlags ro() { return {true, false, false, false}; }
   static OpenFlags rw() { return {true, true, false, false}; }
   static OpenFlags create_rw() { return {true, true, true, false}; }
+  static OpenFlags create_replicated(std::uint8_t copies) {
+    return {true, true, true, false, copies};
+  }
 };
 
 }  // namespace mgfs::gpfs

@@ -17,6 +17,15 @@ class BlockDevice {
   virtual ~BlockDevice() = default;
   virtual void io(Bytes offset, Bytes len, bool write, IoCallback done) = 0;
   virtual Bytes capacity() const = 0;
+
+  /// Permanent-loss injection (a RAID set dying beyond rebuild): a
+  /// failed device refuses all I/O with Errc::io_error. Checked by the
+  /// NSD serve path, so it applies uniformly to every device type.
+  void set_failed(bool failed) { failed_ = failed; }
+  bool failed() const { return failed_; }
+
+ private:
+  bool failed_ = false;
 };
 
 /// A device that simply streams at a fixed rate (FIFO), with optional

@@ -40,9 +40,12 @@ struct MiniCluster {
     for (std::size_t i = 0; i < nsds; ++i) {
       devices.push_back(std::make_unique<storage::RateDevice>(
           sim, 64 * GiB, 200e6, 0.5e-3, "dev" + std::to_string(i)));
+      // Failure-domain tag = primary serving node, so replicated files
+      // land each block's copies behind different servers.
       ids.push_back(cluster->create_nsd(
           "nsd" + std::to_string(i), devices.back().get(),
-          site.hosts[i % 2], site.hosts[(i + 1) % 2]));
+          site.hosts[i % 2], site.hosts[(i + 1) % 2],
+          static_cast<std::uint32_t>(i % 2)));
     }
     // Manager on hosts[1] so failure tests can kill hosts[0] (an NSD
     // server) without taking the token/metadata service with it.

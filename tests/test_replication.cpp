@@ -1,0 +1,322 @@
+// Cross-cluster block replication (DESIGN.md §6, replication model):
+// placement rules for multi-copy files, the replica-aware block map
+// against the single-copy oracle, divergence marking + reconciliation,
+// journal undo of a crashed writer's partially-propagated copies, and
+// the stale-replica-never-serves guarantee.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "gpfs/cluster.hpp"
+#include "gpfs_test_util.hpp"
+
+namespace mgfs::gpfs {
+namespace {
+
+using testutil::kAlice;
+using testutil::MiniCluster;
+
+Bytes file_blocks(MiniCluster& mc, Client* c, const std::string& path,
+                  InodeNum* ino_out) {
+  auto st = mc.stat(c, path);
+  EXPECT_TRUE(st.ok());
+  if (ino_out != nullptr) *ino_out = st->ino;
+  return ceil_div(st->size, mc.fs->block_size());
+}
+
+// --- placement rules ---------------------------------------------------
+
+TEST(Replication, PlacementSpreadsCopiesAcrossSites) {
+  MiniCluster mc;
+  Client* c = mc.mount_on(2);
+  auto fh = mc.open(c, "/rep", kAlice, OpenFlags::create_replicated(2));
+  ASSERT_TRUE(fh.ok());
+  ASSERT_TRUE(mc.write(c, *fh, 0, 8 * MiB).ok());
+  ASSERT_TRUE(mc.fsync(c, *fh).ok());
+
+  InodeNum ino = 0;
+  const std::uint64_t blocks = file_blocks(mc, c, "/rep", &ino);
+  ASSERT_EQ(blocks, 8u);
+  for (std::uint64_t bi = 0; bi < blocks; ++bi) {
+    const BlockPlacement* p = mc.fs->replica_placement(ino, bi);
+    ASSERT_NE(p, nullptr) << "block " << bi << " has no placement";
+    EXPECT_EQ(p->copies, 2);
+    EXPECT_EQ(p->divergent, 0);
+    // Copy 0 mirrors the inode map (the single-copy oracle's address).
+    auto a0 = mc.fs->ns().block_at(ino, bi * mc.fs->block_size());
+    ASSERT_TRUE(a0.ok() && a0->has_value());
+    EXPECT_EQ(p->addr[0], **a0);
+    // Copies live on distinct NSDs in distinct failure domains.
+    EXPECT_NE(p->addr[0].nsd, p->addr[1].nsd);
+    EXPECT_NE(mc.fs->nsd(p->addr[0].nsd).site,
+              mc.fs->nsd(p->addr[1].nsd).site);
+  }
+  EXPECT_GE(mc.fs->replicas_allocated(), blocks);
+  EXPECT_TRUE(mc.fs->fsck().clean());
+}
+
+TEST(Replication, UnreplicatedFilesHaveNoPlacementTableEntries) {
+  MiniCluster mc;
+  Client* c = mc.mount_on(2);
+  auto fh = mc.open(c, "/solo", kAlice, OpenFlags::create_rw());
+  ASSERT_TRUE(fh.ok());
+  ASSERT_TRUE(mc.write(c, *fh, 0, 4 * MiB).ok());
+  ASSERT_TRUE(mc.fsync(c, *fh).ok());
+
+  InodeNum ino = 0;
+  const std::uint64_t blocks = file_blocks(mc, c, "/solo", &ino);
+  for (std::uint64_t bi = 0; bi < blocks; ++bi) {
+    EXPECT_EQ(mc.fs->replica_placement(ino, bi), nullptr);
+  }
+  auto chunk = mc.fs->op_block_map(ino, 0, blocks);
+  ASSERT_TRUE(chunk.ok());
+  EXPECT_TRUE(chunk->placements.empty());
+}
+
+// --- replica-aware block map vs the single-copy oracle -----------------
+
+// Property: for any write pattern, the replicated file's block map
+// restricted to copy 0 is exactly the map an unreplicated file driven
+// through the same operations produces — replication only *adds*
+// copies, it never changes what the single-copy protocol would have
+// done. (Placements are compared structurally, not address-for-address:
+// the two files legitimately land on different blocks of the shared
+// allocation maps.)
+TEST(Replication, BlockMapMatchesSingleCopyOracleProperty) {
+  for (std::uint32_t seed = 1; seed <= 5; ++seed) {
+    MiniCluster mc;
+    Client* c = mc.mount_on(2);
+    auto rep = mc.open(c, "/rep", kAlice, OpenFlags::create_replicated(2));
+    auto solo = mc.open(c, "/solo", kAlice, OpenFlags::create_rw());
+    ASSERT_TRUE(rep.ok() && solo.ok());
+
+    Rng rng(seed);
+    const Bytes bs = mc.fs->block_size();
+    for (int op = 0; op < 12; ++op) {
+      const Bytes off = rng.range(0, 24) * (bs / 2);
+      const Bytes len = (1 + rng.range(0, 5)) * (bs / 2);
+      ASSERT_TRUE(mc.write(c, *rep, off, len).ok());
+      ASSERT_TRUE(mc.write(c, *solo, off, len).ok());
+      if (rng.range(0, 3) == 0) {
+        ASSERT_TRUE(mc.fsync(c, *rep).ok());
+        ASSERT_TRUE(mc.fsync(c, *solo).ok());
+      }
+    }
+    ASSERT_TRUE(mc.fsync(c, *rep).ok());
+    ASSERT_TRUE(mc.fsync(c, *solo).ok());
+
+    InodeNum rino = 0, sino = 0;
+    const std::uint64_t rblocks = file_blocks(mc, c, "/rep", &rino);
+    const std::uint64_t sblocks = file_blocks(mc, c, "/solo", &sino);
+    ASSERT_EQ(rblocks, sblocks) << "seed " << seed;
+    for (std::uint64_t bi = 0; bi < rblocks; ++bi) {
+      auto ra = mc.fs->ns().block_at(rino, bi * bs);
+      auto sa = mc.fs->ns().block_at(sino, bi * bs);
+      ASSERT_TRUE(ra.ok() && sa.ok());
+      // Identical hole pattern: a block exists in the replicated map
+      // iff the oracle allocated it too.
+      ASSERT_EQ(ra->has_value(), sa->has_value())
+          << "seed " << seed << " block " << bi;
+      const BlockPlacement* p = mc.fs->replica_placement(rino, bi);
+      if (!ra->has_value()) {
+        EXPECT_EQ(p, nullptr);
+        continue;
+      }
+      // Every allocated block of the replicated file carries exactly
+      // the configured copy count, copy 0 is the inode-map address,
+      // and the copies never collide on one NSD.
+      ASSERT_NE(p, nullptr) << "seed " << seed << " block " << bi;
+      EXPECT_EQ(p->copies, 2);
+      EXPECT_EQ(p->addr[0], **ra);
+      EXPECT_NE(p->addr[0].nsd, p->addr[1].nsd);
+      EXPECT_EQ(p->divergent, 0);
+    }
+    // Reads are oracle-equivalent: both files return every byte.
+    auto rr = mc.read(c, *rep, 0, rblocks * bs);
+    auto sr = mc.read(c, *solo, 0, sblocks * bs);
+    ASSERT_TRUE(rr.ok() && sr.ok());
+    EXPECT_EQ(*rr, *sr);
+    EXPECT_TRUE(mc.fs->fsck().clean()) << "seed " << seed;
+  }
+}
+
+// --- divergence + reconciliation ---------------------------------------
+
+TEST(Replication, DivergenceMarksAndReconciles) {
+  MiniCluster mc;
+  Client* c = mc.mount_on(2);
+  auto fh = mc.open(c, "/rep", kAlice, OpenFlags::create_replicated(2));
+  ASSERT_TRUE(fh.ok());
+  ASSERT_TRUE(mc.write(c, *fh, 0, 4 * MiB).ok());
+  ASSERT_TRUE(mc.fsync(c, *fh).ok());
+
+  InodeNum ino = 0;
+  file_blocks(mc, c, "/rep", &ino);
+  ASSERT_TRUE(mc.fs->op_replica_divergence(c->id(), ino, 1, 1).ok());
+  EXPECT_EQ(mc.fs->replica_divergences(), 1u);
+  const BlockPlacement* p = mc.fs->replica_placement(ino, 1);
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(p->is_divergent(1));
+  EXPECT_FALSE(p->is_divergent(0));
+  // A divergent copy is an fsck finding until reconciled.
+  EXPECT_FALSE(mc.fs->fsck().clean());
+  EXPECT_EQ(mc.fs->fsck().divergent_replicas, 1u);
+
+  EXPECT_EQ(mc.fs->reconcile_replicas(), 1u);
+  EXPECT_EQ(mc.fs->replicas_reconciled(), 1u);
+  EXPECT_EQ(mc.fs->replica_placement(ino, 1)->divergent, 0);
+  EXPECT_TRUE(mc.fs->fsck().clean());
+  // Idempotent: nothing left to reconcile.
+  EXPECT_EQ(mc.fs->reconcile_replicas(), 0u);
+}
+
+TEST(Replication, LastCleanCopyCannotBeMarkedDivergent) {
+  MiniCluster mc;
+  Client* c = mc.mount_on(2);
+  auto fh = mc.open(c, "/rep", kAlice, OpenFlags::create_replicated(2));
+  ASSERT_TRUE(fh.ok());
+  ASSERT_TRUE(mc.write(c, *fh, 0, 1 * MiB).ok());
+  ASSERT_TRUE(mc.fsync(c, *fh).ok());
+
+  InodeNum ino = 0;
+  file_blocks(mc, c, "/rep", &ino);
+  ASSERT_TRUE(mc.fs->op_replica_divergence(c->id(), ino, 0, 1).ok());
+  // Refusing to mark the last clean copy is the data-loss firewall:
+  // with every copy divergent there would be nothing to reconcile from.
+  auto st = mc.fs->op_replica_divergence(c->id(), ino, 0, 0);
+  EXPECT_EQ(st.code(), Errc::unavailable);
+  EXPECT_EQ(mc.fs->replica_placement(ino, 0)->clean_copies(), 1);
+}
+
+// --- crashed writer: journal undo of partially-propagated copies -------
+
+// A writer stages a replicated write and dies before fsync commits it.
+// The WAL logged each replica placement ahead of the table insert, so
+// expel-replay must remove the uncommitted copies (and the allocations)
+// rather than leave silent stale replicas behind.
+TEST(Replication, WriterCrashBeforeCommitUndoesReplicaRecords) {
+  MiniCluster mc;
+  Client* w = mc.mount_on(2);
+  auto fh = mc.open(w, "/rep", kAlice, OpenFlags::create_replicated(2));
+  ASSERT_TRUE(fh.ok());
+  ASSERT_TRUE(mc.write(w, *fh, 0, 4 * MiB).ok());
+  // No fsync: every alloc + replica record is still uncommitted.
+
+  InodeNum ino = 0;
+  file_blocks(mc, w, "/rep", &ino);
+  ASSERT_NE(mc.fs->replica_placement(ino, 0), nullptr);
+  const Bytes free_before = mc.fs->free_bytes();
+
+  mc.fs->expel_client(w->id(), "test: writer crashed mid-propagation");
+  mc.sim.run();
+
+  EXPECT_GE(mc.fs->journal_records_replayed(), 8u);  // 4 allocs + 4 replicas
+  for (std::uint64_t bi = 0; bi < 4; ++bi) {
+    EXPECT_EQ(mc.fs->replica_placement(ino, bi), nullptr) << "block " << bi;
+    auto a = mc.fs->ns().block_at(ino, bi * mc.fs->block_size());
+    EXPECT_TRUE(a.ok() && !a->has_value()) << "block " << bi;
+  }
+  // Both the primaries and the replica copies went back to the free
+  // pool — nothing leaked.
+  EXPECT_GT(mc.fs->free_bytes(), free_before);
+  EXPECT_TRUE(mc.fs->fsck().clean());
+}
+
+// fsync is the commit point: once committed, an expel must NOT undo the
+// replica set — the copies are durable and survive their writer.
+TEST(Replication, CommittedReplicasSurviveWriterExpel) {
+  MiniCluster mc;
+  Client* w = mc.mount_on(2);
+  auto fh = mc.open(w, "/rep", kAlice, OpenFlags::create_replicated(2));
+  ASSERT_TRUE(fh.ok());
+  ASSERT_TRUE(mc.write(w, *fh, 0, 4 * MiB).ok());
+  ASSERT_TRUE(mc.fsync(w, *fh).ok());
+
+  InodeNum ino = 0;
+  file_blocks(mc, w, "/rep", &ino);
+  mc.fs->expel_client(w->id(), "test: writer crashed after commit");
+  mc.sim.run();
+
+  for (std::uint64_t bi = 0; bi < 4; ++bi) {
+    const BlockPlacement* p = mc.fs->replica_placement(ino, bi);
+    ASSERT_NE(p, nullptr) << "block " << bi;
+    EXPECT_EQ(p->copies, 2);
+  }
+  EXPECT_TRUE(mc.fs->fsck().clean());
+
+  // A fresh reader still gets every byte.
+  Client* r = mc.mount_on(3);
+  auto rfh = mc.open(r, "/rep", kAlice, OpenFlags::ro());
+  ASSERT_TRUE(rfh.ok());
+  auto rr = mc.read(r, *rfh, 0, 4 * MiB);
+  ASSERT_TRUE(rr.ok());
+  EXPECT_EQ(*rr, 4 * MiB);
+}
+
+// --- stale replicas never serve ----------------------------------------
+
+// With the primary copy's device dead and the only other copy marked
+// divergent, a read must FAIL rather than silently serve the stale
+// copy.
+TEST(Replication, DivergentCopyNeverServesReads) {
+  MiniCluster mc;
+  Client* w = mc.mount_on(2);
+  auto fh = mc.open(w, "/rep", kAlice, OpenFlags::create_replicated(2));
+  ASSERT_TRUE(fh.ok());
+  ASSERT_TRUE(mc.write(w, *fh, 0, 2 * MiB).ok());
+  ASSERT_TRUE(mc.fsync(w, *fh).ok());
+
+  InodeNum ino = 0;
+  file_blocks(mc, w, "/rep", &ino);
+  const BlockPlacement* p = mc.fs->replica_placement(ino, 0);
+  ASSERT_NE(p, nullptr);
+  // Copy 1 diverges (e.g. a propagation failure), then copy 0's media
+  // dies: block 0 now has no servable copy.
+  ASSERT_TRUE(mc.fs->op_replica_divergence(w->id(), ino, 0, 1).ok());
+  mc.fs->nsd(p->addr[0].nsd).device->set_failed(true);
+
+  Client* r = mc.mount_on(3);
+  auto rfh = mc.open(r, "/rep", kAlice, OpenFlags::ro());
+  ASSERT_TRUE(rfh.ok());
+  auto rr = mc.read(r, *rfh, 0, 1 * MiB);
+  EXPECT_FALSE(rr.ok()) << "read served a divergent replica";
+  EXPECT_EQ(r->replica_reads(), 0u);
+
+  // Reconciliation cannot help (the clean copy's media is gone), but
+  // healing the device restores service without ever having served the
+  // stale copy.
+  mc.fs->nsd(p->addr[0].nsd).device->set_failed(false);
+  auto rr2 = mc.read(r, *rfh, 0, 1 * MiB);
+  ASSERT_TRUE(rr2.ok());
+  EXPECT_EQ(*rr2, 1 * MiB);
+}
+
+// The healthy-path mirror of the above: with the primary dead and the
+// replica clean, reads redirect and every byte arrives.
+TEST(Replication, ReadsFailOverToCleanReplica) {
+  MiniCluster mc;
+  Client* w = mc.mount_on(2);
+  auto fh = mc.open(w, "/rep", kAlice, OpenFlags::create_replicated(2));
+  ASSERT_TRUE(fh.ok());
+  ASSERT_TRUE(mc.write(w, *fh, 0, 8 * MiB).ok());
+  ASSERT_TRUE(mc.fsync(w, *fh).ok());
+
+  InodeNum ino = 0;
+  file_blocks(mc, w, "/rep", &ino);
+  // Kill one whole device: every block with a copy there must be
+  // served through its other copy.
+  mc.fs->nsd(0).device->set_failed(true);
+
+  Client* r = mc.mount_on(3);
+  auto rfh = mc.open(r, "/rep", kAlice, OpenFlags::ro());
+  ASSERT_TRUE(rfh.ok());
+  auto rr = mc.read(r, *rfh, 0, 8 * MiB);
+  ASSERT_TRUE(rr.ok());
+  EXPECT_EQ(*rr, 8 * MiB);
+  EXPECT_GE(r->replica_reads() + r->replica_failovers(), 1u);
+  EXPECT_TRUE(mc.fs->fsck().clean());
+}
+
+}  // namespace
+}  // namespace mgfs::gpfs
