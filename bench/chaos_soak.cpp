@@ -29,6 +29,9 @@
 // `--scenario manager_crash` runs the manager-takeover drill: election,
 // token rebuild from client assertions, in-flight I/O completing across
 // the takeover, and the deposed incarnation's traffic fenced.
+// `--scenario shard_crash` runs the sharded-metadata-plane drill: one
+// token domain's manager crashes, only that domain stalls, and its
+// per-shard takeover grants again within 2 lease periods.
 // `--json PATH` dumps the soak metrics machine-readably.
 #include <algorithm>
 #include <cstdio>
@@ -779,6 +782,196 @@ bool run_manager_crash() {
   return ok;
 }
 
+/// Shard-crash drill (DESIGN.md §8): blast-radius containment of the
+/// sharded metadata plane. A 4-shard file system seats each token
+/// domain's manager on its own node; one steady writer is pinned to
+/// each domain (write + fsync loop, every cycle an allocation and a
+/// commit on that shard alone). Shard 2's manager node crashes
+/// mid-stream. Only that domain may stall: the other three writers
+/// must keep committing right through the outage, the victim domain's
+/// successor must be elected and grant again within 2 lease periods
+/// (_t1g_), the victim's writer must resume, no shard but the victim's
+/// may change epoch, and no client may be expelled — the batched lease
+/// heartbeat rides to shard 0, which never went down.
+bool run_shard_crash() {
+  sim::Simulator sim;
+  net::Network net(sim);
+  // hosts: 0-1 NSD servers, 2 = shard-0 manager (the farm's lease
+  // home), 3-5 = shard 1-3 manager seats, 6-17 = three writers per
+  // shard (three, because deposing a dark-but-up manager takes a
+  // quorum of three distinct accusers — one stuck client can't).
+  net::Site site = net::add_site(net, "s", 18, gbps(1.0));
+
+  gpfs::ClusterConfig ccfg;
+  ccfg.name = "chaos";
+  ccfg.client.rpc_deadline = 0.3;
+  ccfg.lease_duration = 0.8;
+  ccfg.lease_recovery_wait = 0.4;
+  ccfg.meta_shards = 4;
+  gpfs::Cluster cluster(sim, net, ccfg, Rng(42));
+
+  bench::ServerFarm farm = bench::make_rate_farm(
+      cluster, sim, site, /*first_host=*/0, /*servers=*/2, /*nsd_count=*/4,
+      BytesPerSec(200e6), /*device_capacity=*/4 * GiB, "chaos");
+
+  std::vector<net::NodeId> seats{farm.manager};
+  for (std::size_t h = 3; h <= 5; ++h) {
+    cluster.add_node(site.hosts.at(h));
+    seats.push_back(site.hosts.at(h));
+  }
+  cluster.set_shard_managers(*farm.fs, seats);
+
+  fault::FaultInjector inject(net, Rng(7));
+  inject.watch_pool(cluster.connection_pool());
+  inject.watch_cluster(cluster);
+
+  struct Writer {
+    gpfs::Client* c = nullptr;
+    gpfs::Fh fh{};
+    std::uint32_t shard = 0;
+    std::uint64_t cycles = 0;         // committed write+fsync cycles
+    std::uint64_t during_outage = 0;  // ...landed before the takeover
+  };
+  std::vector<Writer> writers(12);
+  for (std::uint32_t k = 0; k < writers.size(); ++k) {
+    net::NodeId n = site.hosts.at(6 + k);
+    cluster.add_node(n);
+    auto c = cluster.mount("chaos", n);
+    MGFS_ASSERT(c.ok(), "mount failed");
+    writers[k].c = *c;
+    writers[k].shard = k % 4;
+  }
+
+  auto sync_open = [&](gpfs::Client* c, const std::string& p) {
+    std::optional<Result<gpfs::Fh>> out;
+    c->open(p, bench::kUser, gpfs::OpenFlags::create_rw(),
+            [&](Result<gpfs::Fh> r) { out = r; });
+    sim.run();
+    MGFS_ASSERT(out.has_value() && out->ok(), "setup open failed");
+    return **out;
+  };
+  auto sync_ino = [&](gpfs::Client* c, const std::string& p) {
+    std::optional<Result<gpfs::StatInfo>> out;
+    c->stat(p, [&](Result<gpfs::StatInfo> r) { out = r; });
+    sim.run();
+    MGFS_ASSERT(out.has_value() && out->ok(), "setup stat failed");
+    return (*out)->ino;
+  };
+
+  // Pin each writer to its token domain: create files until one's
+  // inode hashes there (inos are sequential, so a few tries suffice).
+  for (std::uint32_t k = 0; k < writers.size(); ++k) {
+    for (int j = 0;; ++j) {
+      MGFS_ASSERT(j < 16, "no inode landed in shard");
+      const std::string p =
+          "/w" + std::to_string(k) + "_" + std::to_string(j);
+      gpfs::Fh fh = sync_open(writers[k].c, p);
+      if (farm.fs->shard_of(sync_ino(writers[k].c, p)) == writers[k].shard) {
+        writers[k].fh = fh;
+        break;
+      }
+      writers[k].c->close(fh, [](Status) {});
+      sim.run();
+    }
+  }
+
+  const std::uint32_t victim = 2;
+  const net::NodeId old_mgr = farm.fs->manager_node(victim);
+  const double t0 = sim.now();
+  const double t_end = t0 + 4.0;
+  // Blackhole, not crash: the dead manager keeps accepting traffic and
+  // answers nothing, so detection must come from RPC deadlines — the
+  // slow path, and the real outage window the live shards must ride
+  // through. (A crash gives everyone connection resets and the
+  // takeover is near-instant.)
+  inject.schedule_blackhole(t0, old_mgr, 2.5);
+
+  // Each writer appends one block per cycle — a token acquire, an
+  // allocation and a journal commit against its own shard, nothing
+  // cross-domain — until the drill window closes. Ops that fail while
+  // the victim's manager is dark are redriven after a beat, the way a
+  // VFS layer retries EAGAIN: the acceptance question is whether the
+  // *domain* comes back, not whether one RPC got lucky.
+  std::function<void(std::uint32_t)> cycle = [&](std::uint32_t k) {
+    Writer& w = writers[k];
+    if (sim.now() >= t_end) return;
+    w.c->write(w.fh, Bytes(w.cycles * 64 * KiB), 64 * KiB,
+               [&, k](Result<Bytes> r) {
+                 if (!r.ok()) {
+                   sim.after(0.05, [&, k] { cycle(k); });
+                   return;
+                 }
+                 writers[k].c->fsync(writers[k].fh, [&, k](Status s) {
+                   if (!s.ok()) {
+                     sim.after(0.05, [&, k] { cycle(k); });
+                     return;
+                   }
+                   Writer& w2 = writers[k];
+                   ++w2.cycles;
+                   if (sim.now() >= t0 &&
+                       (farm.fs->shard_takeovers(victim) == 0 ||
+                        farm.fs->shard_recovering(victim))) {
+                     ++w2.during_outage;
+                   }
+                   cycle(k);
+                 });
+               });
+  };
+  for (std::uint32_t k = 0; k < writers.size(); ++k) cycle(k);
+  sim.run();
+
+  // Per-domain totals: committed cycles, and cycles that landed while
+  // the victim's manager was dark or its takeover still rebuilding.
+  std::uint64_t shard_cycles[4] = {0, 0, 0, 0};
+  std::uint64_t shard_outage[4] = {0, 0, 0, 0};
+  for (const Writer& w : writers) {
+    shard_cycles[w.shard] += w.cycles;
+    shard_outage[w.shard] += w.during_outage;
+  }
+
+  const gpfs::FsckReport fsck = farm.fs->fsck();
+  const double t1g = farm.fs->takeover_to_first_grant_s();
+  std::printf("  victim shard %u: node %u -> node %u, epoch %llu\n", victim,
+              old_mgr.v, farm.fs->manager_node(victim).v,
+              static_cast<unsigned long long>(
+                  farm.fs->manager_epoch(victim)));
+  std::printf("  first grant: +%.3f s after takeover (budget %.2f s)\n",
+              t1g, 2.0 * ccfg.lease_duration);
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    std::printf("  shard %u: %llu cycles committed, %llu during outage\n", s,
+                static_cast<unsigned long long>(shard_cycles[s]),
+                static_cast<unsigned long long>(shard_outage[s]));
+  }
+  std::printf("  manager: %s\n", farm.fs->stats().c_str());
+
+  bool ok = true;
+  auto check = [&](bool cond, const char* what) {
+    std::printf("  [%s] %s\n", cond ? "PASS" : "FAIL", what);
+    ok = ok && cond;
+  };
+  std::cout << "\nAcceptance:\n";
+  check(farm.fs->manager_takeovers() == 1 &&
+            farm.fs->shard_takeovers(victim) == 1,
+        "exactly one takeover, on the victim shard");
+  check(!(farm.fs->manager_node(victim) == old_mgr),
+        "victim shard's successor elected");
+  check(farm.fs->manager_epoch(victim) == 2 &&
+            farm.fs->manager_epoch(0) == 1 && farm.fs->manager_epoch(1) == 1 &&
+            farm.fs->manager_epoch(3) == 1,
+        "only the victim shard changed epoch");
+  check(t1g >= 0.0 && t1g <= 2.0 * ccfg.lease_duration,
+        "victim shard granting again within 2 lease periods");
+  check(shard_outage[0] >= 1 && shard_outage[1] >= 1 && shard_outage[3] >= 1,
+        "live shards kept committing through the outage");
+  check(shard_outage[victim] == 0,
+        "victim domain stalled until its takeover (no torn admits)");
+  check(shard_cycles[victim] >= 1, "victim writers resumed after takeover");
+  check(farm.fs->expels() == 0,
+        "no expels: batched heartbeat to shard 0 kept every lease alive");
+  check(fsck.clean(), "fsck clean across all journal slices");
+  return ok;
+}
+
 /// Whole-site outage drill (ISSUE 9 tentpole). One GPFS cluster spans
 /// two network sites joined by a narrow high-latency WAN circuit: the
 /// "home" machine room holds 4 NSDs of an unreplicated file system
@@ -1172,6 +1365,12 @@ int main(int argc, char** argv) {
     bench::banner("chaos_soak --scenario manager_crash",
                   "manager takeover: election, token rebuild, epoch fencing");
     return run_manager_crash() ? 0 : 1;
+  }
+  if (scenario == "shard_crash") {
+    bench::banner("chaos_soak --scenario shard_crash",
+                  "sharded metadata plane: one domain's manager dies, the "
+                  "rest keep serving");
+    return run_shard_crash() ? 0 : 1;
   }
   if (scenario == "site_outage") {
     bench::banner("chaos_soak --scenario site_outage",

@@ -12,7 +12,7 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build-bench}"
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
-cmake --build "$build_dir" -j "$(nproc)" --target fig11_scaling chaos_soak scale_sweep
+cmake --build "$build_dir" -j "$(nproc)" --target fig11_scaling chaos_soak scale_sweep shard_sweep
 
 "$build_dir/bench/fig11_scaling" --smoke --json "$repo_root/BENCH_fig11.json"
 
@@ -60,6 +60,21 @@ awk -F': ' '/"min_events_per_s"/ {
   if (v < floor) { printf "bench_smoke: FAIL — min_events_per_s %.0f below floor %d\n", v, floor; exit 1 }
   printf "bench_smoke: min_events_per_s %.0f (floor %d)\n", v, floor
 }' "$scale_json"
+
+# Metadata-sharding gate: the shard sweep's 1- and 8-domain endpoints
+# must show >= 3x aggregate small-file ops/s at 8 shards — the whole
+# point of partitioning the token plane. Simulated-time-derived, so the
+# ratio is byte-stable; the committed BENCH_shard.json comes from the
+# full {1,2,4,8} x 256-client sweep, the smoke JSON stays in the build
+# dir. The binary itself exits nonzero below the gate; the awk check
+# keeps the failure message symmetrical with the other gates.
+shard_json="$build_dir/bench_shard_smoke.json"
+"$build_dir/bench/shard_sweep" --smoke --json "$shard_json"
+awk -F': ' '/"ratio_8x"/ {
+  v = $2 + 0
+  if (v < 3.0) { printf "bench_smoke: FAIL — shard ratio_8x %.2f below 3.0\n", v; exit 1 }
+  printf "bench_smoke: shard ratio_8x %.2fx (gate: >= 3.0x)\n", v
+}' "$shard_json"
 
 # Replica-locality gate: the DEISA-style site-outage drill darkens the
 # home site for 12 s; the cold edge site must keep reading from its

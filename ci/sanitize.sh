@@ -43,6 +43,13 @@ ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
 # reads, divergence + reconcile after heal). Replica failover re-issues
 # fills from completed run state and reconciliation walks the placement
 # tables — both are lifetime-bug habitat under ASan.
+# Shard-crash drill: one token domain's manager goes dark, the other
+# three keep committing, and the per-shard takeover tears down and
+# rebuilds only that domain's token table while 12 writers hammer all
+# four — the suspicion bookkeeping, per-shard epoch fencing and rebuild
+# completion callbacks all run under load.
+"$build_dir/bench/chaos_soak" --scenario shard_crash
+
 "$build_dir/bench/chaos_soak" --scenario nsd_loss
 "$build_dir/bench/chaos_soak" --scenario site_outage
 

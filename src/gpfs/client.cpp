@@ -35,17 +35,28 @@ Client::Client(Rpc& rpc, net::NodeId node, ClientId id, ClientConfig cfg,
 // --------------------------------------------------------------------------
 
 template <typename R>
-void Client::meta_call(Bytes req_payload, Rpc::ServerFn<R> server,
+void Client::meta_call(std::uint32_t shard, Bytes req_payload,
+                       Rpc::ServerFn<R> server,
                        std::function<void(Result<R>)> done, int attempt,
                        double started_at, bool saw_recovery) {
   MGFS_ASSERT(mounted(), "metadata RPC without a mount");
   if (started_at < 0) started_at = simulator().now();
   saw_recovery = saw_recovery || fs_->recovering();
-  const net::NodeId target = mgr_node_;
+  const net::NodeId target = mgr_[shard].node;
+  FileSystem* fs = fs_;
   rpc_.call<R>(
-      node_, target, req_payload, server,
-      [this, req_payload, server, attempt, target, started_at, saw_recovery,
-       done = std::move(done)](Result<R> res) mutable {
+      node_, target, req_payload,
+      // The server continuation runs behind the shard manager's CPU:
+      // with meta_cpu_per_op configured, this serialization point is
+      // what sharding spreads across managers; at the default zero
+      // cost, charge_meta is a synchronous passthrough.
+      [fs, shard, server](Rpc::ReplyFn<R> reply) {
+        fs->charge_meta(shard, [server, reply = std::move(reply)]() mutable {
+          server(std::move(reply));
+        });
+      },
+      [this, shard, req_payload, server, attempt, target, started_at,
+       saw_recovery, done = std::move(done)](Result<R> res) mutable {
         if (res.ok()) {
           if (saw_recovery) {
             recovery_op_hist_.add(simulator().now() - started_at);
@@ -71,10 +82,10 @@ void Client::meta_call(Bytes req_payload, Rpc::ServerFn<R> server,
         // has already moved off the node this RPC was aimed at (a
         // timeout against the deposed manager is stale evidence, not an
         // accusation against its successor).
-        const bool was_recovering = mounted() && fs_->recovering();
+        const bool was_recovering = mounted() && fs_->shard_recovering(shard);
         if (manager_watch_ && !was_recovering &&
-            fs_->manager_node() == target) {
-          manager_watch_();
+            fs_->manager_node(shard) == target) {
+          manager_watch_(shard);
         }
         ++rpc_retries_;
         // While a takeover rebuild is in flight the failure is the gate,
@@ -90,8 +101,9 @@ void Client::meta_call(Bytes req_payload, Rpc::ServerFn<R> server,
                                     : cfg_.retry.backoff(attempt, rng_);
         simulator().after(
             delay,
-            [this, req_payload, server = std::move(server), attempt, target,
-             started_at, saw_recovery, done = std::move(done)]() mutable {
+            [this, shard, req_payload, server = std::move(server), attempt,
+             target, started_at, saw_recovery,
+             done = std::move(done)]() mutable {
               if (!mounted()) {
                 done(err(Errc::unavailable, "unmounted during retry"));
                 return;
@@ -101,11 +113,12 @@ void Client::meta_call(Bytes req_payload, Rpc::ServerFn<R> server,
               // flight) resets the attempt budget — the new target has
               // not failed us yet, and a redrive against a recovering
               // manager must outlast the rebuild, not a 4-attempt burst.
-              const net::NodeId fresh = refresh_manager_view(target);
+              const net::NodeId fresh = refresh_manager_view(shard, target);
               const int next_attempt =
                   (fs_->recovering() || !(fresh == target)) ? 0 : attempt + 1;
-              meta_call<R>(req_payload, std::move(server), std::move(done),
-                           next_attempt, started_at, saw_recovery);
+              meta_call<R>(shard, req_payload, std::move(server),
+                           std::move(done), next_attempt, started_at,
+                           saw_recovery);
             });
       },
       Rpc::CallOptions{cfg_.rpc_deadline});
@@ -119,10 +132,17 @@ void Client::bind(FileSystem* fs, AccessMode access, double cipher_s_per_byte,
   access_ = access;
   cipher_ = cipher_s_per_byte;
   servers_ = std::move(servers);
-  mgr_node_ = fs->manager_node();
-  mgr_epoch_ = fs->manager_epoch();
+  seed_manager_views();
   // The pagepool caches whole file-system blocks.
   pool_ = PagePool(cfg_.pagepool, fs->block_size());
+}
+
+void Client::seed_manager_views() {
+  mgr_.clear();
+  mgr_.reserve(fs_->shard_count());
+  for (std::uint32_t s = 0; s < fs_->shard_count(); ++s) {
+    mgr_.push_back(MgrView{fs_->manager_node(s), fs_->manager_epoch(s)});
+  }
 }
 
 void Client::unbind() {
@@ -231,7 +251,7 @@ void Client::ensure_token(InodeNum ino, TokenRange required,
   FileSystem* fs = fs_;
   const ClientId me = id_;
   meta_call<TokenRange>(
-      64,
+      fs_->shard_of(ino), 64,
       [fs, me, ino, required, desired, mode](Rpc::ReplyFn<TokenRange> reply) {
         fs->op_token_acquire(me, ino, required, desired, mode,
                              [reply](Result<TokenRange> res) {
@@ -335,9 +355,10 @@ void Client::ensure_map(InodeNum ino, std::uint64_t first,
   auto g = std::make_shared<Gather>(
       Gather{chunk_starts.size(), Status{}, std::move(done)});
   FileSystem* fs = fs_;
+  const std::uint32_t shard = fs_->shard_of(ino);
   for (std::uint64_t start : chunk_starts) {
     meta_call<BlockMapChunk>(
-        cfg_.meta_payload,
+        shard, cfg_.meta_payload,
         [fs, ino, start, cs](Rpc::ReplyFn<BlockMapChunk> reply) {
           auto res = fs->op_block_map(ino, start, cs);
           const Bytes payload = 16 * cs;  // ~16 bytes per map entry
@@ -468,6 +489,24 @@ void Client::nsd_run_attempt(NsdRun run, bool write,
   ServerLookup servers = servers_;
   const double cipher = cipher_;
 
+  // Two-epoch fence, per token domain: the manager epoch travels per
+  // shard, so a run coalesced across inodes carries one (representative
+  // inode, believed epoch) pair per distinct shard it touches. In the
+  // single-shard default this is exactly one consult per write.
+  std::vector<std::pair<InodeNum, std::uint64_t>> gates;
+  if (write) {
+    std::vector<std::uint32_t> gate_shards;
+    for (const BlockFetch& f : run.items) {
+      const std::uint32_t s = fs_->shard_of(f.key.ino);
+      if (std::find(gate_shards.begin(), gate_shards.end(), s) !=
+          gate_shards.end()) {
+        continue;
+      }
+      gate_shards.push_back(s);
+      gates.emplace_back(f.key.ino, mgr_[s].epoch);
+    }
+  }
+
   auto after_transport = [this, run = std::move(run), write,
                           targets = std::move(targets), ti, attempt, target,
                           total,
@@ -542,22 +581,31 @@ void Client::nsd_run_attempt(NsdRun run, bool write,
   consume_probe(target);
   const ClientId me = id_;
   const std::uint64_t epoch = lease_epoch_;
-  const std::uint64_t mepoch = mgr_epoch_;
   rpc_.call<int>(
       node_, target, req,
       [servers, target, dev, extents = std::move(extents), write, total,
-       cipher, me, epoch, mepoch](Rpc::ReplyFn<int> reply) {
+       cipher, me, epoch, gates = std::move(gates)](Rpc::ReplyFn<int> reply) {
         NsdServer* srv = servers ? servers(target) : nullptr;
         if (srv == nullptr) {
           reply(kDataHeader,
                 err(Errc::unavailable, "no NSD service on node"));
           return;
         }
-        // Two-epoch fence: every data RPC carries the client's lease
-        // epoch and its believed manager epoch; writes from a stale
-        // incarnation of either never reach the device.
+        // Every data RPC carries the client's lease epoch and its
+        // believed manager epoch(s); writes from a stale incarnation of
+        // either never reach the device. Fence dominates retry: one
+        // dead domain poisons the whole run.
         if (write) {
-          switch (srv->write_admitted(me, epoch, mepoch)) {
+          auto decision = NsdServer::GateDecision::admit;
+          for (const auto& [gate_ino, mepoch] : gates) {
+            const auto d = srv->write_admitted(me, gate_ino, epoch, mepoch);
+            if (d == NsdServer::GateDecision::fence) {
+              decision = d;
+              break;
+            }
+            if (d == NsdServer::GateDecision::retry) decision = d;
+          }
+          switch (decision) {
             case NsdServer::GateDecision::admit:
               break;
             case NsdServer::GateDecision::retry:
@@ -776,7 +824,7 @@ void Client::open(const std::string& path, const Principal& who,
   FileSystem* fs = fs_;
   const ClientId me = id_;
   meta_call<OpenResult>(
-      cfg_.meta_payload,
+      fs_->shard_of_path(path), cfg_.meta_payload,
       [fs, path, who, flags, me](Rpc::ReplyFn<OpenResult> reply) {
         reply(64, fs->op_open(path, who, flags, me));
       },
@@ -1097,7 +1145,7 @@ void Client::write(Fh fh, Bytes offset, Bytes len,
         const std::size_t count =
             static_cast<std::size_t>(b1 - b0 + 1 + batch);
         meta_call<BlockMapChunk>(
-            cfg_.meta_payload,
+            fs_->shard_of(ino), cfg_.meta_payload,
             [fs, ino, b0, count, new_size,
              me](Rpc::ReplyFn<BlockMapChunk> reply) {
               reply(16 * count,
@@ -1310,7 +1358,7 @@ void Client::mark_divergent(const PageKey& k, std::uint8_t copy,
   FileSystem* fs = fs_;
   const ClientId me = id_;
   meta_call<int>(
-      64,
+      fs_->shard_of(k.ino), 64,
       [fs, me, k, copy](Rpc::ReplyFn<int> reply) {
         const Status st = fs->op_replica_divergence(me, k.ino, k.block, copy);
         if (st.ok()) {
@@ -1394,7 +1442,7 @@ void Client::fsync(Fh fh, std::function<void(Status)> done) {
     FileSystem* fs = fs_;
     const ClientId me = id_;
     meta_call<int>(
-        64,
+        fs->shard_of(ino), 64,
         [fs, ino, size, me](Rpc::ReplyFn<int> reply) {
           const Status st = fs->op_extend_size(ino, size, me);
           reply(64, st.ok() ? Result<int>(0) : Result<int>(st.error()));
@@ -1451,7 +1499,7 @@ void Client::refresh_size(Fh fh, std::function<void(Result<Bytes>)> done) {
   FileSystem* fs = fs_;
   const InodeNum ino = f->ino;
   meta_call<Bytes>(
-      64,
+      fs_->shard_of(ino), 64,
       [fs, ino](Rpc::ReplyFn<Bytes> reply) {
         auto st = fs->ns().stat(ino);
         if (!st.ok()) {
@@ -1476,7 +1524,7 @@ void Client::stat(const std::string& path,
                   std::function<void(Result<StatInfo>)> done) {
   FileSystem* fs = fs_;
   meta_call<StatInfo>(
-      cfg_.meta_payload,
+      fs_->shard_of_path(path), cfg_.meta_payload,
       [fs, path](Rpc::ReplyFn<StatInfo> reply) {
         reply(128, fs->op_stat(path));
       },
@@ -1487,7 +1535,7 @@ void Client::mkdir(const std::string& path, const Principal& who, Mode mode,
                    std::function<void(Status)> done) {
   FileSystem* fs = fs_;
   meta_call<int>(
-      cfg_.meta_payload,
+      fs_->shard_of_path(path), cfg_.meta_payload,
       [fs, path, who, mode](Rpc::ReplyFn<int> reply) {
         auto r = fs->op_mkdir(path, who, mode);
         reply(64, r.ok() ? Result<int>(0) : Result<int>(r.error()));
@@ -1502,7 +1550,7 @@ void Client::readdir(const std::string& path, const Principal& who,
                          done) {
   FileSystem* fs = fs_;
   meta_call<std::vector<std::string>>(
-      cfg_.meta_payload,
+      fs_->shard_of_path(path), cfg_.meta_payload,
       [fs, path, who](Rpc::ReplyFn<std::vector<std::string>> reply) {
         auto r = fs->op_readdir(path, who);
         const Bytes payload = r.ok() ? 32 * r->size() + 64 : 64;
@@ -1516,7 +1564,7 @@ void Client::unlink(const std::string& path, const Principal& who,
   FileSystem* fs = fs_;
   const ClientId me = id_;
   meta_call<int>(
-      cfg_.meta_payload,
+      fs_->shard_of_path(path), cfg_.meta_payload,
       [fs, path, who, me](Rpc::ReplyFn<int> reply) {
         const Status st = fs->op_unlink(path, who, me);
         reply(64, st.ok() ? Result<int>(0) : Result<int>(st.error()));
@@ -1529,8 +1577,10 @@ void Client::unlink(const std::string& path, const Principal& who,
 void Client::rename(const std::string& from, const std::string& to,
                     const Principal& who, std::function<void(Status)> done) {
   FileSystem* fs = fs_;
+  // Routed by the source path's shard; op_rename itself gates on both
+  // paths' domains, so a takeover on either side pauses the op.
   meta_call<int>(
-      cfg_.meta_payload,
+      fs_->shard_of_path(from), cfg_.meta_payload,
       [fs, from, to, who](Rpc::ReplyFn<int> reply) {
         const Status st = fs->op_rename(from, to, who);
         reply(64, st.ok() ? Result<int>(0) : Result<int>(st.error()));
@@ -1598,8 +1648,11 @@ void Client::maybe_renew_lease() {
   FileSystem* fs = fs_;
   const ClientId me = id_;
   const std::uint64_t inc = incarnation_;
+  // Shard 0 is the lease home: one renewal RPC covers every shard (the
+  // batched heartbeat — a lease asserts node liveness, not per-domain
+  // authority).
   meta_call<std::uint64_t>(
-      64,
+      0, 64,
       [fs, me](Rpc::ReplyFn<std::uint64_t> reply) {
         reply(64, fs->op_lease_renew(me));
       },
@@ -1651,8 +1704,11 @@ void Client::attempt_rejoin(int attempt) {
       lease_renew_inflight_ = false;
       lease_epoch_ = *r;
       lease_renewed_at_ = simulator().now();
-      // Readmission came from whoever holds the manager role now.
-      adopt_manager_view(fs_->manager_node(), fs_->manager_epoch());
+      // Readmission came from whoever holds the manager roles now:
+      // adopt every shard's current view.
+      for (std::uint32_t s = 0; s < fs_->shard_count(); ++s) {
+        adopt_manager_view(s, fs_->manager_node(s), fs_->manager_epoch(s));
+      }
       MGFS_INFO("client", "client " << id_ << ": rejoined under lease epoch "
                                     << lease_epoch_);
       pump_flush();
@@ -1692,10 +1748,10 @@ void Client::crash_reset() {
   lease_renew_inflight_ = false;
   lease_epoch_ = 0;  // cluster glue re-registers and sets the new epoch
   if (fs_ != nullptr) {
-    // Reboot re-reads the cluster configuration: whatever node holds
-    // the manager role now is the one this incarnation talks to.
-    mgr_node_ = fs_->manager_node();
-    mgr_epoch_ = fs_->manager_epoch();
+    // Reboot re-reads the cluster configuration: whatever nodes hold
+    // the shard manager roles now are the ones this incarnation talks
+    // to.
+    seed_manager_views();
   }
   // open_ survives deliberately: callers hold Fh handles and in-flight
   // write() continuations hold OpenFile pointers; the handles stay
@@ -1730,19 +1786,20 @@ void Client::handle_revoke(InodeNum ino, TokenRange range,
 
 bool Client::handle_revoke(InodeNum ino, TokenRange range,
                            std::uint64_t mgr_epoch, sim::Callback done) {
-  if (mgr_epoch < mgr_epoch_) {
+  const std::uint32_t shard = fs_->shard_of(ino);
+  if (mgr_epoch < mgr_[shard].epoch) {
     // A deposed manager trying to strip a token the successor already
     // re-granted. Refuse without flushing anything — `done` never runs.
     ++stale_mgr_rejects_;
     MGFS_WARN("client", "client " << id_ << ": revoke under stale manager "
                                   << "epoch " << mgr_epoch << " (have "
-                                  << mgr_epoch_ << "); refused");
+                                  << mgr_[shard].epoch << "); refused");
     return false;
   }
   // A newer-epoch revoke doubles as first contact with the successor:
   // adopt its view before flushing, or the dirty pages this revoke
   // forces out would carry the old manager epoch and be fenced.
-  adopt_manager_view(fs_->manager_node(), mgr_epoch);
+  adopt_manager_view(shard, fs_->manager_node(shard), mgr_epoch);
   handle_revoke(ino, range, std::move(done));
   return true;
 }
@@ -1751,26 +1808,29 @@ bool Client::handle_revoke(InodeNum ino, TokenRange range,
 // manager failover
 // --------------------------------------------------------------------------
 
-void Client::adopt_manager_view(net::NodeId mgr_node,
+void Client::adopt_manager_view(std::uint32_t shard, net::NodeId mgr_node,
                                 std::uint64_t mgr_epoch) {
-  if (mgr_epoch > mgr_epoch_) {
-    mgr_epoch_ = mgr_epoch;
+  MgrView& v = mgr_[shard];
+  if (mgr_epoch > v.epoch) {
+    v.epoch = mgr_epoch;
     ++mgr_takeovers_;
   }
-  mgr_node_ = mgr_node;
+  v.node = mgr_node;
 }
 
-net::NodeId Client::refresh_manager_view(net::NodeId failed_target) {
-  const net::NodeId fresh = fs_->manager_node();
+net::NodeId Client::refresh_manager_view(std::uint32_t shard,
+                                         net::NodeId failed_target) {
+  const net::NodeId fresh = fs_->manager_node(shard);
   if (!(fresh == failed_target)) ++mgr_reroutes_;
-  adopt_manager_view(fresh, fs_->manager_epoch());
+  adopt_manager_view(shard, fresh, fs_->manager_epoch(shard));
   return fresh;
 }
 
 Result<ManagerAssertReply> Client::assert_tokens(net::NodeId mgr_node,
-                                                 std::uint64_t mgr_epoch) {
+                                                 std::uint64_t mgr_epoch,
+                                                 std::uint32_t shard) {
   if (!mounted()) return err(Errc::unavailable, "not mounted");
-  adopt_manager_view(mgr_node, mgr_epoch);
+  adopt_manager_view(shard, mgr_node, mgr_epoch);
   ManagerAssertReply reply;
   reply.lease_epoch = lease_epoch_;
   // Dirty-journal summary: what this client still owes the data path
@@ -1778,10 +1838,13 @@ Result<ManagerAssertReply> Client::assert_tokens(net::NodeId mgr_node,
   // back). dirty_addr_ keys every unflushed page to its pre-allocated
   // address, so the inode set falls out of the keys — and the per-inode
   // covering span of those pages bounds what we must keep locked.
+  // Only `shard`'s inodes are asserted: the other shards' managers did
+  // not change, so their grants stay exactly as held.
   const Bytes bs = block_size();
   std::unordered_map<InodeNum, TokenRange> dirty_span;
   reply.dirty_bytes = pool_.dirty_bytes();
   for (const auto& [key, addr] : dirty_addr_) {
+    if (fs_->shard_of(key.ino) != shard) continue;
     reply.dirty_inodes.push_back(key.ino);
     const TokenRange pg{key.block * bs, (key.block + 1) * bs};
     auto [it, fresh] = dirty_span.try_emplace(key.ino, pg);
@@ -1803,6 +1866,7 @@ Result<ManagerAssertReply> Client::assert_tokens(net::NodeId mgr_node,
   // simply re-acquired on demand, same as after a plain wipe.
   std::unordered_map<InodeNum, std::vector<HeldToken>> kept;
   for (const auto& [ino, held] : held_) {
+    if (fs_->shard_of(ino) != shard) continue;
     const auto ds = dirty_span.find(ino);
     if (ds == dirty_span.end()) continue;
     for (const HeldToken& h : held) {
@@ -1819,6 +1883,7 @@ Result<ManagerAssertReply> Client::assert_tokens(net::NodeId mgr_node,
   // (every dirty page sits under some rw token and inside its inode's
   // dirty span, so its clip retains it).
   for (const auto& [ino, held] : held_) {
+    if (fs_->shard_of(ino) != shard) continue;
     const auto kit = kept.find(ino);
     for (const HeldToken& h : held) {
       std::vector<TokenRange> remain{h.range};
@@ -1846,7 +1911,16 @@ Result<ManagerAssertReply> Client::assert_tokens(net::NodeId mgr_node,
       }
     }
   }
-  held_ = std::move(kept);
+  // Replace only this shard's holdings with the clipped set; other
+  // shards' entries survive untouched.
+  for (auto it = held_.begin(); it != held_.end();) {
+    if (fs_->shard_of(it->first) == shard) {
+      it = held_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& [ino, v] : kept) held_[ino] = std::move(v);
   // held_ iterates in hash order; the successor's rebuilt tables must
   // not depend on it.
   std::sort(reply.tokens.begin(), reply.tokens.end(),
@@ -1859,7 +1933,7 @@ Result<ManagerAssertReply> Client::assert_tokens(net::NodeId mgr_node,
 
 bool Client::deliver_manager_grant(InodeNum ino, TokenRange range,
                                    LockMode mode, std::uint64_t mgr_epoch) {
-  if (mgr_epoch < mgr_epoch_) {
+  if (mgr_epoch < mgr_[fs_->shard_of(ino)].epoch) {
     ++stale_mgr_rejects_;
     return false;
   }

@@ -148,22 +148,26 @@ class Client {
                      sim::Callback done);
 
   // --- manager failover (cluster glue + takeover rebuild) ----------------
-  /// Takeover rebuild query from a successor manager at `mgr_node` under
-  /// `mgr_epoch`: adopt the new manager view and report our lease epoch
-  /// plus every held token, sorted for determinism. Errc::unavailable if
-  /// not mounted.
+  /// Takeover rebuild query from a successor manager of `shard` at
+  /// `mgr_node` under `mgr_epoch`: adopt the new manager view for that
+  /// shard and report our lease epoch plus every held token *of that
+  /// shard's inodes*, sorted for determinism. Holdings in other shards
+  /// are untouched — their managers did not change. Errc::unavailable
+  /// if not mounted.
   Result<ManagerAssertReply> assert_tokens(net::NodeId mgr_node,
-                                           std::uint64_t mgr_epoch);
+                                           std::uint64_t mgr_epoch,
+                                           std::uint32_t shard = 0);
   /// An unsolicited token grant from a node claiming to be the manager
   /// under `mgr_epoch`. Refused (returns false) when the epoch is older
   /// than the adopted one — the deposed-manager probe; otherwise the
   /// grant is cached like any widened grant.
   bool deliver_manager_grant(InodeNum ino, TokenRange range, LockMode mode,
                              std::uint64_t mgr_epoch);
-  /// Invoked whenever a manager RPC fails retryably — the cluster wires
-  /// this to its manager-suspicion machinery so repeated unreachability
-  /// triggers a takeover.
-  void set_manager_watch(std::function<void()> fn) {
+  /// Invoked with the target shard whenever a manager RPC fails
+  /// retryably — the cluster wires this to its manager-suspicion
+  /// machinery so repeated unreachability triggers a takeover of that
+  /// shard.
+  void set_manager_watch(std::function<void(std::uint32_t)> fn) {
     manager_watch_ = std::move(fn);
   }
   std::uint64_t mgr_takeovers() const { return mgr_takeovers_; }
@@ -253,11 +257,14 @@ class Client {
   std::uint8_t pick_copy(const BlockPlacement& p, std::uint8_t tried) const;
 
   // metadata path: manager RPC with deadline + bounded backoff retry.
-  // `started_at`/`saw_recovery` thread first-issue time and whether the
-  // op ever saw the recovering gate through the retry chain, feeding the
-  // recovery-op latency histogram.
+  // `shard` routes the call to the believed manager of that token
+  // domain and serializes the server work behind that shard's manager
+  // CPU. `started_at`/`saw_recovery` thread first-issue time and
+  // whether the op ever saw the recovering gate through the retry
+  // chain, feeding the recovery-op latency histogram.
   template <typename R>
-  void meta_call(Bytes req_payload, Rpc::ServerFn<R> server,
+  void meta_call(std::uint32_t shard, Bytes req_payload,
+                 Rpc::ServerFn<R> server,
                  std::function<void(Result<R>)> done, int attempt = 0,
                  double started_at = -1.0, bool saw_recovery = false);
 
@@ -338,13 +345,19 @@ class Client {
   void discard_cached_state(bool reset_breakers);
 
   // manager failover
-  /// Adopt (mgr_node, mgr_epoch) as the believed manager view; counts a
-  /// takeover when the epoch advances. Older epochs only move the node.
-  void adopt_manager_view(net::NodeId mgr_node, std::uint64_t mgr_epoch);
-  /// Before a metadata retry: re-look-up the manager node from the
-  /// cluster configuration (fs_). Returns the refreshed target and
+  /// Adopt (mgr_node, mgr_epoch) as the believed manager view of
+  /// `shard`; counts a takeover when the epoch advances. Older epochs
+  /// only move the node.
+  void adopt_manager_view(std::uint32_t shard, net::NodeId mgr_node,
+                          std::uint64_t mgr_epoch);
+  /// Before a metadata retry: re-look-up `shard`'s manager node from
+  /// the cluster configuration (fs_). Returns the refreshed target and
   /// counts a reroute when it differs from `failed_target`.
-  net::NodeId refresh_manager_view(net::NodeId failed_target);
+  net::NodeId refresh_manager_view(std::uint32_t shard,
+                                   net::NodeId failed_target);
+  /// (Re-)seed the per-shard manager views from the cluster config
+  /// (bind, crash reboot, rejoin).
+  void seed_manager_views();
 
   OpenFile* file(Fh fh);
   Bytes block_size() const { return fs_->block_size(); }
@@ -409,11 +422,15 @@ class Client {
   /// older incarnation check it and drop their results.
   std::uint64_t incarnation_ = 0;
 
-  // believed manager view: metadata RPCs target mgr_node_; NSD writes
-  // and revoke checks carry mgr_epoch_ (the two-epoch invariant)
-  net::NodeId mgr_node_{};
-  std::uint64_t mgr_epoch_ = 0;
-  std::function<void()> manager_watch_;
+  // believed manager view, one per metadata shard: metadata RPCs for a
+  // shard target its node; NSD writes and revoke checks carry its epoch
+  // (the two-epoch invariant, per token domain)
+  struct MgrView {
+    net::NodeId node{};
+    std::uint64_t epoch = 0;
+  };
+  std::vector<MgrView> mgr_;
+  std::function<void(std::uint32_t)> manager_watch_;
 
   Bytes bytes_read_remote_ = 0;
   Bytes bytes_written_remote_ = 0;

@@ -75,13 +75,13 @@ NsdServer& Cluster::add_nsd_server(net::NodeId node) {
     // expel the MountRecord is gone, so fall back to whichever file
     // system still remembers the client in its lease map.
     it->second->set_write_gate(
-        [this](ClientId c, std::uint64_t e, std::uint64_t me) {
+        [this](ClientId c, InodeNum ino, std::uint64_t e, std::uint64_t me) {
           auto rit = registry_.find(c);
           if (rit != registry_.end() && rit->second.fs != nullptr) {
-            return rit->second.fs->write_gate(c, e, me);
+            return rit->second.fs->write_gate(c, ino, e, me);
           }
           for (auto& [name, fs] : filesystems_) {
-            if (fs->lease().known(c)) return fs->write_gate(c, e, me);
+            if (fs->lease().known(c)) return fs->write_gate(c, ino, e, me);
           }
           return NsdServer::GateDecision::fence;
         });
@@ -137,6 +137,9 @@ FileSystem& Cluster::create_filesystem(
   fscfg.block_size = block_size;
   fscfg.lease_duration = cfg_.lease_duration;
   fscfg.lease_recovery_wait = cfg_.lease_recovery_wait;
+  fscfg.meta_shards = cfg_.meta_shards;
+  fscfg.meta_cpu_per_op = cfg_.meta_cpu_per_op;
+  fscfg.auto_delegate_ops = cfg_.auto_delegate_ops;
   auto fs = std::make_unique<FileSystem>(sim_, fscfg, std::move(nsds),
                                          manager_node);
   FileSystem& ref = *fs;
@@ -179,13 +182,16 @@ void Cluster::wire_filesystem(FileSystem& fs) {
             ? fs.lease().time_until_expel(holder, sim_.now())
             : rw;
     opts.deadline = std::max(0.25 * rw, std::min(remaining, rw));
-    // The revoke is stamped with the manager epoch at *send* time: if a
-    // takeover happens while it is in flight (or a deposed manager's
-    // event loop resurrects and sends one late), the client refuses it
-    // as stale instead of surrendering a token the successor re-granted.
-    const std::uint64_t sent_epoch = fs.manager_epoch();
+    // The revoke is stamped with the *owning shard's* manager epoch at
+    // send time, and travels from that shard's manager node: if a
+    // takeover of the shard happens while it is in flight (or a deposed
+    // manager's event loop resurrects and sends one late), the client
+    // refuses it as stale instead of surrendering a token the successor
+    // re-granted.
+    const std::uint32_t shard = fs.shard_of(ino);
+    const std::uint64_t sent_epoch = fs.manager_epoch(shard);
     rpc_.call<int>(
-        fs.manager_node(), c->node(), 64,
+        fs.manager_node(shard), c->node(), 64,
         [c, ino, range, sent_epoch](Rpc::ReplyFn<int> reply) {
           if (!c->handle_revoke(ino, range, sent_epoch,
                                 [reply] { reply(64, 0); })) {
@@ -272,9 +278,11 @@ Client::RejoinFn Cluster::make_rejoin(Cluster* exporter, FileSystem* fs,
     rpc_.call<std::uint64_t>(
         c->node(), fs->manager_node(), 128,
         [exporter, fs, c, access, via](Rpc::ReplyFn<std::uint64_t> reply) {
-          if (fs->recovering()) {
+          if (fs->shard_recovering(0)) {
             // Readmission against a half-built lease table would hand
-            // out an epoch the rebuild is about to overwrite.
+            // out an epoch the rebuild is about to overwrite. Only the
+            // lease home (shard 0) gates rejoin — a data shard's
+            // takeover does not touch the lease plane.
             reply(64, err(Errc::unavailable, "manager takeover in progress"));
             return;
           }
@@ -300,8 +308,9 @@ Result<Client*> Cluster::mount(const std::string& fsname,
   ptr->bind(fs, AccessMode::read_write, 0.0, make_server_lookup());
   ptr->set_lease(epoch, fs->config().lease_duration);
   ptr->set_rejoin(make_rejoin(this, fs, ptr, AccessMode::read_write, ""));
-  ptr->set_manager_watch(
-      [this, fs, id = ptr->id()] { note_manager_unreachable(fs, id); });
+  ptr->set_manager_watch([this, fs, id = ptr->id()](std::uint32_t shard) {
+    note_manager_unreachable(fs, shard, id);
+  });
   return ptr;
 }
 
@@ -597,10 +606,10 @@ void Cluster::mount_remote(const std::string& local_device,
                                            cfg_.name));
               // Manager failover is the exporting cluster's business: it
               // owns the file system and the membership list.
-              cptr->set_manager_watch([exporter, fs = g->fs,
-                                       id = cptr->id()] {
-                exporter->note_manager_unreachable(fs, id);
-              });
+              cptr->set_manager_watch(
+                  [exporter, fs = g->fs, id = cptr->id()](std::uint32_t s) {
+                    exporter->note_manager_unreachable(fs, s, id);
+                  });
               clients_.push_back(std::move(*client));
               remote_owner_[cptr] = exporter;
               ++handshakes_;
@@ -621,13 +630,14 @@ void Cluster::mount_remote(const std::string& local_device,
 // manager failover
 // --------------------------------------------------------------------------
 
-void Cluster::note_manager_unreachable(FileSystem* fs, ClientId reporter) {
-  if (fs == nullptr || fs->recovering()) return;
-  const net::NodeId mgr = fs->manager_node();
+void Cluster::note_manager_unreachable(FileSystem* fs, std::uint32_t shard,
+                                       ClientId reporter) {
+  if (fs == nullptr || fs->shard_recovering(shard)) return;
+  const net::NodeId mgr = fs->manager_node(shard);
   if (!net_.node_up(mgr)) {
     // The network knows the node is dead — no need to accumulate
     // suspicion against a corpse.
-    takeover_manager(*fs);
+    takeover_manager(*fs, shard);
     return;
   }
   // Manager node up but not answering (blackhole / gray failure):
@@ -642,13 +652,13 @@ void Cluster::note_manager_unreachable(FileSystem* fs, ClientId reporter) {
   // client can flap and re-report forever yet only ever counts once,
   // so it cannot creep toward deposing a manager the others still
   // reach.
-  MgrSuspicion& s = mgr_suspicion_[fs];
+  MgrSuspicion& s = mgr_suspicion_[{fs, shard}];
   const double now = sim_.now();
-  if (s.epoch != fs->manager_epoch() ||
+  if (s.epoch != fs->manager_epoch(shard) ||
       (s.reports > 0 && now - s.last > fs->config().lease_duration)) {
     s.reports = 0;
     s.reporters.clear();
-    s.epoch = fs->manager_epoch();
+    s.epoch = fs->manager_epoch(shard);
   }
   ++s.reports;
   s.last = now;
@@ -659,12 +669,14 @@ void Cluster::note_manager_unreachable(FileSystem* fs, ClientId reporter) {
   }
   const std::size_t quorum =
       std::min<std::size_t>(3, std::max<std::size_t>(on_fs, 1));
-  if (s.reports >= 3 && s.reporters.size() >= quorum) takeover_manager(*fs);
+  if (s.reports >= 3 && s.reporters.size() >= quorum) {
+    takeover_manager(*fs, shard);
+  }
 }
 
-bool Cluster::takeover_manager(FileSystem& fs) {
-  if (fs.recovering()) return true;  // already in flight
-  const net::NodeId deposed = fs.manager_node();
+bool Cluster::takeover_manager(FileSystem& fs, std::uint32_t shard) {
+  if (fs.shard_recovering(shard)) return true;  // already in flight
+  const net::NodeId deposed = fs.manager_node(shard);
   // Deterministic election: lowest-id live member node, never the
   // deposed manager (it may be up-but-mute, which is why we are here).
   std::optional<net::NodeId> successor;
@@ -677,12 +689,13 @@ bool Cluster::takeover_manager(FileSystem& fs) {
     // RPCs; the next report retries the election.
     return false;
   }
-  mgr_suspicion_.erase(&fs);
-  MGFS_WARN("lease", cfg_.name << ": manager node " << deposed.v << " of "
-                               << fs.name() << " unreachable; node "
-                               << successor->v << " taking over");
-  fs.begin_takeover(*successor);
-  const std::uint64_t epoch = fs.manager_epoch();
+  mgr_suspicion_.erase({&fs, shard});
+  MGFS_WARN("lease", cfg_.name << ": manager node " << deposed.v
+                               << " of " << fs.name() << " shard " << shard
+                               << " unreachable; node " << successor->v
+                               << " taking over");
+  fs.begin_takeover(*successor, shard);
+  const std::uint64_t epoch = fs.manager_epoch(shard);
 
   // Rebuild: query every registered client for its lease epoch and
   // token holdings, in client-id order for determinism.
@@ -693,7 +706,7 @@ bool Cluster::takeover_manager(FileSystem& fs) {
   std::sort(members.begin(), members.end(),
             [](Client* a, Client* b) { return a->id() < b->id(); });
   if (members.empty()) {
-    fs.finish_takeover();
+    fs.finish_takeover(shard);
     return true;
   }
   auto remaining = std::make_shared<std::size_t>(members.size());
@@ -712,36 +725,61 @@ bool Cluster::takeover_manager(FileSystem& fs) {
     // One reassert_all RPC per client — the whole token + lease +
     // dirty-journal summary rides a single reply, so the rebuild is
     // O(clients), not O(grants). The counter is the gtest witness.
-    fs.note_rebuild_rpc();
+    fs.note_rebuild_rpc(shard);
     rpc_.call<ManagerAssertReply>(
         *successor, cnode, 128,
-        [this, id, mgr = *successor,
-         epoch](Rpc::ReplyFn<ManagerAssertReply> reply) {
+        [this, id, mgr = *successor, epoch,
+         shard](Rpc::ReplyFn<ManagerAssertReply> reply) {
           auto it = registry_.find(id);
           if (it == registry_.end() || it->second.client == nullptr) {
             reply(64, err(Errc::unavailable, "client gone"));
             return;
           }
-          auto r = it->second.client->assert_tokens(mgr, epoch);
+          auto r = it->second.client->assert_tokens(mgr, epoch, shard);
           const Bytes payload =
               64 + (r.ok() ? 16 * static_cast<Bytes>(r->tokens.size()) +
                                  8 * static_cast<Bytes>(r->dirty_inodes.size())
                            : 0);
           reply(payload, std::move(r));
         },
-        [this, fsp, id, cnode, remaining](Result<ManagerAssertReply> r) {
+        [this, fsp, id, cnode, shard,
+         remaining](Result<ManagerAssertReply> r) {
           if (r.ok()) {
-            fsp->install_assertion(id, r->lease_epoch, r->tokens);
+            fsp->install_assertion(id, r->lease_epoch, r->tokens, shard);
           } else if (registry_.count(id) > 0) {
-            fsp->note_rebuild_nonresponder(id, !net_.node_up(cnode));
+            fsp->note_rebuild_nonresponder(id, !net_.node_up(cnode), shard);
           }
           // A client that unmounted mid-rebuild needs no lease entry at
           // all; finish_takeover replays its journal tail if it left one.
-          if (--*remaining == 0) fsp->finish_takeover();
+          if (--*remaining == 0) fsp->finish_takeover(shard);
         },
         opts);
   }
   return true;
+}
+
+void Cluster::set_shard_managers(FileSystem& fs,
+                                 const std::vector<net::NodeId>& managers) {
+  MGFS_ASSERT(managers.size() == fs.shard_count(),
+              "one manager per metadata shard");
+  for (std::uint32_t s = 0; s < managers.size(); ++s) {
+    MGFS_ASSERT(has_node(managers[s]), "shard manager must be a member node");
+    fs.set_shard_manager(s, managers[s]);
+  }
+  // Metanode picker: pin a hot inode's authority to the shard whose
+  // manager shares the client's node (zero-hop metadata ops), else
+  // spread deterministically by node id.
+  fs.set_metanode_picker([this, fsp = &fs](ClientId c) -> std::uint32_t {
+    auto it = registry_.find(c);
+    if (it != registry_.end() && it->second.client != nullptr) {
+      const net::NodeId n = it->second.client->node();
+      for (std::uint32_t s = 0; s < fsp->shard_count(); ++s) {
+        if (fsp->manager_node(s) == n) return s;
+      }
+      return n.v % fsp->shard_count();
+    }
+    return 0u;
+  });
 }
 
 }  // namespace mgfs::gpfs

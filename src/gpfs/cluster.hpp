@@ -19,11 +19,13 @@
 // cipherList=encrypt per-byte costs on the data path.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "auth/trust.hpp"
@@ -42,6 +44,12 @@ struct ClusterConfig {
   /// the chaos bench shrink them to provoke expels quickly).
   double lease_duration = 60.0;
   double lease_recovery_wait = 30.0;
+  /// Metadata-plane sharding knobs, copied into each FsConfig. The
+  /// defaults collapse to the historic single manager at zero per-op
+  /// CPU; bench/shard_sweep raises all three.
+  std::uint32_t meta_shards = 1;
+  sim::Time meta_cpu_per_op = 0.0;
+  std::uint32_t auto_delegate_ops = 0;
 };
 
 class Cluster {
@@ -79,6 +87,15 @@ class Cluster {
                                 const std::vector<std::uint32_t>& nsd_ids,
                                 Bytes block_size, net::NodeId manager_node);
   FileSystem* filesystem(const std::string& fsname);
+
+  /// Seat one manager node per metadata shard (mmchmgr per token
+  /// domain) and install the metanode picker: a client's hot inode is
+  /// delegated to the shard whose manager shares the client's node, or
+  /// spread deterministically by node id otherwise. `managers` must
+  /// have exactly fs.shard_count() entries, each a member node. Call
+  /// before mounting traffic so clients seed the right per-shard views.
+  void set_shard_managers(FileSystem& fs,
+                          const std::vector<net::NodeId>& managers);
 
   // --- mounting ------------------------------------------------------------
   /// mmmount on a member node (local file system): synchronous, returns
@@ -134,16 +151,25 @@ class Cluster {
   /// per reporter and manager epoch; min(3, registered)) have accused,
   /// so a single partitioned client flapping cannot creep toward
   /// deposing a manager that everyone else still reaches.
-  /// No-op while a takeover for `fs` is already in flight.
-  void note_manager_unreachable(FileSystem* fs, ClientId reporter);
-  /// GPFS-style manager takeover: elect the lowest-id live member node
-  /// (excluding the deposed manager), bump the manager epoch, and
-  /// rebuild the token/lease tables by querying every registered client
-  /// for its holdings. Non-responders with dead nodes are expelled
-  /// (journal replayed) during the rebuild; mute-but-alive ones get an
-  /// already-lapsed suspect lease. Returns false if no live successor
-  /// exists (clients keep retrying until one appears).
-  bool takeover_manager(FileSystem& fs);
+  /// No-op while a takeover for that shard of `fs` is already in
+  /// flight. Suspicion is tracked per (fs, shard): accusations against
+  /// one token domain's manager never depose another's.
+  void note_manager_unreachable(FileSystem* fs, std::uint32_t shard,
+                                ClientId reporter);
+  /// Single-manager compatibility: shard 0.
+  void note_manager_unreachable(FileSystem* fs, ClientId reporter) {
+    note_manager_unreachable(fs, 0, reporter);
+  }
+  /// GPFS-style manager takeover of one shard: elect the lowest-id live
+  /// member node (excluding the deposed shard manager), bump that
+  /// shard's manager epoch, and rebuild its token table — plus the
+  /// global lease table for shard 0 — by querying every registered
+  /// client for its holdings in that domain. Non-responders with dead
+  /// nodes are expelled (journal replayed) during the rebuild;
+  /// mute-but-alive ones get an already-lapsed suspect lease. Returns
+  /// false if no live successor exists (clients keep retrying until one
+  /// appears).
+  bool takeover_manager(FileSystem& fs, std::uint32_t shard = 0);
 
   // --- introspection ---------------------------------------------------------
   std::uint64_t handshakes_completed() const { return handshakes_; }
@@ -220,20 +246,22 @@ class Cluster {
   std::unordered_map<Client*, Cluster*> remote_owner_;
   std::uint64_t handshakes_ = 0;
 
-  /// Manager-unreachability suspicion, per file system. Reports decay
-  /// when they stop (one quiet lease period forgives the history) and
-  /// the whole episode resets when the manager epoch changes — a strike
-  /// accuses one incarnation, not the office. The reporter set is
-  /// deduped per (reporter, epoch): a single flapping client can file
-  /// unlimited reports but only ever counts as ONE accuser, so it can
-  /// never creep toward deposing a manager the others still reach.
+  /// Manager-unreachability suspicion, per (file system, shard).
+  /// Reports decay when they stop (one quiet lease period forgives the
+  /// history) and the whole episode resets when the shard's manager
+  /// epoch changes — a strike accuses one incarnation, not the office.
+  /// The reporter set is deduped per (reporter, epoch): a single
+  /// flapping client can file unlimited reports but only ever counts as
+  /// ONE accuser, so it can never creep toward deposing a manager the
+  /// others still reach.
   struct MgrSuspicion {
     int reports = 0;  // raw reports this episode (floor of 3 to fire)
     double last = 0;
     std::uint64_t epoch = 0;  // manager incarnation being accused
     std::unordered_set<ClientId> reporters;  // distinct accusers
   };
-  std::unordered_map<FileSystem*, MgrSuspicion> mgr_suspicion_;
+  std::map<std::pair<FileSystem*, std::uint32_t>, MgrSuspicion>
+      mgr_suspicion_;
 };
 
 }  // namespace mgfs::gpfs

@@ -26,17 +26,133 @@ FileSystem::FileSystem(sim::Simulator& sim, FsConfig cfg,
     : sim_(sim),
       cfg_(std::move(cfg)),
       nsds_(std::move(nsds)),
-      manager_node_(manager_node),
       ns_(cfg_.block_size),
       alloc_(blocks_per_nsd(nsds_, cfg_.block_size)),
       lease_(LeaseConfig{cfg_.lease_duration, cfg_.lease_recovery_wait}) {
   MGFS_ASSERT(!nsds_.empty(), "file system needs at least one NSD");
   nsd_down_.assign(nsds_.size(), 0);
+  // All shards start on the founding manager node; the cluster reseats
+  // them via set_shard_manager when spreading the plane over nodes.
+  shards_.resize(std::max<std::uint32_t>(1, cfg_.meta_shards));
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s].manager_node = manager_node;
+    if (cfg_.meta_cpu_per_op > 0) {
+      shards_[s].cpu = std::make_unique<sim::SerialResource>(
+          sim_, cfg_.name + ".meta" + std::to_string(s));
+    }
+  }
 }
 
 const Nsd& FileSystem::nsd(std::uint32_t id) const {
   MGFS_ASSERT(id < nsds_.size(), "bad nsd id");
   return nsds_[id];
+}
+
+net::NodeId FileSystem::manager_node(std::uint32_t shard) const {
+  MGFS_ASSERT(shard < shards_.size(), "bad shard");
+  return shards_[shard].manager_node;
+}
+
+std::uint64_t FileSystem::manager_epoch(std::uint32_t shard) const {
+  MGFS_ASSERT(shard < shards_.size(), "bad shard");
+  return shards_[shard].manager_epoch;
+}
+
+bool FileSystem::recovering() const {
+  for (const MetaShard& s : shards_) {
+    if (s.recovering) return true;
+  }
+  return false;
+}
+
+bool FileSystem::shard_recovering(std::uint32_t shard) const {
+  MGFS_ASSERT(shard < shards_.size(), "bad shard");
+  return shards_[shard].recovering;
+}
+
+std::uint32_t FileSystem::shard_of(InodeNum ino) const {
+  if (shards_.size() == 1) return 0;
+  if (!delegated_.empty()) {
+    auto it = delegated_.find(ino);
+    if (it != delegated_.end()) return it->second;
+  }
+  return static_cast<std::uint32_t>(ino % shards_.size());
+}
+
+std::uint32_t FileSystem::shard_of_path(const std::string& path) const {
+  if (shards_.size() == 1) return 0;
+  // FNV-1a: stable across runs and platforms, so path->shard routing is
+  // part of the deterministic contract.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : path) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return static_cast<std::uint32_t>(h % shards_.size());
+}
+
+void FileSystem::set_shard_manager(std::uint32_t shard, net::NodeId node) {
+  MGFS_ASSERT(shard < shards_.size(), "bad shard");
+  shards_[shard].manager_node = node;
+}
+
+void FileSystem::charge_meta(std::uint32_t shard, sim::Callback done) {
+  MetaShard& s = shards_[shard];
+  if (!s.cpu || cfg_.meta_cpu_per_op <= 0) {
+    // No manager-CPU model: run synchronously. (SerialResource::acquire
+    // defers even zero-cost work, which would reorder default runs.)
+    done();
+    return;
+  }
+  s.cpu->acquire(cfg_.meta_cpu_per_op, std::move(done));
+}
+
+bool FileSystem::try_delegate(InodeNum ino, std::uint32_t dst_shard) {
+  MGFS_ASSERT(dst_shard < shards_.size(), "bad shard");
+  const std::uint32_t src = shard_of(ino);
+  if (src == dst_shard) return true;  // already there
+  MetaShard& s = shards_[src];
+  MetaShard& d = shards_[dst_shard];
+  // Authority moves only when the move is trivially atomic: neither
+  // side mid-rebuild, no journal tail that would have to replay in the
+  // wrong slice, and at most one token holder (the hot client the move
+  // is for) so no revoke protocol is in flight against the table.
+  if (s.recovering || d.recovering) return false;
+  if (s.journal.has_uncommitted(ino)) return false;
+  const std::vector<Holding>& hs = s.tokens.holdings(ino);
+  for (std::size_t i = 1; i < hs.size(); ++i) {
+    if (hs[i].client != hs[0].client) return false;
+  }
+  for (const Holding& h : s.tokens.extract(ino)) {
+    d.tokens.install(h.client, ino, h.mode, h.range);
+  }
+  if (dst_shard == ino % shards_.size()) {
+    delegated_.erase(ino);  // moved home: the hash answers again
+  } else {
+    delegated_[ino] = dst_shard;
+  }
+  ++delegations_;
+  MGFS_DEBUG("tokens", cfg_.name << ": delegated ino " << ino << " shard "
+                                 << src << " -> " << dst_shard);
+  return true;
+}
+
+void FileSystem::note_grant_for_delegation(ClientId client, InodeNum ino) {
+  if (cfg_.auto_delegate_ops == 0 || !metanode_pick_ || shards_.size() == 1) {
+    return;
+  }
+  GrantStreak& g = grant_streaks_[ino];
+  if (g.client != client) {
+    g.client = client;
+    g.streak = 1;
+    return;
+  }
+  if (++g.streak < cfg_.auto_delegate_ops) return;
+  g.streak = 0;  // one attempt per streak; restart the count either way
+  const std::uint32_t want = metanode_pick_(client);
+  if (want < shards_.size() && want != shard_of(ino)) {
+    try_delegate(ino, want);
+  }
 }
 
 Bytes FileSystem::capacity() const {
@@ -54,7 +170,7 @@ AccessMode FileSystem::access_of(ClientId c) const {
 Result<OpenResult> FileSystem::op_open(const std::string& path,
                                        const Principal& who, OpenFlags flags,
                                        ClientId client) {
-  if (recovering_) {
+  if (shards_[shard_of_path(path)].recovering) {
     return err(Errc::unavailable, "manager takeover in progress");
   }
   lease_touch(client);
@@ -77,7 +193,8 @@ Result<OpenResult> FileSystem::op_open(const std::string& path,
     if (ino.code() != Errc::not_found || !flags.create) return ino.error();
     ino = ns_.create(path, who, Mode{064}, sim_.now());
     if (!ino.ok()) return ino.error();
-    journal_.note_sync_op(client, JournalOp::create, *ino);
+    shards_[shard_of(*ino)].journal.note_sync_op(client, JournalOp::create,
+                                                 *ino);
     const std::uint8_t copies =
         flags.replicas != 0 ? flags.replicas : cfg_.default_replicas;
     if (copies > 1) {
@@ -109,8 +226,9 @@ Result<OpenResult> FileSystem::op_open(const std::string& path,
     free_replicas_of(*ino);
     // The namespace-level free already reclaimed every block; pending
     // alloc undos for this inode would double-free on replay.
-    journal_.forget_inode(*ino);
-    journal_.note_sync_op(client, JournalOp::truncate, *ino);
+    MetaJournal& jrnl = shards_[shard_of(*ino)].journal;
+    jrnl.forget_inode(*ino);
+    jrnl.note_sync_op(client, JournalOp::truncate, *ino);
     st = ns_.stat(*ino);
   }
   return OpenResult{*ino, st->size, flags.write};
@@ -132,7 +250,7 @@ Result<std::vector<std::string>> FileSystem::op_readdir(
 
 Status FileSystem::op_unlink(const std::string& path, const Principal& who,
                              ClientId client) {
-  if (recovering_) {
+  if (shards_[shard_of_path(path)].recovering) {
     return Status(Errc::unavailable, "manager takeover in progress");
   }
   lease_touch(client);
@@ -148,21 +266,30 @@ Status FileSystem::op_unlink(const std::string& path, const Principal& who,
   }
   if (ino.ok()) {
     free_replicas_of(*ino);
-    journal_.forget_inode(*ino);
+    shards_[shard_of(*ino)].journal.forget_inode(*ino);
   }
-  journal_.note_sync_op(client, JournalOp::unlink, ino.ok() ? *ino : 0);
+  shards_[ino.ok() ? shard_of(*ino) : 0].journal.note_sync_op(
+      client, JournalOp::unlink, ino.ok() ? *ino : 0);
   return Status{};
 }
 
 Status FileSystem::op_rename(const std::string& from, const std::string& to,
                              const Principal& who) {
+  // A rename touches two namespace domains; both must be out of
+  // takeover — half-renamed paths across a mid-rebuild shard would be
+  // unreachable from the recovering side. Retryable, like every other
+  // recovering gate.
+  if (shards_[shard_of_path(from)].recovering ||
+      shards_[shard_of_path(to)].recovering) {
+    return Status(Errc::unavailable, "manager takeover in progress");
+  }
   return ns_.rename(from, to, who);
 }
 
 Result<BlockMapChunk> FileSystem::op_block_map(InodeNum ino,
                                                std::uint64_t first_block,
                                                std::size_t count) const {
-  if (recovering_) {
+  if (shards_[shard_of(ino)].recovering) {
     return err(Errc::unavailable, "manager takeover in progress");
   }
   const Inode* n = ns_.inode(ino);
@@ -193,7 +320,8 @@ Result<BlockMapChunk> FileSystem::op_allocate(InodeNum ino,
                                               std::size_t count,
                                               Bytes size_hint,
                                               ClientId client) {
-  if (recovering_) {
+  MetaJournal& jrnl = shards_[shard_of(ino)].journal;
+  if (shards_[shard_of(ino)].recovering) {
     return err(Errc::unavailable, "manager takeover in progress");
   }
   lease_touch(client);
@@ -218,7 +346,7 @@ Result<BlockMapChunk> FileSystem::op_allocate(InodeNum ino,
       chunk.addrs.push_back(n->blocks[bi]);  // concurrent writer beat us
       // This caller now references the block: whoever logged its
       // install must not undo it on expel anymore.
-      journal_.commit_block(ino, bi, client);
+      jrnl.commit_block(ino, bi, client);
       if (replicated) {
         const BlockPlacement* p = replica_placement(ino, bi);
         chunk.placements.push_back(
@@ -237,7 +365,7 @@ Result<BlockMapChunk> FileSystem::op_allocate(InodeNum ino,
     }
     if (!addr.ok()) return err(Errc::no_space, cfg_.name + " is full");
     // WAL rule: the undo record exists before the in-place mutation.
-    journal_.log_alloc(client, ino, bi, *addr);
+    jrnl.log_alloc(client, ino, bi, *addr);
     MGFS_ASSERT(ns_.set_block(ino, bi, *addr).ok(), "set_block failed");
     chunk.addrs.push_back(*addr);
     if (replicated) {
@@ -253,7 +381,7 @@ Result<BlockMapChunk> FileSystem::op_allocate(InodeNum ino,
         if (target >= nsds_.size()) break;
         auto ra = alloc_.allocate_on(target);
         if (!ra.ok()) break;
-        journal_.log_replica(client, ino, bi, *ra);
+        jrnl.log_replica(client, ino, bi, *ra);
         p.add(*ra);
         ++replicas_allocated_;
       }
@@ -267,7 +395,8 @@ Result<BlockMapChunk> FileSystem::op_allocate(InodeNum ino,
 }
 
 Status FileSystem::op_extend_size(InodeNum ino, Bytes size, ClientId client) {
-  if (recovering_) {
+  MetaJournal& jrnl = shards_[shard_of(ino)].journal;
+  if (shards_[shard_of(ino)].recovering) {
     // Overlap window: a client that already reasserted has a live lease
     // entry again, and its fsync commits only *its own* pre-crash
     // allocations — no shared table the half-built rebuild could
@@ -279,7 +408,7 @@ Status FileSystem::op_extend_size(InodeNum ino, Bytes size, ClientId client) {
     if (!lease_.renew(client, sim_.now())) {
       return Status(Errc::unavailable, "manager takeover in progress");
     }
-    journal_.commit_allocs(client, ino, ceil_div(size, cfg_.block_size));
+    jrnl.commit_allocs(client, ino, ceil_div(size, cfg_.block_size));
     return ns_.extend_size(ino, size, sim_.now());
   }
   lease_touch(client);
@@ -287,14 +416,14 @@ Status FileSystem::op_extend_size(InodeNum ino, Bytes size, ClientId client) {
     return Status(Errc::stale, "client expelled: rejoin required");
   }
   // fsync commit point: allocations under the durable size are real.
-  journal_.commit_allocs(client, ino, ceil_div(size, cfg_.block_size));
+  jrnl.commit_allocs(client, ino, ceil_div(size, cfg_.block_size));
   return ns_.extend_size(ino, size, sim_.now());
 }
 
 void FileSystem::op_token_acquire(
     ClientId client, InodeNum ino, TokenRange range, TokenRange desired,
     LockMode mode, std::function<void(Result<TokenRange>)> done) {
-  if (recovering_) {
+  if (shards_[shard_of(ino)].recovering || shards_[0].recovering) {
     done(err(Errc::unavailable, "manager takeover in progress"));
     return;
   }
@@ -311,24 +440,32 @@ void FileSystem::op_token_acquire(
 void FileSystem::token_retry(ClientId client, InodeNum ino, TokenRange range,
                              TokenRange desired, LockMode mode, int attempts,
                              std::function<void(Result<TokenRange>)> done) {
-  if (recovering_) {
-    // A takeover is repopulating the token tables from assertions; a
-    // request resolved against the half-built state could grant bytes a
-    // client is about to reassert. Park the retry until finish_takeover
+  // Re-resolve the shard at every re-entry: a delegation may have moved
+  // the inode's authority while this request waited out a revoke round.
+  const std::uint32_t s = shard_of(ino);
+  if (shards_[s].recovering || shards_[0].recovering) {
+    // A takeover is repopulating this shard's token table from
+    // assertions; a request resolved against the half-built state could
+    // grant bytes a client is about to reassert. (Shard 0 mid-rebuild
+    // also parks everyone: the lease table drives expel decisions for
+    // every shard's revoke path.) Park the retry until finish_takeover
     // drains the waiter list (attempts not consumed — nothing was
     // tried). Resuming at rebuild completion, not after a fixed full
     // recovery window, is most of the takeover_to_first_grant_s win.
-    park_for_recovery([this, client, ino, range, desired, mode, attempts,
-                       done = std::move(done)]() mutable {
+    const std::uint32_t park = shards_[s].recovering ? s : 0;
+    park_for_recovery(park, [this, client, ino, range, desired, mode, attempts,
+                             done = std::move(done)]() mutable {
       token_retry(client, ino, range, desired, mode, attempts,
                   std::move(done));
     });
     return;
   }
-  TokenDecision d = tokens_.request(client, ino, range, desired, mode);
+  TokenDecision d = shards_[s].tokens.request(client, ino, range, desired,
+                                              mode);
   if (d.granted) {
     ++tokens_granted_;
-    note_first_grant();
+    note_first_grant(s);
+    note_grant_for_delegation(client, ino);
     done(d.granted_range);
     return;
   }
@@ -389,7 +526,7 @@ void FileSystem::revoke_until_released(ClientId holder, InodeNum ino,
            [this, holder, ino, overlap,
             done = std::move(done)](bool acked) mutable {
              if (acked) {
-               tokens_.release(holder, ino, overlap);
+               shards_[shard_of(ino)].tokens.release(holder, ino, overlap);
                done();
                return;
              }
@@ -428,12 +565,15 @@ void FileSystem::probe_then_await(ClientId holder, InodeNum ino,
 void FileSystem::await_expel(ClientId holder, InodeNum ino,
                              TokenRange overlap, sim::Callback done) {
   const double now = sim_.now();
-  if (recovering_) {
+  const std::uint32_t s = shard_of(ino);
+  if (shards_[s].recovering || shards_[0].recovering) {
     // Hold the expel clock during a takeover rebuild: the lease table
-    // is being repopulated and this holder may be about to reassert.
-    // Resume the moment the rebuild finishes, not a full window later.
-    park_for_recovery([this, holder, ino, overlap,
-                       done = std::move(done)]() mutable {
+    // (shard 0) or this inode's token table is being repopulated and
+    // the holder may be about to reassert. Resume the moment the
+    // rebuild finishes, not a full window later.
+    const std::uint32_t park = shards_[s].recovering ? s : 0;
+    park_for_recovery(park, [this, holder, ino, overlap,
+                             done = std::move(done)]() mutable {
       await_expel(holder, ino, overlap, std::move(done));
     });
     return;
@@ -476,7 +616,10 @@ std::uint64_t FileSystem::op_client_register(ClientId client) {
 }
 
 Result<std::uint64_t> FileSystem::op_lease_renew(ClientId client) {
-  if (recovering_) {
+  // One renewal covers every shard: the lease is node liveness, homed on
+  // shard 0. Only the lease home's rebuild gates it — other shards'
+  // takeovers must not lapse unrelated clients.
+  if (shards_[0].recovering) {
     // Overlap window: a reasserted client's entry is live again, and
     // serving its renewal keeps the lease from lapsing while stragglers
     // are still queried. Anyone the rebuild has not readmitted gets
@@ -491,10 +634,13 @@ Result<std::uint64_t> FileSystem::op_lease_renew(ClientId client) {
   return lease_.epoch_of(client);
 }
 
-NsdServer::GateDecision FileSystem::write_gate(ClientId client,
+NsdServer::GateDecision FileSystem::write_gate(ClientId client, InodeNum ino,
                                                std::uint64_t lease_epoch,
                                                std::uint64_t mgr_epoch) {
-  if (recovering_) {
+  // The inode routes the check to its owning shard: the manager epoch
+  // is per shard, and only that shard's takeover may gate the write.
+  MetaShard& sh = shards_[shard_of(ino)];
+  if (sh.recovering || shards_[0].recovering) {
     // Overlap window: a client that already reasserted has a live entry
     // under its preserved epoch and has adopted the new manager epoch —
     // both current means its pre-crash grants are intact, and admitting
@@ -502,20 +648,20 @@ NsdServer::GateDecision FileSystem::write_gate(ClientId client,
     // compatible before the crash; no NEW grants are handed out until
     // finish_takeover). Everyone else retries: a half-built lease table
     // cannot fence, so "unknown" stays retryable, not stale.
-    if (mgr_epoch == manager_epoch_ &&
+    if (mgr_epoch == sh.manager_epoch &&
         lease_.epoch_valid(client, lease_epoch)) {
-      ++overlap_admits_;
-      note_first_grant();
+      ++sh.overlap_admits;
+      note_first_grant(shard_of(ino));
       return NsdServer::GateDecision::admit;
     }
     return NsdServer::GateDecision::retry;
   }
-  if (mgr_epoch != manager_epoch_) {
+  if (mgr_epoch != sh.manager_epoch) {
     // The write rides a grant from a deposed manager incarnation (or
     // the client slept through a takeover without reasserting). Checked
     // before the lease epoch so resurrected-manager traffic is counted
     // distinctly.
-    ++stale_mgr_fenced_;
+    ++sh.stale_mgr_fenced;
     ++fenced_writes_;
     return NsdServer::GateDecision::fence;
   }
@@ -523,44 +669,53 @@ NsdServer::GateDecision FileSystem::write_gate(ClientId client,
     ++fenced_writes_;
     return NsdServer::GateDecision::fence;
   }
-  note_first_grant();
+  note_first_grant(shard_of(ino));
   return NsdServer::GateDecision::admit;
 }
 
 bool FileSystem::write_admitted(ClientId client, std::uint64_t epoch) {
-  return write_gate(client, epoch, manager_epoch_) ==
+  return write_gate(client, 0, epoch, shards_[0].manager_epoch) ==
          NsdServer::GateDecision::admit;
 }
 
-void FileSystem::begin_takeover(net::NodeId successor) {
-  MGFS_ASSERT(!recovering_, "takeover while another takeover is in flight");
-  recovering_ = true;
-  manager_node_ = successor;
-  ++manager_epoch_;
-  takeover_started_at_ = sim_.now();
-  first_grant_at_ = -1.0;
-  // The token and lease tables were the dead manager's volatile memory;
-  // the successor starts empty and repopulates from client assertions.
-  tokens_.clear();
-  lease_.reset_for_takeover();
-  MGFS_DEBUG("lease", cfg_.name << ": manager takeover, node "
-                                << successor.v << " epoch "
-                                << manager_epoch_);
+void FileSystem::begin_takeover(net::NodeId successor, std::uint32_t shard) {
+  MGFS_ASSERT(shard < shards_.size(), "bad shard");
+  MetaShard& sh = shards_[shard];
+  MGFS_ASSERT(!sh.recovering, "takeover while another takeover is in flight");
+  sh.recovering = true;
+  sh.manager_node = successor;
+  ++sh.manager_epoch;
+  sh.takeover_started_at = sim_.now();
+  sh.first_grant_at = -1.0;
+  // The shard's token table was the dead manager's volatile memory; the
+  // successor starts empty and repopulates from client assertions. The
+  // lease table lives on shard 0 only — a data-shard takeover leaves
+  // node liveness alone, which is why only its own domain stalls.
+  sh.tokens.clear();
+  if (shard == 0) lease_.reset_for_takeover();
+  MGFS_DEBUG("lease", cfg_.name << ": shard " << shard
+                                << " manager takeover, node " << successor.v
+                                << " epoch " << sh.manager_epoch);
 }
 
 void FileSystem::install_assertion(ClientId client, std::uint64_t lease_epoch,
-                                   const std::vector<TokenAssertion>& tokens) {
+                                   const std::vector<TokenAssertion>& tokens,
+                                   std::uint32_t shard) {
+  MGFS_ASSERT(shard < shards_.size(), "bad shard");
   if (lease_.expelled(client)) return;  // expelled mid-rebuild: must rejoin
-  lease_.install(client, lease_epoch, sim_.now());
-  // One batched install per client: the whole asserted holding set
-  // arrived in a single reassert_all reply. Count replies, not tokens —
-  // a client whose dirty journal drained before the crash legitimately
-  // asserts an empty set, yet its lease is reasserted all the same.
-  tokens_.install_batch(client, tokens);
-  ++assertions_rebuilt_;
+  if (shard == 0) lease_.install(client, lease_epoch, sim_.now());
+  // One batched install per client: the whole asserted holding set for
+  // this shard arrived in a single reassert_all reply. Count replies,
+  // not tokens — a client whose dirty journal drained before the crash
+  // legitimately asserts an empty set, yet its reply is counted all the
+  // same.
+  shards_[shard].tokens.install_batch(client, tokens);
+  ++shards_[shard].assertions_rebuilt;
 }
 
-void FileSystem::note_rebuild_nonresponder(ClientId client, bool node_down) {
+void FileSystem::note_rebuild_nonresponder(ClientId client, bool node_down,
+                                           std::uint32_t shard) {
+  MGFS_ASSERT(shard < shards_.size(), "bad shard");
   if (lease_.expelled(client)) return;
   if (node_down) {
     // Dead node: its journal tail is replayed right here, during the
@@ -569,29 +724,40 @@ void FileSystem::note_rebuild_nonresponder(ClientId client, bool node_down) {
     return;
   }
   // Node up but mute (gray failure / partition): an already-lapsed
-  // lease under an epoch it does not know. The sweep expels it after
-  // recovery_wait, and any write it sends meanwhile is fenced.
+  // lease under an epoch it does not know. Global even for a data-shard
+  // rebuild — a renewal to shard 0 must not clear the suspicion while
+  // the client still holds stale beliefs about this shard's tokens. The
+  // sweep expels it after recovery_wait, and any write it sends
+  // meanwhile is fenced.
   lease_.install_lapsed_suspect(client, sim_.now());
 }
 
-void FileSystem::finish_takeover() {
-  MGFS_ASSERT(recovering_, "finish_takeover without begin_takeover");
-  recovering_ = false;
-  ++takeovers_;
+void FileSystem::finish_takeover(std::uint32_t shard) {
+  MGFS_ASSERT(shard < shards_.size(), "bad shard");
+  MetaShard& sh = shards_[shard];
+  MGFS_ASSERT(sh.recovering, "finish_takeover without begin_takeover");
+  sh.recovering = false;
+  ++sh.takeovers;
   last_takeover_at_ = sim_.now();
   // Clients with uncommitted journal records but no lease entry neither
   // reasserted nor were expelled during the rebuild (e.g. they unmounted
   // uncleanly before the crash): undo their tails now so the namespace
-  // is consistent before ops resume.
-  for (ClientId c : journal_.clients_with_uncommitted()) {
-    if (lease_.known(c)) continue;
-    replay_journal(c);
+  // is consistent before ops resume. A data-shard takeover replays only
+  // its own journal slice; the lease home's takeover reset the whole
+  // lease table, so it must check every slice.
+  for (std::uint32_t t = 0; t < shards_.size(); ++t) {
+    if (shard != 0 && t != shard) continue;
+    for (ClientId c : shards_[t].journal.clients_with_uncommitted()) {
+      if (lease_.known(c)) continue;
+      replay_journal_slice(t, c);
+    }
   }
   sweep_leases();  // the expel clock was held during the rebuild
-  // Wake everything that parked behind the recovering gate — token
-  // retries and expel waits resume now, not a recovery window later.
-  std::vector<sim::Callback> waiters = std::move(recovery_waiters_);
-  recovery_waiters_.clear();
+  // Wake everything that parked behind this shard's recovering gate —
+  // token retries and expel waits resume now, not a recovery window
+  // later.
+  std::vector<sim::Callback> waiters = std::move(sh.recovery_waiters);
+  sh.recovery_waiters.clear();
   // Staggered drain: waking every parked token retry and expel wait in
   // the same instant turns rebuild completion into a redrive stampede —
   // dozens of conflicting acquires collide, every one pays a revoke
@@ -605,7 +771,7 @@ void FileSystem::finish_takeover() {
   }
 }
 
-void FileSystem::park_for_recovery(sim::Callback resume) {
+void FileSystem::park_for_recovery(std::uint32_t shard, sim::Callback resume) {
   auto once = std::make_shared<sim::Callback>(std::move(resume));
   auto fire = [once]() {
     if (*once) {
@@ -614,17 +780,18 @@ void FileSystem::park_for_recovery(sim::Callback resume) {
       cb();
     }
   };
-  recovery_waiters_.push_back(fire);
+  shards_[shard].recovery_waiters.push_back(fire);
   // Safety net: if the rebuild never completes (e.g. the successor dies
   // mid-takeover and the waiter list is never drained), resume after
   // the old full-recovery-window park anyway so nothing wedges forever.
   sim_.after(std::max(cfg_.lease_recovery_wait, 1e-3), fire);
 }
 
-void FileSystem::note_first_grant() {
-  if (takeover_started_at_ >= 0 && first_grant_at_ < 0) {
-    first_grant_at_ = sim_.now();
-    const double s = first_grant_at_ - takeover_started_at_;
+void FileSystem::note_first_grant(std::uint32_t shard) {
+  MetaShard& sh = shards_[shard];
+  if (sh.takeover_started_at >= 0 && sh.first_grant_at < 0) {
+    sh.first_grant_at = sim_.now();
+    const double s = sh.first_grant_at - sh.takeover_started_at;
     // Only a grant inside the old full-recovery window measures this
     // takeover: a first grant arriving later means the cluster simply
     // had no demand — it would time when traffic returned, not how fast
@@ -640,14 +807,16 @@ void FileSystem::expel_client(ClientId client, const char* why) {
   if (!lease_.expel(client)) return;  // double expel: already handled
   MGFS_DEBUG("lease", cfg_.name << ": expelling client " << client << " ("
                                 << why << ")");
+  // Expulsion is global: the lease is node liveness, so every shard's
+  // journal slice is replayed and every shard's tokens reclaimed.
   replay_journal(client);
-  tokens_.release_all(client);
+  for (MetaShard& sh : shards_) sh.tokens.release_all(client);
   if (expel_listener_) expel_listener_(client);
 }
 
 void FileSystem::sweep_leases() {
   if (sweeping_) return;  // expel listeners may re-enter via manager ops
-  if (recovering_) return;  // expel clock held until the rebuild is done
+  if (recovering()) return;  // expel clock held until rebuilds are done
   sweeping_ = true;
   for (ClientId c : lease_.sweep(sim_.now())) {
     expel_client(c, "lease expired past recovery wait");
@@ -656,10 +825,17 @@ void FileSystem::sweep_leases() {
 }
 
 void FileSystem::replay_journal(ClientId client) {
+  for (std::uint32_t t = 0; t < shards_.size(); ++t) {
+    replay_journal_slice(t, client);
+  }
+}
+
+void FileSystem::replay_journal_slice(std::uint32_t shard, ClientId client) {
   // Undo newest-first: take_uncommitted returns reverse-lsn order, so a
   // block's replica records (logged after its alloc) are undone before
   // the alloc itself.
-  for (const JournalRecord& r : journal_.take_uncommitted(client)) {
+  for (const JournalRecord& r :
+       shards_[shard].journal.take_uncommitted(client)) {
     const Inode* n = ns_.inode(r.ino);
     if (n == nullptr) continue;  // inode gone; blocks already freed
     if (r.op == JournalOp::replica) {
@@ -775,9 +951,48 @@ FsckReport FileSystem::fsck() const {
     }
   }
   for (ClientId c : lease_.expelled_clients()) {
-    rep.uncommitted_records += journal_.uncommitted_count(c);
+    // Aggregate across journal slices: an expelled client's tail may be
+    // spread over several shards.
+    for (const MetaShard& sh : shards_) {
+      rep.uncommitted_records += sh.journal.uncommitted_count(c);
+    }
   }
   return rep;
+}
+
+std::uint64_t FileSystem::manager_takeovers() const {
+  std::uint64_t n = 0;
+  for (const MetaShard& sh : shards_) n += sh.takeovers;
+  return n;
+}
+
+std::uint64_t FileSystem::shard_takeovers(std::uint32_t shard) const {
+  MGFS_ASSERT(shard < shards_.size(), "bad shard");
+  return shards_[shard].takeovers;
+}
+
+std::uint64_t FileSystem::assertions_rebuilt() const {
+  std::uint64_t n = 0;
+  for (const MetaShard& sh : shards_) n += sh.assertions_rebuilt;
+  return n;
+}
+
+std::uint64_t FileSystem::stale_manager_fenced() const {
+  std::uint64_t n = 0;
+  for (const MetaShard& sh : shards_) n += sh.stale_mgr_fenced;
+  return n;
+}
+
+std::uint64_t FileSystem::rebuild_rpcs() const {
+  std::uint64_t n = 0;
+  for (const MetaShard& sh : shards_) n += sh.rebuild_rpcs;
+  return n;
+}
+
+std::uint64_t FileSystem::overlap_writes_admitted() const {
+  std::uint64_t n = 0;
+  for (const MetaShard& sh : shards_) n += sh.overlap_admits;
+  return n;
 }
 
 std::string FileSystem::stats() const {
@@ -787,12 +1002,25 @@ std::string FileSystem::stats() const {
      << lease_.suspects_noted() << " _xpl_ " << lease_.expels() << " _rpl_ "
      << journal_replays_ << " _fnc_ " << fenced_writes_ << " _rdv_ "
      << replica_divergences_ << " _rrc_ " << replicas_reconciled_;
-  os << "\n  mgr: node " << manager_node_.v << " epoch " << manager_epoch_
-     << " _mto_ " << takeovers_ << " _rba_ " << assertions_rebuilt_
-     << " _smf_ " << stale_mgr_fenced_ << " _rrpc_ " << rebuild_rpcs_
-     << " _ovl_ " << overlap_admits_ << " _exq_ " << lease_.confirms();
+  os << "\n  mgr: node " << shards_[0].manager_node.v << " epoch "
+     << shards_[0].manager_epoch << " _mto_ " << manager_takeovers()
+     << " _rba_ " << assertions_rebuilt() << " _smf_ "
+     << stale_manager_fenced() << " _rrpc_ " << rebuild_rpcs() << " _ovl_ "
+     << overlap_writes_admitted() << " _exq_ " << lease_.confirms();
   if (takeover_to_first_grant_s() >= 0) {
     os << " _t1g_ " << takeover_to_first_grant_s();
+  }
+  if (shards_.size() > 1) {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      const MetaShard& sh = shards_[s];
+      os << "\n  shard " << s << ": node " << sh.manager_node.v << " epoch "
+         << sh.manager_epoch << " _mto_ " << sh.takeovers << " _rba_ "
+         << sh.assertions_rebuilt << " _tokens_ "
+         << sh.tokens.total_holdings() << " _jrnl_ "
+         << sh.journal.uncommitted_total();
+    }
+    os << "\n  delegation: _dlg_ " << delegations_ << " pinned "
+       << delegated_.size();
   }
   return os.str();
 }
@@ -808,14 +1036,16 @@ void FileSystem::lease_touch(ClientId client) {
 void FileSystem::op_token_release(ClientId client, InodeNum ino,
                                   TokenRange range) {
   lease_touch(client);
-  tokens_.release(client, ino, range);
+  shards_[shard_of(ino)].tokens.release(client, ino, range);
 }
 
 void FileSystem::op_client_gone(ClientId client) {
-  tokens_.release_all(client);
-  // Clean unmount: the client flushed, so its journal tail needs no
-  // replay — drop it with the lease.
-  journal_.drop_client(client);
+  // Clean unmount: the client flushed, so its journal tails need no
+  // replay — drop them with the lease, across every shard it touched.
+  for (MetaShard& sh : shards_) {
+    sh.tokens.release_all(client);
+    sh.journal.drop_client(client);
+  }
   lease_.deregister(client);
 }
 
@@ -839,7 +1069,7 @@ const BlockPlacement* FileSystem::replica_placement(InodeNum ino,
 
 Status FileSystem::op_replica_divergence(ClientId client, InodeNum ino,
                                          std::uint64_t bi, std::uint8_t copy) {
-  if (recovering_) {
+  if (shards_[shard_of(ino)].recovering || shards_[0].recovering) {
     // Same overlap rule as op_extend_size: a reasserted writer whose
     // flush just diverted to a replica must be able to record the
     // divergence mid-rebuild; unknown clients retry.

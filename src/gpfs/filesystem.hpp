@@ -7,9 +7,22 @@
 // point of view. Token requests that conflict with other clients'
 // holdings trigger the revoke protocol through an installed revoker
 // callback (flush-then-release at the holder, then grant).
+//
+// Metadata authority is partitioned into shards (token domains,
+// FsConfig::meta_shards): inodes hash into a shard (`ino % N`, unless
+// delegated), path-keyed namespace ops hash the path, and each shard
+// owns its own TokenManager, journal slice, manager node and manager
+// epoch — so token traffic for disjoint inode sets scales across
+// manager nodes, and one shard's crash stalls only its own domain.
+// Disk leases stay global (shard 0 is the lease home): one batched
+// heartbeat per client covers every shard, which is the GPFS view that
+// a lease asserts *node liveness*, not per-domain authority. The
+// default meta_shards = 1 collapses all of this to the historic single
+// manager, byte-identically.
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -20,6 +33,7 @@
 #include "gpfs/namespace.hpp"
 #include "gpfs/nsd.hpp"
 #include "gpfs/token.hpp"
+#include "sim/serial_resource.hpp"
 #include "sim/simulator.hpp"
 
 namespace mgfs::gpfs {
@@ -87,7 +101,9 @@ class FileSystem {
 
   const FsConfig& config() const { return cfg_; }
   const std::string& name() const { return cfg_.name; }
-  net::NodeId manager_node() const { return manager_node_; }
+  /// Manager node of `shard` (default: shard 0, the lease home — the
+  /// single manager in an unsharded file system).
+  net::NodeId manager_node(std::uint32_t shard = 0) const;
   Bytes block_size() const { return cfg_.block_size; }
   std::size_t nsd_count() const { return nsds_.size(); }
   const Nsd& nsd(std::uint32_t id) const;
@@ -96,8 +112,50 @@ class FileSystem {
 
   Namespace& ns() { return ns_; }
   const Namespace& ns() const { return ns_; }
-  TokenManager& tokens() { return tokens_; }
+  /// Shard 0's token table — everything, in the single-shard default.
+  TokenManager& tokens() { return shards_[0].tokens; }
   AllocationMap& alloc() { return alloc_; }
+
+  // --- metadata sharding (token domains) --------------------------------
+  std::uint32_t shard_count() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  /// The shard owning `ino`'s token/journal authority: the delegation
+  /// map if the inode's metanode was moved, else `ino % shard_count()`.
+  std::uint32_t shard_of(InodeNum ino) const;
+  /// Domain of a path-keyed namespace op (open/stat/mkdir/...): a hash
+  /// of the path string, so directories spread across shards without
+  /// needing the inode first.
+  std::uint32_t shard_of_path(const std::string& path) const;
+  TokenManager& shard_tokens(std::uint32_t shard) {
+    return shards_[shard].tokens;
+  }
+  MetaJournal& shard_journal(std::uint32_t shard) {
+    return shards_[shard].journal;
+  }
+  /// Assign a shard's manager role (cluster wiring, before traffic).
+  void set_shard_manager(std::uint32_t shard, net::NodeId node);
+  /// Serialize `done` behind `shard`'s manager CPU, charging
+  /// FsConfig::meta_cpu_per_op. With no per-op cost configured this is
+  /// a synchronous passthrough (no event is scheduled), so default
+  /// configs keep their exact event order.
+  void charge_meta(std::uint32_t shard, sim::Callback done);
+
+  // --- metanode delegation ----------------------------------------------
+  /// Move `ino`'s token + journal authority to `dst_shard` (GPFS
+  /// metanode election: pin a hot file's authority where it is used).
+  /// Refused (false) when either shard is mid-takeover, the inode has
+  /// an uncommitted journal tail in its current slice, or more than one
+  /// client holds tokens on it — authority moves only when the move is
+  /// trivially atomic in sim time.
+  bool try_delegate(InodeNum ino, std::uint32_t dst_shard);
+  std::uint64_t delegations() const { return delegations_; }
+  /// Pick the preferred shard for a client's hot inode (installed by
+  /// the cluster: lowest-RTT shard manager from the client's node).
+  using MetanodePickFn = std::function<std::uint32_t(ClientId)>;
+  void set_metanode_picker(MetanodePickFn fn) {
+    metanode_pick_ = std::move(fn);
+  }
 
   void set_revoker(RevokerFn fn) { revoker_ = std::move(fn); }
   void set_prober(ProberFn fn) { prober_ = std::move(fn); }
@@ -109,8 +167,9 @@ class FileSystem {
 
   LeaseManager& lease() { return lease_; }
   const LeaseManager& lease() const { return lease_; }
-  MetaJournal& journal() { return journal_; }
-  const MetaJournal& journal() const { return journal_; }
+  /// Shard 0's journal slice — everything, in the single-shard default.
+  MetaJournal& journal() { return shards_[0].journal; }
+  const MetaJournal& journal() const { return shards_[0].journal; }
 
   // --- membership (disk leases, DESIGN.md §6) ---------------------------
   /// (Re-)register a client under a fresh lease epoch. Called at mount
@@ -122,14 +181,16 @@ class FileSystem {
   /// Two-epoch write gate consulted by NSD servers before admitting a
   /// write (DESIGN.md §6): admit when both the lease epoch and the
   /// manager epoch are current, retry while a takeover is rebuilding
-  /// state, fence (non-retryable stale) otherwise. Counts fenced
-  /// attempts in fenced_writes(); a stale *manager* epoch additionally
-  /// counts in stale_manager_fenced().
-  NsdServer::GateDecision write_gate(ClientId client,
+  /// state, fence (non-retryable stale) otherwise. The inode routes the
+  /// check to its owning shard — manager epochs are per shard, and only
+  /// that shard's takeover gates the write. Counts fenced attempts in
+  /// fenced_writes(); a stale *manager* epoch additionally counts in
+  /// stale_manager_fenced().
+  NsdServer::GateDecision write_gate(ClientId client, InodeNum ino,
                                      std::uint64_t lease_epoch,
                                      std::uint64_t mgr_epoch);
   /// Lease-epoch-only fence (raw tests; implies the current manager
-  /// epoch).
+  /// epoch of shard 0).
   bool write_admitted(ClientId client, std::uint64_t epoch);
   /// Expel `client`: mark its lease dead, replay (undo) its uncommitted
   /// journal records, release all its tokens so blocked revokes
@@ -140,50 +201,66 @@ class FileSystem {
   void sweep_leases();
 
   // --- manager failover (DESIGN.md §6: elect -> rebuild -> fence -> resume)
-  /// Manager incarnation number. Starts at 1; bumped by every takeover.
-  /// Carried on manager-bound RPCs and NSD write gates so a deposed
-  /// manager's grants and a partitioned client's writes under them are
-  /// rejected as stale.
-  std::uint64_t manager_epoch() const { return manager_epoch_; }
-  /// Is a takeover rebuild in progress? Metadata ops answer retryable
-  /// `unavailable` and NSD write gates answer `retry` while true, so
-  /// clients pause-and-redrive instead of failing.
-  bool recovering() const { return recovering_; }
-  /// The successor assumes the manager role: bump the manager epoch,
-  /// move the role to `successor`, and wipe the volatile token/lease
-  /// tables (they died with the old manager node). The caller then
-  /// queries every registered client and feeds install_assertion /
-  /// note_rebuild_nonresponder before finish_takeover.
-  void begin_takeover(net::NodeId successor);
+  // Each shard fails over independently: its own epoch, its own
+  // recovering flag, its own rebuilt token table. Shard 0's takeover
+  // additionally rebuilds the (global) lease plane. All entry points
+  // default to shard 0, the single manager of an unsharded fs.
+  /// Manager incarnation number of `shard`. Starts at 1; bumped by
+  /// every takeover of that shard. Carried on manager-bound RPCs and
+  /// NSD write gates so a deposed manager's grants and a partitioned
+  /// client's writes under them are rejected as stale.
+  std::uint64_t manager_epoch(std::uint32_t shard = 0) const;
+  /// Is any shard's takeover rebuild in progress? Metadata ops answer
+  /// retryable `unavailable` and NSD write gates answer `retry` for the
+  /// affected shard's domain, so clients pause-and-redrive instead of
+  /// failing.
+  bool recovering() const;
+  bool shard_recovering(std::uint32_t shard) const;
+  /// The successor assumes `shard`'s manager role: bump the shard's
+  /// epoch, move the role to `successor`, and wipe the shard's volatile
+  /// token table (it died with the old manager node). Shard 0 also
+  /// wipes the lease table. The caller then queries every registered
+  /// client and feeds install_assertion / note_rebuild_nonresponder
+  /// before finish_takeover.
+  void begin_takeover(net::NodeId successor, std::uint32_t shard = 0);
   /// A client answered the rebuild query: re-register its lease under
   /// its *existing* epoch (still the current grant — its in-flight
-  /// writes must keep landing) and install its asserted tokens.
+  /// writes must keep landing; shard 0 only — other shards leave the
+  /// lease plane alone) and install its asserted tokens, which must
+  /// already be filtered to `shard`'s inodes.
   void install_assertion(ClientId client, std::uint64_t lease_epoch,
-                         const std::vector<TokenAssertion>& tokens);
+                         const std::vector<TokenAssertion>& tokens,
+                         std::uint32_t shard = 0);
   /// A client did not answer the rebuild query. If its node is down it
   /// is expelled at once (journal replay + token reclaim); if the node
-  /// is up (gray failure) it gets an already-lapsed suspect lease so
-  /// the normal sweep expels it after recovery_wait.
-  void note_rebuild_nonresponder(ClientId client, bool node_down);
+  /// is up (gray failure) it gets an already-lapsed must-rejoin lease —
+  /// whichever shard it slept through, its tokens there are wiped, so
+  /// only a full rejoin (discarding caches) readmits it.
+  void note_rebuild_nonresponder(ClientId client, bool node_down,
+                                 std::uint32_t shard = 0);
   /// Rebuild complete: leave the recovering state, replay journal tails
   /// of clients that neither reasserted nor kept a lease entry, and run
   /// the lease sweep that was held off during the rebuild.
-  void finish_takeover();
-  std::uint64_t manager_takeovers() const { return takeovers_; }
+  void finish_takeover(std::uint32_t shard = 0);
+  /// Takeovers across all shards.
+  std::uint64_t manager_takeovers() const;
+  std::uint64_t shard_takeovers(std::uint32_t shard) const;
   /// Simulated time the last takeover's rebuild finished; < 0 if never.
   double last_takeover_at() const { return last_takeover_at_; }
-  std::uint64_t assertions_rebuilt() const { return assertions_rebuilt_; }
-  std::uint64_t stale_manager_fenced() const { return stale_mgr_fenced_; }
+  std::uint64_t assertions_rebuilt() const;
+  std::uint64_t stale_manager_fenced() const;
 
   // --- recovery-latency accounting (DESIGN.md §6, latency budget) -------
-  /// Count one per-client reassertion RPC issued by the takeover rebuild
+  /// Count one per-client reassertion RPC issued by a takeover rebuild
   /// (cluster.cpp calls this; the invariant under batched reassertion is
   /// rebuild_rpcs == O(clients), not O(grants)).
-  void note_rebuild_rpc() { ++rebuild_rpcs_; }
-  std::uint64_t rebuild_rpcs() const { return rebuild_rpcs_; }
+  void note_rebuild_rpc(std::uint32_t shard = 0) {
+    ++shards_[shard].rebuild_rpcs;
+  }
+  std::uint64_t rebuild_rpcs() const;
   /// Writes admitted through the NSD gate *during* a takeover rebuild
   /// because their sender had already reasserted (the overlap window).
-  std::uint64_t overlap_writes_admitted() const { return overlap_admits_; }
+  std::uint64_t overlap_writes_admitted() const;
   /// Suspects expelled early on probe-quorum confirmation instead of
   /// waiting out duration + recovery_wait.
   std::uint64_t early_expels() const { return lease_.confirms(); }
@@ -294,6 +371,28 @@ class FileSystem {
   std::string stats() const;
 
  private:
+  /// One metadata shard (token domain): manager-side authority for the
+  /// inodes hashed or delegated into it. Shard 0 additionally hosts the
+  /// global lease plane.
+  struct MetaShard {
+    TokenManager tokens;
+    MetaJournal journal;
+    net::NodeId manager_node{};
+    std::uint64_t manager_epoch = 1;
+    bool recovering = false;
+    double takeover_started_at = -1.0;
+    double first_grant_at = -1.0;
+    std::vector<sim::Callback> recovery_waiters;
+    std::uint64_t takeovers = 0;
+    std::uint64_t assertions_rebuilt = 0;
+    std::uint64_t rebuild_rpcs = 0;
+    std::uint64_t overlap_admits = 0;
+    std::uint64_t stale_mgr_fenced = 0;
+    /// Manager CPU, only when FsConfig::meta_cpu_per_op > 0 — the
+    /// serialization point the shard_sweep bench scales against.
+    std::unique_ptr<sim::SerialResource> cpu;
+  };
+
   void token_retry(ClientId client, InodeNum ino, TokenRange range,
                    TokenRange desired, LockMode mode, int attempts,
                    std::function<void(Result<TokenRange>)> done);
@@ -311,15 +410,23 @@ class FileSystem {
   /// normal window.
   void probe_then_await(ClientId holder, InodeNum ino, TokenRange overlap,
                         sim::Callback done);
-  /// Park `resume` until finish_takeover drains the waiter list (with a
-  /// full-recovery-window timer as a safety net if the rebuild dies).
-  void park_for_recovery(sim::Callback resume);
-  /// Stamp the first post-takeover service point (write admit or token
-  /// grant) for takeover_to_first_grant_s.
-  void note_first_grant();
+  /// Park `resume` until finish_takeover(shard) drains the waiter list
+  /// (with a full-recovery-window timer as a safety net if the rebuild
+  /// dies).
+  void park_for_recovery(std::uint32_t shard, sim::Callback resume);
+  /// Stamp `shard`'s first post-takeover service point (write admit or
+  /// token grant) for takeover_to_first_grant_s.
+  void note_first_grant(std::uint32_t shard);
   /// Piggybacked renewal + lazy sweep at manager-op entry.
   void lease_touch(ClientId client);
+  /// Replay (undo) `client`'s uncommitted records in every journal
+  /// slice — expel is a cluster-level decision, domain by domain.
   void replay_journal(ClientId client);
+  void replay_journal_slice(std::uint32_t shard, ClientId client);
+  /// Auto-delegation bookkeeping on a token grant: after
+  /// cfg_.auto_delegate_ops consecutive single-client acquires on an
+  /// inode, move its metanode to the picker's preferred shard.
+  void note_grant_for_delegation(ClientId client, InodeNum ino);
   /// Undo one replica journal record: remove the matching copy from the
   /// placement (compacting addrs + divergence mask) and free its block.
   void undo_replica(const JournalRecord& r);
@@ -336,21 +443,32 @@ class FileSystem {
   sim::Simulator& sim_;
   FsConfig cfg_;
   std::vector<Nsd> nsds_;
-  net::NodeId manager_node_;
   Namespace ns_;
   AllocationMap alloc_;
-  TokenManager tokens_;
   LeaseManager lease_;
-  MetaJournal journal_;
+  std::vector<MetaShard> shards_;
   RevokerFn revoker_;
   AccessFn access_fn_;
   ExpelListener expel_listener_;
   ProberFn prober_;
+  MetanodePickFn metanode_pick_;
   bool sweeping_ = false;
   std::uint64_t tokens_granted_ = 0;
   std::uint64_t revocations_ = 0;
   std::uint64_t journal_replays_ = 0;
   std::uint64_t fenced_writes_ = 0;
+
+  // metanode delegation state
+  /// Inodes whose authority was moved off their hash shard.
+  std::unordered_map<InodeNum, std::uint32_t> delegated_;
+  /// Per-inode (last granted client, consecutive-grant streak) for
+  /// auto-delegation; only tracked when cfg_.auto_delegate_ops > 0.
+  struct GrantStreak {
+    ClientId client = 0;
+    std::uint32_t streak = 0;
+  };
+  std::unordered_map<InodeNum, GrantStreak> grant_streaks_;
+  std::uint64_t delegations_ = 0;
 
   // replication state
   /// Replica-aware block map side-table: placements for blocks of
@@ -364,20 +482,8 @@ class FileSystem {
   std::uint64_t replica_divergences_ = 0;
   std::uint64_t replicas_reconciled_ = 0;
 
-  // manager failover state
-  std::uint64_t manager_epoch_ = 1;
-  bool recovering_ = false;
-  std::uint64_t takeovers_ = 0;
+  // fs-level failover accounting (per-shard state lives in MetaShard)
   double last_takeover_at_ = -1.0;
-  std::uint64_t assertions_rebuilt_ = 0;
-  std::uint64_t stale_mgr_fenced_ = 0;
-
-  // recovery-latency accounting
-  std::vector<sim::Callback> recovery_waiters_;
-  std::uint64_t rebuild_rpcs_ = 0;
-  std::uint64_t overlap_admits_ = 0;
-  double takeover_started_at_ = -1.0;
-  double first_grant_at_ = -1.0;
   double last_first_grant_s_ = -1.0;
 };
 

@@ -165,6 +165,16 @@ std::vector<ClientId> MetaJournal::clients_with_uncommitted() const {
   return out;
 }
 
+bool MetaJournal::has_uncommitted(InodeNum ino) const {
+  auto it = by_inode_.find(ino);
+  if (it == by_inode_.end()) return false;
+  for (const std::uint32_t idx : it->second) {
+    // Lazily-pruned list: a slot may have died via another index.
+    if (slab_[idx].live && slab_[idx].rec.ino == ino) return true;
+  }
+  return false;
+}
+
 std::size_t MetaJournal::uncommitted_count(ClientId c) const {
   auto it = by_client_.find(c);
   if (it == by_client_.end()) return 0;

@@ -84,6 +84,10 @@ class MetaJournal {
   std::vector<ClientId> clients_with_uncommitted() const;
 
   std::size_t uncommitted_count(ClientId c) const;
+  /// Any live record for `ino`? Metanode delegation refuses to move an
+  /// inode whose journal tail is non-empty — records must stay in the
+  /// slice that will replay them.
+  bool has_uncommitted(InodeNum ino) const;
   std::size_t uncommitted_total() const { return live_; }
   std::uint64_t records_logged() const { return logged_; }
 

@@ -4,6 +4,14 @@
 
 namespace mgfs::gpfs {
 
+void LeaseManager::arm(ClientId c, double when) {
+  Entry& e = leases_[c];
+  if (when < e.armed) {
+    e.armed = when;
+    expiry_heap_.push({when, c});
+  }
+}
+
 std::uint64_t LeaseManager::register_client(ClientId c, double now) {
   Entry& e = leases_[c];
   e.epoch = next_epoch_++;
@@ -11,6 +19,7 @@ std::uint64_t LeaseManager::register_client(ClientId c, double now) {
   e.expelled = false;
   e.suspect_noted = false;
   e.must_rejoin = false;  // a fresh registration IS the rejoin
+  arm(c, e.expires_at);
   return e.epoch;
 }
 
@@ -27,6 +36,7 @@ bool LeaseManager::renew(ClientId c, double now) {
   it->second.confirmed_dead = false;  // it spoke: the probe quorum was wrong
   it->second.probed = false;          // next episode gets a fresh probe slot
   ++renewals_;
+  arm(c, it->second.expires_at);
   return true;
 }
 
@@ -80,6 +90,7 @@ void LeaseManager::note_suspect(ClientId c, double now) {
     e.suspect_noted = true;
     leases_[c] = e;
     ++suspects_;
+    arm(c, e.expires_at + cfg_.recovery_wait);
     return;
   }
   if (it->second.expelled || it->second.suspect_noted) return;
@@ -102,6 +113,7 @@ void LeaseManager::confirm_suspect(ClientId c) {
   }
   it->second.confirmed_dead = true;
   ++confirms_;
+  arm(c, 0.0);  // confirmed: the very next sweep must see it as due
 }
 
 bool LeaseManager::claim_probe(ClientId c) {
@@ -142,6 +154,7 @@ void LeaseManager::install(ClientId c, std::uint64_t epoch, double now) {
   // Keep the global epoch counter ahead of every asserted epoch so the
   // next fresh registration cannot collide with a surviving grant.
   next_epoch_ = std::max(next_epoch_, epoch + 1);
+  arm(c, e.expires_at);
 }
 
 void LeaseManager::install_lapsed_suspect(ClientId c, double now) {
@@ -157,6 +170,7 @@ void LeaseManager::install_lapsed_suspect(ClientId c, double now) {
   e.must_rejoin = true;
   leases_[c] = e;
   ++suspects_;
+  arm(c, e.expires_at + cfg_.recovery_wait);
 }
 
 bool LeaseManager::expel(ClientId c) {
@@ -177,15 +191,34 @@ bool LeaseManager::expel(ClientId c) {
 
 std::vector<ClientId> LeaseManager::sweep(double now) {
   std::vector<ClientId> due;
-  for (auto& [c, e] : leases_) {
-    if (e.expelled) continue;
+  // Re-arms collected outside the pop loop: a deadline at exactly `now`
+  // pushed back mid-loop would pop again in the same pass.
+  std::vector<std::pair<double, ClientId>> rearm;
+  while (!expiry_heap_.empty() && expiry_heap_.top().first <= now) {
+    auto [when, c] = expiry_heap_.top();
+    expiry_heap_.pop();
+    auto it = leases_.find(c);
+    if (it == leases_.end()) continue;  // deregistered: node is stale
+    Entry& e = it->second;
+    if (when != e.armed) continue;  // superseded by a later arm()
+    e.armed = kNeverArmed;
+    if (e.expelled) continue;  // tombstone: nothing left to decide
     if (now > e.expires_at && !e.suspect_noted) {
       e.suspect_noted = true;
       ++suspects_;
     }
-    if (e.confirmed_dead || now >= e.expires_at + cfg_.recovery_wait)
+    if (e.confirmed_dead || now >= e.expires_at + cfg_.recovery_wait) {
       due.push_back(c);
+      // Stay hot until the caller expels it (or a renewal re-arms):
+      // the old full-scan sweep kept reporting a due client every call.
+      rearm.push_back({now, c});
+      continue;
+    }
+    rearm.push_back({e.suspect_noted ? e.expires_at + cfg_.recovery_wait
+                                     : e.expires_at,
+                     c});
   }
+  for (const auto& [when, c] : rearm) arm(c, when);
   std::sort(due.begin(), due.end());
   return due;
 }

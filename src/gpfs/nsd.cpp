@@ -19,10 +19,11 @@ void NsdServer::set_slow_factor(double factor) {
 }
 
 NsdServer::GateDecision NsdServer::write_admitted(ClientId client,
+                                                  InodeNum ino,
                                                   std::uint64_t lease_epoch,
                                                   std::uint64_t mgr_epoch) {
   if (!write_gate_) return GateDecision::admit;
-  const GateDecision d = write_gate_(client, lease_epoch, mgr_epoch);
+  const GateDecision d = write_gate_(client, ino, lease_epoch, mgr_epoch);
   if (d == GateDecision::fence) ++fenced_;
   if (d == GateDecision::retry) ++gated_retries_;
   return d;

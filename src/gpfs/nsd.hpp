@@ -73,8 +73,11 @@ class NsdServer {
 
   /// Two-epoch write fencing (DESIGN.md §6). The gate answers "may this
   /// client, presenting this lease epoch under this manager epoch,
-  /// write?"; the cluster wires it to the file-system manager's
-  /// membership view. Three outcomes:
+  /// write to this inode?"; the cluster wires it to the file-system
+  /// manager's membership view. The inode routes the check to the
+  /// metadata shard that owns it — the manager epoch is per shard, and
+  /// only the owning shard's takeover may gate the write. Three
+  /// outcomes:
   ///   admit — both epochs current, write proceeds;
   ///   retry — a manager takeover is rebuilding state; the write is
   ///           refused retryably (pause-and-redrive, not fail);
@@ -82,12 +85,14 @@ class NsdServer {
   /// No gate = admit all (standalone NSD tests).
   enum class GateDecision { admit, retry, fence };
   using WriteGate =
-      std::function<GateDecision(ClientId, std::uint64_t lease_epoch,
+      std::function<GateDecision(ClientId, InodeNum ino,
+                                 std::uint64_t lease_epoch,
                                  std::uint64_t mgr_epoch)>;
   void set_write_gate(WriteGate gate) { write_gate_ = std::move(gate); }
   /// Consult the gate; counts fenced rejections. Data-path callers must
   /// check this before charging device work for a write.
-  GateDecision write_admitted(ClientId client, std::uint64_t lease_epoch,
+  GateDecision write_admitted(ClientId client, InodeNum ino,
+                              std::uint64_t lease_epoch,
                               std::uint64_t mgr_epoch);
   std::uint64_t fenced_writes() const { return fenced_; }
   /// Writes refused retryably because a takeover was rebuilding state —

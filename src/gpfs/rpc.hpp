@@ -29,7 +29,6 @@
 #pragma once
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -39,22 +38,25 @@
 
 namespace mgfs::gpfs {
 
+// The pool lookup is on the path of every RPC send, reply, and ack, so
+// it is NodeId-indexed flat vectors (rows_[src.v][dst.v]) rather than a
+// map: node ids are small dense integers assigned by the Network, and
+// the 1024-client profile showed the old std::map find dominating once
+// every client holds ~64 NSD pairs. Rows grow on demand; absent entries
+// are null.
 class ConnectionPool {
  public:
   ConnectionPool(net::Network& net, net::TcpConfig cfg = {})
       : net_(net), cfg_(cfg) {}
 
   net::TcpConnection& get(net::NodeId src, net::NodeId dst) {
-    const auto key = std::make_pair(src.v, dst.v);
-    auto it = conns_.find(key);
-    if (it == conns_.end()) {
-      it = conns_
-               .emplace(key, std::make_unique<net::TcpConnection>(net_, src,
-                                                                  dst, cfg_))
-               .first;
+    auto& slot = slot_at(src.v, dst.v);
+    if (!slot) {
+      slot = std::make_unique<net::TcpConnection>(net_, src, dst, cfg_);
+      ++open_;
       ++created_;
     }
-    return *it->second;
+    return *slot;
   }
 
   /// Drop the (src, dst) connection from the pool, failing anything
@@ -63,29 +65,33 @@ class ConnectionPool {
   /// raw pointers into it (they become epoch-guarded no-ops after the
   /// reset). Returns true if a connection existed.
   bool evict(net::NodeId src, net::NodeId dst) {
-    auto it = conns_.find(std::make_pair(src.v, dst.v));
-    if (it == conns_.end()) return false;
-    it->second->reset();
-    retired_.push_back(std::move(it->second));
-    conns_.erase(it);
-    ++evicted_;
+    if (src.v >= rows_.size() || dst.v >= rows_[src.v].size() ||
+        !rows_[src.v][dst.v]) {
+      return false;
+    }
+    retire(rows_[src.v][dst.v]);
     return true;
   }
 
   /// Retire every pair touching `n` (either endpoint). Long-running
   /// multi-cluster sims call this when a node leaves for good so dead
-  /// pairs don't accumulate. Returns the number evicted.
+  /// pairs don't accumulate. Returns the number evicted. Walks pairs in
+  /// (src, dst) order — reset() can fail queued transfers synchronously,
+  /// so the callback order must match the old sorted-map pool.
   std::size_t evict_node(net::NodeId n) {
     std::size_t count = 0;
-    for (auto it = conns_.begin(); it != conns_.end();) {
-      if (it->first.first == n.v || it->first.second == n.v) {
-        it->second->reset();
-        retired_.push_back(std::move(it->second));
-        it = conns_.erase(it);
-        ++evicted_;
+    for (std::size_t src = 0; src < rows_.size(); ++src) {
+      auto& row = rows_[src];
+      if (src == n.v) {
+        for (auto& slot : row) {
+          if (slot) {
+            retire(slot);
+            ++count;
+          }
+        }
+      } else if (n.v < row.size() && row[n.v]) {
+        retire(row[n.v]);
         ++count;
-      } else {
-        ++it;
       }
     }
     return count;
@@ -94,11 +100,20 @@ class ConnectionPool {
   /// Reset (not evict) every broken connection touching `n` — the node
   /// restart path: the pairs are about to be reused, so clear the
   /// failed state instead of reallocating. Returns the number reset.
+  /// Same (src, dst) walk order as evict_node, for the same reason.
   std::size_t reset_node(net::NodeId n) {
     std::size_t count = 0;
-    for (auto& [key, conn] : conns_) {
-      if ((key.first == n.v || key.second == n.v) && conn->broken()) {
-        conn->reset();
+    for (std::size_t src = 0; src < rows_.size(); ++src) {
+      auto& row = rows_[src];
+      if (src == n.v) {
+        for (auto& slot : row) {
+          if (slot && slot->broken()) {
+            slot->reset();
+            ++count;
+          }
+        }
+      } else if (n.v < row.size() && row[n.v] && row[n.v]->broken()) {
+        row[n.v]->reset();
         ++count;
       }
     }
@@ -107,20 +122,34 @@ class ConnectionPool {
 
   net::Network& network() { return net_; }
   const net::TcpConfig& config() const { return cfg_; }
-  std::size_t open_connections() const { return conns_.size(); }
+  std::size_t open_connections() const { return open_; }
   std::uint64_t connections_created() const { return created_; }
   std::uint64_t connections_evicted() const { return evicted_; }
   std::size_t retired_connections() const { return retired_.size(); }
 
  private:
+  std::unique_ptr<net::TcpConnection>& slot_at(std::uint32_t src,
+                                               std::uint32_t dst) {
+    if (src >= rows_.size()) rows_.resize(src + 1);
+    auto& row = rows_[src];
+    if (dst >= row.size()) row.resize(dst + 1);
+    return row[dst];
+  }
+
+  void retire(std::unique_ptr<net::TcpConnection>& slot) {
+    slot->reset();
+    retired_.push_back(std::move(slot));
+    --open_;
+    ++evicted_;
+  }
+
   net::Network& net_;
   net::TcpConfig cfg_;
-  std::map<std::pair<std::uint32_t, std::uint32_t>,
-           std::unique_ptr<net::TcpConnection>>
-      conns_;
+  std::vector<std::vector<std::unique_ptr<net::TcpConnection>>> rows_;
   // Evicted but possibly still referenced by in-flight continuations;
   // reclaimed with the pool.
   std::vector<std::unique_ptr<net::TcpConnection>> retired_;
+  std::size_t open_ = 0;
   std::uint64_t created_ = 0;
   std::uint64_t evicted_ = 0;
 };

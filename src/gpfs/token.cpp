@@ -404,6 +404,15 @@ std::size_t TokenManager::install_batch(
   return assertions.size();
 }
 
+std::vector<Holding> TokenManager::extract(InodeNum ino) {
+  auto it = by_inode_.find(ino);
+  if (it == by_inode_.end()) return {};
+  std::vector<Holding> out = std::move(it->second.hs);
+  total_ -= out.size();
+  by_inode_.erase(it);
+  return out;
+}
+
 bool TokenManager::holds(ClientId client, InodeNum ino, TokenRange range,
                          LockMode mode) const {
   auto it = by_inode_.find(ino);

@@ -115,6 +115,12 @@ class TokenManager {
   std::size_t install_batch(ClientId client,
                             const std::vector<TokenAssertion>& assertions);
 
+  /// Remove and return every holding of `ino` — metanode delegation
+  /// moving the inode's token authority to another shard's manager. The
+  /// receiving TokenManager re-installs them via install(); holdings
+  /// were compatible here so they stay compatible there.
+  std::vector<Holding> extract(InodeNum ino);
+
   /// Does `client` hold `range` of `ino` in a mode at least `mode`?
   bool holds(ClientId client, InodeNum ino, TokenRange range,
              LockMode mode) const;

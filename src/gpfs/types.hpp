@@ -105,6 +105,23 @@ struct FsConfig {
   /// the historic behaviour; per-file overrides via OpenFlags::replicas
   /// or FileSystem::set_replication (mmchattr -r).
   std::uint8_t default_replicas = 1;
+  /// Metadata shards (token domains). 1 = the historic single-manager
+  /// plane; N > 1 hashes inodes into N domains, each with its own
+  /// TokenManager, journal slice, manager node and epoch. Shard 0 is
+  /// the lease home: disk leases stay global (one heartbeat covers all
+  /// shards) and are rebuilt only when shard 0 fails over.
+  std::uint32_t meta_shards = 1;
+  /// CPU seconds a shard's manager spends per metadata op (token
+  /// grants, opens, allocations...). 0 disables the charge entirely —
+  /// the historic behaviour, byte-identical event order. Non-zero
+  /// serializes ops through the owning shard's CPU, which is what the
+  /// shard_sweep bench measures scaling against.
+  double meta_cpu_per_op = 0.0;
+  /// Metanode auto-delegation: after this many consecutive token
+  /// acquires on one inode by a single client, migrate the inode's
+  /// token/journal authority to the shard whose manager is nearest
+  /// that client (GPFS metanode election). 0 = off.
+  std::uint32_t auto_delegate_ops = 0;
 };
 
 /// Flags for Client::open.

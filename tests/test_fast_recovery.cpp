@@ -138,12 +138,12 @@ TEST(FastRecoveryIntegration, OverlapWindowAdmitsReassertedQueuesStraggler) {
     }
     if (redirtied && mc.fs->recovering() &&
         mc.fs->assertions_rebuilt() >= 1) {
-      g_reasserted = mc.fs->write_gate(survivor->id(),
+      g_reasserted = mc.fs->write_gate(survivor->id(), 0,
                                        survivor->lease_epoch(),
                                        mc.fs->manager_epoch());
-      g_straggler = mc.fs->write_gate(straggler->id(), straggler_epoch,
+      g_straggler = mc.fs->write_gate(straggler->id(), 0, straggler_epoch,
                                       mc.fs->manager_epoch());
-      g_stale = mc.fs->write_gate(survivor->id(), survivor->lease_epoch(),
+      g_stale = mc.fs->write_gate(survivor->id(), 0, survivor->lease_epoch(),
                                   mc.fs->manager_epoch() - 1);
       return;
     }
